@@ -1,0 +1,47 @@
+//! End-to-end collocation throughput: simulated seconds per wall second for
+//! a representative inf-train pair under each policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orion_core::prelude::*;
+use orion_desim::time::SimTime;
+use orion_workloads::arrivals::ArrivalProcess;
+use orion_workloads::registry::{inference_workload, training_workload};
+use orion_workloads::ModelKind;
+
+fn run_once(policy: PolicyKind) {
+    let mut cfg = RunConfig::quick_test();
+    cfg.horizon = SimTime::from_millis(500);
+    cfg.warmup = SimTime::from_millis(100);
+    let clients = vec![
+        ClientSpec::high_priority(
+            inference_workload(ModelKind::ResNet50),
+            ArrivalProcess::Poisson { rps: 15.0 },
+        ),
+        ClientSpec::best_effort(
+            training_workload(ModelKind::MobileNetV2),
+            ArrivalProcess::ClosedLoop,
+        ),
+    ];
+    let r = run_collocation(policy, clients, &cfg).unwrap();
+    std::hint::black_box(r);
+}
+
+fn bench_collocation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collocation_500ms_sim");
+    g.sample_size(10);
+    for policy in [
+        PolicyKind::Mps,
+        PolicyKind::reef_default(),
+        PolicyKind::orion_default(),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("inf_train", policy.label()),
+            &policy,
+            |b, p| b.iter(|| run_once(p.clone())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collocation);
+criterion_main!(benches);

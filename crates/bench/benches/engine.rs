@@ -1,0 +1,43 @@
+//! Microbenchmarks of the DES + GPU engine hot paths: the simulator must
+//! sustain millions of events per second for the experiment suite to run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orion_desim::time::SimTime;
+use orion_gpu::engine::{GpuEngine, OpKind};
+use orion_gpu::kernel::KernelBuilder;
+use orion_gpu::spec::GpuSpec;
+use orion_gpu::stream::StreamPriority;
+
+fn submit_and_drain(n_kernels: u64, n_streams: usize) {
+    let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
+    let streams: Vec<_> = (0..n_streams)
+        .map(|_| e.create_stream(StreamPriority::DEFAULT))
+        .collect();
+    for i in 0..n_kernels {
+        let k = KernelBuilder::new(i as u32, "bench")
+            .grid_blocks(40)
+            .threads_per_block(256)
+            .solo_duration(SimTime::from_micros(50))
+            .utilization(0.5, 0.3)
+            .build();
+        e.submit(streams[i as usize % n_streams], OpKind::Kernel(k))
+            .unwrap();
+    }
+    e.advance_to(SimTime::from_secs(60));
+    assert_eq!(e.drain_completions().len() as u64, n_kernels);
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_engine");
+    for streams in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("submit_drain_1k_kernels", streams),
+            &streams,
+            |b, &s| b.iter(|| submit_and_drain(1_000, s)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

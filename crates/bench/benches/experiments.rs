@@ -1,0 +1,25 @@
+//! Criterion wrappers over the table/figure harnesses at reduced scale —
+//! one benchmark per reproduced artifact class, so `cargo bench` exercises
+//! the same code paths the experiment binaries use.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orion_bench::exp::{self, ExpConfig};
+
+fn bench_experiments(c: &mut Criterion) {
+    let cfg = ExpConfig::fast();
+    let mut g = c.benchmark_group("experiments_fast");
+    g.sample_size(10);
+    g.bench_function("table2_toy_collocation", |b| {
+        b.iter(|| std::hint::black_box(exp::table2::run(&cfg)))
+    });
+    g.bench_function("fig4_kernel_mixes", |b| {
+        b.iter(|| std::hint::black_box(exp::fig4::run(&cfg)))
+    });
+    g.bench_function("fig1_utilization_timeline", |b| {
+        b.iter(|| std::hint::black_box(exp::fig1::run(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! The 6.5 interception hot path with real threads: wrapper-to-queue push
+//! while the scheduler thread drains (paper: < 1% of a ~10 us kernel, i.e.
+//! the push must be well under 100 ns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orion_core::runtime::{InterceptRuntime, LaunchRecord};
+
+fn bench_intercept(c: &mut Criterion) {
+    let rt = InterceptRuntime::new(1);
+    let guard = rt.start_scheduler();
+    let mut seq = 0u64;
+    c.bench_function("intercept_launch", |b| {
+        b.iter(|| {
+            seq += 1;
+            rt.intercept(LaunchRecord {
+                kernel_id: (seq % 101) as u32,
+                client: 0,
+                seq,
+            });
+        })
+    });
+    guard.stop();
+}
+
+criterion_group!(benches, bench_intercept);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Microbenchmark of the interference-model evaluation (the per-event hot
+//! path of the device engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orion_gpu::interference::{evaluate, KernelLoad, ModelParams};
+use orion_gpu::spec::GpuSpec;
+
+fn loads(n: usize) -> Vec<KernelLoad> {
+    (0..n)
+        .map(|i| KernelLoad {
+            sm_needed: 10 + (i as u32 % 70),
+            sm_granted: 0,
+            compute_demand: 0.1 + 0.08 * (i % 10) as f64,
+            mem_demand: 0.7 - 0.06 * (i % 10) as f64,
+            urgency: (i % 2) as i16,
+            seq: i as u64,
+        })
+        .collect()
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let params = ModelParams::from(&GpuSpec::v100_16gb());
+    let mut g = c.benchmark_group("interference");
+    for n in [2usize, 8, 32] {
+        let l = loads(n);
+        g.bench_with_input(BenchmarkId::new("evaluate", n), &l, |b, l| {
+            b.iter(|| evaluate(&params, std::hint::black_box(l)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Runs every experiment in sequence (the full reproduction suite).
+use orion_bench::exp::{self, ExpConfig};
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("=== Orion reproduction: full experiment suite ===\n");
+    let s = exp::fig1::run(&cfg);
+    exp::fig1::print(&s);
+    println!();
+    exp::table1::print(&exp::table1::run(&cfg));
+    println!();
+    exp::fig4::print(&exp::fig4::run(&cfg));
+    println!();
+    exp::table2::print(&exp::table2::run(&cfg));
+    println!();
+    exp::fig2::print(&exp::fig2::run(&cfg));
+    println!();
+    let rows = exp::fig6_7::run(&cfg, exp::fig6_7::Arrivals::Apollo);
+    exp::fig6_7::print(&rows, exp::fig6_7::Arrivals::Apollo);
+    println!();
+    let rows = exp::fig6_7::run(&cfg, exp::fig6_7::Arrivals::Poisson);
+    exp::fig6_7::print(&rows, exp::fig6_7::Arrivals::Poisson);
+    println!();
+    let (alone, col) = exp::fig8_9::run(&cfg);
+    exp::fig8_9::print(&alone, &col);
+    println!();
+    exp::table4::print(&exp::table4::run(&cfg));
+    println!();
+    exp::fig10::print(&exp::fig10::run(&cfg));
+    println!();
+    let rows = exp::fig11_12::run(&cfg, exp::fig11_12::Arrivals::Apollo);
+    exp::fig11_12::print(&rows, exp::fig11_12::Arrivals::Apollo);
+    println!();
+    let rows = exp::fig11_12::run(&cfg, exp::fig11_12::Arrivals::Poisson);
+    exp::fig11_12::print(&rows, exp::fig11_12::Arrivals::Poisson);
+    println!();
+    exp::fig13::print(&exp::fig13::run(&cfg));
+    println!();
+    exp::fig14::print(&exp::fig14::run(&cfg));
+    println!();
+    let pts = exp::sensitivity::run(&cfg);
+    let pcie = exp::sensitivity::run_pcie_ablation(&cfg);
+    exp::sensitivity::print(&pts, pcie);
+    println!();
+    exp::overhead::print(&exp::overhead::run(&cfg));
+    println!();
+    exp::makespan::print(&exp::makespan::run(&cfg));
+}

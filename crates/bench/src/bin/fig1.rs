@@ -1,0 +1,6 @@
+//! Regenerates Figure 1 (MobileNetV2 training utilization timeline).
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let s = orion_bench::exp::fig1::run(&cfg);
+    orion_bench::exp::fig1::print(&s);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 (training-training collocation).
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = orion_bench::exp::fig10::run(&cfg);
+    orion_bench::exp::fig10::print(&rows);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 11 (inference-inference, Apollo trace).
+use orion_bench::exp::fig11_12::{print, run, Arrivals};
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = run(&cfg, Arrivals::Apollo);
+    print(&rows, Arrivals::Apollo);
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 12 (inference-inference, Poisson).
+use orion_bench::exp::fig11_12::{print, run, Arrivals};
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = run(&cfg, Arrivals::Poisson);
+    print(&rows, Arrivals::Poisson);
+}

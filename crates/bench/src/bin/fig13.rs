@@ -1,0 +1,6 @@
+//! Regenerates Figure 13 (A100, five inference clients).
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = orion_bench::exp::fig13::run(&cfg);
+    orion_bench::exp::fig13::print(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 14 (policy ablation breakdown).
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let steps = orion_bench::exp::fig14::run(&cfg);
+    orion_bench::exp::fig14::print(&steps);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 2 (motivation: collocation techniques vs Ideal).
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = orion_bench::exp::fig2::run(&cfg);
+    orion_bench::exp::fig2::print(&rows);
+}

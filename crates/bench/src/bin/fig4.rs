@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (compute vs memory kernel mixes).
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = orion_bench::exp::fig4::run(&cfg);
+    orion_bench::exp::fig4::print(&rows);
+}

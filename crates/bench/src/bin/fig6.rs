@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 (inference-training, Apollo trace).
+use orion_bench::exp::fig6_7::{print, run, Arrivals};
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = run(&cfg, Arrivals::Apollo);
+    print(&rows, Arrivals::Apollo);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 7 (inference-training, Poisson arrivals).
+use orion_bench::exp::fig6_7::{print, run, Arrivals};
+use orion_bench::exp::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let rows = run(&cfg, Arrivals::Poisson);
+    print(&rows, Arrivals::Poisson);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (compute utilization: inference alone vs collocated).
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let (alone, col) = orion_bench::exp::fig8_9::run(&cfg);
+    orion_bench::exp::fig8_9::print(&alone, &col);
+}

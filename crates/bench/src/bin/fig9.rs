@@ -1,0 +1,6 @@
+//! Regenerates Figure 9 (memory-bandwidth utilization; shares Figure 8's runner).
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let (alone, col) = orion_bench::exp::fig8_9::run(&cfg);
+    orion_bench::exp::fig8_9::print(&alone, &col);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the 6.2.2 makespan/cost comparison.
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = orion_bench::exp::makespan::run(&cfg);
+    orion_bench::exp::makespan::print(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the 6.5 interception-overhead measurements.
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = orion_bench::exp::overhead::run(&cfg);
+    orion_bench::exp::overhead::print(&rows);
+}

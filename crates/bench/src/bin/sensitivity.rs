@@ -1,0 +1,7 @@
+//! Regenerates the 6.4 DUR_THRESHOLD sensitivity study + PCIe ablation.
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let pts = orion_bench::exp::sensitivity::run(&cfg);
+    let pcie = orion_bench::exp::sensitivity::run_pcie_ablation(&cfg);
+    orion_bench::exp::sensitivity::print(&pts, pcie);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 1 (average GPU utilization of all ten workloads).
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = orion_bench::exp::table1::run(&cfg);
+    orion_bench::exp::table1::print(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (toy Conv2d/BN2d collocation).
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = orion_bench::exp::table2::run(&cfg);
+    orion_bench::exp::table2::print(&rows);
+}

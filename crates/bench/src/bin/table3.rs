@@ -1,0 +1,18 @@
+//! Prints Table 3 (request rates used by the experiments — input parameters).
+use orion_bench::table::TextTable;
+use orion_workloads::arrivals::PaperRates;
+use orion_workloads::registry::ALL_MODELS;
+
+fn main() {
+    println!("# Table 3: requests per second for DNN inference jobs (inputs)");
+    let mut t = TextTable::new(vec!["model", "inf-inf uniform", "inf-inf poisson", "inf-train poisson"]);
+    for m in ALL_MODELS {
+        t.row(vec![
+            m.name().to_string(),
+            format!("{}", PaperRates::inf_inf_uniform(m)),
+            format!("{}", PaperRates::inf_inf_poisson(m)),
+            format!("{}", PaperRates::inf_train_poisson(m)),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 4 (training throughput + cost savings under Orion).
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    let rows = orion_bench::exp::table4::run(&cfg);
+    orion_bench::exp::table4::print(&rows);
+}

@@ -1,0 +1,105 @@
+//! Figure 1: GPU compute-throughput and memory-bandwidth utilization over
+//! time for one MobileNetV2 training iteration (batch 96 in the paper; we
+//! use the Table 1 training configuration).
+//!
+//! The figure's point is that utilization is bursty and low on average, with
+//! compute and memory spikes at *different* times. The runner executes the
+//! training job alone with the full utilization timeline enabled and prints
+//! a bucketed series plus the averages (the red dotted lines).
+
+use orion_core::prelude::*;
+use orion_core::world::run_dedicated;
+use orion_desim::time::SimTime;
+use orion_workloads::arrivals::ArrivalProcess;
+use orion_workloads::model::ModelKind;
+use orion_workloads::registry::training_workload;
+
+use crate::exp::ExpConfig;
+use crate::table::{f2, TextTable};
+
+/// The utilization series of one run.
+#[derive(Debug)]
+pub struct Series {
+    /// Bucket start times (ms).
+    pub t_ms: Vec<f64>,
+    /// Compute-throughput utilization per bucket.
+    pub compute: Vec<f64>,
+    /// Memory-bandwidth utilization per bucket.
+    pub mem_bw: Vec<f64>,
+    /// Average compute utilization (dotted line).
+    pub avg_compute: f64,
+    /// Average memory-bandwidth utilization (dotted line).
+    pub avg_mem: f64,
+}
+
+/// Runs MobileNetV2 training alone and extracts the utilization timeline.
+pub fn run(cfg: &ExpConfig) -> Series {
+    let mut rc = cfg.run_config();
+    rc.record_timeline = true;
+    // A couple of iterations are enough for the figure.
+    rc.horizon = SimTime::from_millis(if cfg.fast { 200 } else { 400 });
+    rc.warmup = SimTime::ZERO;
+    let client = ClientSpec::best_effort(
+        training_workload(ModelKind::MobileNetV2),
+        ArrivalProcess::ClosedLoop,
+    );
+    let r = run_dedicated(client, &rc).expect("training job fits alone");
+    let mut t_ms = Vec::new();
+    let mut compute = Vec::new();
+    let mut mem_bw = Vec::new();
+    for s in &r.timeline {
+        t_ms.push(s.at.as_millis_f64());
+        compute.push(s.compute);
+        mem_bw.push(s.mem_bw);
+    }
+    Series {
+        t_ms,
+        compute,
+        mem_bw,
+        avg_compute: r.utilization.compute,
+        avg_mem: r.utilization.mem_bw,
+    }
+}
+
+/// Prints the series (downsampled) and the averages.
+pub fn print(s: &Series) {
+    println!("# Figure 1: MobileNetV2 training utilization over time (solo GPU)");
+    println!(
+        "# average compute throughput = {:.1}%  (paper: <40%)",
+        100.0 * s.avg_compute
+    );
+    println!(
+        "# average memory bandwidth  = {:.1}%  (paper: <55%)",
+        100.0 * s.avg_mem
+    );
+    let mut t = TextTable::new(vec!["t[ms]", "compute%", "mem_bw%"]);
+    let step = (s.t_ms.len() / 60).max(1);
+    for i in (0..s.t_ms.len()).step_by(step) {
+        t.row(vec![
+            f2(s.t_ms[i]),
+            f2(100.0 * s.compute[i]),
+            f2(100.0 * s.mem_bw[i]),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_bursty_and_low_on_average() {
+        let s = run(&ExpConfig::fast());
+        assert!(!s.t_ms.is_empty());
+        // Averages below the paper's red lines.
+        assert!(s.avg_compute < 0.55, "avg compute {}", s.avg_compute);
+        assert!(s.avg_mem < 0.65, "avg mem {}", s.avg_mem);
+        // Bursty: some 1-ms buckets run well above the average while others
+        // dip below it (compute and memory spike at different times).
+        let max_c = s.compute.iter().cloned().fold(0.0, f64::max);
+        let min_c = s.compute.iter().cloned().fold(1.0, f64::min);
+        assert!(max_c > s.avg_compute + 0.1, "no compute bursts: max {max_c}");
+        assert!(min_c < s.avg_compute, "no compute dips: min {min_c}");
+    }
+}

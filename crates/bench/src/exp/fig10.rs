@@ -1,0 +1,164 @@
+//! Figure 10: training-training collocation — average throughput of the
+//! high-priority and best-effort training jobs under every policy,
+//! including Tick-Tock.
+
+use orion_core::prelude::*;
+use orion_workloads::arrivals::ArrivalProcess;
+use orion_workloads::model::ModelKind;
+use orion_workloads::registry::{training_workload, ALL_MODELS};
+
+use crate::exp::{be_training, ideal_throughput, ExpConfig};
+use crate::table::{f2, TextTable};
+
+/// One (hp model, policy) cell, averaged over best-effort training partners.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Policy label.
+    pub policy: &'static str,
+    /// HP training throughput / dedicated throughput.
+    pub hp_norm: f64,
+    /// Mean BE training throughput / its dedicated throughput.
+    pub be_norm: f64,
+}
+
+/// One figure row: an HP model and its per-policy cells.
+#[derive(Debug)]
+pub struct ModelRow {
+    /// High-priority training model.
+    pub model: ModelKind,
+    /// Dedicated iterations/sec of the HP job.
+    pub hp_dedicated: f64,
+    /// Per-policy cells.
+    pub cells: Vec<Cell>,
+}
+
+/// Policies compared in Figure 10. Orion runs with the tuned `SM_THRESHOLD`
+/// (the paper increases it for throughput-oriented HP jobs, §5.1.1).
+pub fn policies(rc: &RunConfig) -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Streams,
+        PolicyKind::Mps,
+        PolicyKind::TickTock,
+        PolicyKind::reef_default(),
+        crate::exp::orion_aggressive(rc),
+    ]
+}
+
+/// Runs train-train collocation for every HP model over fitting partners.
+pub fn run(cfg: &ExpConfig) -> Vec<ModelRow> {
+    let rc = cfg.run_config();
+    let capacity = rc.spec.memory_capacity;
+    let hp_models: Vec<ModelKind> = if cfg.fast {
+        vec![ModelKind::ResNet50, ModelKind::Bert]
+    } else {
+        ALL_MODELS.to_vec()
+    };
+    let mut rows = Vec::new();
+    for hp_model in hp_models {
+        let hp_w = training_workload(hp_model);
+        let hp = ClientSpec::high_priority(hp_w.clone(), ArrivalProcess::ClosedLoop);
+        let hp_dedicated = ideal_throughput(&hp, &rc);
+        // Partners that fit with the HP job in device memory (the paper's
+        // cluster manager only collocates fitting pairs).
+        let partners: Vec<ModelKind> = ALL_MODELS
+            .iter()
+            .copied()
+            .filter(|&m| m != hp_model)
+            .filter(|&m| {
+                training_workload(m).memory_footprint + hp_w.memory_footprint <= capacity
+            })
+            .take(if cfg.fast { 1 } else { 4 })
+            .collect();
+        let mut cells = Vec::new();
+        for policy in policies(&rc) {
+            let mut hp_norms = Vec::new();
+            let mut be_norms = Vec::new();
+            for &bm in &partners {
+                let be = be_training(bm);
+                let be_ded = ideal_throughput(&be, &rc);
+                let r = run_collocation(policy.clone(), vec![hp.clone(), be], &rc)
+                    .expect("fitting pairs");
+                hp_norms.push(r.hp().throughput / hp_dedicated.max(1e-9));
+                be_norms.push(r.be_throughput() / be_ded.max(1e-9));
+            }
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            cells.push(Cell {
+                policy: policy.label(),
+                hp_norm: mean(&hp_norms),
+                be_norm: mean(&be_norms),
+            });
+        }
+        rows.push(ModelRow {
+            model: hp_model,
+            hp_dedicated,
+            cells,
+        });
+    }
+    rows
+}
+
+/// Prints the figure data.
+pub fn print(rows: &[ModelRow]) {
+    println!("# Figure 10: training-training collocation, throughput vs dedicated");
+    let mut t = TextTable::new(vec![
+        "hp-model",
+        "ded it/s",
+        "policy",
+        "hp/ded",
+        "be/ded",
+        "aggregate",
+    ]);
+    for r in rows {
+        for c in &r.cells {
+            t.row(vec![
+                r.model.name().to_string(),
+                f2(r.hp_dedicated),
+                c.policy.to_string(),
+                f2(c.hp_norm),
+                f2(c.be_norm),
+                f2(c.hp_norm + c.be_norm),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orion_keeps_hp_training_near_dedicated() {
+        let rows = run(&ExpConfig::fast());
+        for r in &rows {
+            let get = |n: &str| r.cells.iter().find(|c| c.policy == n).unwrap();
+            let orion = get("Orion");
+            // Paper: within 16% of ideal for the HP job.
+            assert!(
+                orion.hp_norm > 0.75,
+                "{}: orion hp {:.2}",
+                r.model.name(),
+                orion.hp_norm
+            );
+            // Orion makes more BE progress than REEF (which heavily
+            // throttles best-effort kernels).
+            let reef = get("REEF");
+            assert!(
+                orion.be_norm >= reef.be_norm * 0.9,
+                "{}: orion be {:.2} vs reef {:.2}",
+                r.model.name(),
+                orion.be_norm,
+                reef.be_norm
+            );
+            // Tick-Tock's barriers cost HP throughput vs Orion.
+            let tt = get("Tick-Tock");
+            assert!(
+                orion.hp_norm >= tt.hp_norm,
+                "{}: orion {:.2} < ticktock {:.2}",
+                r.model.name(),
+                orion.hp_norm,
+                tt.hp_norm
+            );
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Figures 11 and 12: inference-inference collocation.
+//!
+//! Figure 11: the high-priority vision model receives Apollo-trace arrivals,
+//! the best-effort inference job uniform arrivals. Figure 12: both Poisson.
+//! The metric is the HP job's p99 latency per policy, averaged across
+//! collocations with the other models.
+
+use orion_core::prelude::*;
+use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
+use orion_workloads::model::ModelKind;
+use orion_workloads::registry::ALL_MODELS;
+
+use crate::exp::{be_inference, hp_inference, ideal_hp, standard_policies, ExpConfig};
+use crate::table::{f2, TextTable};
+
+/// Arrival flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrivals {
+    /// Figure 11: HP Apollo trace, BE uniform (vision HP models only).
+    Apollo,
+    /// Figure 12: both Poisson.
+    Poisson,
+}
+
+/// One (hp model, policy) cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Mean p99 across collocations (ms).
+    pub p99_ms: f64,
+    /// Std-dev of p99 across collocations (ms).
+    pub p99_sd: f64,
+    /// Aggregate inference throughput (req/s), averaged.
+    pub total_tput: f64,
+}
+
+/// One figure row.
+#[derive(Debug)]
+pub struct ModelRow {
+    /// High-priority model.
+    pub model: ModelKind,
+    /// Dedicated-GPU p99 (ms).
+    pub ideal_p99: f64,
+    /// Dedicated-GPU throughput (req/s).
+    pub ideal_tput: f64,
+    /// Per-policy cells.
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the inf-inf experiment.
+pub fn run(cfg: &ExpConfig, arrivals: Arrivals) -> Vec<ModelRow> {
+    let rc = cfg.run_config();
+    let hp_models: Vec<ModelKind> = match arrivals {
+        Arrivals::Apollo => {
+            let v: Vec<ModelKind> = ALL_MODELS.iter().copied().filter(|m| m.is_vision()).collect();
+            if cfg.fast {
+                v.into_iter().take(2).collect()
+            } else {
+                v
+            }
+        }
+        Arrivals::Poisson => {
+            if cfg.fast {
+                vec![ModelKind::ResNet50, ModelKind::Bert]
+            } else {
+                ALL_MODELS.to_vec()
+            }
+        }
+    };
+
+    let mut rows = Vec::new();
+    for hp_model in hp_models {
+        let hp_arrivals = match arrivals {
+            Arrivals::Apollo => ArrivalProcess::Apollo {
+                mean_rps: PaperRates::apollo_mean(hp_model),
+            },
+            Arrivals::Poisson => ArrivalProcess::Poisson {
+                rps: PaperRates::inf_inf_poisson(hp_model),
+            },
+        };
+        let hp = hp_inference(hp_model, hp_arrivals);
+        let (ideal_p99, ideal_tput) = ideal_hp(&hp, &rc);
+
+        let be_models: Vec<ModelKind> = ALL_MODELS
+            .iter()
+            .copied()
+            .filter(|&m| m != hp_model)
+            .take(if cfg.fast { 2 } else { 4 })
+            .collect();
+
+        let mut cells = Vec::new();
+        for policy in standard_policies() {
+            let mut p99s = Vec::new();
+            let mut tputs = Vec::new();
+            for &bm in &be_models {
+                let be_arrivals = match arrivals {
+                    Arrivals::Apollo => ArrivalProcess::Uniform {
+                        rps: PaperRates::inf_inf_uniform(bm),
+                    },
+                    Arrivals::Poisson => ArrivalProcess::Poisson {
+                        rps: PaperRates::inf_inf_poisson(bm),
+                    },
+                };
+                let clients = vec![hp.clone(), be_inference(bm, be_arrivals)];
+                let mut r =
+                    run_collocation(policy.clone(), clients, &rc).expect("inf pairs fit");
+                let total = r.total_throughput();
+                let hp_res = r
+                    .clients
+                    .iter_mut()
+                    .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
+                    .expect("hp present");
+                p99s.push(hp_res.latency.p99().as_millis_f64());
+                tputs.push(total);
+            }
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            let m99 = mean(&p99s);
+            let sd = (p99s.iter().map(|x| (x - m99).powi(2)).sum::<f64>()
+                / p99s.len().max(1) as f64)
+                .sqrt();
+            cells.push(Cell {
+                policy: policy.label(),
+                p99_ms: m99,
+                p99_sd: sd,
+                total_tput: mean(&tputs),
+            });
+        }
+        rows.push(ModelRow {
+            model: hp_model,
+            ideal_p99,
+            ideal_tput,
+            cells,
+        });
+    }
+    rows
+}
+
+/// Prints the figure data.
+pub fn print(rows: &[ModelRow], arrivals: Arrivals) {
+    let title = match arrivals {
+        Arrivals::Apollo => "Figure 11: Inference-Inference (Apollo): HP p99 latency",
+        Arrivals::Poisson => "Figure 12: Inference-Inference (Poisson): HP p99 latency",
+    };
+    println!("# {title}");
+    let mut t = TextTable::new(vec![
+        "hp-model",
+        "Ideal[ms]",
+        "policy",
+        "p99[ms]",
+        "sd",
+        "p99/Ideal",
+        "agg req/s",
+    ]);
+    for r in rows {
+        for c in &r.cells {
+            t.row(vec![
+                r.model.name().to_string(),
+                f2(r.ideal_p99),
+                c.policy.to_string(),
+                f2(c.p99_ms),
+                f2(c.p99_sd),
+                format!("{:.2}x", c.p99_ms / r.ideal_p99),
+                f2(c.total_tput),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orion_has_best_tail_latency() {
+        let rows = run(&ExpConfig::fast(), Arrivals::Poisson);
+        for r in &rows {
+            let get = |n: &str| r.cells.iter().find(|c| c.policy == n).unwrap().p99_ms;
+            let orion = get("Orion");
+            assert!(
+                orion <= get("MPS") * 1.02,
+                "{}: orion {:.1} vs mps {:.1}",
+                r.model.name(),
+                orion,
+                get("MPS")
+            );
+            // Temporal sharing is only competitive at very low request
+            // rates; for the high-rate vision models it falls far behind.
+            if r.model.is_vision() {
+                assert!(
+                    orion <= get("Temporal"),
+                    "{}: orion {:.1} vs temporal {:.1}",
+                    r.model.name(),
+                    orion,
+                    get("Temporal")
+                );
+            }
+            // Within ~40% of ideal even in the fast configuration.
+            assert!(
+                orion / r.ideal_p99 < 1.4,
+                "{}: orion {:.2}x ideal",
+                r.model.name(),
+                orion / r.ideal_p99
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Figure 13: generalization to the A100-40GB and to five clients.
+//!
+//! One high-priority inference job collocated with four best-effort
+//! inference jobs serving the other Table 3 models, all with Poisson
+//! arrivals, on the A100 spec. Compared policies: MPS, REEF, Orion
+//! (temporal sharing and plain Streams are omitted as in the paper —
+//! their tail latency is orders of magnitude worse).
+
+use orion_core::prelude::*;
+use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
+use orion_workloads::model::ModelKind;
+use orion_workloads::registry::{inference_workload, ALL_MODELS};
+
+use crate::exp::ExpConfig;
+use crate::table::{f2, TextTable};
+
+/// One (hp model, policy) result.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Mean p99 across seeds (ms).
+    pub p99_ms: f64,
+    /// Std-dev across seeds (ms).
+    pub p99_sd: f64,
+}
+
+/// One figure row.
+#[derive(Debug)]
+pub struct ModelRow {
+    /// High-priority model.
+    pub model: ModelKind,
+    /// Dedicated-A100 p99 (ms).
+    pub ideal_p99: f64,
+    /// Per-policy cells.
+    pub cells: Vec<Cell>,
+}
+
+fn a100_client(model: ModelKind, hp: bool, speedup: f64) -> ClientSpec {
+    let w = inference_workload(model).scaled(speedup);
+    let arrivals = ArrivalProcess::Poisson {
+        rps: PaperRates::inf_inf_poisson(model),
+    };
+    if hp {
+        ClientSpec::high_priority(w, arrivals)
+    } else {
+        ClientSpec::best_effort(w, arrivals)
+    }
+}
+
+/// Runs the five-client A100 experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<ModelRow> {
+    let rc = cfg.run_config_a100();
+    let speedup = rc.spec.speedup_vs_v100();
+    let hp_models: Vec<ModelKind> = if cfg.fast {
+        vec![ModelKind::ResNet50]
+    } else {
+        ALL_MODELS.to_vec()
+    };
+    let seeds: Vec<u64> = if cfg.fast {
+        vec![cfg.seed]
+    } else {
+        vec![cfg.seed, cfg.seed + 1, cfg.seed + 2]
+    };
+    // Orion appears twice: the default DUR_THRESHOLD (2.5%) and a tighter
+    // SLO-tuned setting (0.5%) — the paper tunes this knob per service-level
+    // objective (§6.4), and with four best-effort clients the outstanding
+    // window refills continuously, so the five-client experiment benefits
+    // from the tighter value.
+    let policies = [
+        ("MPS", PolicyKind::Mps),
+        ("REEF", PolicyKind::reef_default()),
+        ("Orion", PolicyKind::orion_default()),
+        (
+            "Orion-tuned",
+            PolicyKind::Orion(
+                orion_core::policy::OrionConfig::default().with_dur_threshold(0.005),
+            ),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for hp_model in hp_models {
+        let hp = a100_client(hp_model, true, speedup);
+        let ideal_p99 = {
+            let mut r = orion_core::world::run_dedicated(hp.clone(), &rc)
+                .expect("fits on A100");
+            r.clients[0].latency.p99().as_millis_f64()
+        };
+        let mut cells = Vec::new();
+        for (label, policy) in &policies {
+            let mut p99s = Vec::new();
+            for &seed in &seeds {
+                let mut rc_seeded = rc.clone();
+                rc_seeded.seed = seed;
+                let mut clients = vec![hp.clone()];
+                for m in ALL_MODELS.iter().copied().filter(|&m| m != hp_model) {
+                    clients.push(a100_client(m, false, speedup));
+                }
+                let mut r = run_collocation(policy.clone(), clients, &rc_seeded)
+                    .expect("five inference jobs fit in 40 GiB");
+                let hp_res = r
+                    .clients
+                    .iter_mut()
+                    .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
+                    .expect("hp present");
+                p99s.push(hp_res.latency.p99().as_millis_f64());
+            }
+            let mean = p99s.iter().sum::<f64>() / p99s.len() as f64;
+            let sd = (p99s.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / p99s.len() as f64)
+                .sqrt();
+            cells.push(Cell {
+                policy: label,
+                p99_ms: mean,
+                p99_sd: sd,
+            });
+        }
+        rows.push(ModelRow {
+            model: hp_model,
+            ideal_p99,
+            cells,
+        });
+    }
+    rows
+}
+
+/// Prints the figure data.
+pub fn print(rows: &[ModelRow]) {
+    println!("# Figure 13: A100-40GB, 1 HP + 4 BE inference clients (Poisson)");
+    let mut t = TextTable::new(vec![
+        "hp-model",
+        "Ideal[ms]",
+        "policy",
+        "p99[ms]",
+        "sd",
+        "p99/Ideal",
+    ]);
+    for r in rows {
+        for c in &r.cells {
+            t.row(vec![
+                r.model.name().to_string(),
+                f2(r.ideal_p99),
+                c.policy.to_string(),
+                f2(c.p99_ms),
+                f2(c.p99_sd),
+                format!("{:.2}x", c.p99_ms / r.ideal_p99),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!("# paper: MPS 2.2x ideal, REEF +21%, Orion within 9%");
+    println!("# Orion-tuned = DUR_THRESHOLD 0.5% (SLO-tuned per 6.4 for the 5-client setup)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orion_generalizes_to_a100_and_five_clients() {
+        let rows = run(&ExpConfig::fast());
+        for r in &rows {
+            let get = |n: &str| r.cells.iter().find(|c| c.policy == n).unwrap().p99_ms;
+            let orion = get("Orion");
+            assert!(
+                orion <= get("MPS"),
+                "{}: orion {:.1} > mps {:.1}",
+                r.model.name(),
+                orion,
+                get("MPS")
+            );
+            // SLO-tuned Orion stays close to ideal with five clients.
+            let tuned = get("Orion-tuned");
+            assert!(
+                tuned / r.ideal_p99 < 1.35,
+                "{}: tuned orion {:.2}x ideal",
+                r.model.name(),
+                tuned / r.ideal_p99
+            );
+        }
+    }
+}

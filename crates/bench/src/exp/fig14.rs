@@ -1,0 +1,118 @@
+//! Figure 14: performance-analysis breakdown — which parts of Orion's policy
+//! contribute most (inf-train, Poisson arrivals, p95 latency).
+//!
+//! Steps, as in the paper: GPU Streams -> + stream priorities -> + compute/
+//! memory profile gating -> + SM-size gating (full Orion) -> full Orion
+//! *without* stream priorities (showing priorities are marginal once the
+//! policy is active).
+
+use orion_core::policy::OrionConfig;
+use orion_core::prelude::*;
+use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
+use orion_workloads::model::ModelKind;
+
+use crate::exp::{be_training, hp_inference, ExpConfig};
+use crate::table::{f2, TextTable};
+
+/// One ablation step.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Step label.
+    pub label: &'static str,
+    /// HP p95 latency (ms), averaged over BE training jobs.
+    pub p95_ms: f64,
+    /// HP p99 latency (ms).
+    pub p99_ms: f64,
+}
+
+/// The ablation ladder.
+pub fn steps() -> Vec<(&'static str, PolicyKind)> {
+    vec![
+        ("GPU Streams", PolicyKind::Streams),
+        ("+ Stream priorities", PolicyKind::StreamPriority),
+        (
+            "+ Compute/Mem profiles",
+            PolicyKind::Orion(OrionConfig::profiles_only()),
+        ),
+        ("+ SM size (full Orion)", PolicyKind::orion_default()),
+        (
+            "Orion w/o priorities",
+            PolicyKind::Orion(OrionConfig::no_priorities()),
+        ),
+    ]
+}
+
+/// Runs the ablation for an inf-train collocation.
+pub fn run(cfg: &ExpConfig) -> Vec<Step> {
+    let rc = cfg.run_config();
+    let hp_model = ModelKind::ResNet50;
+    let hp = hp_inference(
+        hp_model,
+        ArrivalProcess::Poisson {
+            rps: PaperRates::inf_train_poisson(hp_model),
+        },
+    );
+    let be_models = if cfg.fast {
+        vec![ModelKind::ResNet50]
+    } else {
+        vec![ModelKind::ResNet50, ModelKind::MobileNetV2, ModelKind::Bert]
+    };
+    let mut out = Vec::new();
+    for (label, policy) in steps() {
+        let mut p95s = Vec::new();
+        let mut p99s = Vec::new();
+        for &bm in &be_models {
+            let mut r = run_collocation(policy.clone(), vec![hp.clone(), be_training(bm)], &rc)
+                .expect("pairs fit");
+            let hp_res = r
+                .clients
+                .iter_mut()
+                .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
+                .expect("hp present");
+            p95s.push(hp_res.latency.p95().as_millis_f64());
+            p99s.push(hp_res.latency.p99().as_millis_f64());
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        out.push(Step {
+            label,
+            p95_ms: mean(&p95s),
+            p99_ms: mean(&p99s),
+        });
+    }
+    out
+}
+
+/// Prints the ablation ladder.
+pub fn print(steps: &[Step]) {
+    println!("# Figure 14: Orion performance breakdown (inf-train, Poisson, HP ResNet50)");
+    let mut t = TextTable::new(vec!["configuration", "p95[ms]", "p99[ms]"]);
+    for s in steps {
+        t.row(vec![s.label.to_string(), f2(s.p95_ms), f2(s.p99_ms)]);
+    }
+    print!("{}", t.render());
+    println!("# paper: priorities help ~25%, profiles ~48% more, SM size ~54% more;");
+    println!("# priorities are marginal once the full policy is active");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_policy_beats_streams_and_priorities_marginal_at_the_end() {
+        let steps = run(&ExpConfig::fast());
+        let get = |l: &str| steps.iter().find(|s| s.label == l).unwrap().p95_ms;
+        let streams = get("GPU Streams");
+        let full = get("+ SM size (full Orion)");
+        assert!(
+            full < streams,
+            "full orion p95 {full:.1} not better than streams {streams:.1}"
+        );
+        // Without priorities, full Orion stays close to full Orion.
+        let nopri = get("Orion w/o priorities");
+        assert!(
+            nopri <= full * 1.35,
+            "orion w/o priorities {nopri:.1} vs full {full:.1}"
+        );
+    }
+}

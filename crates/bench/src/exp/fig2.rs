@@ -1,0 +1,192 @@
+//! Figure 2 (motivation): existing GPU collocation techniques leave
+//! performance on the table.
+//!
+//! Three pairs of jobs whose aggregate requirements fit on one V100, each
+//! pair a high-priority job plus a best-effort job, both issuing one request
+//! at a time in a closed loop. The stacked bars are each job's throughput
+//! under every sharing technique, normalized against "Ideal" = the sum of
+//! dedicated-GPU throughputs.
+
+use orion_core::prelude::*;
+use orion_workloads::arrivals::ArrivalProcess;
+use orion_workloads::model::ModelKind;
+use orion_workloads::registry::{inference_workload, training_workload};
+
+use crate::exp::{ideal_throughput, ExpConfig};
+use crate::table::{f2, TextTable};
+
+/// A collocation pair of the motivation experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Pair {
+    /// Label shown in the figure.
+    pub label: &'static str,
+    /// High-priority job: (model, is_training).
+    pub hp: (ModelKind, bool),
+    /// Best-effort job: (model, is_training).
+    pub be: (ModelKind, bool),
+}
+
+/// The three pairs (inference+training, inference+inference,
+/// training+training — Tick-Tock applies to the last).
+pub fn pairs() -> Vec<Pair> {
+    vec![
+        Pair {
+            label: "RN50-inf + MNv2-train",
+            hp: (ModelKind::ResNet50, false),
+            be: (ModelKind::MobileNetV2, true),
+        },
+        Pair {
+            label: "BERT-inf + TFM-inf",
+            hp: (ModelKind::Bert, false),
+            be: (ModelKind::Transformer, false),
+        },
+        Pair {
+            label: "RN50-train + MNv2-train",
+            hp: (ModelKind::ResNet50, true),
+            be: (ModelKind::MobileNetV2, true),
+        },
+    ]
+}
+
+fn client(model: ModelKind, training: bool, hp: bool) -> ClientSpec {
+    let w = if training {
+        training_workload(model)
+    } else {
+        inference_workload(model)
+    };
+    if hp {
+        ClientSpec::high_priority(w, ArrivalProcess::ClosedLoop)
+    } else {
+        ClientSpec::best_effort(w, ArrivalProcess::ClosedLoop)
+    }
+}
+
+/// One bar: HP and BE throughput under one policy, as fractions of their
+/// dedicated-GPU throughputs.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Policy label ("Ideal" for the reference bar).
+    pub policy: &'static str,
+    /// HP throughput / dedicated HP throughput.
+    pub hp_norm: f64,
+    /// BE throughput / dedicated BE throughput.
+    pub be_norm: f64,
+}
+
+/// One pair's set of bars.
+#[derive(Debug)]
+pub struct PairBars {
+    /// Pair label.
+    pub label: &'static str,
+    /// Bars, "Ideal" first.
+    pub bars: Vec<Bar>,
+}
+
+/// Runs the motivation experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<PairBars> {
+    let rc = cfg.run_config();
+    let mut out = Vec::new();
+    for p in pairs() {
+        let hp = client(p.hp.0, p.hp.1, true);
+        let be = client(p.be.0, p.be.1, false);
+        let hp_ded = ideal_throughput(&hp, &rc);
+        let be_ded = ideal_throughput(&be, &rc);
+        let mut bars = vec![Bar {
+            policy: "Ideal",
+            hp_norm: 1.0,
+            be_norm: 1.0,
+        }];
+        let mut policies = vec![
+            PolicyKind::Temporal,
+            PolicyKind::Streams,
+            PolicyKind::Mps,
+            PolicyKind::reef_default(),
+        ];
+        // Tick-Tock only applies when both jobs are training.
+        if p.hp.1 && p.be.1 {
+            policies.push(PolicyKind::TickTock);
+        }
+        // Closed-loop throughput study: Orion with the tuned SM_THRESHOLD
+        // (the paper tunes it up for throughput-oriented HP jobs, §5.1.1).
+        policies.push(crate::exp::orion_aggressive(&rc));
+        for policy in policies {
+            let r = run_collocation(policy.clone(), vec![hp.clone(), be.clone()], &rc)
+                .expect("figure 2 pairs fit in 16 GiB");
+            bars.push(Bar {
+                policy: policy.label(),
+                hp_norm: r.hp().throughput / hp_ded.max(1e-9),
+                be_norm: r.be_throughput() / be_ded.max(1e-9),
+            });
+        }
+        out.push(PairBars {
+            label: p.label,
+            bars,
+        });
+    }
+    out
+}
+
+/// Prints the stacked-bar data.
+pub fn print(rows: &[PairBars]) {
+    println!("# Figure 2: collocation techniques vs Ideal (closed loop)");
+    println!("# hp/ded and be/ded are each job's throughput normalized to its dedicated GPU");
+    let mut t = TextTable::new(vec!["pair", "policy", "hp/ded", "be/ded", "aggregate"]);
+    for r in rows {
+        for b in &r.bars {
+            t.row(vec![
+                r.label.to_string(),
+                b.policy.to_string(),
+                f2(b.hp_norm),
+                f2(b.be_norm),
+                f2(b.hp_norm + b.be_norm),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orion_beats_temporal_and_reef_on_aggregate() {
+        let rows = run(&ExpConfig::fast());
+        for r in &rows {
+            let agg = |name: &str| {
+                r.bars
+                    .iter()
+                    .find(|b| b.policy == name)
+                    .map(|b| b.hp_norm + b.be_norm)
+                    .unwrap_or(0.0)
+            };
+            assert!(
+                agg("Orion") > agg("Temporal"),
+                "{}: orion {} <= temporal {}",
+                r.label,
+                agg("Orion"),
+                agg("Temporal")
+            );
+            // REEF starves best-effort work in closed-loop collocation.
+            let reef_be = r
+                .bars
+                .iter()
+                .find(|b| b.policy == "REEF")
+                .map(|b| b.be_norm)
+                .unwrap_or(0.0);
+            let orion_be = r
+                .bars
+                .iter()
+                .find(|b| b.policy == "Orion")
+                .map(|b| b.be_norm)
+                .unwrap_or(0.0);
+            assert!(
+                orion_be >= reef_be * 0.9,
+                "{}: orion be {} much worse than reef {}",
+                r.label,
+                orion_be,
+                reef_be
+            );
+        }
+    }
+}

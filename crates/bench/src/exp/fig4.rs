@@ -1,0 +1,101 @@
+//! Figure 4: compute- vs memory-intensive kernel mix per workload.
+//!
+//! The paper classifies each workload's kernels as compute-intensive,
+//! memory-intensive, or unknown (no roofline data and below both 60%
+//! thresholds) and plots the mix per inference request / training minibatch.
+
+use orion_workloads::model::ModelKind;
+use orion_workloads::registry::{inference_workload, training_workload, ALL_MODELS};
+
+use crate::exp::ExpConfig;
+use crate::table::TextTable;
+
+/// Kernel mix of one workload.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// Workload label.
+    pub label: String,
+    /// Compute-intensive kernel count.
+    pub compute: usize,
+    /// Memory-intensive kernel count.
+    pub memory: usize,
+    /// Unknown-profile kernel count.
+    pub unknown: usize,
+}
+
+impl Mix {
+    /// Total kernels per request.
+    pub fn total(&self) -> usize {
+        self.compute + self.memory + self.unknown
+    }
+}
+
+/// Computes the mixes for all ten workloads.
+pub fn run(_cfg: &ExpConfig) -> Vec<Mix> {
+    let mut out = Vec::new();
+    for m in ALL_MODELS {
+        let w = inference_workload(m);
+        let (c, mm, u) = w.profile_mix();
+        out.push(Mix {
+            label: w.label(),
+            compute: c,
+            memory: mm,
+            unknown: u,
+        });
+    }
+    for m in ALL_MODELS {
+        let w = training_workload(m);
+        let (c, mm, u) = w.profile_mix();
+        out.push(Mix {
+            label: w.label(),
+            compute: c,
+            memory: mm,
+            unknown: u,
+        });
+    }
+    out
+}
+
+/// Prints the mixes.
+pub fn print(mixes: &[Mix]) {
+    println!("# Figure 4: kernel classification per request/minibatch");
+    let mut t = TextTable::new(vec!["workload", "compute", "memory", "unknown", "total"]);
+    for m in mixes {
+        t.row(vec![
+            m.label.clone(),
+            m.compute.to_string(),
+            m.memory.to_string(),
+            m.unknown.to_string(),
+            m.total().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let _ = ModelKind::ResNet50; // keep the import obviously used
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_has_both_profiles() {
+        // The paper's takeaway: every DNN job contains both compute- and
+        // memory-intensive kernels, enabling opposite-profile collocation.
+        for m in run(&ExpConfig::fast()) {
+            assert!(m.compute > 0, "{} has no compute kernels", m.label);
+            assert!(m.memory > 0, "{} has no memory kernels", m.label);
+            assert!(m.total() > 20, "{} too few kernels", m.label);
+        }
+    }
+
+    #[test]
+    fn training_has_unknown_update_kernels() {
+        for m in run(&ExpConfig::fast())
+            .into_iter()
+            .filter(|m| m.label.contains("train"))
+        {
+            assert!(m.unknown > 50, "{} unknowns {}", m.label, m.unknown);
+        }
+    }
+}

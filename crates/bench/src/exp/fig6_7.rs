@@ -1,0 +1,184 @@
+//! Figures 6 and 7: high-priority inference collocated with best-effort
+//! training (inf-train), under Apollo-trace (Fig. 6) or Poisson (Fig. 7)
+//! arrivals.
+//!
+//! For each high-priority model, the paper averages over collocations with
+//! each of the five training jobs and reports (a) the HP job's p99 latency
+//! per policy (with Ideal = dedicated-GPU latency) and (b) the HP inference
+//! throughput plus the mean best-effort training throughput.
+
+use orion_core::prelude::*;
+use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
+use orion_workloads::model::ModelKind;
+use orion_workloads::registry::ALL_MODELS;
+
+use crate::exp::{be_training, hp_inference, ideal_hp, standard_policies, ExpConfig};
+use crate::table::{f2, TextTable};
+
+/// Arrival flavour of the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrivals {
+    /// Figure 6: the (synthesized) Apollo autonomous-driving trace.
+    Apollo,
+    /// Figure 7: Poisson arrivals at Table 3's inf-train rates.
+    Poisson,
+}
+
+impl Arrivals {
+    fn process(self, model: ModelKind) -> ArrivalProcess {
+        match self {
+            Arrivals::Apollo => ArrivalProcess::Apollo {
+                mean_rps: PaperRates::apollo_mean(model),
+            },
+            Arrivals::Poisson => ArrivalProcess::Poisson {
+                rps: PaperRates::inf_train_poisson(model),
+            },
+        }
+    }
+}
+
+/// One (hp model, policy) cell: averaged over the collocated training jobs.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Mean p99 latency across collocations (ms).
+    pub p99_ms: f64,
+    /// Std-dev of p99 across collocations (ms).
+    pub p99_sd: f64,
+    /// Mean p95 latency across collocations (ms).
+    pub p95_ms: f64,
+    /// HP inference throughput (req/s), averaged.
+    pub hp_tput: f64,
+    /// Mean best-effort training throughput (iters/s).
+    pub be_tput: f64,
+}
+
+/// One row of the figure: a high-priority model with its Ideal reference and
+/// a cell per policy.
+#[derive(Debug)]
+pub struct ModelRow {
+    /// The high-priority model.
+    pub model: ModelKind,
+    /// Dedicated-GPU p99 (ms).
+    pub ideal_p99: f64,
+    /// Dedicated-GPU inference throughput (req/s).
+    pub ideal_tput: f64,
+    /// Per-policy cells.
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the inf-train experiment for every HP model and policy.
+pub fn run(cfg: &ExpConfig, arrivals: Arrivals) -> Vec<ModelRow> {
+    let rc = cfg.run_config();
+    let hp_models: Vec<ModelKind> = if cfg.fast {
+        vec![ModelKind::ResNet50, ModelKind::MobileNetV2]
+    } else {
+        ALL_MODELS.to_vec()
+    };
+    let be_models: Vec<ModelKind> = if cfg.fast {
+        vec![ModelKind::ResNet50, ModelKind::Bert]
+    } else {
+        ALL_MODELS.to_vec()
+    };
+
+    let mut rows = Vec::new();
+    for hp_model in hp_models {
+        let hp = hp_inference(hp_model, arrivals.process(hp_model));
+        let (ideal_p99, ideal_tput) = ideal_hp(&hp, &rc);
+        let mut cells = Vec::new();
+        for policy in standard_policies() {
+            let mut p99s = Vec::new();
+            let mut p95s = Vec::new();
+            let mut hp_tputs = Vec::new();
+            let mut be_tputs = Vec::new();
+            for &be_model in &be_models {
+                let clients = vec![hp.clone(), be_training(be_model)];
+                let mut r = run_collocation(policy.clone(), clients, &rc)
+                    .expect("inf-train pairs fit in 16 GiB");
+                {
+                    let hp_res = r
+                        .clients
+                        .iter_mut()
+                        .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
+                        .expect("hp client present");
+                    p99s.push(hp_res.latency.p99().as_millis_f64());
+                    p95s.push(hp_res.latency.p95().as_millis_f64());
+                    hp_tputs.push(hp_res.throughput);
+                }
+                be_tputs.push(r.be_throughput());
+            }
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            let m99 = mean(&p99s);
+            let sd = (p99s.iter().map(|x| (x - m99).powi(2)).sum::<f64>()
+                / p99s.len().max(1) as f64)
+                .sqrt();
+            cells.push(Cell {
+                policy: policy.label(),
+                p99_ms: m99,
+                p99_sd: sd,
+                p95_ms: mean(&p95s),
+                hp_tput: mean(&hp_tputs),
+                be_tput: mean(&be_tputs),
+            });
+        }
+        rows.push(ModelRow {
+            model: hp_model,
+            ideal_p99,
+            ideal_tput,
+            cells,
+        });
+    }
+    rows
+}
+
+/// Prints the two panels of the figure.
+pub fn print(rows: &[ModelRow], arrivals: Arrivals) {
+    let title = match arrivals {
+        Arrivals::Apollo => "Figure 6: Inference-Training (Apollo trace)",
+        Arrivals::Poisson => "Figure 7: Inference-Training (Poisson)",
+    };
+    println!("# {title}");
+    println!("# (a) p99 latency of the HP inference job, averaged over BE training jobs [ms]");
+    let mut t = TextTable::new(vec![
+        "hp-model", "Ideal", "Temporal", "Streams", "MPS", "REEF", "Orion", "Orion/Ideal",
+    ]);
+    for r in rows {
+        let get = |name: &str| {
+            r.cells
+                .iter()
+                .find(|c| c.policy == name)
+                .map(|c| c.p99_ms)
+                .unwrap_or(f64::NAN)
+        };
+        let orion = get("Orion");
+        t.row(vec![
+            r.model.name().to_string(),
+            f2(r.ideal_p99),
+            f2(get("Temporal")),
+            f2(get("Streams")),
+            f2(get("MPS")),
+            f2(get("REEF")),
+            f2(orion),
+            format!("{:.2}x", orion / r.ideal_p99),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("# (b) throughput: HP inference req/s + mean BE training iters/s");
+    let mut t = TextTable::new(vec![
+        "hp-model", "Ideal-inf", "policy", "hp-req/s", "be-iters/s",
+    ]);
+    for r in rows {
+        for c in &r.cells {
+            t.row(vec![
+                r.model.name().to_string(),
+                f2(r.ideal_tput),
+                c.policy.to_string(),
+                f2(c.hp_tput),
+                f2(c.be_tput),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,125 @@
+//! Figures 8 and 9: GPU utilization of a ResNet50 inference job on a
+//! dedicated GPU vs. collocated with ResNet50 training under Orion.
+//!
+//! The inference job receives uniform arrivals at 100 requests/second; Orion
+//! fills the fine-grained idle periods, raising average compute-throughput
+//! utilization (Fig. 8: 7% -> 36% in the paper), memory-bandwidth
+//! utilization (Fig. 9: 10% -> 47%), and SM utilization (11% -> 49%).
+
+use orion_core::prelude::*;
+use orion_core::world::run_dedicated;
+use orion_workloads::arrivals::ArrivalProcess;
+use orion_workloads::model::ModelKind;
+use orion_workloads::registry::{inference_workload, training_workload};
+
+use crate::exp::ExpConfig;
+use crate::table::{f1, f2, TextTable};
+
+/// Utilization summary of one configuration.
+#[derive(Debug, Clone)]
+pub struct UtilRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Average compute-throughput utilization (%).
+    pub compute: f64,
+    /// Average memory-bandwidth utilization (%).
+    pub mem_bw: f64,
+    /// Average SM utilization (%).
+    pub sm: f64,
+    /// Bucketed compute timeline (for the figure).
+    pub timeline_compute: Vec<f64>,
+    /// Bucketed memory-bandwidth timeline.
+    pub timeline_mem: Vec<f64>,
+}
+
+/// Runs the alone and collocated configurations.
+pub fn run(cfg: &ExpConfig) -> (UtilRow, UtilRow) {
+    let mut rc = cfg.run_config();
+    rc.record_timeline = true;
+    let inference = || {
+        ClientSpec::high_priority(
+            inference_workload(ModelKind::ResNet50),
+            ArrivalProcess::Uniform { rps: 100.0 },
+        )
+    };
+
+    let alone = run_dedicated(inference(), &rc).expect("inference fits alone");
+    let alone_row = UtilRow {
+        label: "ResNet50 inference alone",
+        compute: 100.0 * alone.utilization.compute,
+        mem_bw: 100.0 * alone.utilization.mem_bw,
+        sm: 100.0 * alone.utilization.sm_busy,
+        timeline_compute: alone.timeline.iter().map(|s| s.compute).collect(),
+        timeline_mem: alone.timeline.iter().map(|s| s.mem_bw).collect(),
+    };
+
+    let clients = vec![
+        inference(),
+        ClientSpec::best_effort(
+            training_workload(ModelKind::ResNet50),
+            ArrivalProcess::ClosedLoop,
+        ),
+    ];
+    let col = run_collocation(PolicyKind::orion_default(), clients, &rc)
+        .expect("pair fits in 16 GiB");
+    let col_row = UtilRow {
+        label: "ResNet50 inference + ResNet50 training (Orion)",
+        compute: 100.0 * col.utilization.compute,
+        mem_bw: 100.0 * col.utilization.mem_bw,
+        sm: 100.0 * col.utilization.sm_busy,
+        timeline_compute: col.timeline.iter().map(|s| s.compute).collect(),
+        timeline_mem: col.timeline.iter().map(|s| s.mem_bw).collect(),
+    };
+    (alone_row, col_row)
+}
+
+/// Prints both figures' averages and a coarse timeline.
+pub fn print(alone: &UtilRow, col: &UtilRow) {
+    println!("# Figures 8 & 9: utilization, inference alone vs collocated with training (Orion)");
+    let mut t = TextTable::new(vec!["configuration", "compute%", "mem_bw%", "SM%"]);
+    for r in [alone, col] {
+        t.row(vec![
+            r.label.to_string(),
+            f1(r.compute),
+            f1(r.mem_bw),
+            f1(r.sm),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("# paper: compute 7% -> 36%, mem bw 10% -> 47%, SM 11% -> 49%");
+
+    println!("# timeline excerpt (1 ms buckets, compute%):");
+    let mut t = TextTable::new(vec!["t[ms]", "alone", "collocated"]);
+    let n = alone
+        .timeline_compute
+        .len()
+        .min(col.timeline_compute.len())
+        .min(40);
+    for i in 0..n {
+        t.row(vec![
+            i.to_string(),
+            f2(100.0 * alone.timeline_compute[i]),
+            f2(100.0 * col.timeline_compute[i]),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collocation_raises_all_utilizations() {
+        let (alone, col) = run(&ExpConfig::fast());
+        assert!(alone.compute < 25.0, "alone compute {}", alone.compute);
+        assert!(
+            col.compute > 2.0 * alone.compute,
+            "compute {} -> {}",
+            alone.compute,
+            col.compute
+        );
+        assert!(col.mem_bw > 2.0 * alone.mem_bw);
+        assert!(col.sm > 2.0 * alone.sm);
+    }
+}

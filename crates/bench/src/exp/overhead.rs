@@ -1,0 +1,111 @@
+//! §6.5 overheads: kernel-launch interception cost.
+//!
+//! Two measurements:
+//!
+//! 1. **End-to-end** (simulated): each workload's solo request latency when
+//!    driven through Orion's interception + scheduling path vs. native
+//!    pass-through submission. The paper reports < 1% overhead.
+//! 2. **Microbenchmark** (real threads): the wall-clock cost of one
+//!    wrapper-to-queue interception in the multi-threaded front-end
+//!    (`orion_core::runtime`), in nanoseconds.
+
+use orion_core::prelude::*;
+use orion_core::runtime::measure_intercept_overhead_ns;
+use orion_core::world::run_dedicated;
+use orion_workloads::arrivals::ArrivalProcess;
+use orion_workloads::registry::{inference_workload, training_workload, ALL_MODELS};
+
+use crate::exp::ExpConfig;
+use crate::table::{f2, TextTable};
+
+/// One workload's interception overhead.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload label.
+    pub label: String,
+    /// Native solo latency (ms).
+    pub native_ms: f64,
+    /// Intercepted (Orion path) solo latency (ms).
+    pub orion_ms: f64,
+    /// Relative overhead (%).
+    pub overhead_pct: f64,
+}
+
+/// Measures end-to-end overhead for every workload.
+pub fn run(cfg: &ExpConfig) -> Vec<Row> {
+    let rc = cfg.run_config();
+    let mut rows = Vec::new();
+    let models: Vec<_> = if cfg.fast {
+        ALL_MODELS.iter().take(2).copied().collect()
+    } else {
+        ALL_MODELS.to_vec()
+    };
+    for m in models {
+        for (w, arr) in [
+            (inference_workload(m), ArrivalProcess::ClosedLoop),
+            (training_workload(m), ArrivalProcess::ClosedLoop),
+        ] {
+            let label = w.label();
+            let native = {
+                let mut r = run_dedicated(
+                    ClientSpec::high_priority(w.clone(), arr.clone()),
+                    &rc,
+                )
+                .expect("fits alone");
+                r.clients[0].latency.p50().as_millis_f64()
+            };
+            let orion = {
+                let mut r = run_collocation(
+                    PolicyKind::orion_default(),
+                    vec![ClientSpec::high_priority(w, arr)],
+                    &rc,
+                )
+                .expect("fits alone");
+                r.clients[0].latency.p50().as_millis_f64()
+            };
+            rows.push(Row {
+                label,
+                native_ms: native,
+                orion_ms: orion,
+                overhead_pct: 100.0 * (orion - native) / native.max(1e-9),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints both measurements.
+pub fn print(rows: &[Row]) {
+    println!("# 6.5 overheads: Orion kernel-launch interception");
+    let mut t = TextTable::new(vec!["workload", "native[ms]", "orion[ms]", "overhead%"]);
+    for r in rows {
+        t.row(vec![
+            r.label.clone(),
+            f2(r.native_ms),
+            f2(r.orion_ms),
+            f2(r.overhead_pct),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("# paper: < 1% across all jobs");
+
+    let ns = measure_intercept_overhead_ns(200_000);
+    println!("# real-thread interception microbenchmark: {ns:.0} ns per launch (crossbeam queue push, scheduler thread draining)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interception_overhead_below_one_percent() {
+        for r in run(&ExpConfig::fast()) {
+            assert!(
+                r.overhead_pct.abs() < 1.0,
+                "{}: overhead {:.3}%",
+                r.label,
+                r.overhead_pct
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! §6.4 sensitivity study: `DUR_THRESHOLD` sweep for ResNet101 inference
+//! collocated with best-effort training, plus the PCIe-aware-memcpy
+//! extension ablation (§5.1.3).
+//!
+//! The paper reports stable performance below ~3%, then an approximately
+//! linear latency increase (23/26/30 ms at 10/15/20%) traded against
+//! best-effort training throughput (8.7/9.26/9.75 iterations/sec).
+
+use orion_core::policy::OrionConfig;
+use orion_core::prelude::*;
+use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
+use orion_workloads::model::ModelKind;
+
+use crate::exp::{be_training, hp_inference, ExpConfig};
+use crate::table::{f2, TextTable};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// `DUR_THRESHOLD` as a percentage of HP request latency.
+    pub threshold_pct: f64,
+    /// HP inference p99 (ms).
+    pub p99_ms: f64,
+    /// BE training iterations/sec.
+    pub be_tput: f64,
+}
+
+/// Runs the threshold sweep.
+pub fn run(cfg: &ExpConfig) -> Vec<Point> {
+    let rc = cfg.run_config();
+    let hp = hp_inference(
+        ModelKind::ResNet101,
+        ArrivalProcess::Poisson {
+            rps: PaperRates::inf_train_poisson(ModelKind::ResNet101),
+        },
+    );
+    let be = be_training(ModelKind::ResNet50);
+    let fracs: Vec<f64> = if cfg.fast {
+        vec![0.01, 0.025, 0.10, 0.20]
+    } else {
+        vec![0.01, 0.025, 0.05, 0.10, 0.15, 0.20]
+    };
+    let mut out = Vec::new();
+    for frac in fracs {
+        let policy = PolicyKind::Orion(OrionConfig::default().with_dur_threshold(frac));
+        let mut r = run_collocation(policy, vec![hp.clone(), be.clone()], &rc)
+            .expect("pair fits");
+        let be_tput = r.be_throughput();
+        let hp_res = r
+            .clients
+            .iter_mut()
+            .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
+            .expect("hp present");
+        out.push(Point {
+            threshold_pct: 100.0 * frac,
+            p99_ms: hp_res.latency.p99().as_millis_f64(),
+            be_tput,
+        });
+    }
+    out
+}
+
+/// PCIe-aware memcpy ablation: p99 with and without the extension.
+pub fn run_pcie_ablation(cfg: &ExpConfig) -> (f64, f64) {
+    let rc = cfg.run_config();
+    let hp = hp_inference(
+        ModelKind::ResNet50,
+        ArrivalProcess::Poisson {
+            rps: PaperRates::inf_train_poisson(ModelKind::ResNet50),
+        },
+    );
+    let be = be_training(ModelKind::MobileNetV2);
+    let p99_of = |pcie: bool| -> f64 {
+        let cfg_orion = OrionConfig {
+            pcie_aware_memcpy: pcie,
+            ..OrionConfig::default()
+        };
+        let mut r = run_collocation(
+            PolicyKind::Orion(cfg_orion),
+            vec![hp.clone(), be.clone()],
+            &rc,
+        )
+        .expect("pair fits");
+        r.clients
+            .iter_mut()
+            .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
+            .expect("hp present")
+            .latency
+            .p99()
+            .as_millis_f64()
+    };
+    (p99_of(false), p99_of(true))
+}
+
+/// Prints the sweep.
+pub fn print(points: &[Point], pcie: (f64, f64)) {
+    println!("# 6.4 sensitivity: DUR_THRESHOLD sweep (ResNet101 inference + BE training)");
+    let mut t = TextTable::new(vec!["threshold%", "hp p99[ms]", "be iters/s"]);
+    for p in points {
+        t.row(vec![f2(p.threshold_pct), f2(p.p99_ms), f2(p.be_tput)]);
+    }
+    print!("{}", t.render());
+    println!("# paper: p99 23/26/30 ms and be 8.7/9.26/9.75 it/s at 10/15/20%");
+    println!(
+        "# PCIe-aware memcpy extension: p99 {} ms -> {} ms",
+        f2(pcie.0),
+        f2(pcie.1)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_thresholds_trade_latency_for_be_throughput() {
+        let pts = run(&ExpConfig::fast());
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        // More headroom for best-effort kernels at 20% than at 1%.
+        assert!(
+            last.be_tput >= first.be_tput,
+            "be tput {} -> {}",
+            first.be_tput,
+            last.be_tput
+        );
+        // And no better tail latency.
+        assert!(
+            last.p99_ms >= first.p99_ms * 0.95,
+            "p99 {} -> {}",
+            first.p99_ms,
+            last.p99_ms
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Table 1: average GPU utilization of the ten paper workloads, measured by
+//! the offline profiler on a dedicated simulated V100.
+
+use orion_gpu::spec::GpuSpec;
+use orion_profiler::profile_workload;
+use orion_workloads::model::{ModelKind, Workload};
+use orion_workloads::registry::{inference_workload, training_workload, ALL_MODELS};
+
+use crate::exp::ExpConfig;
+use crate::table::{f1, TextTable};
+
+/// One measured row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload label.
+    pub label: String,
+    /// Batch size.
+    pub batch: u32,
+    /// Average SM-busy percentage.
+    pub sm_busy: f64,
+    /// Average compute-throughput percentage.
+    pub compute: f64,
+    /// Average memory-bandwidth percentage.
+    pub mem_bw: f64,
+    /// Memory-capacity percentage.
+    pub mem_cap: f64,
+    /// Solo request latency / iteration time in ms.
+    pub latency_ms: f64,
+}
+
+fn measure(w: &Workload, spec: &GpuSpec) -> Row {
+    let p = profile_workload(w, spec);
+    let batch = match w.kind {
+        orion_workloads::model::WorkloadKind::Inference { batch } => batch,
+        orion_workloads::model::WorkloadKind::Training { batch } => batch,
+    };
+    Row {
+        label: w.label(),
+        batch,
+        sm_busy: 100.0 * p.utilization.sm_busy,
+        compute: 100.0 * p.utilization.compute,
+        mem_bw: 100.0 * p.utilization.mem_bw,
+        mem_cap: 100.0 * p.memory_peak as f64 / spec.memory_capacity as f64,
+        latency_ms: p.request_latency.as_millis_f64(),
+    }
+}
+
+/// Profiles all ten workloads (inference then training, Table 1 order).
+pub fn run(_cfg: &ExpConfig) -> Vec<Row> {
+    let spec = GpuSpec::v100_16gb();
+    let mut rows = Vec::new();
+    for m in inference_order() {
+        rows.push(measure(&inference_workload(m), &spec));
+    }
+    for m in training_order() {
+        rows.push(measure(&training_workload(m), &spec));
+    }
+    rows
+}
+
+fn inference_order() -> [ModelKind; 5] {
+    [
+        ModelKind::ResNet50,
+        ModelKind::MobileNetV2,
+        ModelKind::ResNet101,
+        ModelKind::Bert,
+        ModelKind::Transformer,
+    ]
+}
+
+fn training_order() -> [ModelKind; 5] {
+    inference_order()
+}
+
+/// Prints the table with the paper's reference values alongside.
+pub fn print(rows: &[Row]) {
+    println!("# Table 1: average GPU utilization (measured on the simulated V100)");
+    let paper: &[(&str, f64, f64, f64, f64)] = &[
+        ("ResNet50-inf-bs4", 24.0, 30.0, 22.0, 9.0),
+        ("MobileNetV2-inf-bs4", 6.0, 18.0, 21.0, 7.0),
+        ("ResNet101-inf-bs4", 29.0, 24.0, 37.0, 9.0),
+        ("BERT-inf-bs2", 95.0, 72.0, 28.0, 14.0),
+        ("Transformer-inf-bs4", 61.0, 52.0, 29.0, 10.0),
+        ("ResNet50-train-bs32", 81.0, 48.0, 45.0, 32.0),
+        ("MobileNetV2-train-bs64", 71.0, 34.0, 49.0, 43.0),
+        ("ResNet101-train-bs32", 85.0, 50.0, 43.0, 39.0),
+        ("BERT-train-bs8", 61.0, 44.0, 21.0, 38.0),
+        ("Transformer-train-bs8", 49.5, 29.0, 30.0, 53.0),
+    ];
+    let mut t = TextTable::new(vec![
+        "workload",
+        "SM%(paper)",
+        "compute%(paper)",
+        "membw%(paper)",
+        "memcap%(paper)",
+        "latency[ms]",
+    ]);
+    for r in rows {
+        let p = paper.iter().find(|(l, ..)| *l == r.label);
+        let fmt = |v: f64, pv: Option<f64>| match pv {
+            Some(pv) => format!("{} ({})", f1(v), f1(pv)),
+            None => f1(v),
+        };
+        t.row(vec![
+            r.label.clone(),
+            fmt(r.sm_busy, p.map(|x| x.1)),
+            fmt(r.compute, p.map(|x| x.2)),
+            fmt(r.mem_bw, p.map(|x| x.3)),
+            fmt(r.mem_cap, p.map(|x| x.4)),
+            f1(r.latency_ms),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+/// All models covered (test helper).
+pub fn covers_all_models(rows: &[Row]) -> bool {
+    ALL_MODELS.iter().all(|m| {
+        rows.iter()
+            .filter(|r| r.label.starts_with(m.name()))
+            .count()
+            == 2
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_rows_and_calibration_bands() {
+        let rows = run(&ExpConfig::fast());
+        assert_eq!(rows.len(), 10);
+        assert!(covers_all_models(&rows));
+        for r in &rows {
+            assert!(r.compute < 100.0 && r.mem_bw < 100.0);
+            assert!(r.latency_ms > 1.0);
+        }
+        // Spot-check the strongest calibration anchors (within +-15 points).
+        let find = |l: &str| rows.iter().find(|r| r.label == l).unwrap();
+        let bert = find("BERT-inf-bs2");
+        assert!((bert.compute - 72.0).abs() < 15.0, "BERT compute {}", bert.compute);
+        assert!(bert.sm_busy > 80.0, "BERT sm {}", bert.sm_busy);
+        let mn = find("MobileNetV2-inf-bs4");
+        assert!(mn.sm_busy < 20.0, "MobileNet sm {}", mn.sm_busy);
+        let rn_t = find("ResNet50-train-bs32");
+        assert!((rn_t.compute - 48.0).abs() < 15.0, "RN50 train compute {}", rn_t.compute);
+        assert!((rn_t.mem_bw - 45.0).abs() < 15.0, "RN50 train membw {}", rn_t.mem_bw);
+    }
+}

@@ -1,0 +1,130 @@
+//! Table 2: the toy collocation experiment — Conv2d (compute-intensive) and
+//! BN2d (memory-intensive) kernels, sequential vs. collocated.
+//!
+//! This is the calibration anchor for the interference model; see also
+//! `crates/gpu-sim/tests/table2_calibration.rs`.
+
+use orion_desim::time::SimTime;
+use orion_gpu::engine::{GpuEngine, OpKind};
+use orion_gpu::kernel::{KernelBuilder, KernelDesc};
+use orion_gpu::spec::GpuSpec;
+use orion_gpu::stream::StreamPriority;
+
+use crate::exp::ExpConfig;
+use crate::table::{ratio, TextTable};
+
+/// One row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Kernel pair label.
+    pub pair: &'static str,
+    /// Sequential makespan (ms).
+    pub sequential_ms: f64,
+    /// Collocated makespan (ms).
+    pub collocated_ms: f64,
+    /// Speedup (sequential / collocated).
+    pub speedup: f64,
+    /// The paper's measured speedup.
+    pub paper_speedup: f64,
+}
+
+/// Conv2d, batch 32: 1.35 ms solo, all 80 SMs, 89%/20% compute/memory.
+pub fn conv2d() -> KernelDesc {
+    KernelBuilder::new(0, "conv2d")
+        .grid_blocks(160)
+        .threads_per_block(1024)
+        .regs_per_thread(16)
+        .solo_duration(SimTime::from_micros(1350))
+        .utilization(0.89, 0.20)
+        .build()
+}
+
+/// BN2d, batch 32: 0.93 ms solo, 40% of SMs, 14%/80% compute/memory.
+pub fn bn2d() -> KernelDesc {
+    KernelBuilder::new(1, "bn2d")
+        .grid_blocks(64)
+        .threads_per_block(1024)
+        .regs_per_thread(16)
+        .solo_duration(SimTime::from_micros(930))
+        .utilization(0.14, 0.80)
+        .build()
+}
+
+fn makespan(kernels: &[(usize, KernelDesc)], n_streams: usize) -> SimTime {
+    let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
+    let streams: Vec<_> = (0..n_streams)
+        .map(|_| e.create_stream(StreamPriority::DEFAULT))
+        .collect();
+    for (si, k) in kernels {
+        e.submit(streams[*si], OpKind::Kernel(k.clone())).unwrap();
+    }
+    e.advance_to(SimTime::from_secs(1));
+    e.drain_completions().iter().map(|c| c.at).max().unwrap()
+}
+
+fn row(pair: &'static str, a: KernelDesc, b: KernelDesc, paper: f64) -> Row {
+    let seq = makespan(&[(0, a.clone()), (0, b.clone())], 1);
+    let col = makespan(&[(0, a), (1, b)], 2);
+    Row {
+        pair,
+        sequential_ms: seq.as_millis_f64(),
+        collocated_ms: col.as_millis_f64(),
+        speedup: seq.as_secs_f64() / col.as_secs_f64(),
+        paper_speedup: paper,
+    }
+}
+
+/// Regenerates the three rows of Table 2.
+pub fn run(_cfg: &ExpConfig) -> Vec<Row> {
+    vec![
+        row("Conv2d-Conv2d", conv2d(), conv2d(), 0.98),
+        row("BN2d-BN2d", bn2d(), bn2d(), 1.08),
+        row("Conv2d-BN2d", conv2d(), bn2d(), 1.41),
+    ]
+}
+
+/// Prints the table.
+pub fn print(rows: &[Row]) {
+    println!("# Table 2: toy kernel collocation (sequential vs collocated)");
+    let mut t = TextTable::new(vec![
+        "pair",
+        "sequential[ms]",
+        "collocated[ms]",
+        "speedup",
+        "paper",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.pair.to_string(),
+            format!("{:.2}", r.sequential_ms),
+            format!("{:.2}", r.collocated_ms),
+            ratio(r.speedup),
+            ratio(r.paper_speedup),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_match_paper_bands() {
+        let rows = run(&ExpConfig::fast());
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            let tol = 0.20;
+            assert!(
+                (r.speedup - r.paper_speedup).abs() <= tol,
+                "{}: got {:.2}, paper {:.2}",
+                r.pair,
+                r.speedup,
+                r.paper_speedup
+            );
+        }
+        // Ranking is preserved exactly.
+        assert!(rows[2].speedup > rows[1].speedup);
+        assert!(rows[1].speedup > rows[0].speedup);
+    }
+}

@@ -1,0 +1,126 @@
+//! Table 4: training throughput on a dedicated GPU vs. collocated (as the
+//! best-effort job) with a Poisson-arrival inference job under Orion, and
+//! the resulting cost savings of using one GPU instead of two.
+
+use orion_core::prelude::*;
+use orion_metrics::cost_savings;
+use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
+use orion_workloads::model::ModelKind;
+use orion_workloads::registry::{training_workload, ALL_MODELS};
+
+use crate::exp::{be_training, hp_inference, ideal_throughput, ExpConfig};
+use crate::table::{f2, ratio, TextTable};
+
+/// One row of Table 4.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Training model.
+    pub model: ModelKind,
+    /// Dedicated-GPU training iterations/sec.
+    pub dedicated: f64,
+    /// Collocated training iterations/sec (mean over HP inference jobs).
+    pub collocated: f64,
+    /// Cost savings (paper formula, 2 jobs).
+    pub savings: f64,
+    /// Paper's reported savings.
+    pub paper_savings: f64,
+}
+
+/// Runs the cost-savings experiment for every training model.
+pub fn run(cfg: &ExpConfig) -> Vec<Row> {
+    let rc = cfg.run_config();
+    let paper = [
+        (ModelKind::ResNet50, 1.45),
+        (ModelKind::MobileNetV2, 1.40),
+        (ModelKind::ResNet101, 1.49),
+        (ModelKind::Bert, 1.26),
+        (ModelKind::Transformer, 1.30),
+    ];
+    let hp_models: Vec<ModelKind> = if cfg.fast {
+        vec![ModelKind::ResNet50]
+    } else {
+        vec![ModelKind::ResNet50, ModelKind::Bert, ModelKind::MobileNetV2]
+    };
+    let mut rows = Vec::new();
+    for m in ALL_MODELS {
+        let dedicated = ideal_throughput(
+            &ClientSpec::best_effort(training_workload(m), ArrivalProcess::ClosedLoop),
+            &rc,
+        );
+        let mut cols = Vec::new();
+        for &hp_model in &hp_models {
+            let hp = hp_inference(
+                hp_model,
+                ArrivalProcess::Poisson {
+                    rps: PaperRates::inf_train_poisson(hp_model),
+                },
+            );
+            let r = run_collocation(PolicyKind::orion_default(), vec![hp, be_training(m)], &rc)
+                .expect("inf-train pairs fit");
+            cols.push(r.be_throughput());
+        }
+        let collocated = cols.iter().sum::<f64>() / cols.len() as f64;
+        let savings = cost_savings(2, collocated, dedicated);
+        let paper_savings = paper
+            .iter()
+            .find(|(pm, _)| *pm == m)
+            .map(|(_, s)| *s)
+            .unwrap_or(f64::NAN);
+        rows.push(Row {
+            model: m,
+            dedicated,
+            collocated,
+            savings,
+            paper_savings,
+        });
+    }
+    rows
+}
+
+/// Prints the table.
+pub fn print(rows: &[Row]) {
+    println!("# Table 4: dedicated vs collocated training throughput and cost savings (Orion)");
+    let mut t = TextTable::new(vec![
+        "model",
+        "dedicated it/s",
+        "collocated it/s",
+        "cost savings",
+        "paper",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.model.name().to_string(),
+            f2(r.dedicated),
+            f2(r.collocated),
+            ratio(r.savings),
+            ratio(r.paper_savings),
+        ]);
+    }
+    print!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_exceed_one_for_every_model() {
+        // Collocation must beat dedicating two GPUs: savings > 1.0,
+        // in the paper's 1.26-1.49 neighbourhood.
+        for r in run(&ExpConfig::fast()) {
+            assert!(r.dedicated > 0.0);
+            assert!(
+                r.savings > 1.0,
+                "{}: savings {:.2}",
+                r.model.name(),
+                r.savings
+            );
+            assert!(
+                r.savings < 2.0,
+                "{}: savings {:.2} impossibly high",
+                r.model.name(),
+                r.savings
+            );
+        }
+    }
+}

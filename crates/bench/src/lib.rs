@@ -1,0 +1,3 @@
+//! Experiment harness regenerating every table and figure of the paper.
+pub mod exp;
+pub mod table;

@@ -1,0 +1,397 @@
+//! Client-side state: request lifecycles and per-client software queues.
+//!
+//! In the paper's prototype, each client application (a PyTorch process or
+//! thread) launches GPU operations through Orion's wrappers, which append
+//! them to a per-client software queue (§5). The client runs ahead of the
+//! GPU (asynchronous launches) but blocks on synchronous operations
+//! (`cudaMemcpy`) and at request boundaries. This module models that state
+//! machine; the world (`crate::world`) drives it with events.
+
+use std::collections::VecDeque;
+
+use orion_desim::time::SimTime;
+use orion_gpu::kernel::ResourceProfile;
+use orion_profiler::ProfileTable;
+use orion_workloads::arrivals::ArrivalProcess;
+use orion_workloads::model::{Phase, Workload};
+use orion_workloads::ops::OpSpec;
+
+/// Scheduling class of a client (paper §5: one high-priority client, any
+/// number of best-effort clients).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClientPriority {
+    /// The latency/throughput-critical client.
+    HighPriority,
+    /// Opportunistic client that may only use spare resources.
+    BestEffort,
+}
+
+/// Configuration of one client in a collocation run.
+#[derive(Debug, Clone)]
+pub struct ClientSpec {
+    /// The client's workload (one request/iteration op trace).
+    pub workload: Workload,
+    /// Request arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Scheduling class.
+    pub priority: ClientPriority,
+}
+
+impl ClientSpec {
+    /// A high-priority client.
+    pub fn high_priority(workload: Workload, arrivals: ArrivalProcess) -> Self {
+        ClientSpec {
+            workload,
+            arrivals,
+            priority: ClientPriority::HighPriority,
+        }
+    }
+
+    /// A best-effort client.
+    pub fn best_effort(workload: Workload, arrivals: ArrivalProcess) -> Self {
+        ClientSpec {
+            workload,
+            arrivals,
+            priority: ClientPriority::BestEffort,
+        }
+    }
+}
+
+/// An operation sitting in a client's software queue, annotated with the
+/// offline profile the scheduler consults (§5.2).
+#[derive(Debug, Clone)]
+pub struct QueuedOp {
+    /// The operation.
+    pub spec: OpSpec,
+    /// Training phase tag (used by Tick-Tock).
+    pub phase: Phase,
+    /// Request this op belongs to.
+    pub request_id: u64,
+    /// Index of the op within its request.
+    pub op_seq: u32,
+    /// True for the final op of the request.
+    pub last_of_request: bool,
+    /// Profiled resource class (kernels; `Unknown` for copies).
+    pub profile: ResourceProfile,
+    /// Profiled duration (kernels; zero for copies).
+    pub expected_dur: SimTime,
+    /// Profiled SM demand (kernels; zero for copies).
+    pub sm_needed: u32,
+}
+
+impl QueuedOp {
+    /// True when this is a kernel (vs. a memory operation).
+    pub fn is_kernel(&self) -> bool {
+        matches!(self.spec, OpSpec::Kernel(_))
+    }
+
+    /// True when this op has synchronous (client-blocking) semantics.
+    pub fn is_blocking(&self) -> bool {
+        matches!(
+            self.spec,
+            OpSpec::H2D { blocking: true, .. } | OpSpec::D2H { blocking: true, .. }
+        )
+    }
+}
+
+/// Progress of the in-flight request.
+#[derive(Debug, Clone)]
+struct RequestProgress {
+    request_id: u64,
+    /// Arrival time (queueing delay counts toward latency).
+    arrived_at: SimTime,
+    /// Next op index to push into the software queue.
+    next_op: u32,
+    /// True once the final op's completion has been observed.
+    done: bool,
+}
+
+/// Full client state inside a collocation run.
+#[derive(Debug)]
+pub struct ClientState {
+    /// Static configuration.
+    pub spec: ClientSpec,
+    /// Offline profile of this client's workload.
+    pub profile: ProfileTable,
+    /// The software queue the scheduler drains.
+    queue: VecDeque<QueuedOp>,
+    /// Requests that arrived but have not started.
+    pending: VecDeque<SimTime>,
+    current: Option<RequestProgress>,
+    /// Op sequence the push cursor is blocked on (blocking memcpy), if any.
+    blocked_on: Option<(u64, u32)>,
+    next_request_id: u64,
+    /// Completed request latencies with completion timestamps.
+    pub finished: Vec<(SimTime, SimTime)>, // (completed_at, latency)
+}
+
+impl ClientState {
+    /// Creates client state from a spec and its offline profile.
+    pub fn new(spec: ClientSpec, profile: ProfileTable) -> Self {
+        ClientState {
+            spec,
+            profile,
+            queue: VecDeque::new(),
+            pending: VecDeque::new(),
+            current: None,
+            blocked_on: None,
+            next_request_id: 0,
+            finished: Vec::new(),
+        }
+    }
+
+    /// Scheduling class shortcut.
+    pub fn priority(&self) -> ClientPriority {
+        self.spec.priority
+    }
+
+    /// Head of the software queue, if any.
+    pub fn peek(&self) -> Option<&QueuedOp> {
+        self.queue.front()
+    }
+
+    /// Pops the head of the software queue.
+    pub fn pop(&mut self) -> Option<QueuedOp> {
+        self.queue.pop_front()
+    }
+
+    /// Ops currently buffered in the software queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when a request is in flight (started, not yet completed).
+    pub fn request_in_flight(&self) -> bool {
+        self.current.as_ref().is_some_and(|r| !r.done)
+    }
+
+    /// Arrival time of the next pending (not yet started) request.
+    pub fn next_pending_at(&self) -> Option<SimTime> {
+        self.pending.front().copied()
+    }
+
+    /// Records a request arrival; returns `true` if the request can start
+    /// now (the client was idle).
+    pub fn on_arrival(&mut self, at: SimTime) -> bool {
+        self.pending.push_back(at);
+        !self.request_in_flight()
+    }
+
+    /// Starts the next pending request; returns `false` when none is
+    /// pending or one is already in flight.
+    pub fn try_start_request(&mut self) -> bool {
+        if self.request_in_flight() {
+            return false;
+        }
+        let Some(arrived_at) = self.pending.pop_front() else {
+            return false;
+        };
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        self.current = Some(RequestProgress {
+            request_id: id,
+            arrived_at,
+            next_op: 0,
+            done: false,
+        });
+        self.blocked_on = None;
+        true
+    }
+
+    /// Whether the push cursor can emit another op right now.
+    pub fn can_push(&self) -> bool {
+        match &self.current {
+            Some(r) if !r.done => {
+                self.blocked_on.is_none() && (r.next_op as usize) < self.spec.workload.ops.len()
+            }
+            _ => false,
+        }
+    }
+
+    /// Pushes the next op of the current request into the software queue.
+    ///
+    /// Returns the pushed op's metadata, or `None` when nothing can be
+    /// pushed (blocked, finished, or no request).
+    pub fn push_next(&mut self) -> Option<QueuedOp> {
+        if !self.can_push() {
+            return None;
+        }
+        let r = self.current.as_mut().expect("can_push checked");
+        let idx = r.next_op as usize;
+        let (phase, spec) = self.spec.workload.ops[idx].clone();
+        let (profile, expected_dur, sm_needed) = match &spec {
+            OpSpec::Kernel(k) => (
+                self.profile.resource_profile(k.kernel_id),
+                self.profile.duration(k.kernel_id),
+                self.profile.sm_needed(k.kernel_id),
+            ),
+            _ => (ResourceProfile::Unknown, SimTime::ZERO, 0),
+        };
+        let op = QueuedOp {
+            spec,
+            phase,
+            request_id: r.request_id,
+            op_seq: r.next_op,
+            last_of_request: idx + 1 == self.spec.workload.ops.len(),
+            profile,
+            expected_dur,
+            sm_needed,
+        };
+        r.next_op += 1;
+        if op.is_blocking() {
+            self.blocked_on = Some((op.request_id, op.op_seq));
+        }
+        self.queue.push_back(op.clone());
+        Some(op)
+    }
+
+    /// Handles the completion of one of this client's ops.
+    ///
+    /// Returns `Some(latency)` when this completion finished the request.
+    pub fn on_op_complete(
+        &mut self,
+        now: SimTime,
+        request_id: u64,
+        op_seq: u32,
+        last_of_request: bool,
+    ) -> Option<SimTime> {
+        if self.blocked_on == Some((request_id, op_seq)) {
+            self.blocked_on = None;
+        }
+        let r = self.current.as_mut()?;
+        if r.request_id != request_id || r.done {
+            return None;
+        }
+        if last_of_request {
+            r.done = true;
+            let latency = now - r.arrived_at;
+            self.finished.push((now, latency));
+            self.current = None;
+            // Closed-loop clients queue the next request after their host
+            // think time (zero for plain closed loops).
+            if self.spec.arrivals.is_closed_loop() {
+                self.pending.push_back(now + self.spec.arrivals.think_time());
+            }
+            return Some(latency);
+        }
+        None
+    }
+
+    /// Number of requests completed so far.
+    pub fn completed(&self) -> usize {
+        self.finished.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_gpu::spec::GpuSpec;
+    use orion_profiler::profile_workload;
+    use orion_workloads::registry::inference_workload;
+    use orion_workloads::ModelKind;
+
+    fn client(arrivals: ArrivalProcess) -> ClientState {
+        let w = inference_workload(ModelKind::MobileNetV2);
+        let profile = profile_workload(&w, &GpuSpec::v100_16gb()).table();
+        ClientState::new(ClientSpec::high_priority(w, arrivals), profile)
+    }
+
+    #[test]
+    fn request_lifecycle() {
+        let mut c = client(ArrivalProcess::Poisson { rps: 1.0 });
+        assert!(!c.request_in_flight());
+        assert!(c.on_arrival(SimTime::from_millis(1)));
+        assert!(c.try_start_request());
+        assert!(c.request_in_flight());
+        assert!(!c.try_start_request(), "no double start");
+
+        // Push the whole request; the first op (blocking H2D) blocks.
+        let op0 = c.push_next().unwrap();
+        assert!(op0.is_blocking());
+        assert!(!c.can_push());
+        assert!(c.push_next().is_none());
+        // Completing the blocking op resumes pushing.
+        assert!(c
+            .on_op_complete(SimTime::from_millis(2), op0.request_id, op0.op_seq, false)
+            .is_none());
+        assert!(c.can_push());
+
+        // Drain the rest of the ops.
+        let total = c.spec.workload.ops.len() as u32;
+        let mut last = None;
+        while let Some(op) = c.push_next() {
+            if op.is_blocking() {
+                c.on_op_complete(SimTime::from_millis(3), op.request_id, op.op_seq, false);
+            }
+            last = Some(op);
+        }
+        let last = last.unwrap();
+        assert!(last.last_of_request);
+        assert_eq!(last.op_seq, total - 1);
+
+        // Finishing the last op finishes the request.
+        let latency = c
+            .on_op_complete(SimTime::from_millis(10), last.request_id, last.op_seq, true)
+            .expect("request completes");
+        assert_eq!(latency, SimTime::from_millis(9));
+        assert!(!c.request_in_flight());
+        assert_eq!(c.completed(), 1);
+    }
+
+    #[test]
+    fn closed_loop_requeues_itself() {
+        let mut c = client(ArrivalProcess::ClosedLoop);
+        c.on_arrival(SimTime::ZERO);
+        c.try_start_request();
+        // Fast-forward: mark the final op complete.
+        while c.push_next().is_some() {
+            c.blocked_on = None; // tests drive without a GPU
+        }
+        let total = c.spec.workload.ops.len() as u32;
+        c.on_op_complete(SimTime::from_millis(5), 0, total - 1, true);
+        // A new pending request was enqueued automatically.
+        assert!(c.try_start_request());
+        assert!(c.request_in_flight());
+    }
+
+    #[test]
+    fn queue_and_profiles_attached() {
+        let mut c = client(ArrivalProcess::ClosedLoop);
+        c.on_arrival(SimTime::ZERO);
+        c.try_start_request();
+        c.push_next(); // H2D
+        c.blocked_on = None;
+        let op = c.push_next().unwrap(); // first kernel
+        assert!(op.is_kernel());
+        assert!(op.expected_dur > SimTime::ZERO);
+        assert!(op.sm_needed > 0);
+        assert_eq!(c.queue_depth(), 2);
+        assert_eq!(c.pop().unwrap().op_seq, 0);
+        assert_eq!(c.peek().unwrap().op_seq, 1);
+    }
+
+    #[test]
+    fn arrivals_queue_while_busy() {
+        let mut c = client(ArrivalProcess::Poisson { rps: 1.0 });
+        assert!(c.on_arrival(SimTime::from_millis(1)));
+        c.try_start_request();
+        // Second arrival while the first is in flight.
+        assert!(!c.on_arrival(SimTime::from_millis(2)));
+        assert!(!c.try_start_request());
+        // Finish request 0 (find the last op by pushing through).
+        while c.push_next().is_some() {
+            c.blocked_on = None;
+        }
+        let total = c.spec.workload.ops.len() as u32;
+        c.on_op_complete(SimTime::from_millis(8), 0, total - 1, true);
+        // Request 1 starts and its latency includes queueing delay.
+        assert!(c.try_start_request());
+        while c.push_next().is_some() {
+            c.blocked_on = None;
+        }
+        c.on_op_complete(SimTime::from_millis(20), 1, total - 1, true);
+        let (_, latency) = c.finished[1];
+        assert_eq!(latency, SimTime::from_millis(18));
+    }
+}

@@ -1,0 +1,152 @@
+//! Cluster-level placement (paper §7 "cluster manager co-design" extension).
+//!
+//! Given a set of jobs with offline profiles, the cluster manager can place
+//! jobs with *complementary* compute/memory profiles on the same GPU to
+//! maximize utilization and minimize interference. This module implements a
+//! greedy matcher over a complementarity score: pairs whose time-weighted
+//! compute and memory demands overlap least score highest.
+
+use orion_workloads::model::Workload;
+
+/// Time-weighted average (compute, memory) demand of a workload's kernels.
+pub fn demand_vector(w: &Workload) -> (f64, f64) {
+    let mut c = 0.0;
+    let mut m = 0.0;
+    let mut t = 0.0;
+    for k in w.kernels() {
+        let d = k.solo_duration.as_secs_f64();
+        c += d * k.compute_util;
+        m += d * k.mem_util;
+        t += d;
+    }
+    if t <= 0.0 {
+        (0.0, 0.0)
+    } else {
+        (c / t, m / t)
+    }
+}
+
+/// Complementarity of two jobs: high when one is compute-leaning and the
+/// other memory-leaning, low when both press the same resource.
+///
+/// Score = 1 - (overlap of normalized demand directions); in `[0, 1]`.
+pub fn complementarity(a: &Workload, b: &Workload) -> f64 {
+    let (ca, ma) = demand_vector(a);
+    let (cb, mb) = demand_vector(b);
+    let na = (ca * ca + ma * ma).sqrt();
+    let nb = (cb * cb + mb * mb).sqrt();
+    if na <= 0.0 || nb <= 0.0 {
+        return 1.0;
+    }
+    // Cosine similarity of the demand vectors; complementarity inverts it.
+    let cos = ((ca * cb + ma * mb) / (na * nb)).clamp(0.0, 1.0);
+    1.0 - cos
+}
+
+/// A pairing of job indices onto GPUs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Pairs of job indices sharing a GPU.
+    pub pairs: Vec<(usize, usize)>,
+    /// Jobs placed alone (odd one out).
+    pub singles: Vec<usize>,
+    /// Sum of pair complementarity scores.
+    pub total_score: f64,
+}
+
+/// Greedily pairs jobs across GPUs by descending complementarity, subject to
+/// the pair fitting in `gpu_memory` bytes.
+pub fn place_jobs(jobs: &[Workload], gpu_memory: u64) -> Placement {
+    let n = jobs.len();
+    let mut edges: Vec<(f64, usize, usize)> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if jobs[i].memory_footprint + jobs[j].memory_footprint <= gpu_memory {
+                edges.push((complementarity(&jobs[i], &jobs[j]), i, j));
+            }
+        }
+    }
+    edges.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut used = vec![false; n];
+    let mut pairs = Vec::new();
+    let mut total_score = 0.0;
+    for (score, i, j) in edges {
+        if !used[i] && !used[j] {
+            used[i] = true;
+            used[j] = true;
+            pairs.push((i, j));
+            total_score += score;
+        }
+    }
+    let singles = (0..n).filter(|&i| !used[i]).collect();
+    Placement {
+        pairs,
+        singles,
+        total_score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_workloads::registry::{inference_workload, training_workload};
+    use orion_workloads::ModelKind;
+
+    #[test]
+    fn demand_vectors_reflect_model_character() {
+        let bert = inference_workload(ModelKind::Bert);
+        let llm = inference_workload(ModelKind::LlmDecode);
+        let (cb, mb) = demand_vector(&bert);
+        let (cl, ml) = demand_vector(&llm);
+        assert!(cb > mb, "BERT inference is compute-leaning");
+        assert!(ml > cl, "LLM decode is memory-leaning");
+    }
+
+    #[test]
+    fn complementarity_prefers_opposite_jobs() {
+        let bert = inference_workload(ModelKind::Bert);
+        let llm = inference_workload(ModelKind::LlmDecode);
+        let bert2 = inference_workload(ModelKind::Bert);
+        assert!(complementarity(&bert, &llm) > complementarity(&bert, &bert2));
+    }
+
+    #[test]
+    fn placement_pairs_all_when_they_fit() {
+        let jobs = vec![
+            inference_workload(ModelKind::Bert),
+            inference_workload(ModelKind::LlmDecode),
+            inference_workload(ModelKind::ResNet50),
+            inference_workload(ModelKind::MobileNetV2),
+        ];
+        let p = place_jobs(&jobs, 16 * (1 << 30));
+        assert_eq!(p.pairs.len(), 2);
+        assert!(p.singles.is_empty());
+        // BERT (compute) pairs with the LLM decode (memory).
+        assert!(p.pairs.contains(&(0, 1)) || p.pairs.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn placement_respects_memory() {
+        // Two large training jobs that cannot share a 8 GiB device.
+        let jobs = vec![
+            training_workload(ModelKind::Transformer), // 8.5 GiB
+            training_workload(ModelKind::MobileNetV2), // 6.9 GiB
+        ];
+        let p = place_jobs(&jobs, 8 * (1 << 30));
+        assert!(p.pairs.is_empty());
+        assert_eq!(p.singles, vec![0, 1]);
+    }
+
+    #[test]
+    fn odd_job_counts_leave_a_single() {
+        let jobs = vec![
+            inference_workload(ModelKind::ResNet50),
+            inference_workload(ModelKind::ResNet101),
+            inference_workload(ModelKind::MobileNetV2),
+        ];
+        let p = place_jobs(&jobs, 16 * (1 << 30));
+        assert_eq!(p.pairs.len(), 1);
+        assert_eq!(p.singles.len(), 1);
+    }
+}

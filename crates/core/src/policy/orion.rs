@@ -1,0 +1,397 @@
+//! The Orion scheduling policy (paper §5.1, Listing 1).
+//!
+//! High-priority operations are submitted immediately on a dedicated
+//! high-priority stream. A best-effort kernel is submitted only when
+//!
+//! 1. the cumulative expected duration of *outstanding* best-effort kernels
+//!    is below `DUR_THRESHOLD` (a fraction of the high-priority job's solo
+//!    request latency) — the throttle that substitutes for the missing
+//!    kernel preemption (§5.1.2); and
+//! 2. either no high-priority kernel is on the device, or the best-effort
+//!    kernel is small (`sm_needed < SM_THRESHOLD`) *and* its compute/memory
+//!    profile is opposite to the running high-priority kernel's (kernels
+//!    with `Unknown` profiles are optimistically allowed, §5.2).
+//!
+//! Memory operations are submitted directly (§5.1.3); their blocking and
+//! device-synchronization semantics are enforced by the client layer and
+//! the device engine respectively.
+//!
+//! The outstanding-duration check in Listing 1 uses a CUDA event recorded
+//! after the most recent best-effort kernel (`be_submitted.finished()`).
+//! Streams execute in order, so "the last recorded event fired" is exactly
+//! "no best-effort kernel is outstanding"; we track the outstanding set
+//! directly, which generalizes to multiple best-effort streams without a
+//! per-kernel event object.
+
+use std::collections::HashMap;
+
+use orion_desim::time::SimTime;
+use orion_gpu::engine::OpId;
+use orion_gpu::kernel::ResourceProfile;
+use orion_gpu::stream::{StreamId, StreamPriority};
+
+use super::{Policy, RoutedCompletion, SchedCtx};
+use crate::client::ClientPriority;
+
+/// Orion configuration: the paper's defaults plus the ablation switches of
+/// Figure 14 and the PCIe extension of §5.1.3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrionConfig {
+    /// Submit the high-priority client on a CUDA high-priority stream.
+    pub use_stream_priorities: bool,
+    /// Gate best-effort kernels on opposite compute/memory profiles.
+    pub use_profile_check: bool,
+    /// Gate best-effort kernels on `sm_needed < SM_THRESHOLD`.
+    pub use_sm_check: bool,
+    /// `DUR_THRESHOLD` as a fraction of the high-priority solo request
+    /// latency; `None` disables the outstanding-duration throttle.
+    pub dur_threshold_frac: Option<f64>,
+    /// Explicit `SM_THRESHOLD`; `None` uses the device SM count (§5.1.1
+    /// default). See [`crate::tuning`] for the binary-search auto-tuner.
+    pub sm_threshold: Option<u32>,
+    /// §5.1.3 extension: only submit best-effort memcpys when the PCIe link
+    /// is not already saturated by high-priority copies.
+    pub pcie_aware_memcpy: bool,
+    /// Extension beyond the paper: also gate a best-effort kernel against
+    /// the profiles of *outstanding best-effort* kernels from other clients.
+    /// Listing 1 only compares against the high-priority kernel, so with
+    /// several best-effort clients, same-profile best-effort kernels can
+    /// stack (e.g. two memory-bound kernels saturating bandwidth) and slow
+    /// the high-priority job collaterally — the effect our Figure 13
+    /// reproduction exposes. Off by default (paper-faithful).
+    pub gate_be_vs_be: bool,
+}
+
+impl Default for OrionConfig {
+    fn default() -> Self {
+        OrionConfig {
+            use_stream_priorities: true,
+            use_profile_check: true,
+            use_sm_check: true,
+            dur_threshold_frac: Some(0.025),
+            sm_threshold: None,
+            pcie_aware_memcpy: false,
+            gate_be_vs_be: false,
+        }
+    }
+}
+
+impl OrionConfig {
+    /// Figure 14 step: profile-aware scheduling without the SM-size check.
+    pub fn profiles_only() -> Self {
+        OrionConfig {
+            use_sm_check: false,
+            ..Default::default()
+        }
+    }
+
+    /// Figure 14 step: full Orion without stream priorities.
+    pub fn no_priorities() -> Self {
+        OrionConfig {
+            use_stream_priorities: false,
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the duration-throttle fraction (§6.4 sensitivity study).
+    pub fn with_dur_threshold(mut self, frac: f64) -> Self {
+        self.dur_threshold_frac = Some(frac);
+        self
+    }
+
+    /// Overrides `SM_THRESHOLD`.
+    pub fn with_sm_threshold(mut self, sms: u32) -> Self {
+        self.sm_threshold = Some(sms);
+        self
+    }
+}
+
+/// The Orion scheduler state.
+#[derive(Debug)]
+pub struct Orion {
+    cfg: OrionConfig,
+    hp_stream: Option<StreamId>,
+    /// One stream per client index (best-effort clients only).
+    be_streams: Vec<Option<StreamId>>,
+    /// Absolute `DUR_THRESHOLD` derived from the HP profile at setup.
+    dur_threshold: SimTime,
+    sm_threshold: u32,
+    /// Outstanding best-effort kernels with their profiles.
+    be_outstanding: HashMap<OpId, ResourceProfile>,
+    /// Cumulative expected duration counter (`be_duration` in Listing 1).
+    be_duration: SimTime,
+    /// Outstanding high-priority kernels with their profiles.
+    hp_outstanding: Vec<(OpId, ResourceProfile)>,
+    /// Outstanding high-priority blocking copies (PCIe extension).
+    hp_copies: usize,
+    /// Round-robin cursor over best-effort clients.
+    rr: usize,
+}
+
+impl Orion {
+    /// Creates an Orion policy with the given configuration.
+    pub fn new(cfg: OrionConfig) -> Self {
+        Orion {
+            cfg,
+            hp_stream: None,
+            be_streams: Vec::new(),
+            dur_threshold: SimTime::MAX,
+            sm_threshold: u32::MAX,
+            be_outstanding: HashMap::new(),
+            be_duration: SimTime::ZERO,
+            hp_outstanding: Vec::new(),
+            hp_copies: 0,
+            rr: 0,
+        }
+    }
+
+    /// The active absolute duration threshold (for tests and tuning).
+    pub fn dur_threshold(&self) -> SimTime {
+        self.dur_threshold
+    }
+
+    fn hp_active(&self) -> bool {
+        !self.hp_outstanding.is_empty()
+    }
+
+    /// The profile of the high-priority kernel currently *executing*.
+    ///
+    /// The high-priority stream executes in order and Orion submits HP ops
+    /// with client run-ahead, so the oldest outstanding kernel is the one on
+    /// the device (`op_hp` in Listing 1's `schedule_be` — the kernel the
+    /// best-effort candidate would actually overlap).
+    fn current_hp_profile(&self) -> ResourceProfile {
+        self.hp_outstanding
+            .first()
+            .map_or(ResourceProfile::Unknown, |(_, p)| *p)
+    }
+
+    /// Listing 1 `have_different_profiles`: opposite compute/memory classes;
+    /// unknown-profile kernels are optimistically allowed (§5.2).
+    fn different_profiles(hp: ResourceProfile, be: ResourceProfile) -> bool {
+        be == ResourceProfile::Unknown
+            || hp == ResourceProfile::Unknown
+            || hp.is_opposite(be)
+    }
+
+    /// Listing 1 `schedule_be`, plus the optional BE-vs-BE extension gate.
+    fn schedule_be(&self, be_profile: ResourceProfile, be_sm: u32) -> bool {
+        if self.cfg.gate_be_vs_be
+            && self
+                .be_outstanding
+                .values()
+                .any(|&p| p != ResourceProfile::Unknown && p == be_profile)
+        {
+            // Another best-effort kernel with the same bottleneck is already
+            // on the device; stacking them saturates that resource.
+            return false;
+        }
+        if !self.hp_active() {
+            return true;
+        }
+        let sm_ok = !self.cfg.use_sm_check || be_sm < self.sm_threshold;
+        let profile_ok = !self.cfg.use_profile_check
+            || Self::different_profiles(self.current_hp_profile(), be_profile);
+        sm_ok && profile_ok
+    }
+}
+
+impl Policy for Orion {
+    fn name(&self) -> &'static str {
+        "Orion"
+    }
+
+    fn setup(&mut self, ctx: &mut SchedCtx) {
+        let hp_prio = if self.cfg.use_stream_priorities {
+            StreamPriority::HIGH
+        } else {
+            StreamPriority::DEFAULT
+        };
+        self.be_streams = vec![None; ctx.clients.len()];
+        for (i, c) in ctx.clients.iter().enumerate() {
+            match c.priority() {
+                ClientPriority::HighPriority => {
+                    let s = ctx.gpu.create_stream(hp_prio);
+                    self.hp_stream = Some(s);
+                    // DUR_THRESHOLD is a tunable percentage of the HP job's
+                    // solo request latency (§5.1.1).
+                    self.dur_threshold = match self.cfg.dur_threshold_frac {
+                        Some(f) => c.profile.request_latency.mul_f64(f),
+                        None => SimTime::MAX,
+                    };
+                }
+                ClientPriority::BestEffort => {
+                    self.be_streams[i] = Some(ctx.gpu.create_stream(StreamPriority::DEFAULT));
+                }
+            }
+        }
+        self.sm_threshold = self
+            .cfg
+            .sm_threshold
+            .unwrap_or(ctx.gpu.spec().num_sms);
+    }
+
+    fn schedule(&mut self, ctx: &mut SchedCtx) {
+        let (hp_clients, be_clients) = ctx.split_clients();
+
+        // High-priority ops are submitted immediately (Listing 1 line 7-8).
+        if let Some(hp_stream) = self.hp_stream {
+            for &hc in &hp_clients {
+                while ctx.clients[hc].peek().is_some() {
+                    let blocking_copy = ctx.clients[hc]
+                        .peek()
+                        .is_some_and(|o| o.is_blocking() && !o.is_kernel());
+                    let routed = ctx
+                        .submit_head(hc, hp_stream)
+                        .expect("peeked op exists");
+                    if routed.is_kernel {
+                        self.hp_outstanding.push((routed.op, routed.profile));
+                    } else if blocking_copy {
+                        self.hp_copies += 1;
+                    }
+                }
+            }
+        }
+
+        // Best-effort clients, round-robin (§5.1.1).
+        if be_clients.is_empty() {
+            return;
+        }
+        let n = be_clients.len();
+        let mut idle_rounds = 0;
+        while idle_rounds < n {
+            let bc = be_clients[self.rr % n];
+            self.rr = (self.rr + 1) % n;
+            let Some(stream) = self.be_streams[bc] else {
+                idle_rounds += 1;
+                continue;
+            };
+            let Some(head) = ctx.clients[bc].peek() else {
+                idle_rounds += 1;
+                continue;
+            };
+
+            if !head.is_kernel() {
+                // Memory operations are submitted directly (§5.1.3), unless
+                // the PCIe extension is on and HP copies are in flight.
+                if self.cfg.pcie_aware_memcpy && self.hp_copies > 0 {
+                    idle_rounds += 1;
+                    continue;
+                }
+                ctx.submit_head(bc, stream);
+                idle_rounds = 0;
+                continue;
+            }
+
+            // Outstanding-duration throttle (Listing 1 lines 12-16).
+            if self.be_duration > self.dur_threshold {
+                if self.be_outstanding.is_empty() {
+                    self.be_duration = SimTime::ZERO;
+                } else {
+                    // All best-effort clients wait for the GPU to drain.
+                    break;
+                }
+            }
+
+            let ok = self.schedule_be(head.profile, head.sm_needed);
+            if !ok {
+                idle_rounds += 1;
+                continue;
+            }
+            let routed = ctx.submit_head(bc, stream).expect("peeked op exists");
+            self.be_outstanding.insert(routed.op, routed.profile);
+            self.be_duration += routed.expected_dur;
+            idle_rounds = 0;
+        }
+    }
+
+    fn on_completions(&mut self, completions: &[RoutedCompletion], ctx: &mut SchedCtx) {
+        for c in completions {
+            self.be_outstanding.remove(&c.op);
+            if let Some(pos) = self.hp_outstanding.iter().position(|(op, _)| *op == c.op) {
+                self.hp_outstanding.remove(pos);
+            } else if !c.is_kernel
+                && ctx.clients[c.client].priority() == ClientPriority::HighPriority
+                && self.hp_copies > 0
+            {
+                self.hp_copies -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = OrionConfig::default();
+        assert!(c.use_stream_priorities && c.use_profile_check && c.use_sm_check);
+        assert_eq!(c.dur_threshold_frac, Some(0.025));
+        assert_eq!(c.sm_threshold, None);
+    }
+
+    #[test]
+    fn profile_gate_logic() {
+        use ResourceProfile::*;
+        assert!(Orion::different_profiles(ComputeBound, MemoryBound));
+        assert!(Orion::different_profiles(MemoryBound, ComputeBound));
+        assert!(Orion::different_profiles(ComputeBound, Unknown));
+        assert!(Orion::different_profiles(Unknown, MemoryBound));
+        assert!(!Orion::different_profiles(ComputeBound, ComputeBound));
+        assert!(!Orion::different_profiles(MemoryBound, MemoryBound));
+    }
+
+    #[test]
+    fn schedule_be_gates() {
+        let mut o = Orion::new(OrionConfig::default());
+        o.sm_threshold = 80;
+        // No HP running: everything goes.
+        assert!(o.schedule_be(ResourceProfile::ComputeBound, 100));
+        // HP compute kernel running: only small, memory/unknown kernels.
+        o.hp_outstanding.push((OpId(1), ResourceProfile::ComputeBound));
+        assert!(o.schedule_be(ResourceProfile::MemoryBound, 40));
+        assert!(!o.schedule_be(ResourceProfile::MemoryBound, 80), "sm gate");
+        assert!(!o.schedule_be(ResourceProfile::ComputeBound, 40), "profile gate");
+        assert!(o.schedule_be(ResourceProfile::Unknown, 40));
+    }
+
+    #[test]
+    fn be_vs_be_gate_blocks_same_profile_stacking() {
+        let mut o = Orion::new(OrionConfig {
+            gate_be_vs_be: true,
+            ..OrionConfig::default()
+        });
+        o.sm_threshold = 80;
+        // A memory-bound BE kernel is outstanding; another memory-bound BE
+        // kernel is blocked even with no HP activity.
+        o.be_outstanding.insert(OpId(7), ResourceProfile::MemoryBound);
+        assert!(!o.schedule_be(ResourceProfile::MemoryBound, 20));
+        assert!(o.schedule_be(ResourceProfile::ComputeBound, 20));
+        assert!(o.schedule_be(ResourceProfile::Unknown, 20));
+        // Without the extension the stacking is allowed (paper-faithful).
+        let mut o = Orion::new(OrionConfig::default());
+        o.sm_threshold = 80;
+        o.be_outstanding.insert(OpId(7), ResourceProfile::MemoryBound);
+        assert!(o.schedule_be(ResourceProfile::MemoryBound, 20));
+    }
+
+    #[test]
+    fn ablation_configs_toggle_gates() {
+        let mut o = Orion::new(OrionConfig::profiles_only());
+        o.sm_threshold = 10;
+        o.hp_outstanding.push((OpId(1), ResourceProfile::ComputeBound));
+        // SM check disabled: large opposite-profile kernels pass.
+        assert!(o.schedule_be(ResourceProfile::MemoryBound, 80));
+
+        let mut o = Orion::new(OrionConfig {
+            use_profile_check: false,
+            ..OrionConfig::default()
+        });
+        o.sm_threshold = 80;
+        o.hp_outstanding.push((OpId(1), ResourceProfile::ComputeBound));
+        // Profile check disabled: same-profile kernels pass if small.
+        assert!(o.schedule_be(ResourceProfile::ComputeBound, 40));
+    }
+}

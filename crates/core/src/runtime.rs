@@ -1,0 +1,188 @@
+//! Multi-threaded interception front-end (paper §5.3, §6.5).
+//!
+//! In the paper's prototype, client applications and the Orion scheduler run
+//! as threads of one process: clients call CUDA-wrapper functions that push
+//! (kernel id, arguments) records onto per-client software queues, and the
+//! scheduler thread polls the queues. This module reproduces that front-end
+//! with real OS threads and lock-free queues so the interception overhead of
+//! §6.5 ("less than 1%") can be *measured*, not simulated. The GPU behind it
+//! is a sink — only the client-visible launch path is under test.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::queue::SegQueue;
+
+/// A launch record as the wrappers capture it: kernel id + opaque args.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchRecord {
+    /// Kernel identifier (profile-table key).
+    pub kernel_id: u32,
+    /// Client that issued the launch.
+    pub client: u32,
+    /// Monotonic sequence number within the client.
+    pub seq: u64,
+}
+
+/// The shared state between client threads and the scheduler thread.
+#[derive(Debug)]
+pub struct InterceptRuntime {
+    queues: Vec<Arc<SegQueue<LaunchRecord>>>,
+    dispatched: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+}
+
+impl InterceptRuntime {
+    /// Creates a runtime with one software queue per client.
+    pub fn new(clients: usize) -> Self {
+        InterceptRuntime {
+            queues: (0..clients).map(|_| Arc::new(SegQueue::new())).collect(),
+            dispatched: Arc::new(AtomicU64::new(0)),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The wrapper-side call: intercept one kernel launch.
+    ///
+    /// This is the §6.5 hot path — one queue push.
+    pub fn intercept(&self, record: LaunchRecord) {
+        self.queues[record.client as usize].push(record);
+    }
+
+    /// Number of launches the scheduler has drained.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Starts the scheduler thread: a round-robin poller draining all client
+    /// queues (the `run_scheduler` loop of Listing 1, minus GPU submission).
+    /// Returns a guard that stops the thread on drop.
+    pub fn start_scheduler(&self) -> SchedulerGuard {
+        let queues: Vec<Arc<SegQueue<LaunchRecord>>> = self.queues.clone();
+        let dispatched = Arc::clone(&self.dispatched);
+        let stop = Arc::clone(&self.stop);
+        let handle = thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let mut drained = false;
+                for q in &queues {
+                    if q.pop().is_some() {
+                        dispatched.fetch_add(1, Ordering::Relaxed);
+                        drained = true;
+                    }
+                }
+                if !drained {
+                    std::hint::spin_loop();
+                }
+            }
+            // Final drain so no launch is lost at shutdown.
+            for q in &queues {
+                while q.pop().is_some() {
+                    dispatched.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        SchedulerGuard {
+            stop: Arc::clone(&self.stop),
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops the scheduler thread when dropped.
+#[derive(Debug)]
+pub struct SchedulerGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl SchedulerGuard {
+    /// Stops and joins the scheduler thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SchedulerGuard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Measures the mean per-launch interception cost in nanoseconds: `n`
+/// launches pushed from this thread while the scheduler drains.
+pub fn measure_intercept_overhead_ns(n: u64) -> f64 {
+    let rt = InterceptRuntime::new(1);
+    let guard = rt.start_scheduler();
+    let start = std::time::Instant::now();
+    for seq in 0..n {
+        rt.intercept(LaunchRecord {
+            kernel_id: (seq % 101) as u32,
+            client: 0,
+            seq,
+        });
+    }
+    let elapsed = start.elapsed();
+    guard.stop();
+    elapsed.as_nanos() as f64 / n.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_launches_are_dispatched() {
+        let rt = InterceptRuntime::new(3);
+        let guard = rt.start_scheduler();
+        let total = 30_000u64;
+        for seq in 0..total {
+            rt.intercept(LaunchRecord {
+                kernel_id: seq as u32,
+                client: (seq % 3) as u32,
+                seq,
+            });
+        }
+        guard.stop();
+        assert_eq!(rt.dispatched(), total);
+    }
+
+    #[test]
+    fn concurrent_clients_do_not_lose_records() {
+        let rt = Arc::new(InterceptRuntime::new(4));
+        let guard = rt.start_scheduler();
+        let mut joins = Vec::new();
+        for client in 0..4u32 {
+            let rt = Arc::clone(&rt);
+            joins.push(thread::spawn(move || {
+                for seq in 0..10_000u64 {
+                    rt.intercept(LaunchRecord {
+                        kernel_id: seq as u32,
+                        client,
+                        seq,
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        guard.stop();
+        assert_eq!(rt.dispatched(), 40_000);
+    }
+
+    #[test]
+    fn overhead_is_sub_microsecond() {
+        // The paper reports < 1% overhead on ~10 us kernels; our queue push
+        // must be far below that (sub-microsecond per launch).
+        let ns = measure_intercept_overhead_ns(100_000);
+        assert!(ns < 1_000.0, "per-launch cost {ns} ns");
+    }
+}

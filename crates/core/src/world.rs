@@ -1,0 +1,608 @@
+//! The collocation engine: clients + policy + GPU wired into a DES world.
+
+use std::collections::HashMap;
+
+use orion_desim::prelude::*;
+use orion_gpu::engine::GpuEngine;
+use orion_gpu::error::GpuError;
+use orion_gpu::spec::GpuSpec;
+use orion_gpu::util::UtilSummary;
+use orion_metrics::{LatencyRecorder, ThroughputCounter};
+use orion_profiler::profile_workload;
+
+use crate::client::{ClientPriority, ClientSpec, ClientState};
+use crate::policy::{Policy, PolicyKind, Routed, RoutedCompletion, SchedCtx};
+
+/// Configuration of one collocation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Device to share.
+    pub spec: GpuSpec,
+    /// Simulated duration of the run.
+    pub horizon: SimTime,
+    /// Leading window excluded from latency/throughput statistics.
+    pub warmup: SimTime,
+    /// Seed for the arrival processes.
+    pub seed: u64,
+    /// Record the full utilization timeline (figure experiments only).
+    pub record_timeline: bool,
+    /// Record per-operation execution spans (Chrome-trace export).
+    pub record_trace: bool,
+}
+
+impl RunConfig {
+    /// The standard experiment configuration: V100, 12 s horizon, 2 s warmup.
+    pub fn paper_default() -> Self {
+        RunConfig {
+            spec: GpuSpec::v100_16gb(),
+            horizon: SimTime::from_secs(12),
+            warmup: SimTime::from_secs(2),
+            seed: 42,
+            record_timeline: false,
+            record_trace: false,
+        }
+    }
+
+    /// A fast configuration for unit/integration tests (3 s horizon).
+    pub fn quick_test() -> Self {
+        RunConfig {
+            spec: GpuSpec::v100_16gb(),
+            horizon: SimTime::from_secs(3),
+            warmup: SimTime::from_millis(500),
+            seed: 42,
+            record_timeline: false,
+            record_trace: false,
+        }
+    }
+
+    /// Replaces the device spec.
+    pub fn with_spec(mut self, spec: GpuSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Per-client outcome of a run (statistics exclude the warmup window).
+#[derive(Debug)]
+pub struct ClientResult {
+    /// Workload label.
+    pub label: String,
+    /// Scheduling class.
+    pub priority: ClientPriority,
+    /// Request latencies.
+    pub latency: LatencyRecorder,
+    /// Requests completed in the measurement window.
+    pub completed: u64,
+    /// Requests (or training iterations) per second.
+    pub throughput: f64,
+}
+
+/// Outcome of a collocation run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Per-client results, in client order.
+    pub clients: Vec<ClientResult>,
+    /// Device utilization averages over the whole run.
+    pub utilization: UtilSummary,
+    /// Resampled utilization timeline (when enabled), for figures.
+    pub timeline: Vec<orion_gpu::util::UtilSample>,
+    /// Per-operation execution trace (when enabled).
+    pub trace: Option<orion_gpu::trace::ExecTrace>,
+    /// Measurement window length.
+    pub window: SimTime,
+}
+
+impl RunResult {
+    /// The first high-priority client's result.
+    pub fn hp(&self) -> &ClientResult {
+        self.clients
+            .iter()
+            .find(|c| c.priority == ClientPriority::HighPriority)
+            .unwrap_or(&self.clients[0])
+    }
+
+    /// Sum of best-effort client throughputs.
+    pub fn be_throughput(&self) -> f64 {
+        self.clients
+            .iter()
+            .filter(|c| c.priority == ClientPriority::BestEffort)
+            .map(|c| c.throughput)
+            .sum()
+    }
+
+    /// Aggregate throughput of all clients.
+    pub fn total_throughput(&self) -> f64 {
+        self.clients.iter().map(|c| c.throughput).sum()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    /// A request arrives at an open-loop client.
+    Arrival { client: usize },
+    /// The client's launch thread pushes its next op.
+    Push { client: usize },
+    /// Start the next pending request (deferred closed-loop think time).
+    StartRequest { client: usize },
+    /// Wake-up at the GPU's next internal completion.
+    GpuWake { token: u64 },
+}
+
+struct RouteInfo {
+    client: usize,
+    request_id: u64,
+    op_seq: u32,
+    last_of_request: bool,
+    is_kernel: bool,
+}
+
+struct CollocationWorld {
+    gpu: GpuEngine,
+    clients: Vec<ClientState>,
+    policy: Option<Box<dyn Policy>>,
+    routes: HashMap<u64, RouteInfo>,
+    wake_token: u64,
+    /// Per-client launch cost on the client thread (overhead x GIL factor).
+    launch_cost: Vec<SimTime>,
+}
+
+impl CollocationWorld {
+    fn run_policy(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        self.run_policy_with(now, sched, |_, _| {});
+    }
+
+    /// Runs the policy (optionally preceded by a completion callback that
+    /// needs the same borrow split), then re-arms the GPU wake-up.
+    fn run_policy_with(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        pre: impl FnOnce(&mut dyn Policy, &mut SchedCtx),
+    ) {
+        let mut policy = self.policy.take().expect("policy present");
+        let mut submissions = Vec::new();
+        {
+            let mut ctx = SchedCtx {
+                now,
+                gpu: &mut self.gpu,
+                clients: &mut self.clients,
+                submissions: &mut submissions,
+            };
+            pre(policy.as_mut(), &mut ctx);
+            policy.schedule(&mut ctx);
+        }
+        self.policy = Some(policy);
+        self.register(submissions);
+        self.arm_wake(now, sched);
+    }
+
+    fn register(&mut self, submissions: Vec<Routed>) {
+        for r in submissions {
+            self.routes.insert(
+                r.op.0,
+                RouteInfo {
+                    client: r.client,
+                    request_id: r.request_id,
+                    op_seq: r.op_seq,
+                    last_of_request: r.last_of_request,
+                    is_kernel: r.is_kernel,
+                },
+            );
+        }
+    }
+
+    fn arm_wake(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if let Some(t) = self.gpu.next_event_time() {
+            self.wake_token += 1;
+            let token = self.wake_token;
+            sched.schedule_at(t.max(now), Ev::GpuWake { token });
+        }
+    }
+
+    /// Advances the GPU and processes any completions that occurred.
+    fn drain_gpu(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        self.gpu.advance_to(now);
+        let completions = self.gpu.drain_completions();
+        if completions.is_empty() {
+            return;
+        }
+        let mut routed = Vec::with_capacity(completions.len());
+        for c in &completions {
+            let Some(info) = self.routes.remove(&c.op.0) else {
+                continue;
+            };
+            let client = &mut self.clients[info.client];
+            let was_blocked = !client.can_push();
+            client.on_op_complete(c.at, info.request_id, info.op_seq, info.last_of_request);
+            if info.last_of_request {
+                // The next request starts now, or after closed-loop think
+                // time (its pending arrival timestamp may lie in the future).
+                match client.next_pending_at() {
+                    Some(at) if at <= now && client.try_start_request() => {
+                        sched.schedule_at(now, Ev::Push { client: info.client });
+                    }
+                    Some(at) if at > now => {
+                        sched.schedule_at(at, Ev::StartRequest { client: info.client });
+                    }
+                    _ => {}
+                }
+            } else if was_blocked && client.can_push() {
+                // A blocking copy finished: resume the launch thread.
+                sched.schedule_at(now, Ev::Push { client: info.client });
+            }
+            routed.push(RoutedCompletion {
+                op: c.op,
+                client: info.client,
+                at: c.at,
+                is_kernel: info.is_kernel,
+                last_of_request: info.last_of_request,
+                request_id: info.request_id,
+            });
+        }
+        self.run_policy_with(now, sched, |policy, ctx| {
+            policy.on_completions(&routed, ctx);
+        });
+    }
+}
+
+impl World for CollocationWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        // Completions at or before `now` are always processed first so every
+        // handler sees up-to-date queue/GPU state.
+        self.drain_gpu(now, sched);
+        match ev {
+            Ev::Arrival { client } => {
+                let c = &mut self.clients[client];
+                c.on_arrival(now);
+                if c.try_start_request() {
+                    sched.schedule_at(now, Ev::Push { client });
+                }
+            }
+            Ev::Push { client } => {
+                let c = &mut self.clients[client];
+                if c.push_next().is_some() {
+                    if c.can_push() {
+                        sched.schedule_in(self.launch_cost[client], Ev::Push { client });
+                    }
+                    self.run_policy(now, sched);
+                }
+            }
+            Ev::StartRequest { client } => {
+                if self.clients[client].try_start_request() {
+                    sched.schedule_at(now, Ev::Push { client });
+                }
+            }
+            Ev::GpuWake { token } => {
+                // Stale wake-ups (state changed since arming) are no-ops;
+                // drain_gpu above already advanced the device.
+                if token == self.wake_token {
+                    self.arm_wake(now, sched);
+                }
+            }
+        }
+    }
+}
+
+/// Runs one collocation experiment: the given clients share one simulated
+/// GPU under `policy`. Returns per-client latency/throughput and device
+/// utilization.
+///
+/// # Errors
+///
+/// Returns [`GpuError::OutOfMemory`] when the clients' memory footprints do
+/// not fit on the device (the paper assumes the cluster manager collocates
+/// jobs that fit, §5.1.3).
+pub fn run_collocation(
+    policy: PolicyKind,
+    clients: Vec<ClientSpec>,
+    cfg: &RunConfig,
+) -> Result<RunResult, GpuError> {
+    let mut gpu = GpuEngine::new(cfg.spec.clone(), cfg.record_timeline);
+    if cfg.record_trace {
+        gpu.enable_trace();
+    }
+
+    // Offline profiling phase (§5.2): each workload profiled solo.
+    let mut states = Vec::with_capacity(clients.len());
+    for spec in clients {
+        let profile = profile_workload(&spec.workload, &cfg.spec).table();
+        gpu.alloc_immediate(spec.workload.memory_footprint)?;
+        states.push(ClientState::new(spec, profile));
+    }
+
+    let n_clients = states.len().max(1);
+    let kind = policy;
+    let mut boxed = kind.build();
+    let launch_cost: Vec<SimTime> = states
+        .iter()
+        .map(|_| {
+            let gil = if kind.gil_contention() {
+                n_clients as u64
+            } else {
+                1
+            };
+            cfg.spec.launch_overhead * gil + kind.intercept_overhead()
+        })
+        .collect();
+
+    // Policy setup (stream creation).
+    {
+        let mut submissions = Vec::new();
+        let mut ctx = SchedCtx {
+            now: SimTime::ZERO,
+            gpu: &mut gpu,
+            clients: &mut states,
+            submissions: &mut submissions,
+        };
+        boxed.setup(&mut ctx);
+        assert!(
+            submissions.is_empty(),
+            "policies must not submit during setup"
+        );
+    }
+
+    let world = CollocationWorld {
+        gpu,
+        clients: states,
+        policy: Some(boxed),
+        routes: HashMap::new(),
+        wake_token: 0,
+        launch_cost,
+    };
+
+    let mut sim = Simulation::new(world);
+
+    // Seed arrivals.
+    let mut rng = DetRng::new(cfg.seed);
+    let n = sim.world().clients.len();
+    for i in 0..n {
+        let arrivals = sim.world().clients[i].spec.arrivals.clone();
+        if arrivals.is_closed_loop() {
+            sim.schedule_at(SimTime::ZERO, Ev::Arrival { client: i });
+        } else {
+            let mut crng = rng.fork(i as u64 + 1);
+            for t in arrivals.schedule(cfg.horizon, &mut crng) {
+                sim.schedule_at(t, Ev::Arrival { client: i });
+            }
+        }
+    }
+
+    let outcome = sim.run_until(cfg.horizon, 500_000_000);
+    assert_ne!(
+        outcome,
+        orion_desim::sim::RunOutcome::BudgetExhausted,
+        "collocation run livelocked"
+    );
+
+    // Final drain at the horizon for exact utilization accounting.
+    let horizon = cfg.horizon;
+    sim.world_mut().gpu.advance_to(horizon);
+    let trace = sim.world_mut().gpu.take_trace();
+
+    let world = sim.world();
+    let window = cfg.horizon - cfg.warmup;
+    let policy_name = kind.label();
+    let clients = world
+        .clients
+        .iter()
+        .map(|c| {
+            let mut latency = LatencyRecorder::new();
+            let mut tp = ThroughputCounter::new();
+            tp.set_window(window);
+            for &(done_at, lat) in &c.finished {
+                if done_at >= cfg.warmup {
+                    latency.record(lat);
+                    tp.record();
+                }
+            }
+            ClientResult {
+                label: c.spec.workload.label(),
+                priority: c.priority(),
+                completed: tp.completed(),
+                throughput: tp.per_second(),
+                latency,
+            }
+        })
+        .collect();
+
+    let timeline = if cfg.record_timeline {
+        world.gpu.util().resample(SimTime::from_millis(1))
+    } else {
+        Vec::new()
+    };
+
+    Ok(RunResult {
+        policy: policy_name,
+        clients,
+        utilization: world.gpu.util_summary(),
+        timeline,
+        trace,
+        window,
+    })
+}
+
+/// Runs a client alone on a dedicated GPU (the paper's "Ideal" reference).
+pub fn run_dedicated(client: ClientSpec, cfg: &RunConfig) -> Result<RunResult, GpuError> {
+    run_collocation(PolicyKind::Mps, vec![client], cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_workloads::arrivals::ArrivalProcess;
+    use orion_workloads::registry::{inference_workload, training_workload};
+    use orion_workloads::ModelKind;
+
+    #[test]
+    fn dedicated_inference_latency_matches_profile() {
+        let w = inference_workload(ModelKind::MobileNetV2);
+        let cfg = RunConfig::quick_test();
+        let r = run_dedicated(
+            ClientSpec::high_priority(w, ArrivalProcess::Poisson { rps: 20.0 }),
+            &cfg,
+        )
+        .unwrap();
+        let hp = &r.clients[0];
+        assert!(hp.completed > 20, "completed {}", hp.completed);
+        // Lightly loaded: p50 close to the solo latency (~4.3 ms).
+        let p50 = {
+            let mut l = LatencyRecorder::new();
+            for &s in hp.latency.samples() {
+                l.record(s);
+            }
+            l.p50().as_millis_f64()
+        };
+        assert!((3.5..6.5).contains(&p50), "p50 {p50} ms");
+    }
+
+    #[test]
+    fn closed_loop_training_throughput_matches_table4() {
+        let w = training_workload(ModelKind::ResNet50);
+        let cfg = RunConfig::quick_test();
+        let r = run_dedicated(ClientSpec::best_effort(w, ArrivalProcess::ClosedLoop), &cfg).unwrap();
+        let tput = r.clients[0].throughput;
+        // Table 4: ~10.3 iterations/sec on a dedicated V100.
+        assert!((8.5..11.5).contains(&tput), "throughput {tput}");
+    }
+
+    #[test]
+    fn collocation_runs_all_policies() {
+        let cfg = RunConfig::quick_test();
+        for kind in [
+            PolicyKind::Temporal,
+            PolicyKind::Streams,
+            PolicyKind::StreamPriority,
+            PolicyKind::Mps,
+            PolicyKind::reef_default(),
+            PolicyKind::orion_default(),
+        ] {
+            let clients = vec![
+                ClientSpec::high_priority(
+                    inference_workload(ModelKind::ResNet50),
+                    ArrivalProcess::Poisson { rps: 15.0 },
+                ),
+                ClientSpec::best_effort(
+                    training_workload(ModelKind::MobileNetV2),
+                    ArrivalProcess::ClosedLoop,
+                ),
+            ];
+            let r = run_collocation(kind.clone(), clients, &cfg).unwrap();
+            assert_eq!(r.clients.len(), 2);
+            assert!(
+                r.hp().completed > 0,
+                "{}: hp completed nothing",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn think_time_paces_closed_loop() {
+        // A closed loop with 20 ms think time completes fewer requests than
+        // one without, by roughly horizon / (service + think).
+        let w = inference_workload(ModelKind::MobileNetV2); // ~4.5 ms service
+        let cfg = RunConfig::quick_test();
+        let plain = run_dedicated(
+            ClientSpec::best_effort(w.clone(), ArrivalProcess::ClosedLoop),
+            &cfg,
+        )
+        .unwrap()
+        .clients[0]
+            .throughput;
+        let think = run_dedicated(
+            ClientSpec::best_effort(
+                w,
+                ArrivalProcess::ClosedLoopThink {
+                    think: SimTime::from_millis(20),
+                },
+            ),
+            &cfg,
+        )
+        .unwrap()
+        .clients[0]
+            .throughput;
+        assert!(plain > 100.0, "plain {plain}");
+        // ~1000 / (4.7 + 20) = ~40 req/s.
+        assert!((30.0..50.0).contains(&think), "think-paced {think}");
+    }
+
+    #[test]
+    fn trace_recording_captures_all_ops() {
+        let w = inference_workload(ModelKind::MobileNetV2);
+        let mut cfg = RunConfig::quick_test();
+        cfg.horizon = SimTime::from_millis(100);
+        cfg.record_trace = true;
+        let r = run_dedicated(
+            ClientSpec::best_effort(w.clone(), ArrivalProcess::ClosedLoop),
+            &cfg,
+        )
+        .unwrap();
+        let trace = r.trace.expect("trace recorded");
+        assert!(!trace.is_empty());
+        // Every span is well-formed: submit <= dispatch <= complete.
+        for s in &trace.spans {
+            assert!(s.submitted <= s.dispatched, "span {s:?}");
+            assert!(s.dispatched <= s.completed, "span {s:?}");
+        }
+        // Roughly (ops per request) x (completed requests) spans.
+        let per_request = w.ops.len() as u64;
+        assert!(trace.len() as u64 >= per_request * r.clients[0].completed);
+        // And the Chrome export parses as JSON.
+        let json = trace.to_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert!(v["traceEvents"].as_array().unwrap().len() == trace.len());
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let cfg = RunConfig::quick_test();
+        let clients = vec![
+            ClientSpec::best_effort(
+                training_workload(ModelKind::Transformer),
+                ArrivalProcess::ClosedLoop,
+            ),
+            ClientSpec::best_effort(
+                training_workload(ModelKind::MobileNetV2),
+                ArrivalProcess::ClosedLoop,
+            ),
+            ClientSpec::best_effort(
+                training_workload(ModelKind::Bert),
+                ArrivalProcess::ClosedLoop,
+            ),
+        ];
+        let err = run_collocation(PolicyKind::Mps, clients, &cfg);
+        assert!(matches!(err, Err(GpuError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let cfg = RunConfig::quick_test();
+        let mk = || {
+            vec![
+                ClientSpec::high_priority(
+                    inference_workload(ModelKind::ResNet50),
+                    ArrivalProcess::Poisson { rps: 15.0 },
+                ),
+                ClientSpec::best_effort(
+                    training_workload(ModelKind::ResNet50),
+                    ArrivalProcess::ClosedLoop,
+                ),
+            ]
+        };
+        let a = run_collocation(PolicyKind::orion_default(), mk(), &cfg).unwrap();
+        let b = run_collocation(PolicyKind::orion_default(), mk(), &cfg).unwrap();
+        assert_eq!(a.hp().completed, b.hp().completed);
+        assert_eq!(a.hp().latency.samples(), b.hp().latency.samples());
+        assert_eq!(a.clients[1].completed, b.clients[1].completed);
+    }
+}

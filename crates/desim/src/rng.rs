@@ -1,0 +1,188 @@
+//! Small deterministic random-number generator.
+//!
+//! The workloads crate needs reproducible arrival processes (Poisson, uniform
+//! jitter). Rather than pulling `rand` into the engine, `desim` ships a tiny
+//! splitmix64/xoshiro256++-based generator with exactly the draw primitives the
+//! experiments need. Identical seeds produce identical experiment outputs on
+//! every platform.
+
+/// Deterministic PRNG (xoshiro256++ seeded via splitmix64).
+///
+/// # Examples
+///
+/// ```
+/// use orion_desim::rng::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.next_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        DetRng { state }
+    }
+
+    /// Derives an independent child generator (for per-client streams).
+    pub fn fork(&mut self, stream: u64) -> DetRng {
+        DetRng::new(self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits -> uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[lo, hi)`. Returns `lo` when the range is empty.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn uniform_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "uniform_u64 requires a non-empty range");
+        // Rejection-free multiply-shift (Lemire); bias is negligible for the
+        // simulation ranges used here (n << 2^64).
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Exponential draw with the given rate (mean `1/rate`).
+    ///
+    /// Returns `f64::INFINITY` for non-positive rates.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        if rate <= 0.0 || !rate.is_finite() {
+            return f64::INFINITY;
+        }
+        // Inverse-CDF; `1 - u` avoids ln(0).
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+
+    /// Standard normal draw (Box-Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1 = (1.0 - self.next_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_u64_bounds() {
+        let mut r = DetRng::new(4);
+        for _ in 0..10_000 {
+            assert!(r.uniform_u64(17) < 17);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = DetRng::new(5);
+        let rate = 4.0;
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn exponential_degenerate_rate() {
+        let mut r = DetRng::new(6);
+        assert!(r.exponential(0.0).is_infinite());
+        assert!(r.exponential(-1.0).is_infinite());
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = DetRng::new(8);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var was {var}");
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let mut parent = DetRng::new(9);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 3);
+    }
+}

@@ -1,0 +1,260 @@
+//! The simulation driver: clock + event queue + world dispatch loop.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// The event-scheduling handle passed to [`World::handle`].
+///
+/// Separating the scheduler from the world lets handlers schedule follow-up
+/// events while mutably borrowing the world state.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Events scheduled in the past are clamped to "now" (delivered next),
+    /// preserving clock monotonicity.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A simulated world: holds state and reacts to events.
+pub trait World {
+    /// The event type driving this world.
+    type Event;
+
+    /// Handles one event at time `now`, optionally scheduling more.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Outcome of [`Simulation::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon.
+    Drained,
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The event budget was exhausted (livelock guard).
+    BudgetExhausted,
+}
+
+/// A complete simulation: a [`World`] plus its clock and event queue.
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    world: W,
+    sched: Scheduler<W::Event>,
+    events_processed: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation at time zero around `world`.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedules an event at an absolute time (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, event: W::Event) {
+        self.sched.schedule_at(at, event);
+    }
+
+    /// Schedules an event after a delay.
+    pub fn schedule_in(&mut self, delay: SimTime, event: W::Event) {
+        self.sched.schedule_in(delay, event);
+    }
+
+    /// Dispatches a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.sched.queue.pop() {
+            Some((t, ev)) => {
+                debug_assert!(t >= self.sched.now, "event queue returned a past event");
+                self.sched.now = t;
+                self.events_processed += 1;
+                self.world.handle(t, ev, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains, the clock passes `horizon`, or `budget`
+    /// events have been dispatched.
+    ///
+    /// Events *at* the horizon are still delivered; the first event strictly
+    /// beyond it stays queued and the clock advances to the horizon.
+    pub fn run_until(&mut self, horizon: SimTime, budget: u64) -> RunOutcome {
+        let mut used = 0u64;
+        loop {
+            match self.sched.queue.peek_time() {
+                None => {
+                    self.sched.now = self.sched.now.max(horizon.min(self.sched.now));
+                    return RunOutcome::Drained;
+                }
+                Some(t) if t > horizon => {
+                    self.sched.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {
+                    if used >= budget {
+                        return RunOutcome::BudgetExhausted;
+                    }
+                    self.step();
+                    used += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs until the event queue is empty.
+    ///
+    /// Uses a very large event budget (`u64::MAX`) — callers with potentially
+    /// livelocking worlds should prefer [`Simulation::run_until`].
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((now, ev));
+            if ev == 1 {
+                // Fan out two follow-ups, one at the same instant.
+                sched.schedule_in(SimTime::ZERO, 10);
+                sched.schedule_in(SimTime::from_micros(5), 11);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_order_and_clock() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(SimTime::from_micros(2), 1);
+        sim.schedule_at(SimTime::from_micros(1), 0);
+        sim.run_to_completion();
+        let seen = &sim.world().seen;
+        assert_eq!(
+            seen,
+            &vec![
+                (SimTime::from_micros(1), 0),
+                (SimTime::from_micros(2), 1),
+                (SimTime::from_micros(2), 10),
+                (SimTime::from_micros(7), 11),
+            ]
+        );
+        assert_eq!(sim.now(), SimTime::from_micros(7));
+        assert_eq!(sim.events_processed(), 4);
+    }
+
+    #[test]
+    fn horizon_stops_before_future_events() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(SimTime::from_micros(1), 0);
+        sim.schedule_at(SimTime::from_micros(100), 2);
+        let out = sim.run_until(SimTime::from_micros(50), u64::MAX);
+        assert_eq!(out, RunOutcome::HorizonReached);
+        assert_eq!(sim.now(), SimTime::from_micros(50));
+        assert_eq!(sim.world().seen.len(), 1);
+        // Resume past the horizon.
+        let out = sim.run_until(SimTime::from_micros(200), u64::MAX);
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(sim.world().seen.len(), 2);
+    }
+
+    #[test]
+    fn event_at_horizon_is_delivered() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(SimTime::from_micros(50), 0);
+        let out = sim.run_until(SimTime::from_micros(50), u64::MAX);
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(sim.world().seen.len(), 1);
+    }
+
+    #[test]
+    fn budget_guards_livelock() {
+        struct Livelock;
+        impl World for Livelock {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), sched: &mut Scheduler<()>) {
+                sched.schedule_in(SimTime::ZERO, ());
+            }
+        }
+        let mut sim = Simulation::new(Livelock);
+        sim.schedule_at(SimTime::ZERO, ());
+        let out = sim.run_until(SimTime::from_secs(1), 1000);
+        assert_eq!(out, RunOutcome::BudgetExhausted);
+        assert_eq!(sim.events_processed(), 1000);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(SimTime::from_micros(10), 1);
+        sim.run_to_completion();
+        // Now at t=15 (after the fan-out). Schedule "in the past".
+        sim.schedule_at(SimTime::from_micros(1), 99);
+        sim.run_to_completion();
+        let last = *sim.world().seen.last().unwrap();
+        assert_eq!(last.1, 99);
+        assert!(last.0 >= SimTime::from_micros(15));
+    }
+}

@@ -1,0 +1,287 @@
+//! Simulated time: an integer nanosecond clock.
+//!
+//! GPU kernels in the workloads run for 10s of microseconds to milliseconds, so
+//! nanosecond resolution with a `u64` payload gives ~584 years of simulated
+//! range — far beyond any experiment — while keeping time arithmetic exact
+//! (no floating-point clock drift).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulated time, in integer nanoseconds.
+///
+/// `SimTime` is used both as an absolute timestamp and as a duration; the
+/// arithmetic operators implement the usual timestamp/duration algebra.
+/// Subtraction is saturating to keep the engine panic-free on reordered
+/// bookkeeping (callers that care about underflow use [`SimTime::checked_sub`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero timestamp (simulation start).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time; used as an "infinitely far" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from integer microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from integer milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from integer seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Creates a time from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative or non-finite inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Creates a time from fractional microseconds, rounding to the nearest
+    /// nanosecond. Negative or non-finite inputs clamp to zero.
+    pub fn from_micros_f64(us: f64) -> Self {
+        if !us.is_finite() || us <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((us * 1e3).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Time as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Checked subtraction; `None` when `rhs > self`.
+    pub fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_sub(rhs.0).map(SimTime)
+    }
+
+    /// Saturating subtraction (never underflows).
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition (never overflows past [`SimTime::MAX`]).
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Scales a duration by a non-negative factor, rounding to the nearest
+    /// nanosecond and saturating at [`SimTime::MAX`].
+    pub fn mul_f64(self, factor: f64) -> SimTime {
+        if !factor.is_finite() || factor <= 0.0 {
+            return SimTime::ZERO;
+        }
+        if factor == 1.0 {
+            return self;
+        }
+        let scaled = self.0 as f64 * factor;
+        if scaled >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(scaled.round() as u64)
+        }
+    }
+
+    /// Divides a duration by a positive rate (e.g. remaining work / progress
+    /// rate), saturating at [`SimTime::MAX`] when the rate is ~zero.
+    pub fn div_f64(self, divisor: f64) -> SimTime {
+        if !divisor.is_finite() || divisor <= 0.0 {
+            return SimTime::MAX;
+        }
+        self.mul_f64(1.0 / divisor)
+    }
+
+    /// Returns the larger of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when this is the zero time.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    /// Integer division of a duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rhs == 0`, like integer division.
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |acc, t| acc + t)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == u64::MAX {
+            write!(f, "t=inf")
+        } else if ns >= 1_000_000_000 {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_millis(500));
+        assert_eq!(SimTime::from_micros_f64(1.5), SimTime::from_nanos(1_500));
+    }
+
+    #[test]
+    fn from_f64_clamps_bad_inputs() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_micros_f64(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a - b, SimTime::ZERO);
+        assert_eq!(b - a, SimTime::from_secs(1));
+        assert_eq!(SimTime::MAX + a, SimTime::MAX);
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(b.checked_sub(a), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn scaling() {
+        let d = SimTime::from_micros(100);
+        assert_eq!(d.mul_f64(2.5), SimTime::from_micros(250));
+        assert_eq!(d.mul_f64(0.0), SimTime::ZERO);
+        assert_eq!(d.div_f64(0.5), SimTime::from_micros(200));
+        assert_eq!(d.div_f64(0.0), SimTime::MAX);
+        assert_eq!(d.div_f64(f64::NAN), SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = SimTime::from_micros(3);
+        let b = SimTime::from_micros(7);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_nanos(1_500)), "1.500us");
+        assert_eq!(format!("{}", SimTime::from_micros(1_500)), "1.500ms");
+        assert_eq!(format!("{}", SimTime::from_millis(1_500)), "1.500000s");
+        assert_eq!(format!("{}", SimTime::MAX), "t=inf");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = (1..=4).map(SimTime::from_micros).sum();
+        assert_eq!(total, SimTime::from_micros(10));
+    }
+}

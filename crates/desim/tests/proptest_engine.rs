@@ -1,0 +1,102 @@
+//! Property-based tests for the DES engine invariants.
+
+use orion_desim::prelude::*;
+use proptest::prelude::*;
+
+/// A world that records every delivery for invariant checking.
+#[derive(Default)]
+struct Trace {
+    deliveries: Vec<(SimTime, usize)>,
+}
+
+impl World for Trace {
+    type Event = usize;
+    fn handle(&mut self, now: SimTime, ev: usize, _s: &mut Scheduler<usize>) {
+        self.deliveries.push((now, ev));
+    }
+}
+
+proptest! {
+    /// The clock never moves backwards, whatever the schedule order.
+    #[test]
+    fn clock_is_monotonic(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut sim = Simulation::new(Trace::default());
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_nanos(t), i);
+        }
+        sim.run_to_completion();
+        let d = &sim.world().deliveries;
+        prop_assert_eq!(d.len(), times.len());
+        for w in d.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    /// Events at equal times are delivered in schedule (FIFO) order.
+    #[test]
+    fn equal_time_fifo(n in 1usize..300, t in 0u64..1_000) {
+        let mut sim = Simulation::new(Trace::default());
+        for i in 0..n {
+            sim.schedule_at(SimTime::from_nanos(t), i);
+        }
+        sim.run_to_completion();
+        let order: Vec<usize> = sim.world().deliveries.iter().map(|&(_, e)| e).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// `run_until` delivers exactly the events at or before the horizon, and
+    /// resuming later delivers the rest — no event is lost or duplicated.
+    #[test]
+    fn horizon_partitions_events(
+        times in prop::collection::vec(0u64..1_000_000, 1..100),
+        horizon in 0u64..1_000_000,
+    ) {
+        let mut sim = Simulation::new(Trace::default());
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let h = SimTime::from_nanos(horizon);
+        sim.run_until(h, u64::MAX);
+        let before = sim.world().deliveries.len();
+        let expected_before = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(before, expected_before);
+        for &(t, _) in &sim.world().deliveries {
+            prop_assert!(t <= h);
+        }
+        sim.run_until(SimTime::MAX, u64::MAX);
+        prop_assert_eq!(sim.world().deliveries.len(), times.len());
+    }
+
+    /// The RNG's uniform_u64 stays in range and exponential is non-negative.
+    #[test]
+    fn rng_ranges(seed in any::<u64>(), n in 1u64..10_000, rate in 0.001f64..1_000.0) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.uniform_u64(n) < n);
+            let e = rng.exponential(rate);
+            prop_assert!(e >= 0.0);
+            let u = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// SimTime arithmetic: (a + b) - b == a for non-overflowing values.
+    #[test]
+    fn simtime_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = SimTime::from_nanos(a);
+        let tb = SimTime::from_nanos(b);
+        prop_assert_eq!((ta + tb) - tb, ta);
+        prop_assert_eq!(ta.mul_f64(1.0), ta);
+    }
+
+    /// div_f64 then mul_f64 by the same positive factor approximately
+    /// round-trips (within rounding of 1ns per op).
+    #[test]
+    fn simtime_scale_roundtrip(ns in 1u64..1_000_000_000_000u64, f in 0.01f64..100.0) {
+        let t = SimTime::from_nanos(ns);
+        let rt = t.div_f64(f).mul_f64(f);
+        let diff = rt.as_nanos().abs_diff(t.as_nanos());
+        // Relative error bounded by rounding in two steps.
+        prop_assert!(diff as f64 <= 2.0 * f.max(1.0) + 2.0, "diff {diff}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for the GPU simulator.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated device and its CUDA-like API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuError {
+    /// A device-memory allocation exceeded remaining capacity.
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes still available on the device.
+        available: u64,
+    },
+    /// An operation referenced a stream id that was never created.
+    UnknownStream(u32),
+    /// An operation referenced an event id that was never created.
+    UnknownEvent(u64),
+    /// An operation referenced an allocation id that was never created
+    /// (or was already freed).
+    UnknownAllocation(u64),
+    /// A kernel description is invalid (e.g. zero blocks or zero threads).
+    InvalidKernel(String),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} B, {available} B available"
+            ),
+            GpuError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
+            GpuError::UnknownEvent(id) => write!(f, "unknown event id {id}"),
+            GpuError::UnknownAllocation(id) => write!(f, "unknown allocation id {id}"),
+            GpuError::InvalidKernel(msg) => write!(f, "invalid kernel: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GpuError::OutOfMemory {
+            requested: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("out of device memory"));
+        assert!(GpuError::UnknownStream(3).to_string().contains('3'));
+        assert!(GpuError::InvalidKernel("zero blocks".into())
+            .to_string()
+            .contains("zero blocks"));
+    }
+}

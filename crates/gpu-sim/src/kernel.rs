@@ -1,0 +1,346 @@
+//! Kernel descriptions, resource profiles, and the occupancy calculation.
+//!
+//! A [`KernelDesc`] carries exactly the metadata that Orion's offline
+//! profiling phase (paper §5.2) extracts with Nsight: launch geometry
+//! (blocks, threads, registers, shared memory), the solo execution time, and
+//! whole-GPU compute-throughput / memory-bandwidth utilization fractions.
+//! [`KernelDesc::sm_needed`] implements the paper's occupancy formula
+//! `sm_needed = ceil(num_blocks / blocks_per_sm)`.
+
+use orion_desim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::error::GpuError;
+use crate::spec::GpuSpec;
+
+/// Roofline classification of a kernel (paper §5.2).
+///
+/// A kernel is compute-bound / memory-bound when its compute-throughput /
+/// memory-bandwidth utilization exceeds the Nsight-recommended 60% rule, or
+/// when roofline analysis says so; kernels below both thresholds and without
+/// roofline data are `Unknown` (in practice: tiny optimizer-update kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceProfile {
+    /// Performance bounded by SM compute throughput.
+    ComputeBound,
+    /// Performance bounded by device memory bandwidth.
+    MemoryBound,
+    /// No roofline data and below both 60% thresholds.
+    Unknown,
+}
+
+impl ResourceProfile {
+    /// True when two profiles are "opposite" in the sense of Orion's policy
+    /// (compute vs. memory). `Unknown` is opposite to nothing — the policy
+    /// treats it specially (always collocatable) at a higher level.
+    pub fn is_opposite(self, other: ResourceProfile) -> bool {
+        matches!(
+            (self, other),
+            (ResourceProfile::ComputeBound, ResourceProfile::MemoryBound)
+                | (ResourceProfile::MemoryBound, ResourceProfile::ComputeBound)
+        )
+    }
+}
+
+/// Description of one GPU computation kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Stable identifier of the kernel within its workload (profile-table key).
+    pub kernel_id: u32,
+    /// Human-readable name, e.g. `conv2d_fprop_64x56x56`.
+    pub name: String,
+    /// Number of thread blocks in the launch grid.
+    pub grid_blocks: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Static + dynamic shared memory per block, in bytes.
+    pub shmem_per_block: u32,
+    /// Execution time when running alone on the reference device.
+    pub solo_duration: SimTime,
+    /// Whole-GPU compute-throughput utilization fraction when running alone
+    /// (Nsight `sm_throughput` / 100).
+    pub compute_util: f64,
+    /// Whole-GPU memory-bandwidth utilization fraction when running alone.
+    pub mem_util: f64,
+}
+
+impl KernelDesc {
+    /// Validates the launch geometry and utilization fractions.
+    pub fn validate(&self) -> Result<(), GpuError> {
+        if self.grid_blocks == 0 {
+            return Err(GpuError::InvalidKernel("grid_blocks must be > 0".into()));
+        }
+        if self.threads_per_block == 0 || self.threads_per_block > 1024 {
+            return Err(GpuError::InvalidKernel(format!(
+                "threads_per_block must be in 1..=1024, got {}",
+                self.threads_per_block
+            )));
+        }
+        if self.solo_duration.is_zero() {
+            return Err(GpuError::InvalidKernel(
+                "solo_duration must be positive".into(),
+            ));
+        }
+        for (label, v) in [("compute_util", self.compute_util), ("mem_util", self.mem_util)] {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(GpuError::InvalidKernel(format!(
+                    "{label} must be in [0, 1], got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Thread blocks of this kernel that fit concurrently on one SM,
+    /// limited by threads, registers, shared memory, and the block cap.
+    ///
+    /// Returns at least 1 even for oversized blocks: hardware runs any valid
+    /// launch, just one block at a time per SM.
+    pub fn blocks_per_sm(&self, spec: &GpuSpec) -> u32 {
+        let by_threads = spec.sm.max_threads / self.threads_per_block.max(1);
+        let regs_per_block = self.regs_per_thread.saturating_mul(self.threads_per_block);
+        let by_regs = spec
+            .sm
+            .max_registers
+            .checked_div(regs_per_block)
+            .unwrap_or(u32::MAX);
+        let by_shmem = spec
+            .sm
+            .max_shared_mem
+            .checked_div(self.shmem_per_block)
+            .unwrap_or(u32::MAX);
+        by_threads
+            .min(by_regs)
+            .min(by_shmem)
+            .min(spec.sm.max_blocks)
+            .max(1)
+    }
+
+    /// SMs needed to run the whole grid concurrently (paper §5.2):
+    /// `ceil(num_blocks / blocks_per_sm)`, clamped to the device SM count.
+    pub fn sm_needed(&self, spec: &GpuSpec) -> u32 {
+        let per_sm = self.blocks_per_sm(spec);
+        self.grid_blocks.div_ceil(per_sm).min(spec.num_sms).max(1)
+    }
+
+    /// Classifies this kernel with the paper's 60% rule.
+    pub fn classify(&self) -> ResourceProfile {
+        classify_utilization(self.compute_util, self.mem_util)
+    }
+}
+
+/// The 60%-threshold roofline classification used by the profiler (§5.2).
+pub fn classify_utilization(compute_util: f64, mem_util: f64) -> ResourceProfile {
+    const THRESHOLD: f64 = 0.60;
+    // When both exceed the threshold, the larger demand wins (the roofline
+    // bottleneck); ties favour compute, as conv/GEMM kernels dominate there.
+    if compute_util >= THRESHOLD && compute_util >= mem_util {
+        ResourceProfile::ComputeBound
+    } else if mem_util >= THRESHOLD {
+        ResourceProfile::MemoryBound
+    } else {
+        ResourceProfile::Unknown
+    }
+}
+
+/// Builder with sane defaults for tests and workload generators.
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    desc: KernelDesc,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel description with the given id and name.
+    pub fn new(kernel_id: u32, name: impl Into<String>) -> Self {
+        KernelBuilder {
+            desc: KernelDesc {
+                kernel_id,
+                name: name.into(),
+                grid_blocks: 80,
+                threads_per_block: 256,
+                regs_per_thread: 32,
+                shmem_per_block: 0,
+                solo_duration: SimTime::from_micros(100),
+                compute_util: 0.5,
+                mem_util: 0.3,
+            },
+        }
+    }
+
+    /// Sets the grid size in thread blocks.
+    pub fn grid_blocks(mut self, blocks: u32) -> Self {
+        self.desc.grid_blocks = blocks;
+        self
+    }
+
+    /// Sets threads per block.
+    pub fn threads_per_block(mut self, threads: u32) -> Self {
+        self.desc.threads_per_block = threads;
+        self
+    }
+
+    /// Sets registers per thread.
+    pub fn regs_per_thread(mut self, regs: u32) -> Self {
+        self.desc.regs_per_thread = regs;
+        self
+    }
+
+    /// Sets shared memory per block (bytes).
+    pub fn shmem_per_block(mut self, bytes: u32) -> Self {
+        self.desc.shmem_per_block = bytes;
+        self
+    }
+
+    /// Sets the solo execution duration.
+    pub fn solo_duration(mut self, d: SimTime) -> Self {
+        self.desc.solo_duration = d;
+        self
+    }
+
+    /// Sets compute-throughput and memory-bandwidth utilization fractions.
+    pub fn utilization(mut self, compute: f64, mem: f64) -> Self {
+        self.desc.compute_util = compute;
+        self.desc.mem_util = mem;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting description fails [`KernelDesc::validate`];
+    /// builders are for statically-known test/workload kernels.
+    pub fn build(self) -> KernelDesc {
+        self.desc
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid kernel from builder: {e}"));
+        self.desc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v100() -> GpuSpec {
+        GpuSpec::v100_16gb()
+    }
+
+    #[test]
+    fn occupancy_limited_by_threads() {
+        // 1024 threads/block on a 2048-thread SM -> 2 blocks/SM.
+        let k = KernelBuilder::new(0, "t")
+            .threads_per_block(1024)
+            .regs_per_thread(16)
+            .build();
+        assert_eq!(k.blocks_per_sm(&v100()), 2);
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        // 256 threads * 64 regs = 16384 regs/block; 65536/16384 = 4 blocks.
+        let k = KernelBuilder::new(0, "r")
+            .threads_per_block(256)
+            .regs_per_thread(64)
+            .build();
+        assert_eq!(k.blocks_per_sm(&v100()), 4);
+    }
+
+    #[test]
+    fn occupancy_limited_by_shared_memory() {
+        // 48 KiB shmem/block on a 96 KiB SM -> 2 blocks.
+        let k = KernelBuilder::new(0, "s")
+            .threads_per_block(128)
+            .regs_per_thread(16)
+            .shmem_per_block(48 * 1024)
+            .build();
+        assert_eq!(k.blocks_per_sm(&v100()), 2);
+    }
+
+    #[test]
+    fn occupancy_block_cap() {
+        // Tiny blocks hit the 32-blocks/SM architectural cap.
+        let k = KernelBuilder::new(0, "tiny")
+            .threads_per_block(32)
+            .regs_per_thread(8)
+            .build();
+        assert_eq!(k.blocks_per_sm(&v100()), 32);
+    }
+
+    #[test]
+    fn sm_needed_formula() {
+        let k = KernelBuilder::new(0, "k")
+            .grid_blocks(100)
+            .threads_per_block(1024) // 2 blocks/SM
+            .regs_per_thread(16)
+            .build();
+        // ceil(100 / 2) = 50 SMs.
+        assert_eq!(k.sm_needed(&v100()), 50);
+    }
+
+    #[test]
+    fn sm_needed_clamps_to_device() {
+        let k = KernelBuilder::new(0, "big")
+            .grid_blocks(100_000)
+            .threads_per_block(1024)
+            .regs_per_thread(16)
+            .build();
+        assert_eq!(k.sm_needed(&v100()), 80);
+    }
+
+    #[test]
+    fn classification_sixty_percent_rule() {
+        assert_eq!(
+            classify_utilization(0.89, 0.20),
+            ResourceProfile::ComputeBound
+        );
+        assert_eq!(
+            classify_utilization(0.14, 0.80),
+            ResourceProfile::MemoryBound
+        );
+        assert_eq!(classify_utilization(0.40, 0.40), ResourceProfile::Unknown);
+        // Both above threshold: bottleneck (larger) wins.
+        assert_eq!(
+            classify_utilization(0.70, 0.90),
+            ResourceProfile::MemoryBound
+        );
+        assert_eq!(
+            classify_utilization(0.90, 0.70),
+            ResourceProfile::ComputeBound
+        );
+    }
+
+    #[test]
+    fn opposite_profiles() {
+        use ResourceProfile::*;
+        assert!(ComputeBound.is_opposite(MemoryBound));
+        assert!(MemoryBound.is_opposite(ComputeBound));
+        assert!(!ComputeBound.is_opposite(ComputeBound));
+        assert!(!Unknown.is_opposite(ComputeBound));
+        assert!(!Unknown.is_opposite(Unknown));
+    }
+
+    #[test]
+    fn validation_rejects_bad_kernels() {
+        let mut k = KernelBuilder::new(0, "ok").build();
+        assert!(k.validate().is_ok());
+        k.grid_blocks = 0;
+        assert!(k.validate().is_err());
+        k.grid_blocks = 1;
+        k.compute_util = 1.5;
+        assert!(k.validate().is_err());
+        k.compute_util = 0.5;
+        k.threads_per_block = 2048;
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let k = KernelBuilder::new(7, "conv").utilization(0.8, 0.2).build();
+        let s = serde_json::to_string(&k).unwrap();
+        let back: KernelDesc = serde_json::from_str(&s).unwrap();
+        assert_eq!(k, back);
+    }
+}

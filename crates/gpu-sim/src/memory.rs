@@ -1,0 +1,154 @@
+//! Device memory capacity accounting.
+//!
+//! The paper assumes the cluster manager collocates jobs whose state fits in
+//! GPU memory (§5.1.3); the simulator enforces that assumption by tracking
+//! every allocation and failing loudly on oversubscription. Fragmentation is
+//! not modelled (real frameworks use caching allocators), so this is a pure
+//! capacity ledger.
+
+use std::collections::HashMap;
+
+use crate::error::GpuError;
+
+/// Identifier of a live device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocId(pub u64);
+
+/// A capacity-accounting device memory ledger.
+#[derive(Debug, Clone)]
+pub struct MemoryLedger {
+    capacity: u64,
+    used: u64,
+    high_water: u64,
+    next_id: u64,
+    live: HashMap<u64, u64>,
+}
+
+impl MemoryLedger {
+    /// Creates a ledger for a device with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemoryLedger {
+            capacity,
+            used: 0,
+            high_water: 0,
+            next_id: 0,
+            live: HashMap::new(),
+        }
+    }
+
+    /// Allocates `bytes`, failing when capacity would be exceeded.
+    pub fn alloc(&mut self, bytes: u64) -> Result<AllocId, GpuError> {
+        let available = self.capacity - self.used;
+        if bytes > available {
+            return Err(GpuError::OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.live.insert(id, bytes);
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+        Ok(AllocId(id))
+    }
+
+    /// Frees a live allocation.
+    pub fn free(&mut self, id: AllocId) -> Result<u64, GpuError> {
+        match self.live.remove(&id.0) {
+            Some(bytes) => {
+                self.used -= bytes;
+                Ok(bytes)
+            }
+            None => Err(GpuError::UnknownAllocation(id.0)),
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Peak bytes ever allocated (memory-capacity utilization of Table 1).
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Total device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Current capacity utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used as f64 / self.capacity as f64
+        }
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = MemoryLedger::new(1000);
+        let a = m.alloc(400).unwrap();
+        let b = m.alloc(600).unwrap();
+        assert_eq!(m.used(), 1000);
+        assert_eq!(m.live_allocations(), 2);
+        assert_eq!(m.free(a).unwrap(), 400);
+        assert_eq!(m.used(), 600);
+        assert_eq!(m.free(b).unwrap(), 600);
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.high_water(), 1000);
+    }
+
+    #[test]
+    fn oom_reports_availability() {
+        let mut m = MemoryLedger::new(100);
+        m.alloc(90).unwrap();
+        match m.alloc(20) {
+            Err(GpuError::OutOfMemory {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, 20);
+                assert_eq!(available, 10);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut m = MemoryLedger::new(100);
+        let a = m.alloc(10).unwrap();
+        m.free(a).unwrap();
+        assert!(matches!(m.free(a), Err(GpuError::UnknownAllocation(_))));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut m = MemoryLedger::new(200);
+        assert_eq!(m.utilization(), 0.0);
+        m.alloc(50).unwrap();
+        assert!((m.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_ledger() {
+        let mut m = MemoryLedger::new(0);
+        assert_eq!(m.utilization(), 0.0);
+        assert!(m.alloc(1).is_err());
+        assert!(m.alloc(0).is_ok());
+    }
+}

@@ -1,0 +1,172 @@
+//! GPU device specifications (architecture parameters).
+//!
+//! The reproduction ships the two devices the paper evaluates on: the
+//! NVIDIA V100-16GB (primary testbed) and the A100-40GB (generalization
+//! experiment, Figure 13). All quantities Orion's policy interacts with are
+//! parameters here, so new architectures are a constructor away.
+
+use orion_desim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Per-SM occupancy limits: the resources a thread block consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmResources {
+    /// Maximum resident threads per SM.
+    pub max_threads: u32,
+    /// Register file size per SM (32-bit registers).
+    pub max_registers: u32,
+    /// Shared memory per SM, in bytes.
+    pub max_shared_mem: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks: u32,
+}
+
+/// A GPU device specification.
+///
+/// Compute throughput and memory bandwidth are normalized: a kernel's
+/// `compute_util` / `mem_util` demands are fractions of these unit capacities,
+/// matching how Nsight Compute reports `sm_throughput` and memory throughput
+/// percentages (paper §2, §3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Per-SM occupancy limits.
+    pub sm: SmResources,
+    /// Device memory capacity in bytes.
+    pub memory_capacity: u64,
+    /// Host-device interconnect bandwidth in bytes per second (effective).
+    pub pcie_bandwidth: f64,
+    /// Overload penalty for compute throughput: when total compute demand D
+    /// exceeds 1, the device delivers `1 / (D + penalty * (D - 1))` of each
+    /// kernel's demand (issue-slot contention wastes capacity in proportion
+    /// to the overload).
+    pub compute_overload_penalty: f64,
+    /// Overload penalty for memory bandwidth (cache thrash and DRAM row
+    /// conflicts between co-running kernels), same form as compute.
+    pub memory_overload_penalty: f64,
+    /// Rate retained by an SM-starved kernel whose profile is *opposite* to
+    /// the kernels holding the SMs (paper §2: warps from different kernels
+    /// interleave on an SM; a memory-bound kernel's warps issue freely while
+    /// compute-bound warps stall on functional units, and vice versa).
+    pub interleave_opposite: f64,
+    /// Rate retained by an SM-starved kernel whose profile matches the SM
+    /// holders' (warps contend for the same per-SM resources; blocks mostly
+    /// wait for residency, Table 2's Conv2d+Conv2d serialization).
+    pub interleave_same: f64,
+    /// Rate retained when either side's profile is unknown/mixed.
+    pub interleave_mixed: f64,
+    /// Strength of SM-share-weighted arbitration under overload: when a
+    /// resource is oversubscribed, kernels holding more SMs (more resident
+    /// warps) win issue-slot arbitration. A kernel's share is discounted by
+    /// `1 + strength * (D - 1) * (1 - sm_share)`; 0 restores proportional
+    /// sharing.
+    pub arbitration_strength: f64,
+    /// Fixed cost of launching a kernel from the host (driver + queueing).
+    pub launch_overhead: SimTime,
+    /// Number of distinct stream priority levels supported.
+    pub priority_levels: u8,
+}
+
+impl GpuSpec {
+    /// The paper's primary testbed: NVIDIA V100-16GB (Volta, 80 SMs).
+    pub fn v100_16gb() -> Self {
+        GpuSpec {
+            name: "V100-16GB".to_owned(),
+            num_sms: 80,
+            sm: SmResources {
+                max_threads: 2048,
+                max_registers: 65_536,
+                max_shared_mem: 96 * 1024,
+                max_blocks: 32,
+            },
+            memory_capacity: 16 * (1 << 30),
+            pcie_bandwidth: 12.0e9,
+            compute_overload_penalty: 0.545,
+            memory_overload_penalty: 0.40,
+            interleave_opposite: 0.55,
+            interleave_same: 0.03,
+            interleave_mixed: 0.45,
+            arbitration_strength: 10.0,
+            launch_overhead: SimTime::from_nanos(4_500),
+            priority_levels: 2,
+        }
+    }
+
+    /// The generalization testbed of Figure 13: NVIDIA A100-40GB (108 SMs).
+    pub fn a100_40gb() -> Self {
+        GpuSpec {
+            name: "A100-40GB".to_owned(),
+            num_sms: 108,
+            sm: SmResources {
+                max_threads: 2048,
+                max_registers: 65_536,
+                max_shared_mem: 164 * 1024,
+                max_blocks: 32,
+            },
+            memory_capacity: 40 * (1 << 30),
+            pcie_bandwidth: 20.0e9,
+            compute_overload_penalty: 0.50,
+            memory_overload_penalty: 0.35,
+            interleave_opposite: 0.60,
+            interleave_same: 0.05,
+            interleave_mixed: 0.50,
+            arbitration_strength: 9.0,
+            launch_overhead: SimTime::from_nanos(4_000),
+            priority_levels: 2,
+        }
+    }
+
+    /// Relative capability of this device vs. the V100 baseline, used by the
+    /// workload builders to scale solo kernel durations between architectures.
+    ///
+    /// The A100's ~2x memory bandwidth and ~1.35x SM count shorten both
+    /// memory- and compute-bound kernels; we summarize that as a single
+    /// speedup factor derived from SM count (compute) and the contention-free
+    /// bandwidth ratio implied by the spec.
+    pub fn speedup_vs_v100(&self) -> f64 {
+        let v100_sms = 80.0;
+        (self.num_sms as f64 / v100_sms).max(0.1)
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        GpuSpec::v100_16gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_preset_matches_hardware() {
+        let v = GpuSpec::v100_16gb();
+        assert_eq!(v.num_sms, 80);
+        assert_eq!(v.memory_capacity, 16 * 1024 * 1024 * 1024);
+        assert_eq!(v.sm.max_threads, 2048);
+        assert!(v.compute_overload_penalty >= 0.0);
+        assert!(v.memory_overload_penalty >= 0.0);
+    }
+
+    #[test]
+    fn a100_is_bigger_than_v100() {
+        let v = GpuSpec::v100_16gb();
+        let a = GpuSpec::a100_40gb();
+        assert!(a.num_sms > v.num_sms);
+        assert!(a.memory_capacity > v.memory_capacity);
+        assert!(a.speedup_vs_v100() > 1.0);
+        assert!((GpuSpec::v100_16gb().speedup_vs_v100() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let v = GpuSpec::v100_16gb();
+        let s = serde_json::to_string(&v).unwrap();
+        let back: GpuSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+}

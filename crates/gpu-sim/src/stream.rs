@@ -1,0 +1,96 @@
+//! CUDA-style streams: in-order operation queues with priorities.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Identifier of a stream on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StreamId(pub u32);
+
+/// Stream scheduling priority.
+///
+/// Matches CUDA semantics where a *lower* numeric value is a *higher*
+/// priority; the ordering implemented here is by urgency, so
+/// `StreamPriority::HIGH > StreamPriority::DEFAULT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StreamPriority(pub i8);
+
+impl StreamPriority {
+    /// The default stream priority (CUDA priority 0).
+    pub const DEFAULT: StreamPriority = StreamPriority(0);
+    /// The greatest-urgency priority exposed by the device (CUDA -1).
+    pub const HIGH: StreamPriority = StreamPriority(-1);
+
+    /// Urgency key: larger means dispatched first.
+    pub fn urgency(self) -> i16 {
+        -(self.0 as i16)
+    }
+}
+
+impl PartialOrd for StreamPriority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for StreamPriority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.urgency().cmp(&other.urgency())
+    }
+}
+
+/// Per-stream state inside the device engine: an in-order queue of pending
+/// operation ids plus the currently executing operation, if any.
+#[derive(Debug, Clone)]
+pub(crate) struct StreamState {
+    pub priority: StreamPriority,
+    /// Ops waiting behind the in-flight one, in submission order.
+    pub queue: VecDeque<u64>,
+    /// The op currently owned by the execution engine (head of line).
+    pub inflight: Option<u64>,
+}
+
+impl StreamState {
+    pub fn new(priority: StreamPriority) -> Self {
+        StreamState {
+            priority,
+            queue: VecDeque::new(),
+            inflight: None,
+        }
+    }
+
+    /// Total ops on the stream (queued + in flight).
+    pub fn depth(&self) -> usize {
+        self.queue.len() + usize::from(self.inflight.is_some())
+    }
+
+    /// True when the stream has no pending or in-flight work.
+    pub fn is_idle(&self) -> bool {
+        self.inflight.is_none() && self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering_is_by_urgency() {
+        assert!(StreamPriority::HIGH > StreamPriority::DEFAULT);
+        assert!(StreamPriority(-2) > StreamPriority(-1));
+        assert_eq!(StreamPriority(0).urgency(), 0);
+        assert_eq!(StreamPriority(-1).urgency(), 1);
+    }
+
+    #[test]
+    fn stream_state_depth() {
+        let mut s = StreamState::new(StreamPriority::DEFAULT);
+        assert!(s.is_idle());
+        s.queue.push_back(1);
+        s.queue.push_back(2);
+        assert_eq!(s.depth(), 2);
+        s.inflight = Some(s.queue.pop_front().unwrap());
+        assert_eq!(s.depth(), 2);
+        assert!(!s.is_idle());
+    }
+}

@@ -1,0 +1,173 @@
+//! Kernel-execution trace recording and Chrome-trace export.
+//!
+//! When enabled, the engine records one span per operation (queue time,
+//! dispatch time, completion time, stream, rate statistics). The spans
+//! export to the Chrome tracing JSON format (`chrome://tracing`, Perfetto),
+//! which makes collocation behaviour — who overlapped whom, where the
+//! best-effort job was throttled — directly visible, the way the paper's
+//! Nsight Systems screenshots do.
+
+use std::io;
+use std::path::Path;
+
+use orion_desim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::stream::StreamId;
+
+/// One recorded operation span.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Span {
+    /// Operation name (kernel name or op label).
+    pub name: String,
+    /// Stream the op ran on (becomes the trace row).
+    pub stream: StreamId,
+    /// Time the op was submitted to the device.
+    pub submitted: SimTime,
+    /// Time the op was dispatched onto SMs / the copy engine.
+    pub dispatched: SimTime,
+    /// Completion time.
+    pub completed: SimTime,
+    /// Kind label (`kernel`, `memcpy_h2d`, ...).
+    pub kind: String,
+}
+
+impl Span {
+    /// Queueing delay before dispatch.
+    pub fn queue_delay(&self) -> SimTime {
+        self.dispatched - self.submitted
+    }
+
+    /// Execution duration on the device.
+    pub fn exec_time(&self) -> SimTime {
+        self.completed - self.dispatched
+    }
+}
+
+/// A recorded execution trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecTrace {
+    /// All spans, in completion order.
+    pub spans: Vec<Span>,
+}
+
+impl ExecTrace {
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans on one stream, in order.
+    pub fn stream_spans(&self, stream: StreamId) -> impl Iterator<Item = &Span> {
+        self.spans.iter().filter(move |s| s.stream == stream)
+    }
+
+    /// Total busy time across all kernel spans (overlaps counted once per
+    /// span — a workload-level statistic, not device utilization).
+    pub fn total_kernel_time(&self) -> SimTime {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == "kernel")
+            .map(|s| s.exec_time())
+            .sum()
+    }
+
+    /// Serializes to the Chrome tracing "traceEvents" JSON format: one
+    /// complete event (`ph: "X"`) per span, one row (`tid`) per stream.
+    pub fn to_chrome_trace(&self) -> String {
+        #[derive(Serialize)]
+        struct Event<'a> {
+            name: &'a str,
+            cat: &'a str,
+            ph: &'a str,
+            ts: f64,
+            dur: f64,
+            pid: u32,
+            tid: u32,
+        }
+        let events: Vec<Event<'_>> = self
+            .spans
+            .iter()
+            .map(|s| Event {
+                name: &s.name,
+                cat: &s.kind,
+                ph: "X",
+                ts: s.dispatched.as_micros_f64(),
+                dur: s.exec_time().as_micros_f64().max(0.01),
+                pid: 0,
+                tid: s.stream.0,
+            })
+            .collect();
+        serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
+            .expect("chrome trace serializes")
+    }
+
+    /// Writes the Chrome trace to a file (open it in `chrome://tracing` or
+    /// [Perfetto](https://ui.perfetto.dev)).
+    pub fn save_chrome_trace(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_chrome_trace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, stream: u32, sub_us: u64, disp_us: u64, done_us: u64) -> Span {
+        Span {
+            name: name.into(),
+            stream: StreamId(stream),
+            submitted: SimTime::from_micros(sub_us),
+            dispatched: SimTime::from_micros(disp_us),
+            completed: SimTime::from_micros(done_us),
+            kind: "kernel".to_owned(),
+        }
+    }
+
+    #[test]
+    fn span_timings() {
+        let s = span("k", 0, 10, 15, 40);
+        assert_eq!(s.queue_delay(), SimTime::from_micros(5));
+        assert_eq!(s.exec_time(), SimTime::from_micros(25));
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let mut t = ExecTrace::default();
+        t.spans.push(span("a", 0, 0, 0, 10));
+        t.spans.push(span("b", 1, 0, 5, 25));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_kernel_time(), SimTime::from_micros(30));
+        assert_eq!(t.stream_spans(StreamId(1)).count(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_format() {
+        let mut t = ExecTrace::default();
+        t.spans.push(span("conv2d_0", 0, 0, 2, 12));
+        let json = t.to_chrome_trace();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let ev = &v["traceEvents"][0];
+        assert_eq!(ev["name"], "conv2d_0");
+        assert_eq!(ev["ph"], "X");
+        assert_eq!(ev["ts"], 2.0);
+        assert_eq!(ev["dur"], 10.0);
+        assert_eq!(ev["tid"], 0);
+    }
+
+    #[test]
+    fn chrome_trace_roundtrips_to_disk() {
+        let mut t = ExecTrace::default();
+        t.spans.push(span("k", 0, 0, 0, 5));
+        let path = std::env::temp_dir().join("orion_trace_test.json");
+        t.save_chrome_trace(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("traceEvents"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the GPU simulator's core invariants.
+
+use orion_desim::time::SimTime;
+use orion_gpu::engine::{GpuEngine, OpKind};
+use orion_gpu::interference::{allocate_sms, evaluate, KernelLoad, ModelParams};
+use orion_gpu::kernel::{classify_utilization, KernelBuilder, ResourceProfile};
+use orion_gpu::spec::GpuSpec;
+use orion_gpu::stream::StreamPriority;
+use proptest::prelude::*;
+
+fn arb_load() -> impl Strategy<Value = KernelLoad> {
+    (
+        1u32..120,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        -2i16..3,
+        0u64..1_000,
+    )
+        .prop_map(|(sm, c, m, urg, seq)| KernelLoad {
+            sm_needed: sm,
+            sm_granted: 0,
+            compute_demand: c,
+            mem_demand: m,
+            urgency: urg,
+            seq,
+        })
+}
+
+proptest! {
+    /// SM grants never exceed the device total or any kernel's need.
+    #[test]
+    fn grants_bounded(loads in prop::collection::vec(arb_load(), 1..20), sms in 1u32..200) {
+        let grants = allocate_sms(sms, &loads);
+        let total: u32 = grants.iter().sum();
+        prop_assert!(total <= sms);
+        for (g, l) in grants.iter().zip(&loads) {
+            prop_assert!(*g <= l.sm_needed);
+        }
+    }
+
+    /// Rates are in [0, 1] and consumed resources respect capacity budgets.
+    #[test]
+    fn rates_and_conservation(loads in prop::collection::vec(arb_load(), 1..20)) {
+        let rates = evaluate(&ModelParams::from(&GpuSpec::v100_16gb()), &loads);
+        let mut c_total = 0.0;
+        let mut m_total = 0.0;
+        for r in &rates {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&r.rate), "rate {}", r.rate);
+            c_total += r.compute_used;
+            m_total += r.mem_used;
+        }
+        prop_assert!(c_total <= 1.0 + 1e-9, "compute {c_total}");
+        prop_assert!(m_total <= 1.0 + 1e-9, "memory {m_total}");
+    }
+
+    /// Adding a second kernel never speeds up the first (interference is
+    /// monotone non-positive).
+    #[test]
+    fn interference_is_monotone(a in arb_load(), b in arb_load()) {
+        let p = ModelParams::from(&GpuSpec::v100_16gb());
+        let solo = evaluate(&p, &[a])[0].rate;
+        let pair = evaluate(&p, &[a, b])[0].rate;
+        prop_assert!(pair <= solo + 1e-9, "solo {solo}, pair {pair}");
+    }
+
+    /// The 60% classification rule is total and consistent with is_opposite.
+    #[test]
+    fn classification_total(c in 0.0f64..1.0, m in 0.0f64..1.0) {
+        let p = classify_utilization(c, m);
+        match p {
+            ResourceProfile::ComputeBound => prop_assert!(c >= 0.6),
+            ResourceProfile::MemoryBound => prop_assert!(m >= 0.6),
+            ResourceProfile::Unknown => prop_assert!(c < 0.6 || m < 0.6),
+        }
+        prop_assert!(!p.is_opposite(p));
+    }
+
+    /// End-to-end: N kernels across streams all complete, completion times
+    /// are at least the solo duration, and total utilization never exceeds 1.
+    #[test]
+    fn kernels_complete_and_obey_bounds(
+        durations in prop::collection::vec(10u64..500, 1..12),
+        seed in 0u64..1000,
+    ) {
+        let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
+        let streams: Vec<_> = (0..3)
+            .map(|i| {
+                e.create_stream(if i == 0 {
+                    StreamPriority::HIGH
+                } else {
+                    StreamPriority::DEFAULT
+                })
+            })
+            .collect();
+        let mut expected = Vec::new();
+        for (i, &us) in durations.iter().enumerate() {
+            let mix = (seed + i as u64) % 3;
+            let (c, m) = match mix {
+                0 => (0.85, 0.2),
+                1 => (0.15, 0.8),
+                _ => (0.3, 0.3),
+            };
+            let k = KernelBuilder::new(i as u32, format!("k{i}"))
+                .grid_blocks(((seed % 64 + 2 * i as u64 + 2) as u32).min(160))
+                .threads_per_block(1024)
+                .regs_per_thread(16)
+                .solo_duration(SimTime::from_micros(us))
+                .utilization(c, m)
+                .build();
+            let stream = streams[i % streams.len()];
+            e.submit(stream, OpKind::Kernel(k)).unwrap();
+            expected.push(us);
+        }
+        e.advance_to(SimTime::from_secs(10));
+        let done = e.drain_completions();
+        prop_assert_eq!(done.len(), durations.len());
+        let u = e.util_summary();
+        prop_assert!(u.compute <= 1.0 + 1e-9);
+        prop_assert!(u.mem_bw <= 1.0 + 1e-9);
+        prop_assert!(u.sm_busy <= 1.0 + 1e-9);
+        // Makespan at least the longest kernel and at most the sum of all.
+        let makespan = done.iter().map(|c| c.at).max().unwrap();
+        let longest = SimTime::from_micros(*durations.iter().max().unwrap());
+        let total: u64 = durations.iter().sum();
+        prop_assert!(makespan >= longest);
+        // Allow overload-penalty stretch (worst case ~1 + beta_c) plus
+        // interleaving slack.
+        let upper = SimTime::from_micros(total).mul_f64(1.7) + SimTime::from_micros(1);
+        prop_assert!(makespan <= upper, "makespan {makespan}, upper {upper}");
+    }
+
+    /// Work conservation in time: a kernel's completion time on an idle
+    /// device equals its solo duration exactly.
+    #[test]
+    fn solo_time_exact(us in 1u64..10_000, sm in 1u32..81) {
+        let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
+        let s = e.create_stream(StreamPriority::DEFAULT);
+        let k = KernelBuilder::new(0, "solo")
+            .grid_blocks(2 * sm)
+            .threads_per_block(1024)
+            .regs_per_thread(16)
+            .solo_duration(SimTime::from_micros(us))
+            .utilization(0.5, 0.4)
+            .build();
+        e.submit(s, OpKind::Kernel(k)).unwrap();
+        e.advance_to(SimTime::from_secs(100));
+        let done = e.drain_completions();
+        prop_assert_eq!(done[0].at, SimTime::from_micros(us));
+    }
+}

@@ -1,0 +1,66 @@
+//! The paper's cost-savings model (§6.2.1, Table 4; §6.2.2 makespan).
+//!
+//! Dedicating one GPU per job costs `N_jobs * GPU-time`; collocating all jobs
+//! on one GPU costs `1 * GPU-time` but each job runs slower. The paper
+//! quantifies savings as
+//!
+//! ```text
+//! cost_savings = (N_gpus_dedicated * JCT_dedicated) / (1 * JCT_collocated)
+//!              = N * Throughput_collocated / Throughput_dedicated
+//! ```
+
+/// Cost savings of collocating `n_jobs` on one GPU vs. dedicating a GPU each
+/// (the paper's 2-job formula generalized to N).
+///
+/// `throughput_collocated` / `throughput_dedicated` refer to the job whose
+/// completion time defines the comparison (the paper uses the best-effort
+/// training job's iterations/sec, Table 4).
+///
+/// Returns 0 for non-positive dedicated throughput.
+pub fn cost_savings(n_jobs: u32, throughput_collocated: f64, throughput_dedicated: f64) -> f64 {
+    if throughput_dedicated <= 0.0 {
+        return 0.0;
+    }
+    n_jobs as f64 * throughput_collocated / throughput_dedicated
+}
+
+/// Makespan-based savings (§6.2.2): total GPU-time to finish a job set
+/// sequentially on one GPU vs. collocated on one GPU.
+///
+/// Returns 0 for a non-positive collocated makespan.
+pub fn makespan_savings(sequential_makespan_s: f64, collocated_makespan_s: f64) -> f64 {
+    if collocated_makespan_s <= 0.0 {
+        return 0.0;
+    }
+    sequential_makespan_s / collocated_makespan_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table4_example() {
+        // ResNet50: 10.3 iters/s dedicated, 7.45 collocated -> 1.45x savings.
+        let s = cost_savings(2, 7.45, 10.3);
+        assert!((s - 1.4466).abs() < 1e-3, "savings {s}");
+    }
+
+    #[test]
+    fn no_throughput_no_savings() {
+        assert_eq!(cost_savings(2, 1.0, 0.0), 0.0);
+        assert_eq!(makespan_savings(10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn makespan_ratio() {
+        assert!((makespan_savings(129.0, 100.0) - 1.29).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakeven_at_half_throughput_two_jobs() {
+        // Two jobs, each at exactly half dedicated speed: savings = 1.0
+        // (collocation neither wins nor loses).
+        assert!((cost_savings(2, 0.5, 1.0) - 1.0).abs() < 1e-12);
+    }
+}

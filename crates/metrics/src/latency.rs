@@ -1,0 +1,166 @@
+//! Request latency recording and percentile extraction.
+
+use orion_desim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Collects request latencies and answers percentile queries.
+///
+/// Percentiles use the nearest-rank method on the sorted sample, which is
+/// what serving-systems papers (including Orion) report as p50/p95/p99.
+///
+/// # Examples
+///
+/// ```
+/// use orion_metrics::LatencyRecorder;
+/// use orion_desim::time::SimTime;
+///
+/// let mut r = LatencyRecorder::new();
+/// for ms in 1..=100 {
+///     r.record(SimTime::from_millis(ms));
+/// }
+/// assert_eq!(r.percentile(0.50), SimTime::from_millis(50));
+/// assert_eq!(r.percentile(0.99), SimTime::from_millis(99));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples: Vec<SimTime>,
+    sorted: bool,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request latency.
+    pub fn record(&mut self, latency: SimTime) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The nearest-rank percentile, `q` in `[0, 1]`. Zero when empty.
+    pub fn percentile(&mut self, q: f64) -> SimTime {
+        if self.samples.is_empty() {
+            return SimTime::ZERO;
+        }
+        self.sort();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).clamp(1, self.samples.len());
+        self.samples[rank - 1]
+    }
+
+    /// Median latency.
+    pub fn p50(&mut self) -> SimTime {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&mut self) -> SimTime {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&mut self) -> SimTime {
+        self.percentile(0.99)
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> SimTime {
+        if self.samples.is_empty() {
+            return SimTime::ZERO;
+        }
+        let total: SimTime = self.samples.iter().copied().sum();
+        total / self.samples.len() as u64
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> SimTime {
+        self.samples.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// All samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[SimTime] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(values_ms: &[u64]) -> LatencyRecorder {
+        let mut r = LatencyRecorder::new();
+        for &v in values_ms {
+            r.record(SimTime::from_millis(v));
+        }
+        r
+    }
+
+    #[test]
+    fn empty_recorder_is_zero() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.is_empty());
+        assert_eq!(r.p99(), SimTime::ZERO);
+        assert_eq!(r.mean(), SimTime::ZERO);
+        assert_eq!(r.max(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut r = rec(&[7]);
+        assert_eq!(r.p50(), SimTime::from_millis(7));
+        assert_eq!(r.p99(), SimTime::from_millis(7));
+        assert_eq!(r.percentile(0.0), SimTime::from_millis(7));
+        assert_eq!(r.percentile(1.0), SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn nearest_rank_on_100_samples() {
+        let mut r = rec(&(1..=100).collect::<Vec<_>>());
+        assert_eq!(r.p50(), SimTime::from_millis(50));
+        assert_eq!(r.p95(), SimTime::from_millis(95));
+        assert_eq!(r.p99(), SimTime::from_millis(99));
+        assert_eq!(r.max(), SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let mut r = rec(&[30, 10, 20]);
+        assert_eq!(r.p50(), SimTime::from_millis(20));
+        assert_eq!(r.percentile(1.0), SimTime::from_millis(30));
+        // Recording after a query invalidates and re-sorts.
+        r.record(SimTime::from_millis(5));
+        assert_eq!(r.percentile(0.25), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let r = rec(&[10, 20, 30]);
+        assert_eq!(r.mean(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn percentile_clamps_q() {
+        let mut r = rec(&[1, 2, 3]);
+        assert_eq!(r.percentile(-1.0), SimTime::from_millis(1));
+        assert_eq!(r.percentile(2.0), SimTime::from_millis(3));
+    }
+}

@@ -1,0 +1,10 @@
+//! Metrics for the Orion reproduction: latency percentiles, throughput,
+//! and the paper's cost-savings model (§6.2).
+
+pub mod cost;
+pub mod latency;
+pub mod throughput;
+
+pub use cost::{cost_savings, makespan_savings};
+pub use latency::LatencyRecorder;
+pub use throughput::ThroughputCounter;

@@ -1,0 +1,70 @@
+//! Throughput accounting (requests or iterations per second).
+
+use orion_desim::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Counts completed requests/iterations over a measurement window.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThroughputCounter {
+    completed: u64,
+    window: SimTime,
+}
+
+impl ThroughputCounter {
+    /// Creates a counter with no completions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completion.
+    pub fn record(&mut self) {
+        self.completed += 1;
+    }
+
+    /// Records `n` completions at once.
+    pub fn record_n(&mut self, n: u64) {
+        self.completed += n;
+    }
+
+    /// Sets the measurement window (typically the experiment horizon).
+    pub fn set_window(&mut self, window: SimTime) {
+        self.window = window;
+    }
+
+    /// Completions so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Completions per second over the window; zero for an empty window.
+    pub fn per_second(&self) -> f64 {
+        let w = self.window.as_secs_f64();
+        if w <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_over_window() {
+        let mut t = ThroughputCounter::new();
+        t.record_n(50);
+        t.record();
+        t.set_window(SimTime::from_secs(10));
+        assert_eq!(t.completed(), 51);
+        assert!((t.per_second() - 5.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_is_zero_rate() {
+        let mut t = ThroughputCounter::new();
+        t.record();
+        assert_eq!(t.per_second(), 0.0);
+    }
+}

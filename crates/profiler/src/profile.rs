@@ -1,0 +1,193 @@
+//! Profile data model: what the offline phase hands to the scheduler.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+use orion_desim::time::SimTime;
+use orion_gpu::kernel::ResourceProfile;
+use orion_gpu::util::UtilSummary;
+use serde::{Deserialize, Serialize};
+
+/// Profiling results for one kernel, keyed by its id within the workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Kernel id (stable within the workload).
+    pub kernel_id: u32,
+    /// Kernel name (diagnostics only).
+    pub name: String,
+    /// Execution time measured on a dedicated device.
+    pub duration: SimTime,
+    /// Roofline classification (60% rule).
+    pub profile: ResourceProfile,
+    /// SMs needed, from the occupancy calculation.
+    pub sm_needed: u32,
+    /// Measured compute-throughput utilization fraction.
+    pub compute_util: f64,
+    /// Measured memory-bandwidth utilization fraction.
+    pub mem_util: f64,
+}
+
+/// The offline profile of one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Workload label, e.g. `ResNet50-train-bs32`.
+    pub label: String,
+    /// Per-kernel profiles indexed by kernel id.
+    pub kernels: Vec<KernelProfile>,
+    /// Solo request latency (inference batch / training iteration),
+    /// the reference for `DUR_THRESHOLD` throttling.
+    pub request_latency: SimTime,
+    /// Average utilizations over the solo run (a Table 1 row).
+    pub utilization: UtilSummary,
+    /// Peak device-memory use during the solo run, in bytes.
+    pub memory_peak: u64,
+}
+
+impl WorkloadProfile {
+    /// Builds the scheduler's in-memory lookup table.
+    pub fn table(&self) -> ProfileTable {
+        ProfileTable {
+            by_id: self
+                .kernels
+                .iter()
+                .map(|k| (k.kernel_id, k.clone()))
+                .collect(),
+            request_latency: self.request_latency,
+        }
+    }
+
+    /// Serializes the profile to a JSON file (the paper's profile-file
+    /// handoff between the offline phase and the scheduler).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a profile previously written by [`WorkloadProfile::save`].
+    pub fn load(path: &Path) -> io::Result<WorkloadProfile> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// The scheduler-facing lookup table: kernel id -> profile.
+#[derive(Debug, Clone)]
+pub struct ProfileTable {
+    by_id: HashMap<u32, KernelProfile>,
+    /// Solo request latency of the profiled workload.
+    pub request_latency: SimTime,
+}
+
+impl ProfileTable {
+    /// Looks up a kernel's profile.
+    pub fn get(&self, kernel_id: u32) -> Option<&KernelProfile> {
+        self.by_id.get(&kernel_id)
+    }
+
+    /// Expected duration of a kernel; zero when unprofiled.
+    pub fn duration(&self, kernel_id: u32) -> SimTime {
+        self.get(kernel_id).map_or(SimTime::ZERO, |k| k.duration)
+    }
+
+    /// Resource profile of a kernel; `Unknown` when unprofiled.
+    pub fn resource_profile(&self, kernel_id: u32) -> ResourceProfile {
+        self.get(kernel_id)
+            .map_or(ResourceProfile::Unknown, |k| k.profile)
+    }
+
+    /// SM demand of a kernel; zero when unprofiled.
+    pub fn sm_needed(&self, kernel_id: u32) -> u32 {
+        self.get(kernel_id).map_or(0, |k| k.sm_needed)
+    }
+
+    /// Number of profiled kernels.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when no kernels were profiled.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// The largest SM demand of any profiled kernel (used as the upper bound
+    /// of the `SM_THRESHOLD` binary search, §5.1.1).
+    pub fn max_sm_needed(&self) -> u32 {
+        self.by_id.values().map(|k| k.sm_needed).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> WorkloadProfile {
+        WorkloadProfile {
+            label: "test".into(),
+            kernels: vec![
+                KernelProfile {
+                    kernel_id: 0,
+                    name: "conv".into(),
+                    duration: SimTime::from_micros(100),
+                    profile: ResourceProfile::ComputeBound,
+                    sm_needed: 40,
+                    compute_util: 0.8,
+                    mem_util: 0.2,
+                },
+                KernelProfile {
+                    kernel_id: 1,
+                    name: "bn".into(),
+                    duration: SimTime::from_micros(30),
+                    profile: ResourceProfile::MemoryBound,
+                    sm_needed: 20,
+                    compute_util: 0.1,
+                    mem_util: 0.7,
+                },
+            ],
+            request_latency: SimTime::from_millis(5),
+            utilization: orion_gpu::util::UtilSummary {
+                compute: 0.3,
+                mem_bw: 0.2,
+                sm_busy: 0.25,
+                elapsed: SimTime::from_millis(5),
+            },
+            memory_peak: 1 << 30,
+        }
+    }
+
+    #[test]
+    fn table_lookup() {
+        let t = sample_profile().table();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.duration(0), SimTime::from_micros(100));
+        assert_eq!(t.resource_profile(1), ResourceProfile::MemoryBound);
+        assert_eq!(t.sm_needed(0), 40);
+        assert_eq!(t.max_sm_needed(), 40);
+        // Unprofiled kernels degrade gracefully.
+        assert_eq!(t.duration(99), SimTime::ZERO);
+        assert_eq!(t.resource_profile(99), ResourceProfile::Unknown);
+        assert_eq!(t.sm_needed(99), 0);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("orion_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.json");
+        let p = sample_profile();
+        p.save(&path).unwrap();
+        let back = WorkloadProfile::load(&path).unwrap();
+        assert_eq!(back.label, p.label);
+        assert_eq!(back.kernels, p.kernels);
+        assert_eq!(back.request_latency, p.request_latency);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = WorkloadProfile::load(Path::new("/nonexistent/orion.json"));
+        assert!(err.is_err());
+    }
+}

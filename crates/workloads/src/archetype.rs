@@ -1,0 +1,219 @@
+//! Kernel archetypes: parameterized constructors for the kernel families that
+//! make up DNN workloads.
+//!
+//! Each archetype fixes the *shape* of a kernel family (launch geometry and
+//! the compute/memory utilization band Nsight reports for that family, per
+//! the paper's §3.1-§3.2 measurements) while the caller supplies duration and
+//! an index used for smooth deterministic variation within the band.
+
+use orion_desim::time::SimTime;
+use orion_gpu::kernel::{KernelBuilder, KernelDesc};
+
+/// Smooth deterministic modulation in `[-1, 1]` from an index.
+///
+/// Used instead of an RNG so workload traces are identical across runs and
+/// platforms; consecutive kernels get gently varying parameters, like the
+/// layer-to-layer variation in a real network.
+pub fn wobble(i: u32) -> f64 {
+    ((i as f64) * 0.7311).sin()
+}
+
+fn lerp(lo: f64, hi: f64, t: f64) -> f64 {
+    lo + (hi - lo) * t.clamp(0.0, 1.0)
+}
+
+/// Scales a band position from a wobble value.
+fn band(i: u32, lo: f64, hi: f64) -> f64 {
+    lerp(lo, hi, 0.5 + 0.5 * wobble(i))
+}
+
+/// A convolution / implicit-GEMM forward kernel: compute-bound.
+///
+/// `intensity` in `[0, 1]` shifts the utilization band (small batches sit
+/// lower; large batches saturate compute).
+pub fn conv(id: u32, dur: SimTime, sm: u32, intensity: f64) -> KernelDesc {
+    let c = lerp(0.45, 0.92, intensity) + 0.04 * wobble(id);
+    let m = band(id.wrapping_add(13), 0.10, 0.30);
+    KernelBuilder::new(id, format!("conv2d_fprop_{id}"))
+        .grid_blocks(sm.max(1) * 2)
+        .threads_per_block(1024)
+        .regs_per_thread(16)
+        .shmem_per_block(32 * 1024)
+        .solo_duration(dur)
+        .utilization(c.clamp(0.0, 1.0), m)
+        .build()
+}
+
+/// A dense GEMM (fully-connected / attention projection): compute-bound.
+pub fn gemm(id: u32, dur: SimTime, sm: u32, intensity: f64) -> KernelDesc {
+    let c = lerp(0.50, 0.95, intensity) + 0.03 * wobble(id);
+    let m = band(id.wrapping_add(7), 0.12, 0.32);
+    KernelBuilder::new(id, format!("gemm_{id}"))
+        .grid_blocks(sm.max(1) * 2)
+        .threads_per_block(1024)
+        .regs_per_thread(32)
+        .shmem_per_block(48 * 1024)
+        .solo_duration(dur)
+        .utilization(c.clamp(0.0, 1.0), m)
+        .build()
+}
+
+/// A batch-normalization kernel: memory-bound.
+pub fn batch_norm(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
+    let c = band(id, 0.06, 0.20);
+    let m = band(id.wrapping_add(3), 0.62, 0.86);
+    KernelBuilder::new(id, format!("batch_norm_{id}"))
+        .grid_blocks(sm.max(1) * 4)
+        .threads_per_block(512)
+        .regs_per_thread(24)
+        .solo_duration(dur)
+        .utilization(c, m)
+        .build()
+}
+
+/// An elementwise kernel (ReLU, residual add, dropout): memory-bound.
+pub fn elementwise(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
+    let c = band(id, 0.04, 0.15);
+    let m = band(id.wrapping_add(5), 0.60, 0.80);
+    KernelBuilder::new(id, format!("elementwise_{id}"))
+        .grid_blocks(sm.max(1) * 8)
+        .threads_per_block(256)
+        .regs_per_thread(16)
+        .solo_duration(dur)
+        .utilization(c, m)
+        .build()
+}
+
+/// A layer-norm / softmax kernel (NLP models): memory-bound.
+pub fn layer_norm(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
+    let c = band(id, 0.08, 0.22);
+    let m = band(id.wrapping_add(11), 0.60, 0.82);
+    KernelBuilder::new(id, format!("layer_norm_{id}"))
+        .grid_blocks(sm.max(1) * 4)
+        .threads_per_block(512)
+        .regs_per_thread(24)
+        .solo_duration(dur)
+        .utilization(c, m)
+        .build()
+}
+
+/// A pooling / small reduction kernel: below both 60% thresholds ("unknown").
+pub fn pooling(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
+    let c = band(id, 0.10, 0.35);
+    let m = band(id.wrapping_add(9), 0.20, 0.50);
+    KernelBuilder::new(id, format!("pooling_{id}"))
+        .grid_blocks(sm.max(1) * 2)
+        .threads_per_block(256)
+        .regs_per_thread(16)
+        .solo_duration(dur)
+        .utilization(c, m)
+        .build()
+}
+
+/// A kernel with caller-supplied utilization (used for calibrated "filler"
+/// kernels that tune a workload's average utilization to Table 1, and for
+/// special families like memory-bound LLM-decode GEMMs).
+pub fn custom(id: u32, prefix: &str, dur: SimTime, sm: u32, c: f64, m: f64) -> KernelDesc {
+    let c = (c + 0.02 * wobble(id)).clamp(0.01, 0.99);
+    let m = (m + 0.02 * wobble(id.wrapping_add(23))).clamp(0.01, 0.99);
+    KernelBuilder::new(id, format!("{prefix}_{id}"))
+        .grid_blocks(sm.max(1) * 4)
+        .threads_per_block(512)
+        .regs_per_thread(16)
+        .solo_duration(dur)
+        .utilization(c, m)
+        .build()
+}
+
+/// A tiny optimizer-update kernel (SGD/Adam step per tensor): very short and
+/// below both classification thresholds (the paper's "unknown" kernels).
+pub fn optimizer_update(id: u32, dur: SimTime) -> KernelDesc {
+    let c = band(id, 0.03, 0.15);
+    let m = band(id.wrapping_add(17), 0.10, 0.45);
+    KernelBuilder::new(id, format!("optimizer_update_{id}"))
+        .grid_blocks(8)
+        .threads_per_block(256)
+        .regs_per_thread(16)
+        .solo_duration(dur)
+        .utilization(c, m)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_gpu::kernel::ResourceProfile;
+    use orion_gpu::spec::GpuSpec;
+
+    #[test]
+    fn conv_is_compute_bound_at_high_intensity() {
+        for i in 0..50 {
+            let k = conv(i, SimTime::from_micros(100), 40, 0.9);
+            assert_eq!(k.classify(), ResourceProfile::ComputeBound, "conv {i}");
+        }
+    }
+
+    #[test]
+    fn batch_norm_is_memory_bound() {
+        for i in 0..50 {
+            let k = batch_norm(i, SimTime::from_micros(50), 30);
+            assert_eq!(k.classify(), ResourceProfile::MemoryBound, "bn {i}");
+        }
+    }
+
+    #[test]
+    fn elementwise_is_memory_bound() {
+        for i in 0..50 {
+            let k = elementwise(i, SimTime::from_micros(20), 20);
+            assert_eq!(k.classify(), ResourceProfile::MemoryBound, "ew {i}");
+        }
+    }
+
+    #[test]
+    fn optimizer_update_is_unknown() {
+        for i in 0..50 {
+            let k = optimizer_update(i, SimTime::from_micros(5));
+            assert_eq!(k.classify(), ResourceProfile::Unknown, "upd {i}");
+        }
+    }
+
+    #[test]
+    fn pooling_is_unknown() {
+        for i in 0..50 {
+            let k = pooling(i, SimTime::from_micros(30), 10);
+            assert_eq!(k.classify(), ResourceProfile::Unknown, "pool {i}");
+        }
+    }
+
+    #[test]
+    fn custom_kernel_respects_requested_utils() {
+        let k = custom(0, "fused", SimTime::from_micros(10), 10, 0.3, 0.1);
+        assert!((k.compute_util - 0.3).abs() < 0.05);
+        assert!((k.mem_util - 0.1).abs() < 0.05);
+        assert_eq!(k.classify(), ResourceProfile::Unknown);
+        // High memory demand classifies memory-bound.
+        let k = custom(1, "memgemm", SimTime::from_micros(10), 10, 0.2, 0.78);
+        assert_eq!(k.classify(), ResourceProfile::MemoryBound);
+    }
+
+    #[test]
+    fn wobble_is_bounded_and_deterministic() {
+        for i in 0..1000 {
+            let w = wobble(i);
+            assert!((-1.0..=1.0).contains(&w));
+            assert_eq!(w, wobble(i));
+        }
+    }
+
+    #[test]
+    fn sm_needed_tracks_requested_size() {
+        let spec = GpuSpec::v100_16gb();
+        let k = conv(0, SimTime::from_micros(100), 40, 0.5);
+        assert_eq!(k.sm_needed(&spec), 40);
+        let k = elementwise(0, SimTime::from_micros(10), 10);
+        // 8 blocks per requested SM, 4 blocks/SM occupancy (512*24 regs ok,
+        // threads: 2048/256 = 8, regs: 65536/(256*16)=16, cap 32) -> 8 blocks
+        // fit on one SM, so 10 "requested" SMs = 80 blocks / 8 = 10 SMs.
+        assert_eq!(k.sm_needed(&spec), 10);
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic DNN workloads for the Orion (EuroSys '24) reproduction.
+//!
+//! The paper evaluates five models — ResNet50, ResNet101, MobileNetV2, BERT,
+//! Transformer — in inference and training configurations (Table 1), driven
+//! by Poisson / uniform / Apollo-trace arrival processes (Table 3). None of
+//! those frameworks run here, so this crate synthesizes each workload as a
+//! deterministic sequence of GPU operations (kernels + memory copies) whose
+//! *observable properties* are calibrated to the paper:
+//!
+//! * per-kernel durations in the 10s-1000s of microseconds (paper §3.1),
+//! * a mix of compute-bound (conv/GEMM), memory-bound (BN/elementwise/
+//!   layer-norm) and tiny "unknown" (optimizer-update) kernels per Figure 4,
+//! * average compute-throughput / memory-bandwidth / SM utilizations in the
+//!   neighbourhood of Table 1,
+//! * solo training iteration times anchored to Table 4's dedicated-GPU
+//!   iterations/sec, and
+//! * memory footprints from Table 1's capacity column.
+//!
+//! Workload generation is fully deterministic (no RNG): kernel parameters
+//! vary by smooth index-based modulation so profiles are stable run to run.
+
+pub mod archetype;
+pub mod arrivals;
+pub mod model;
+pub mod models;
+pub mod ops;
+pub mod registry;
+pub mod swap;
+
+pub use arrivals::{ArrivalProcess, PaperRates};
+pub use model::{ModelKind, Phase, Workload, WorkloadKind};
+pub use ops::OpSpec;
+pub use registry::{inference_workload, training_workload, ALL_MODELS};

@@ -1,0 +1,220 @@
+//! Workload types: models, configurations, and the per-request op trace.
+
+use orion_desim::time::SimTime;
+use orion_gpu::kernel::{KernelDesc, ResourceProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::ops::OpSpec;
+
+/// The DNN models evaluated in the paper (plus the LLM-decode extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// ResNet50 (TorchVision), vision.
+    ResNet50,
+    /// ResNet101 (TorchVision), vision.
+    ResNet101,
+    /// MobileNetV2 (TorchVision), vision.
+    MobileNetV2,
+    /// BERT (NVIDIA reference): BERT-large for inference, BERT-base ("basic")
+    /// for training, matching Table 1.
+    Bert,
+    /// Transformer(-XL) (NVIDIA reference), NLP.
+    Transformer,
+    /// Autoregressive LLM decode step (§7 extension; memory-bound).
+    LlmDecode,
+}
+
+impl ModelKind {
+    /// Human-readable name used in tables and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::ResNet50 => "ResNet50",
+            ModelKind::ResNet101 => "ResNet101",
+            ModelKind::MobileNetV2 => "MobileNetV2",
+            ModelKind::Bert => "BERT",
+            ModelKind::Transformer => "Transformer",
+            ModelKind::LlmDecode => "LLM-decode",
+        }
+    }
+
+    /// True for the vision models (used by the Apollo-trace experiments,
+    /// which the paper runs on vision models only).
+    pub fn is_vision(self) -> bool {
+        matches!(
+            self,
+            ModelKind::ResNet50 | ModelKind::ResNet101 | ModelKind::MobileNetV2
+        )
+    }
+}
+
+/// Inference vs. training configuration, with the paper's batch sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Latency-sensitive inference; a request is one batch.
+    Inference {
+        /// Batch size (Table 1).
+        batch: u32,
+    },
+    /// Throughput-oriented training; a request is one minibatch iteration.
+    Training {
+        /// Batch size (Table 1).
+        batch: u32,
+    },
+}
+
+impl WorkloadKind {
+    /// True for training configurations.
+    pub fn is_training(self) -> bool {
+        matches!(self, WorkloadKind::Training { .. })
+    }
+}
+
+/// Phase of a training iteration an op belongs to (used by Tick-Tock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Phase {
+    /// Forward pass (also the only phase of inference).
+    #[default]
+    Forward,
+    /// Backward pass.
+    Backward,
+    /// Optimizer update.
+    Update,
+}
+
+/// A complete workload: the op trace of one request (inference batch) or one
+/// iteration (training minibatch), plus metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Workload {
+    /// Model identity.
+    pub model: ModelKind,
+    /// Inference or training configuration.
+    pub kind: WorkloadKind,
+    /// Ops of one request in submission order, tagged with their phase.
+    pub ops: Vec<(Phase, OpSpec)>,
+    /// GPU memory footprint (weights + activations + workspace), bytes.
+    pub memory_footprint: u64,
+}
+
+impl Workload {
+    /// Workload display name, e.g. `ResNet50-train-bs32`.
+    pub fn label(&self) -> String {
+        match self.kind {
+            WorkloadKind::Inference { batch } => {
+                format!("{}-inf-bs{}", self.model.name(), batch)
+            }
+            WorkloadKind::Training { batch } => {
+                format!("{}-train-bs{}", self.model.name(), batch)
+            }
+        }
+    }
+
+    /// All kernel descriptions in the request, in order.
+    pub fn kernels(&self) -> impl Iterator<Item = &KernelDesc> {
+        self.ops.iter().filter_map(|(_, op)| op.as_kernel())
+    }
+
+    /// Number of kernels per request.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels().count()
+    }
+
+    /// Sum of solo kernel durations (lower bound on request latency).
+    pub fn solo_kernel_time(&self) -> SimTime {
+        self.kernels().map(|k| k.solo_duration).sum()
+    }
+
+    /// Counts kernels by resource profile: (compute, memory, unknown).
+    pub fn profile_mix(&self) -> (usize, usize, usize) {
+        let mut mix = (0, 0, 0);
+        for k in self.kernels() {
+            match k.classify() {
+                ResourceProfile::ComputeBound => mix.0 += 1,
+                ResourceProfile::MemoryBound => mix.1 += 1,
+                ResourceProfile::Unknown => mix.2 += 1,
+            }
+        }
+        mix
+    }
+
+    /// Returns a copy with every kernel duration scaled by `1 / speedup`
+    /// (for running a V100-calibrated workload on a faster device).
+    pub fn scaled(&self, speedup: f64) -> Workload {
+        let mut w = self.clone();
+        if speedup <= 0.0 || !speedup.is_finite() {
+            return w;
+        }
+        for (_, op) in &mut w.ops {
+            if let OpSpec::Kernel(k) = op {
+                k.solo_duration = k.solo_duration.div_f64(speedup);
+            }
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_gpu::kernel::KernelBuilder;
+
+    fn tiny_workload() -> Workload {
+        Workload {
+            model: ModelKind::ResNet50,
+            kind: WorkloadKind::Inference { batch: 4 },
+            ops: vec![
+                (
+                    Phase::Forward,
+                    OpSpec::H2D {
+                        bytes: 100,
+                        blocking: true,
+                    },
+                ),
+                (
+                    Phase::Forward,
+                    OpSpec::Kernel(
+                        KernelBuilder::new(0, "a")
+                            .solo_duration(SimTime::from_micros(100))
+                            .utilization(0.9, 0.1)
+                            .build(),
+                    ),
+                ),
+                (
+                    Phase::Forward,
+                    OpSpec::Kernel(
+                        KernelBuilder::new(1, "b")
+                            .solo_duration(SimTime::from_micros(50))
+                            .utilization(0.1, 0.9)
+                            .build(),
+                    ),
+                ),
+            ],
+            memory_footprint: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn labels() {
+        let w = tiny_workload();
+        assert_eq!(w.label(), "ResNet50-inf-bs4");
+        assert_eq!(ModelKind::Bert.name(), "BERT");
+        assert!(ModelKind::MobileNetV2.is_vision());
+        assert!(!ModelKind::Transformer.is_vision());
+    }
+
+    #[test]
+    fn kernel_iteration_and_mix() {
+        let w = tiny_workload();
+        assert_eq!(w.kernel_count(), 2);
+        assert_eq!(w.solo_kernel_time(), SimTime::from_micros(150));
+        assert_eq!(w.profile_mix(), (1, 1, 0));
+    }
+
+    #[test]
+    fn scaling_halves_durations() {
+        let w = tiny_workload().scaled(2.0);
+        assert_eq!(w.solo_kernel_time(), SimTime::from_micros(75));
+        // Degenerate scales are identity.
+        let same = tiny_workload().scaled(0.0);
+        assert_eq!(same.solo_kernel_time(), SimTime::from_micros(150));
+    }
+}

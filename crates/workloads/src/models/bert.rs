@@ -1,0 +1,150 @@
+//! BERT workload builders (NVIDIA reference implementations).
+//!
+//! Inference uses BERT-large (24 layers, batch 2); training uses BERT-base
+//! ("BERT-basic" in Table 1; 12 layers, batch 8), matching the paper.
+//! BERT inference is the most compute-saturated workload in Table 1
+//! (95% SM busy, 72% compute throughput). Calibration anchors:
+//!
+//! | workload         | latency/iter | compute | mem bw | SM busy | mem cap |
+//! |------------------|--------------|---------|--------|---------|---------|
+//! | BERT-inf-bs2     | ~35 ms       | 72%     | 28%    | 95%     | 2.2 GiB |
+//! | BERT-train-bs8   | ~204 ms      | 44%     | 21%    | 61%     | 6.1 GiB |
+
+use orion_desim::time::SimTime;
+
+use crate::model::{ModelKind, Phase, Workload, WorkloadKind};
+use crate::models::{emit_interleaved, gib, Arch, Family, TraceBuilder};
+
+fn us(x: u64) -> SimTime {
+    SimTime::from_micros(x)
+}
+
+fn ms(x: u64) -> SimTime {
+    SimTime::from_millis(x)
+}
+
+/// BERT-large inference, batch size 2 (24 encoder layers).
+pub fn bert_inference() -> Workload {
+    let mut b = TraceBuilder::new();
+    // Token ids are small; embeddings live on-device.
+    b.h2d(64 * 1024, true);
+    emit_interleaved(
+        &mut b,
+        &[
+            // 6 GEMMs per layer (QKV, attention out, FFN x2, logits ...).
+            Family { count: 144, total: ms(27), sm: 76, arch: Arch::Gemm(85) },
+            // Softmax + layer-norm per layer.
+            Family { count: 72, total: us(3_500), sm: 74, arch: Arch::LayerNorm },
+            // Bias/gelu/residual fused ops.
+            Family { count: 48, total: us(4_200), sm: 70, arch: Arch::Custom(155, 310) },
+        ],
+    );
+    b.d2h(256 * 1024, true);
+    Workload {
+        model: ModelKind::Bert,
+        kind: WorkloadKind::Inference { batch: 2 },
+        ops: b.build(),
+        memory_footprint: gib(2.2),
+    }
+}
+
+/// BERT-base training, batch size 8 (~204 ms/iteration solo, Table 4).
+pub fn bert_training() -> Workload {
+    let mut b = TraceBuilder::new();
+    b.h2d(4 * 1024 * 1024, false);
+    emit_interleaved(
+        &mut b,
+        &[
+            Family { count: 72, total: ms(31), sm: 90, arch: Arch::Gemm(70) },
+            Family { count: 36, total: ms(7), sm: 40, arch: Arch::LayerNorm },
+            Family { count: 50, total: ms(30), sm: 38, arch: Arch::Custom(130, 90) },
+        ],
+    );
+    b.phase(Phase::Backward);
+    emit_interleaved(
+        &mut b,
+        &[
+            Family { count: 144, total: ms(60), sm: 90, arch: Arch::Gemm(72) },
+            Family { count: 60, total: ms(13), sm: 40, arch: Arch::LayerNorm },
+            Family { count: 80, total: ms(57), sm: 38, arch: Arch::Custom(130, 90) },
+        ],
+    );
+    b.phase(Phase::Update);
+    emit_interleaved(
+        &mut b,
+        &[Family { count: 250, total: ms(5), sm: 1, arch: Arch::OptimizerUpdate }],
+    );
+    b.d2h(4_096, false);
+    Workload {
+        model: ModelKind::Bert,
+        kind: WorkloadKind::Training { batch: 8 },
+        ops: b.build(),
+        memory_footprint: gib(6.1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_gpu::spec::GpuSpec;
+
+    #[test]
+    fn inference_latency_band() {
+        let w = bert_inference();
+        let total = w.solo_kernel_time().as_millis_f64();
+        assert!((30.0..40.0).contains(&total), "total {total} ms");
+    }
+
+    #[test]
+    fn inference_is_compute_dominated() {
+        // Table 1: 72% compute vs 28% memory.
+        let w = bert_inference();
+        let mut c = 0.0;
+        let mut m = 0.0;
+        let mut t = 0.0;
+        for k in w.kernels() {
+            let d = k.solo_duration.as_secs_f64();
+            c += d * k.compute_util;
+            m += d * k.mem_util;
+            t += d;
+        }
+        assert!(c / t > 0.60, "compute integral {}", c / t);
+        assert!(m / t < 0.40, "memory integral {}", m / t);
+    }
+
+    #[test]
+    fn inference_uses_most_sms() {
+        // Table 1: 95% SM busy.
+        let spec = GpuSpec::v100_16gb();
+        let w = bert_inference();
+        let mut weighted = 0.0;
+        let mut t = 0.0;
+        for k in w.kernels() {
+            let d = k.solo_duration.as_secs_f64();
+            weighted += d * k.sm_needed(&spec) as f64 / spec.num_sms as f64;
+            t += d;
+        }
+        assert!(weighted / t > 0.80, "sm busy {}", weighted / t);
+    }
+
+    #[test]
+    fn training_iteration_time() {
+        let w = bert_training();
+        let total = w.solo_kernel_time().as_millis_f64();
+        // Table 4: 4.91 iterations/sec -> ~204 ms.
+        assert!((185.0..225.0).contains(&total), "iteration {total} ms");
+    }
+
+    #[test]
+    fn training_update_kernels_are_unknown_profile() {
+        use orion_gpu::kernel::ResourceProfile;
+        let w = bert_training();
+        for (p, op) in &w.ops {
+            if *p == Phase::Update {
+                if let Some(k) = op.as_kernel() {
+                    assert_eq!(k.classify(), ResourceProfile::Unknown);
+                }
+            }
+        }
+    }
+}

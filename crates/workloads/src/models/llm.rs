@@ -1,0 +1,92 @@
+//! LLM autoregressive-decode workload (paper §7 extension).
+//!
+//! The paper's discussion notes that LLM token generation is memory-bound
+//! (weights stream from HBM at batch 1) and underutilizes compute throughput
+//! and SMs, making it a candidate for Orion collocation with compute-bound
+//! jobs. This builder synthesizes one decode *step* (one token): per layer a
+//! pair of weight-streaming GEMV-like kernels (memory-bound), an attention
+//! kernel over the KV cache (memory-bound), and a layer norm.
+
+use orion_desim::time::SimTime;
+
+use crate::archetype;
+use crate::model::{ModelKind, Workload, WorkloadKind};
+use crate::models::{gib, TraceBuilder};
+
+/// One decode step of a ~7B-parameter LLM (32 layers), batch size 1.
+///
+/// Token latency ~18 ms on the V100 reference; memory-bandwidth bound
+/// (weights + KV cache streaming), compute mostly idle.
+pub fn llm_decode_step() -> Workload {
+    let mut b = TraceBuilder::new();
+    // The token embedding lookup is negligible; no host copy per token.
+    for layer in 0..32u32 {
+        // Two fused matvec kernels per layer (attention proj + MLP):
+        // memory-bound weight streaming.
+        for half in 0..2 {
+            b.kernel(|id| {
+                archetype::custom(
+                    id,
+                    "llm_matvec",
+                    SimTime::from_micros(190 + 10 * u64::from((layer + half) % 3)),
+                    48,
+                    0.18,
+                    0.78,
+                )
+            });
+        }
+        // KV-cache attention: memory-bound.
+        b.kernel(|id| {
+            archetype::custom(id, "llm_attention", SimTime::from_micros(70), 36, 0.15, 0.70)
+        });
+        // Layer norm.
+        b.kernel(|id| archetype::layer_norm(id, SimTime::from_micros(25), 30));
+    }
+    // Logits matvec + sampling.
+    b.kernel(|id| archetype::custom(id, "llm_logits", SimTime::from_micros(220), 50, 0.22, 0.74));
+    b.d2h(4_096, true);
+    Workload {
+        model: ModelKind::LlmDecode,
+        kind: WorkloadKind::Inference { batch: 1 },
+        ops: b.build(),
+        memory_footprint: gib(7.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_gpu::kernel::ResourceProfile;
+
+    #[test]
+    fn decode_step_is_memory_bound() {
+        let w = llm_decode_step();
+        let (c, m, _) = w.profile_mix();
+        assert_eq!(c, 0, "no compute-bound kernels in decode");
+        assert!(m > 100, "memory-bound kernels {m}");
+    }
+
+    #[test]
+    fn token_latency_band() {
+        let w = llm_decode_step();
+        let total = w.solo_kernel_time().as_millis_f64();
+        assert!((14.0..22.0).contains(&total), "token latency {total} ms");
+    }
+
+    #[test]
+    fn compute_throughput_is_underutilized() {
+        let w = llm_decode_step();
+        let mut c = 0.0;
+        let mut t = 0.0;
+        for k in w.kernels() {
+            let d = k.solo_duration.as_secs_f64();
+            c += d * k.compute_util;
+            t += d;
+        }
+        assert!(c / t < 0.30, "compute integral {}", c / t);
+        assert!(matches!(
+            w.kernels().next().unwrap().classify(),
+            ResourceProfile::MemoryBound
+        ));
+    }
+}

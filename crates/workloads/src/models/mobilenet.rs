@@ -1,0 +1,133 @@
+//! MobileNetV2 workload builders.
+//!
+//! MobileNetV2 is dominated by depthwise-separable convolutions: narrow
+//! pointwise GEMM-like convs plus depthwise convs that are memory-bound,
+//! giving the lowest SM occupancy of the paper's models (Table 1: 6% SM busy
+//! at inference). Calibration anchors:
+//!
+//! | workload              | latency/iter | compute | mem bw | SM busy | mem cap |
+//! |-----------------------|--------------|---------|--------|---------|---------|
+//! | MobileNetV2-inf-bs4   | ~4.5 ms      | 18%     | 21%    | 6%      | 1.1 GiB |
+//! | MobileNetV2-train-bs64| ~80 ms       | 34%     | 49%    | 71%     | 6.9 GiB |
+
+use orion_desim::time::SimTime;
+
+use crate::model::{ModelKind, Phase, Workload, WorkloadKind};
+use crate::models::{emit_interleaved, gib, Arch, Family, TraceBuilder};
+
+const MB: u64 = 1 << 20;
+
+fn us(x: u64) -> SimTime {
+    SimTime::from_micros(x)
+}
+
+fn ms(x: u64) -> SimTime {
+    SimTime::from_millis(x)
+}
+
+/// MobileNetV2 inference, batch size 4.
+pub fn mobilenet_inference() -> Workload {
+    let mut b = TraceBuilder::new();
+    b.h2d(2_408_448, true);
+    emit_interleaved(
+        &mut b,
+        &[
+            // A handful of wider pointwise convs reach compute-bound.
+            Family { count: 5, total: us(360), sm: 8, arch: Arch::Conv(40) },
+            // Depthwise convs + batch norms: memory-bound, tiny grids.
+            Family { count: 17, total: us(560), sm: 5, arch: Arch::BatchNorm },
+            Family { count: 18, total: us(560), sm: 5, arch: Arch::Elementwise },
+            // The bulk: narrow pointwise convs, below both thresholds.
+            Family { count: 60, total: us(3_000), sm: 4, arch: Arch::Custom(145, 20) },
+            Family { count: 1, total: us(60), sm: 4, arch: Arch::Pooling },
+            Family { count: 1, total: us(60), sm: 8, arch: Arch::Gemm(30) },
+        ],
+    );
+    b.d2h(16_384, true);
+    Workload {
+        model: ModelKind::MobileNetV2,
+        kind: WorkloadKind::Inference { batch: 4 },
+        ops: b.build(),
+        memory_footprint: gib(1.10),
+    }
+}
+
+/// MobileNetV2 training, batch size 64 (~80 ms/iteration solo, Table 4).
+pub fn mobilenet_training() -> Workload {
+    let mut b = TraceBuilder::new();
+    b.h2d(38 * MB, false);
+    emit_interleaved(
+        &mut b,
+        &[
+            Family { count: 18, total: ms(6), sm: 95, arch: Arch::Conv(70) },
+            Family { count: 35, total: ms(8), sm: 50, arch: Arch::BatchNorm },
+            Family { count: 20, total: ms(3), sm: 50, arch: Arch::Elementwise },
+            Family { count: 35, total: ms(9), sm: 50, arch: Arch::Custom(275, 400) },
+        ],
+    );
+    b.phase(Phase::Backward);
+    emit_interleaved(
+        &mut b,
+        &[
+            Family { count: 36, total: ms(12), sm: 95, arch: Arch::Conv(72) },
+            Family { count: 55, total: ms(21), sm: 50, arch: Arch::BatchNorm },
+            Family { count: 35, total: ms(19), sm: 50, arch: Arch::Custom(275, 400) },
+        ],
+    );
+    b.phase(Phase::Update);
+    emit_interleaved(
+        &mut b,
+        &[Family { count: 158, total: us(1_600), sm: 1, arch: Arch::OptimizerUpdate }],
+    );
+    b.d2h(4_096, false);
+    Workload {
+        model: ModelKind::MobileNetV2,
+        kind: WorkloadKind::Training { batch: 64 },
+        ops: b.build(),
+        memory_footprint: gib(6.9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_gpu::spec::GpuSpec;
+
+    #[test]
+    fn inference_latency_band() {
+        let w = mobilenet_inference();
+        let total = w.solo_kernel_time().as_millis_f64();
+        assert!((3.8..5.5).contains(&total), "total {total} ms");
+    }
+
+    #[test]
+    fn inference_kernels_are_tiny() {
+        // Table 1: 6% average SM busy — MobileNet kernels use few SMs.
+        let spec = GpuSpec::v100_16gb();
+        let w = mobilenet_inference();
+        let max_sm = w.kernels().map(|k| k.sm_needed(&spec)).max().unwrap();
+        assert!(max_sm <= 16, "max sm_needed {max_sm}");
+    }
+
+    #[test]
+    fn training_iteration_time() {
+        let w = mobilenet_training();
+        let total = w.solo_kernel_time().as_millis_f64();
+        // Table 4: 12.5 iterations/sec -> ~80 ms.
+        assert!((70.0..92.0).contains(&total), "iteration {total} ms");
+    }
+
+    #[test]
+    fn training_is_memory_heavier_than_compute() {
+        // Table 1: MobileNetV2 training has mem bw 49% > compute 34%.
+        let w = mobilenet_training();
+        let mut c_time = 0.0;
+        let mut m_time = 0.0;
+        for k in w.kernels() {
+            let d = k.solo_duration.as_secs_f64();
+            c_time += d * k.compute_util;
+            m_time += d * k.mem_util;
+        }
+        assert!(m_time > c_time, "mem integral {m_time} <= compute {c_time}");
+    }
+}

@@ -1,0 +1,278 @@
+//! Per-model workload builders.
+//!
+//! Each submodule builds the paper's workloads for one model family from a
+//! parameter table (kernel counts, time budgets, utilization intensity bands)
+//! using the shared [`TraceBuilder`] and the generators in this module.
+//! Calibration targets are the paper's Table 1 (average utilizations and
+//! memory footprints), Table 4 (solo training iterations/sec) and Figure 4
+//! (compute/memory/unknown kernel mixes); see `tests/calibration.rs`.
+
+pub mod bert;
+pub mod llm;
+pub mod mobilenet;
+pub mod resnet;
+pub mod transformer;
+
+use orion_desim::time::SimTime;
+use orion_gpu::kernel::KernelDesc;
+
+use crate::archetype;
+use crate::model::Phase;
+use crate::ops::OpSpec;
+
+/// Accumulates the op trace of one request with auto-assigned kernel ids.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    ops: Vec<(Phase, OpSpec)>,
+    next_id: u32,
+    phase: Phase,
+}
+
+impl TraceBuilder {
+    /// Starts an empty trace in the forward phase.
+    pub fn new() -> Self {
+        TraceBuilder {
+            ops: Vec::new(),
+            next_id: 0,
+            phase: Phase::Forward,
+        }
+    }
+
+    /// Switches the phase tag for subsequently pushed ops.
+    pub fn phase(&mut self, phase: Phase) -> &mut Self {
+        self.phase = phase;
+        self
+    }
+
+    fn next_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Pushes a kernel built by `f` from the next kernel id.
+    pub fn kernel(&mut self, f: impl FnOnce(u32) -> KernelDesc) -> &mut Self {
+        let id = self.next_id();
+        let k = f(id);
+        self.ops.push((self.phase, OpSpec::Kernel(k)));
+        self
+    }
+
+    /// Pushes a host-to-device copy.
+    pub fn h2d(&mut self, bytes: u64, blocking: bool) -> &mut Self {
+        self.ops.push((self.phase, OpSpec::H2D { bytes, blocking }));
+        self
+    }
+
+    /// Pushes a device-to-host copy.
+    pub fn d2h(&mut self, bytes: u64, blocking: bool) -> &mut Self {
+        self.ops.push((self.phase, OpSpec::D2H { bytes, blocking }));
+        self
+    }
+
+    /// Finishes the trace.
+    pub fn build(self) -> Vec<(Phase, OpSpec)> {
+        self.ops
+    }
+
+    /// Number of ops so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no ops have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Parameters of one kernel family within a pass.
+#[derive(Debug, Clone, Copy)]
+pub struct Family {
+    /// Number of kernels of this family in the pass.
+    pub count: u32,
+    /// Total time budget for the family; each kernel gets an equal share
+    /// modulated smoothly by +-25%.
+    pub total: SimTime,
+    /// Nominal SMs requested per kernel (modulated +-30%).
+    pub sm: u32,
+    /// Family archetype.
+    pub arch: Arch,
+}
+
+/// Kernel families used by the generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// Convolution with the given compute-intensity (scaled by 100).
+    Conv(u32),
+    /// GEMM with the given compute-intensity (scaled by 100).
+    Gemm(u32),
+    /// Batch normalization (memory-bound).
+    BatchNorm,
+    /// Elementwise (memory-bound).
+    Elementwise,
+    /// Layer norm / softmax (memory-bound).
+    LayerNorm,
+    /// Pooling / reduction (unknown profile).
+    Pooling,
+    /// Optimizer update (tiny, unknown profile).
+    OptimizerUpdate,
+    /// Caller-calibrated utilization: `(compute*1000, mem*1000)`.
+    Custom(u32, u32),
+}
+
+/// Emits the families of one pass, interleaved round-robin the way layers
+/// alternate in a real network (conv, bn, relu, conv, bn, ...).
+pub fn emit_interleaved(b: &mut TraceBuilder, families: &[Family]) {
+    let mut remaining: Vec<u32> = families.iter().map(|f| f.count).collect();
+    let mut emitted: Vec<u32> = vec![0; families.len()];
+    loop {
+        let mut any = false;
+        for (fi, fam) in families.iter().enumerate() {
+            if remaining[fi] == 0 {
+                continue;
+            }
+            any = true;
+            remaining[fi] -= 1;
+            let idx = emitted[fi];
+            emitted[fi] += 1;
+            let mean = if fam.count == 0 {
+                SimTime::ZERO
+            } else {
+                fam.total / u64::from(fam.count)
+            };
+            // Smooth +-25% duration modulation, preserving the family total
+            // approximately (wobble is zero-mean over many kernels).
+            let dur = mean.mul_f64(1.0 + 0.25 * archetype::wobble(idx.wrapping_mul(31)));
+            let dur = dur.max(SimTime::from_micros(2));
+            let sm = ((fam.sm as f64) * (1.0 + 0.3 * archetype::wobble(idx.wrapping_mul(17))))
+                .round()
+                .max(1.0) as u32;
+            match fam.arch {
+                Arch::Conv(intensity) => {
+                    let t = intensity as f64 / 100.0;
+                    b.kernel(|id| archetype::conv(id, dur, sm, t));
+                }
+                Arch::Gemm(intensity) => {
+                    let t = intensity as f64 / 100.0;
+                    b.kernel(|id| archetype::gemm(id, dur, sm, t));
+                }
+                Arch::BatchNorm => {
+                    b.kernel(|id| archetype::batch_norm(id, dur, sm));
+                }
+                Arch::Elementwise => {
+                    b.kernel(|id| archetype::elementwise(id, dur, sm));
+                }
+                Arch::LayerNorm => {
+                    b.kernel(|id| archetype::layer_norm(id, dur, sm));
+                }
+                Arch::Pooling => {
+                    b.kernel(|id| archetype::pooling(id, dur, sm));
+                }
+                Arch::OptimizerUpdate => {
+                    b.kernel(|id| archetype::optimizer_update(id, dur));
+                }
+                Arch::Custom(c, m) => {
+                    let (c, m) = (c as f64 / 1000.0, m as f64 / 1000.0);
+                    b.kernel(|id| archetype::custom(id, "fused_op", dur, sm, c, m));
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+}
+
+/// Gibibytes to bytes, for footprint tables.
+pub const fn gib(g: f64) -> u64 {
+    (g * 1024.0 * 1024.0 * 1024.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_emits_all_kernels() {
+        let mut b = TraceBuilder::new();
+        emit_interleaved(
+            &mut b,
+            &[
+                Family {
+                    count: 10,
+                    total: SimTime::from_millis(1),
+                    sm: 40,
+                    arch: Arch::Conv(50),
+                },
+                Family {
+                    count: 5,
+                    total: SimTime::from_micros(200),
+                    sm: 20,
+                    arch: Arch::BatchNorm,
+                },
+            ],
+        );
+        assert_eq!(b.len(), 15);
+        let ops = b.build();
+        // Families interleave: the first two ops are one conv and one bn.
+        let names: Vec<&str> = ops
+            .iter()
+            .filter_map(|(_, o)| o.as_kernel())
+            .map(|k| k.name.as_str())
+            .collect();
+        assert!(names[0].starts_with("conv2d"));
+        assert!(names[1].starts_with("batch_norm"));
+    }
+
+    #[test]
+    fn family_total_time_approximately_preserved() {
+        let mut b = TraceBuilder::new();
+        let budget = SimTime::from_millis(10);
+        emit_interleaved(
+            &mut b,
+            &[Family {
+                count: 50,
+                total: budget,
+                sm: 30,
+                arch: Arch::Conv(60),
+            }],
+        );
+        let ops = b.build();
+        let total: SimTime = ops
+            .iter()
+            .filter_map(|(_, o)| o.as_kernel())
+            .map(|k| k.solo_duration)
+            .sum();
+        let ratio = total.as_secs_f64() / budget.as_secs_f64();
+        assert!((0.9..=1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn builder_phases_tag_ops() {
+        let mut b = TraceBuilder::new();
+        b.h2d(10, true);
+        b.phase(Phase::Backward);
+        b.kernel(|id| archetype::conv(id, SimTime::from_micros(10), 10, 0.5));
+        let ops = b.build();
+        assert_eq!(ops[0].0, Phase::Forward);
+        assert_eq!(ops[1].0, Phase::Backward);
+    }
+
+    #[test]
+    fn unique_kernel_ids() {
+        let mut b = TraceBuilder::new();
+        for _ in 0..10 {
+            b.kernel(|id| archetype::conv(id, SimTime::from_micros(10), 10, 0.5));
+        }
+        let ops = b.build();
+        let mut ids: Vec<u32> = ops
+            .iter()
+            .filter_map(|(_, o)| o.as_kernel())
+            .map(|k| k.kernel_id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10);
+    }
+}

@@ -1,0 +1,254 @@
+//! ResNet50 / ResNet101 workload builders (TorchVision configurations).
+//!
+//! Calibration anchors (V100, paper Tables 1 and 4):
+//!
+//! | workload            | latency/iter | compute | mem bw | SM busy | mem cap |
+//! |---------------------|--------------|---------|--------|---------|---------|
+//! | ResNet50-inf-bs4    | ~7 ms        | 30%     | 22%    | 24%     | 1.4 GiB |
+//! | ResNet101-inf-bs4   | ~12 ms       | 24%     | 37%    | 29%     | 1.45 GiB|
+//! | ResNet50-train-bs32 | ~97 ms       | 48%     | 45%    | 81%     | 5.1 GiB |
+//! | ResNet101-train-bs32| ~159 ms      | 50%     | 43%    | 85%     | 6.2 GiB |
+
+use orion_desim::time::SimTime;
+
+use crate::model::{ModelKind, Phase, Workload, WorkloadKind};
+use crate::models::{emit_interleaved, gib, Arch, Family, TraceBuilder};
+
+const MB: u64 = 1 << 20;
+
+fn ms(x: u64) -> SimTime {
+    SimTime::from_millis(x)
+}
+
+fn us(x: u64) -> SimTime {
+    SimTime::from_micros(x)
+}
+
+/// ResNet50 inference, batch size 4.
+pub fn resnet50_inference() -> Workload {
+    let mut b = TraceBuilder::new();
+    // Input batch: 4 x 3 x 224 x 224 floats, synchronous host-to-device copy.
+    b.h2d(2_408_448, true);
+    emit_interleaved(
+        &mut b,
+        &[
+            // Heavy convolutions (the large-channel stages): compute-bound.
+            Family { count: 18, total: us(2_000), sm: 30, arch: Arch::Conv(45) },
+            // Batch-norm + activation/residual kernels: memory-bound.
+            Family { count: 33, total: us(750), sm: 20, arch: Arch::BatchNorm },
+            Family { count: 16, total: us(250), sm: 20, arch: Arch::Elementwise },
+            // Small-batch convolutions and fused ops below the 60% rule,
+            // calibrated so Table 1's averages come out (see module docs).
+            Family { count: 35, total: us(3_650), sm: 15, arch: Arch::Custom(150, 95) },
+            Family { count: 2, total: us(120), sm: 10, arch: Arch::Pooling },
+            Family { count: 1, total: us(120), sm: 16, arch: Arch::Gemm(40) },
+        ],
+    );
+    b.d2h(16_384, true);
+    Workload {
+        model: ModelKind::ResNet50,
+        kind: WorkloadKind::Inference { batch: 4 },
+        ops: b.build(),
+        memory_footprint: gib(1.40),
+    }
+}
+
+/// ResNet101 inference, batch size 4.
+pub fn resnet101_inference() -> Workload {
+    let mut b = TraceBuilder::new();
+    b.h2d(2_408_448, true);
+    emit_interleaved(
+        &mut b,
+        &[
+            Family { count: 35, total: us(2_400), sm: 30, arch: Arch::Conv(45) },
+            Family { count: 52, total: us(3_000), sm: 25, arch: Arch::BatchNorm },
+            Family { count: 18, total: us(1_200), sm: 25, arch: Arch::Elementwise },
+            Family { count: 65, total: us(5_150), sm: 18, arch: Arch::Custom(140, 175) },
+            Family { count: 2, total: us(120), sm: 10, arch: Arch::Pooling },
+            Family { count: 1, total: us(130), sm: 16, arch: Arch::Gemm(40) },
+        ],
+    );
+    b.d2h(16_384, true);
+    Workload {
+        model: ModelKind::ResNet101,
+        kind: WorkloadKind::Inference { batch: 4 },
+        ops: b.build(),
+        memory_footprint: gib(1.45),
+    }
+}
+
+/// Shared forward+backward+update emitter for ResNet training.
+#[allow(clippy::too_many_arguments)]
+fn resnet_training(
+    model: ModelKind,
+    batch: u32,
+    convs: u32,
+    fwd_conv: SimTime,
+    fwd_mem: SimTime,
+    fwd_fill: SimTime,
+    bwd_scale: f64,
+    updates: u32,
+    update_total: SimTime,
+    input_bytes: u64,
+    footprint: u64,
+    fill_util: (u32, u32),
+) -> Workload {
+    let mut b = TraceBuilder::new();
+    // Input minibatch prefetched asynchronously (no pipeline stalls, §6.1).
+    b.h2d(input_bytes, false);
+    let fwd = [
+        Family { count: convs, total: fwd_conv, sm: 100, arch: Arch::Conv(75) },
+        Family { count: convs + 10, total: fwd_mem.mul_f64(0.75), sm: 50, arch: Arch::BatchNorm },
+        Family { count: 13, total: fwd_mem.mul_f64(0.25), sm: 50, arch: Arch::Elementwise },
+        Family { count: convs, total: fwd_fill, sm: 55, arch: Arch::Custom(fill_util.0, fill_util.1) },
+    ];
+    emit_interleaved(&mut b, &fwd);
+    b.phase(Phase::Backward);
+    // Backward: dgrad + wgrad per conv (compute), norm/act gradients (mem).
+    let bwd = [
+        Family {
+            count: 2 * convs,
+            total: fwd_conv.mul_f64(bwd_scale),
+            sm: 100,
+            arch: Arch::Conv(78),
+        },
+        Family {
+            count: convs + 20,
+            total: fwd_mem.mul_f64(bwd_scale),
+            sm: 52,
+            arch: Arch::BatchNorm,
+        },
+        Family {
+            count: convs,
+            total: fwd_fill.mul_f64(bwd_scale),
+            sm: 55,
+            arch: Arch::Custom(fill_util.0, fill_util.1),
+        },
+    ];
+    emit_interleaved(&mut b, &bwd);
+    b.phase(Phase::Update);
+    emit_interleaved(
+        &mut b,
+        &[Family { count: updates, total: update_total, sm: 1, arch: Arch::OptimizerUpdate }],
+    );
+    b.d2h(4_096, false);
+    Workload {
+        model,
+        kind: WorkloadKind::Training { batch },
+        ops: b.build(),
+        memory_footprint: footprint,
+    }
+}
+
+/// ResNet50 training, batch size 32 (~97 ms/iteration solo, Table 4).
+pub fn resnet50_training() -> Workload {
+    resnet_training(
+        ModelKind::ResNet50,
+        32,
+        30,
+        ms(13),
+        ms(10),
+        ms(9),
+        1.88,
+        160,
+        us(1_500),
+        19 * MB,
+        gib(5.1),
+        (400, 480),
+    )
+}
+
+/// ResNet101 training, batch size 32 (~159 ms/iteration solo, Table 4).
+pub fn resnet101_training() -> Workload {
+    resnet_training(
+        ModelKind::ResNet101,
+        32,
+        55,
+        ms(22),
+        ms(15),
+        ms(15),
+        1.95,
+        260,
+        us(2_600),
+        19 * MB,
+        gib(6.2),
+        (420, 450),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_inference_shape() {
+        let w = resnet50_inference();
+        assert_eq!(w.label(), "ResNet50-inf-bs4");
+        let total = w.solo_kernel_time().as_millis_f64();
+        assert!((6.0..8.5).contains(&total), "total kernel time {total} ms");
+        assert!(w.kernel_count() > 90);
+        let (c, m, u) = w.profile_mix();
+        assert!(c >= 10, "compute kernels {c}");
+        assert!(m >= 40, "memory kernels {m}");
+        assert!(u >= 30, "unknown kernels {u}");
+    }
+
+    #[test]
+    fn resnet101_is_deeper_than_resnet50() {
+        let i50 = resnet50_inference();
+        let i101 = resnet101_inference();
+        assert!(i101.kernel_count() > i50.kernel_count());
+        assert!(i101.solo_kernel_time() > i50.solo_kernel_time());
+    }
+
+    #[test]
+    fn resnet50_training_iteration_time() {
+        let w = resnet50_training();
+        let total = w.solo_kernel_time().as_millis_f64();
+        // Table 4: 10.3 iterations/sec -> ~97 ms.
+        assert!((85.0..110.0).contains(&total), "iteration {total} ms");
+        // Backward exists and is bigger than forward.
+        let fwd: SimTime = w
+            .ops
+            .iter()
+            .filter(|(p, _)| *p == Phase::Forward)
+            .filter_map(|(_, o)| o.as_kernel())
+            .map(|k| k.solo_duration)
+            .sum();
+        let bwd: SimTime = w
+            .ops
+            .iter()
+            .filter(|(p, _)| *p == Phase::Backward)
+            .filter_map(|(_, o)| o.as_kernel())
+            .map(|k| k.solo_duration)
+            .sum();
+        assert!(bwd > fwd);
+    }
+
+    #[test]
+    fn resnet101_training_iteration_time() {
+        let w = resnet101_training();
+        let total = w.solo_kernel_time().as_millis_f64();
+        // Table 4: 6.3 iterations/sec -> ~159 ms.
+        assert!((140.0..180.0).contains(&total), "iteration {total} ms");
+    }
+
+    #[test]
+    fn training_has_update_phase_kernels() {
+        let w = resnet50_training();
+        let updates = w
+            .ops
+            .iter()
+            .filter(|(p, o)| *p == Phase::Update && o.as_kernel().is_some())
+            .count();
+        assert_eq!(updates, 160);
+    }
+
+    #[test]
+    fn footprints_fit_collocations() {
+        // The paper collocates pairs that fit on a 16 GiB device.
+        let cap = 16u64 * 1024 * 1024 * 1024;
+        assert!(resnet50_inference().memory_footprint + resnet50_training().memory_footprint < cap);
+        assert!(resnet50_training().memory_footprint + resnet101_training().memory_footprint < cap);
+    }
+}

@@ -1,0 +1,112 @@
+//! Transformer(-XL) workload builders (NVIDIA reference implementation).
+//!
+//! Calibration anchors (V100, Tables 1 and 4):
+//!
+//! | workload             | latency/iter | compute | mem bw | SM busy | mem cap |
+//! |----------------------|--------------|---------|--------|---------|---------|
+//! | Transformer-inf-bs4  | ~20 ms       | 52%     | 29%    | 61%     | 1.6 GiB |
+//! | Transformer-train-bs8| ~167 ms      | 29%     | 30%    | 50%     | 8.5 GiB |
+
+use orion_desim::time::SimTime;
+
+use crate::model::{ModelKind, Phase, Workload, WorkloadKind};
+use crate::models::{emit_interleaved, gib, Arch, Family, TraceBuilder};
+
+fn us(x: u64) -> SimTime {
+    SimTime::from_micros(x)
+}
+
+fn ms(x: u64) -> SimTime {
+    SimTime::from_millis(x)
+}
+
+/// Transformer inference, batch size 4.
+pub fn transformer_inference() -> Workload {
+    let mut b = TraceBuilder::new();
+    b.h2d(128 * 1024, true);
+    emit_interleaved(
+        &mut b,
+        &[
+            Family { count: 72, total: ms(11), sm: 52, arch: Arch::Gemm(50) },
+            Family { count: 48, total: us(3_600), sm: 48, arch: Arch::LayerNorm },
+            Family { count: 36, total: us(5_300), sm: 40, arch: Arch::Custom(350, 155) },
+        ],
+    );
+    b.d2h(256 * 1024, true);
+    Workload {
+        model: ModelKind::Transformer,
+        kind: WorkloadKind::Inference { batch: 4 },
+        ops: b.build(),
+        memory_footprint: gib(1.6),
+    }
+}
+
+/// Transformer training, batch size 8 (~167 ms/iteration solo, Table 4).
+pub fn transformer_training() -> Workload {
+    let mut b = TraceBuilder::new();
+    b.h2d(4 * 1024 * 1024, false);
+    emit_interleaved(
+        &mut b,
+        &[
+            Family { count: 60, total: ms(14), sm: 85, arch: Arch::Gemm(45) },
+            Family { count: 48, total: ms(14), sm: 36, arch: Arch::LayerNorm },
+            Family { count: 60, total: ms(27), sm: 34, arch: Arch::Custom(155, 135) },
+        ],
+    );
+    b.phase(Phase::Backward);
+    emit_interleaved(
+        &mut b,
+        &[
+            Family { count: 120, total: ms(27), sm: 85, arch: Arch::Gemm(47) },
+            Family { count: 80, total: ms(27), sm: 36, arch: Arch::LayerNorm },
+            Family { count: 100, total: ms(52), sm: 34, arch: Arch::Custom(155, 135) },
+        ],
+    );
+    b.phase(Phase::Update);
+    emit_interleaved(
+        &mut b,
+        &[Family { count: 300, total: ms(6), sm: 1, arch: Arch::OptimizerUpdate }],
+    );
+    b.d2h(4_096, false);
+    Workload {
+        model: ModelKind::Transformer,
+        kind: WorkloadKind::Training { batch: 8 },
+        ops: b.build(),
+        memory_footprint: gib(8.5),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_latency_band() {
+        let w = transformer_inference();
+        let total = w.solo_kernel_time().as_millis_f64();
+        assert!((17.0..23.0).contains(&total), "total {total} ms");
+    }
+
+    #[test]
+    fn training_iteration_time() {
+        let w = transformer_training();
+        let total = w.solo_kernel_time().as_millis_f64();
+        // Table 4: 6 iterations/sec -> ~167 ms.
+        assert!((150.0..185.0).contains(&total), "iteration {total} ms");
+    }
+
+    #[test]
+    fn training_has_largest_footprint() {
+        // Table 1: Transformer training uses 53% of 16 GiB — the largest.
+        let w = transformer_training();
+        assert!(w.memory_footprint > 8 * (1u64 << 30));
+    }
+
+    #[test]
+    fn both_profiles_present() {
+        let (c, m, _) = transformer_inference().profile_mix();
+        assert!(c > 0 && m > 0);
+        let (c, m, u) = transformer_training().profile_mix();
+        assert!(c > 0 && m > 0 && u > 0);
+    }
+}

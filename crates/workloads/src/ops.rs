@@ -1,0 +1,62 @@
+//! Operation specifications emitted by workload builders.
+
+use orion_gpu::kernel::KernelDesc;
+use serde::{Deserialize, Serialize};
+
+/// One GPU operation in a request/iteration, in submission order.
+///
+/// This is the framework-level view (what PyTorch would submit through the
+/// CUDA runtime); the scheduler layer decides when each op reaches the device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpSpec {
+    /// A computation kernel.
+    Kernel(KernelDesc),
+    /// Host-to-device input copy.
+    H2D {
+        /// Payload bytes.
+        bytes: u64,
+        /// Synchronous `cudaMemcpy` semantics (stalls kernel dispatch).
+        blocking: bool,
+    },
+    /// Device-to-host output copy.
+    D2H {
+        /// Payload bytes.
+        bytes: u64,
+        /// Synchronous `cudaMemcpy` semantics.
+        blocking: bool,
+    },
+}
+
+impl OpSpec {
+    /// The kernel description, when this op is a kernel.
+    pub fn as_kernel(&self) -> Option<&KernelDesc> {
+        match self {
+            OpSpec::Kernel(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// True for memory-copy operations.
+    pub fn is_copy(&self) -> bool {
+        matches!(self, OpSpec::H2D { .. } | OpSpec::D2H { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orion_gpu::kernel::KernelBuilder;
+
+    #[test]
+    fn accessors() {
+        let k = OpSpec::Kernel(KernelBuilder::new(0, "k").build());
+        assert!(k.as_kernel().is_some());
+        assert!(!k.is_copy());
+        let c = OpSpec::H2D {
+            bytes: 10,
+            blocking: true,
+        };
+        assert!(c.as_kernel().is_none());
+        assert!(c.is_copy());
+    }
+}

@@ -1,0 +1,74 @@
+//! Lookup of the paper's workload configurations by model.
+
+use crate::model::{ModelKind, Workload};
+use crate::models;
+
+/// The five models of the paper's evaluation, in Table 1 order.
+pub const ALL_MODELS: [ModelKind; 5] = [
+    ModelKind::ResNet50,
+    ModelKind::MobileNetV2,
+    ModelKind::ResNet101,
+    ModelKind::Bert,
+    ModelKind::Transformer,
+];
+
+/// The paper's inference configuration for `model` (Table 1 batch sizes).
+pub fn inference_workload(model: ModelKind) -> Workload {
+    match model {
+        ModelKind::ResNet50 => models::resnet::resnet50_inference(),
+        ModelKind::ResNet101 => models::resnet::resnet101_inference(),
+        ModelKind::MobileNetV2 => models::mobilenet::mobilenet_inference(),
+        ModelKind::Bert => models::bert::bert_inference(),
+        ModelKind::Transformer => models::transformer::transformer_inference(),
+        ModelKind::LlmDecode => models::llm::llm_decode_step(),
+    }
+}
+
+/// The paper's training configuration for `model` (Table 1 batch sizes).
+///
+/// # Panics
+///
+/// Panics for [`ModelKind::LlmDecode`], which has no training configuration
+/// in the paper.
+pub fn training_workload(model: ModelKind) -> Workload {
+    match model {
+        ModelKind::ResNet50 => models::resnet::resnet50_training(),
+        ModelKind::ResNet101 => models::resnet::resnet101_training(),
+        ModelKind::MobileNetV2 => models::mobilenet::mobilenet_training(),
+        ModelKind::Bert => models::bert::bert_training(),
+        ModelKind::Transformer => models::transformer::transformer_training(),
+        ModelKind::LlmDecode => panic!("LLM decode has no training configuration"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_workloads_build() {
+        for m in ALL_MODELS {
+            let inf = inference_workload(m);
+            assert!(inf.kernel_count() > 20, "{}", inf.label());
+            let tr = training_workload(m);
+            assert!(tr.kernel_count() > inf.kernel_count(), "{}", tr.label());
+            assert!(tr.memory_footprint > inf.memory_footprint);
+        }
+    }
+
+    #[test]
+    fn training_iterations_are_longer_than_inference() {
+        for m in ALL_MODELS {
+            assert!(
+                training_workload(m).solo_kernel_time() > inference_workload(m).solo_kernel_time(),
+                "{m:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no training configuration")]
+    fn llm_training_panics() {
+        training_workload(ModelKind::LlmDecode);
+    }
+}

@@ -1,0 +1,149 @@
+//! Layer-by-layer weight swapping (paper §5.1.3 extension).
+//!
+//! When a best-effort model does not fit in the GPU memory the high-priority
+//! job leaves free, the paper proposes keeping the high-priority task
+//! resident while "gradually swapping layers of best-effort job(s) in and
+//! out of the GPU". This module implements that as a workload
+//! transformation: the op trace is partitioned into `groups` layer groups,
+//! and before each non-resident group's kernels an asynchronous
+//! host-to-device weight copy is inserted (the swap-in; the eviction of the
+//! previous group is free — weights are read-only). The transformed workload
+//! declares only the resident footprint plus working buffers, at the cost of
+//! extra PCIe traffic and per-group latency.
+
+use orion_gpu::kernel::KernelDesc;
+
+use crate::model::{Workload, WorkloadKind};
+use crate::ops::OpSpec;
+
+/// Estimated weight bytes of a workload (the swappable state).
+///
+/// Inference footprints are dominated by weights; training footprints also
+/// hold activations, gradients, and optimizer state that must stay resident.
+pub fn estimated_weights_bytes(w: &Workload) -> u64 {
+    match w.kind {
+        WorkloadKind::Inference { .. } => (w.memory_footprint as f64 * 0.85) as u64,
+        WorkloadKind::Training { .. } => (w.memory_footprint as f64 * 0.35) as u64,
+    }
+}
+
+/// A swapped variant of `w` that keeps only `resident_fraction` of its
+/// weights on the device.
+///
+/// The op trace is split into `groups` contiguous kernel groups; each group
+/// whose weights are not resident is preceded by an async H2D copy of its
+/// share of the swapped weights. `memory_footprint` shrinks by the swapped
+/// weight bytes (plus one group of double-buffer headroom).
+///
+/// `resident_fraction` is clamped to `[0, 1]`; `groups` to at least 1.
+pub fn swapped_workload(w: &Workload, resident_fraction: f64, groups: u32) -> Workload {
+    let resident_fraction = resident_fraction.clamp(0.0, 1.0);
+    let groups = groups.max(1);
+    let weights = estimated_weights_bytes(w);
+    let swapped_bytes = (weights as f64 * (1.0 - resident_fraction)) as u64;
+    if swapped_bytes == 0 {
+        return w.clone();
+    }
+
+    let kernels: Vec<&KernelDesc> = w.kernels().collect();
+    let per_group = kernels.len().div_ceil(groups as usize).max(1);
+    let swapped_groups = (groups as f64 * (1.0 - resident_fraction)).ceil() as usize;
+    let bytes_per_group = swapped_bytes / swapped_groups.max(1) as u64;
+
+    // Insert a swap-in copy before the first kernel of each swapped group.
+    // Non-resident groups are taken from the end of the pass (the deepest
+    // layers swap; early layers stay hot), matching layer-by-layer streaming.
+    let first_swapped_group = groups as usize - swapped_groups;
+    let mut out = Vec::with_capacity(w.ops.len() + swapped_groups);
+    let mut kernel_idx = 0usize;
+    for (phase, op) in &w.ops {
+        if matches!(op, OpSpec::Kernel(_)) {
+            let group = kernel_idx / per_group;
+            if group >= first_swapped_group && kernel_idx.is_multiple_of(per_group) {
+                out.push((
+                    *phase,
+                    OpSpec::H2D {
+                        bytes: bytes_per_group,
+                        blocking: false,
+                    },
+                ));
+            }
+            kernel_idx += 1;
+        }
+        out.push((*phase, op.clone()));
+    }
+
+    let mut swapped = w.clone();
+    swapped.ops = out;
+    // Resident weights + non-weight state + one group of double-buffering.
+    swapped.memory_footprint = w.memory_footprint - swapped_bytes + bytes_per_group;
+    swapped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{inference_workload, training_workload};
+    use crate::ModelKind;
+
+    #[test]
+    fn weights_estimates_differ_by_kind() {
+        let inf = inference_workload(ModelKind::Bert);
+        let tr = training_workload(ModelKind::Bert);
+        let wi = estimated_weights_bytes(&inf) as f64 / inf.memory_footprint as f64;
+        let wt = estimated_weights_bytes(&tr) as f64 / tr.memory_footprint as f64;
+        assert!(wi > wt);
+    }
+
+    #[test]
+    fn swapping_shrinks_footprint_and_adds_copies() {
+        let w = inference_workload(ModelKind::Bert);
+        let s = swapped_workload(&w, 0.5, 24);
+        assert!(s.memory_footprint < w.memory_footprint);
+        let copies_before = w.ops.iter().filter(|(_, o)| o.is_copy()).count();
+        let copies_after = s.ops.iter().filter(|(_, o)| o.is_copy()).count();
+        assert!(copies_after > copies_before, "{copies_after} vs {copies_before}");
+        // Kernels are untouched.
+        assert_eq!(s.kernel_count(), w.kernel_count());
+        // Swapped PCIe traffic is about half the weights.
+        let extra: u64 = s
+            .ops
+            .iter()
+            .filter_map(|(_, o)| match o {
+                OpSpec::H2D { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum::<u64>()
+            - w.ops
+                .iter()
+                .filter_map(|(_, o)| match o {
+                    OpSpec::H2D { bytes, .. } => Some(*bytes),
+                    _ => None,
+                })
+                .sum::<u64>();
+        let half_weights = estimated_weights_bytes(&w) / 2;
+        let ratio = extra as f64 / half_weights as f64;
+        assert!((0.8..1.2).contains(&ratio), "traffic ratio {ratio}");
+    }
+
+    #[test]
+    fn full_residency_is_identity() {
+        let w = inference_workload(ModelKind::ResNet50);
+        let s = swapped_workload(&w, 1.0, 16);
+        assert_eq!(s.ops.len(), w.ops.len());
+        assert_eq!(s.memory_footprint, w.memory_footprint);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let w = inference_workload(ModelKind::ResNet50);
+        // groups clamps to 1: with a single group the double-buffer is the
+        // whole weight set, so no memory is saved — but nothing breaks.
+        let s = swapped_workload(&w, -1.0, 0);
+        assert_eq!(s.memory_footprint, w.memory_footprint);
+        assert_eq!(s.kernel_count(), w.kernel_count());
+        // With more groups, everything-swapped really shrinks the footprint.
+        let s = swapped_workload(&w, 0.0, 8);
+        assert!(s.memory_footprint < w.memory_footprint);
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: share one simulated V100 between a latency-critical inference
+//! service and a best-effort training job, and compare Orion against naive
+//! spatial sharing (MPS) and a dedicated GPU.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use orion::prelude::*;
+
+fn main() {
+    // 1. Pick workloads. The registry ships the paper's five models in
+    //    their Table 1 configurations.
+    let service = inference_workload(ModelKind::ResNet50);
+    let trainer = training_workload(ModelKind::MobileNetV2);
+    println!(
+        "high-priority: {} ({} kernels/request)",
+        service.label(),
+        service.kernel_count()
+    );
+    println!(
+        "best-effort:   {} ({} kernels/iteration)",
+        trainer.label(),
+        trainer.kernel_count()
+    );
+
+    // 2. Describe the clients: the service receives Poisson requests, the
+    //    trainer iterates in a closed loop.
+    let clients = || {
+        vec![
+            ClientSpec::high_priority(service.clone(), ArrivalProcess::Poisson { rps: 15.0 }),
+            ClientSpec::best_effort(trainer.clone(), ArrivalProcess::ClosedLoop),
+        ]
+    };
+
+    // 3. Run. `RunConfig::paper_default()` simulates 12 s on a V100-16GB.
+    let cfg = RunConfig::paper_default();
+
+    let mut ideal = orion::core::world::run_dedicated(clients()[0].clone(), &cfg)
+        .expect("service fits on a dedicated GPU");
+    let ideal_p99 = ideal.clients[0].latency.p99();
+
+    println!("\n{:<10} {:>10} {:>12} {:>14}", "policy", "p99 [ms]", "vs ideal", "train iters/s");
+    for policy in [PolicyKind::Mps, PolicyKind::orion_default()] {
+        let mut r = run_collocation(policy.clone(), clients(), &cfg)
+            .expect("both jobs fit in 16 GiB");
+        let be = r.be_throughput();
+        let hp = r
+            .clients
+            .iter_mut()
+            .find(|c| c.priority == orion::core::client::ClientPriority::HighPriority)
+            .expect("hp client");
+        let p99 = hp.latency.p99();
+        println!(
+            "{:<10} {:>10.2} {:>11.2}x {:>14.2}",
+            policy.label(),
+            p99.as_millis_f64(),
+            p99.as_secs_f64() / ideal_p99.as_secs_f64(),
+            be
+        );
+    }
+    println!(
+        "{:<10} {:>10.2} {:>11.2}x {:>14}",
+        "Ideal",
+        ideal_p99.as_millis_f64(),
+        1.0,
+        "-"
+    );
+    println!("\nOrion keeps the service's tail latency near the dedicated GPU");
+    println!("while the best-effort trainer makes real progress on the same device.");
+}

@@ -1,0 +1,65 @@
+//! Training economics: how much GPU money does collocation save, and how to
+//! pick `SM_THRESHOLD` for a throughput-oriented high-priority job
+//! (the paper's Table 4 + §5.1.1 auto-tuning).
+//!
+//! Run with: `cargo run --release --example training_economics`
+
+use orion::core::tuning::tune_sm_threshold;
+use orion::prelude::*;
+
+fn main() {
+    let cfg = RunConfig::paper_default();
+
+    // A high-priority ResNet50 training job plus a best-effort MobileNetV2
+    // trainer on one V100, instead of renting two GPUs.
+    let clients = vec![
+        ClientSpec::high_priority(
+            training_workload(ModelKind::ResNet50),
+            ArrivalProcess::ClosedLoop,
+        ),
+        ClientSpec::best_effort(
+            training_workload(ModelKind::MobileNetV2),
+            ArrivalProcess::ClosedLoop,
+        ),
+    ];
+
+    // 1. Tune SM_THRESHOLD with the paper's binary search: the largest
+    //    threshold that keeps HP throughput within 16% of dedicated.
+    println!("binary-searching SM_THRESHOLD (target: HP >= 84% of dedicated)...");
+    let tuned = tune_sm_threshold(&clients, &cfg, 0.84).expect("jobs fit");
+    println!(
+        "  probes: {:?}",
+        tuned
+            .probes
+            .iter()
+            .map(|(sm, t)| format!("{sm} SMs -> {t:.2} it/s"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  selected SM_THRESHOLD = {} (dedicated HP = {:.2} it/s)\n",
+        tuned.sm_threshold, tuned.hp_dedicated
+    );
+
+    // 2. Run with the tuned threshold and compute the cost savings.
+    let policy = PolicyKind::Orion(
+        orion::core::policy::OrionConfig::default().with_sm_threshold(tuned.sm_threshold),
+    );
+    let r = run_collocation(policy, clients.clone(), &cfg).expect("jobs fit");
+    let hp_tput = r.hp().throughput;
+    let be_tput = r.be_throughput();
+
+    let be_dedicated = orion::core::world::run_dedicated(clients[1].clone(), &cfg)
+        .expect("fits")
+        .clients[0]
+        .throughput;
+
+    println!("collocated: HP {hp_tput:.2} it/s, BE {be_tput:.2} it/s");
+    println!(
+        "HP keeps {:.0}% of its dedicated throughput",
+        100.0 * hp_tput / tuned.hp_dedicated
+    );
+    let savings = cost_savings(2, be_tput, be_dedicated);
+    println!(
+        "cost savings vs two dedicated GPUs: {savings:.2}x  (paper's Table 4 band: 1.26x-1.49x)"
+    );
+}

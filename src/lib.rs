@@ -1,0 +1,66 @@
+//! Orion: interference-aware, fine-grained GPU sharing for ML applications —
+//! a full Rust reproduction of the EuroSys '24 paper on a simulated GPU
+//! substrate.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`desim`] — the discrete-event simulation engine;
+//! * [`gpu`] — the GPU device simulator (SMs, streams, events, the roofline
+//!   interference model, PCIe, memory accounting);
+//! * [`workloads`] — synthetic DNN workloads (ResNet50/101, MobileNetV2,
+//!   BERT, Transformer, LLM decode) and arrival processes;
+//! * [`profiler`] — the offline profiling phase (§5.2);
+//! * [`metrics`] — latency percentiles, throughput, cost model;
+//! * [`core`] — the Orion scheduler, every baseline policy, the collocation
+//!   engine, the `SM_THRESHOLD` tuner, and the cluster-placement extension.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use orion::prelude::*;
+//!
+//! // A latency-critical inference service and a best-effort training job
+//! // share one simulated V100.
+//! let clients = vec![
+//!     ClientSpec::high_priority(
+//!         inference_workload(ModelKind::ResNet50),
+//!         ArrivalProcess::Poisson { rps: 15.0 },
+//!     ),
+//!     ClientSpec::best_effort(
+//!         training_workload(ModelKind::MobileNetV2),
+//!         ArrivalProcess::ClosedLoop,
+//!     ),
+//! ];
+//! let result = run_collocation(
+//!     PolicyKind::orion_default(),
+//!     clients,
+//!     &RunConfig::quick_test(),
+//! )
+//! .expect("fits on the device");
+//! let mut hp_latency = result.hp().latency.clone();
+//! println!(
+//!     "HP p99 = {}, BE throughput = {:.2} iters/s",
+//!     hp_latency.p99(),
+//!     result.be_throughput(),
+//! );
+//! ```
+
+pub use orion_core as core;
+pub use orion_desim as desim;
+pub use orion_gpu as gpu;
+pub use orion_metrics as metrics;
+pub use orion_profiler as profiler;
+pub use orion_workloads as workloads;
+
+/// Everything needed to define and run a collocation experiment.
+pub mod prelude {
+    pub use orion_core::policy::OrionConfig;
+    pub use orion_core::prelude::*;
+    pub use orion_core::tuning::tune_sm_threshold;
+    pub use orion_desim::time::SimTime;
+    pub use orion_gpu::spec::GpuSpec;
+    pub use orion_metrics::{cost_savings, LatencyRecorder};
+    pub use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
+    pub use orion_workloads::model::ModelKind;
+    pub use orion_workloads::registry::{inference_workload, training_workload, ALL_MODELS};
+}

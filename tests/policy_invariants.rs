@@ -1,0 +1,193 @@
+//! Property-style integration tests of scheduler invariants, run end-to-end
+//! through the public API with randomized-but-seeded configurations.
+
+use orion::prelude::*;
+
+fn quick(seed: u64) -> RunConfig {
+    let mut c = RunConfig::quick_test();
+    c.seed = seed;
+    c.horizon = SimTime::from_secs(2);
+    c.warmup = SimTime::from_millis(400);
+    c
+}
+
+/// Every policy completes some HP work and never loses requests: completed
+/// counts are consistent with the latency sample counts.
+#[test]
+fn no_lost_requests_across_policies_and_seeds() {
+    for seed in [1u64, 2, 3] {
+        let cfg = quick(seed);
+        for policy in [
+            PolicyKind::Temporal,
+            PolicyKind::Streams,
+            PolicyKind::StreamPriority,
+            PolicyKind::Mps,
+            PolicyKind::reef_default(),
+            PolicyKind::orion_default(),
+        ] {
+            let clients = vec![
+                ClientSpec::high_priority(
+                    inference_workload(ModelKind::MobileNetV2),
+                    ArrivalProcess::Poisson { rps: 30.0 },
+                ),
+                ClientSpec::best_effort(
+                    training_workload(ModelKind::ResNet50),
+                    ArrivalProcess::ClosedLoop,
+                ),
+            ];
+            let r = run_collocation(policy.clone(), clients, &cfg).unwrap();
+            let hp = r.hp();
+            assert_eq!(
+                hp.completed as usize,
+                hp.latency.len(),
+                "{} seed {seed}: completed != samples",
+                policy.label()
+            );
+            assert!(
+                hp.completed > 0,
+                "{} seed {seed}: hp starved",
+                policy.label()
+            );
+        }
+    }
+}
+
+/// The DUR_THRESHOLD knob is monotone in spirit: a much larger threshold
+/// admits at least as much best-effort work.
+#[test]
+fn dur_threshold_monotone_in_be_throughput() {
+    let cfg = quick(42);
+    let mk = || {
+        vec![
+            ClientSpec::high_priority(
+                inference_workload(ModelKind::ResNet101),
+                ArrivalProcess::Poisson { rps: 9.0 },
+            ),
+            ClientSpec::best_effort(
+                training_workload(ModelKind::ResNet50),
+                ArrivalProcess::ClosedLoop,
+            ),
+        ]
+    };
+    let tight = run_collocation(
+        PolicyKind::Orion(OrionConfig::default().with_dur_threshold(0.005)),
+        mk(),
+        &cfg,
+    )
+    .unwrap();
+    let loose = run_collocation(
+        PolicyKind::Orion(OrionConfig::default().with_dur_threshold(0.5)),
+        mk(),
+        &cfg,
+    )
+    .unwrap();
+    assert!(
+        loose.be_throughput() >= tight.be_throughput(),
+        "loose {:.2} < tight {:.2}",
+        loose.be_throughput(),
+        tight.be_throughput()
+    );
+}
+
+/// Disabling every Orion gate turns it into a priority pass-through:
+/// the best-effort job then runs like under StreamPriority.
+#[test]
+fn orion_with_gates_off_matches_stream_priority() {
+    let cfg = quick(42);
+    let mk = || {
+        vec![
+            ClientSpec::high_priority(
+                inference_workload(ModelKind::ResNet50),
+                ArrivalProcess::Poisson { rps: 15.0 },
+            ),
+            ClientSpec::best_effort(
+                training_workload(ModelKind::MobileNetV2),
+                ArrivalProcess::ClosedLoop,
+            ),
+        ]
+    };
+    let open = OrionConfig {
+        use_profile_check: false,
+        use_sm_check: false,
+        dur_threshold_frac: None,
+        ..OrionConfig::default()
+    };
+    let orion_open = run_collocation(PolicyKind::Orion(open), mk(), &cfg).unwrap();
+    let sp = run_collocation(PolicyKind::StreamPriority, mk(), &cfg).unwrap();
+    // Same BE progress within 10% (launch-cost modelling differs slightly).
+    let (a, b) = (orion_open.be_throughput(), sp.be_throughput());
+    assert!(
+        (a - b).abs() <= 0.1 * b.max(a),
+        "gates-off orion be {a:.2} vs stream-priority {b:.2}"
+    );
+}
+
+/// Tick-Tock preserves work: both training jobs progress, neither starves,
+/// and barriers never deadlock across seeds.
+#[test]
+fn ticktock_progresses_both_jobs() {
+    for seed in [1u64, 9, 77] {
+        let cfg = quick(seed);
+        let clients = vec![
+            ClientSpec::high_priority(
+                training_workload(ModelKind::ResNet50),
+                ArrivalProcess::ClosedLoop,
+            ),
+            ClientSpec::best_effort(
+                training_workload(ModelKind::MobileNetV2),
+                ArrivalProcess::ClosedLoop,
+            ),
+        ];
+        let r = run_collocation(PolicyKind::TickTock, clients, &cfg).unwrap();
+        assert!(r.clients[0].completed > 0, "seed {seed}: hp starved");
+        assert!(r.clients[1].completed > 0, "seed {seed}: be starved");
+    }
+}
+
+/// REEF's queue-depth knob bounds best-effort aggressiveness: depth 1 admits
+/// no more best-effort work than depth 12.
+#[test]
+fn reef_queue_depth_bounds_be() {
+    let cfg = quick(42);
+    let mk = || {
+        vec![
+            ClientSpec::high_priority(
+                inference_workload(ModelKind::ResNet50),
+                ArrivalProcess::Poisson { rps: 15.0 },
+            ),
+            ClientSpec::best_effort(
+                training_workload(ModelKind::ResNet50),
+                ArrivalProcess::ClosedLoop,
+            ),
+        ]
+    };
+    let d1 = run_collocation(PolicyKind::ReefN { queue_depth: 1 }, mk(), &cfg).unwrap();
+    let d12 = run_collocation(PolicyKind::ReefN { queue_depth: 12 }, mk(), &cfg).unwrap();
+    assert!(
+        d1.be_throughput() <= d12.be_throughput() * 1.05,
+        "depth-1 be {:.2} > depth-12 {:.2}",
+        d1.be_throughput(),
+        d12.be_throughput()
+    );
+}
+
+/// Profile files round-trip through disk and the scheduler consumes them
+/// unchanged (the paper's offline -> online handoff).
+#[test]
+fn profile_file_handoff() {
+    let w = inference_workload(ModelKind::Bert);
+    let spec = GpuSpec::v100_16gb();
+    let p = orion::profiler::profile_workload(&w, &spec);
+    let dir = std::env::temp_dir().join("orion_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bert.json");
+    p.save(&path).unwrap();
+    let loaded = orion::profiler::WorkloadProfile::load(&path).unwrap();
+    assert_eq!(loaded.kernels.len(), p.kernels.len());
+    assert_eq!(loaded.request_latency, p.request_latency);
+    let table = loaded.table();
+    for k in w.kernels() {
+        assert_eq!(table.duration(k.kernel_id), k.solo_duration);
+    }
+    std::fs::remove_file(&path).ok();
+}
