@@ -1,7 +1,6 @@
 //! End-to-end collocation throughput: simulated seconds per wall second for
-//! a representative inf-train pair under each policy.
+//! a representative inf-train pair under each policy. Plain `Instant` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orion_core::prelude::*;
 use orion_desim::time::SimTime;
 use orion_workloads::arrivals::ArrivalProcess;
@@ -26,22 +25,22 @@ fn run_once(policy: PolicyKind) {
     std::hint::black_box(r);
 }
 
-fn bench_collocation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collocation_500ms_sim");
-    g.sample_size(10);
+fn main() {
+    const ITERS: u32 = 10;
     for policy in [
         PolicyKind::Mps,
         PolicyKind::reef_default(),
         PolicyKind::orion_default(),
     ] {
-        g.bench_with_input(
-            BenchmarkId::new("inf_train", policy.label()),
-            &policy,
-            |b, p| b.iter(|| run_once(p.clone())),
+        run_once(policy.clone()); // warmup
+        let start = std::time::Instant::now();
+        for _ in 0..ITERS {
+            run_once(policy.clone());
+        }
+        let per_iter = start.elapsed() / ITERS;
+        println!(
+            "collocation_500ms_sim/inf_train/{}: {per_iter:?}/iter",
+            policy.label()
         );
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_collocation);
-criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! Microbenchmarks of the DES + GPU engine hot paths: the simulator must
 //! sustain millions of events per second for the experiment suite to run.
+//!
+//! Plain `std::time::Instant` harness (no external bench framework): each
+//! case is warmed up once, then timed over a fixed iteration count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orion_desim::time::SimTime;
 use orion_gpu::engine::{GpuEngine, OpKind};
 use orion_gpu::kernel::KernelBuilder;
@@ -27,17 +29,15 @@ fn submit_and_drain(n_kernels: u64, n_streams: usize) {
     assert_eq!(e.drain_completions().len() as u64, n_kernels);
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gpu_engine");
+fn main() {
+    const ITERS: u32 = 20;
     for streams in [1usize, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("submit_drain_1k_kernels", streams),
-            &streams,
-            |b, &s| b.iter(|| submit_and_drain(1_000, s)),
-        );
+        submit_and_drain(1_000, streams); // warmup
+        let start = std::time::Instant::now();
+        for _ in 0..ITERS {
+            submit_and_drain(std::hint::black_box(1_000), streams);
+        }
+        let per_iter = start.elapsed() / ITERS;
+        println!("gpu_engine/submit_drain_1k_kernels/{streams}: {per_iter:?}/iter");
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

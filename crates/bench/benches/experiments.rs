@@ -1,25 +1,22 @@
-//! Criterion wrappers over the table/figure harnesses at reduced scale —
+//! Timing wrappers over the table/figure harnesses at reduced scale —
 //! one benchmark per reproduced artifact class, so `cargo bench` exercises
-//! the same code paths the experiment binaries use.
+//! the same code paths the experiment binaries use. Plain `Instant` harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use orion_bench::exp::{self, ExpConfig};
 
-fn bench_experiments(c: &mut Criterion) {
-    let cfg = ExpConfig::fast();
-    let mut g = c.benchmark_group("experiments_fast");
-    g.sample_size(10);
-    g.bench_function("table2_toy_collocation", |b| {
-        b.iter(|| std::hint::black_box(exp::table2::run(&cfg)))
-    });
-    g.bench_function("fig4_kernel_mixes", |b| {
-        b.iter(|| std::hint::black_box(exp::fig4::run(&cfg)))
-    });
-    g.bench_function("fig1_utilization_timeline", |b| {
-        b.iter(|| std::hint::black_box(exp::fig1::run(&cfg)))
-    });
-    g.finish();
+fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f()); // warmup
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("experiments_fast/{name}: {per_iter:?}/iter");
 }
 
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);
+fn main() {
+    let cfg = ExpConfig::fast();
+    time("table2_toy_collocation", 10, || exp::table2::run(&cfg));
+    time("fig4_kernel_mixes", 10, || exp::fig4::run(&cfg));
+    time("fig1_utilization_timeline", 10, || exp::fig1::run(&cfg));
+}

@@ -1,7 +1,6 @@
 //! Microbenchmark of the interference-model evaluation (the per-event hot
-//! path of the device engine).
+//! path of the device engine). Plain `Instant` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use orion_gpu::interference::{evaluate, KernelLoad, ModelParams};
 use orion_gpu::spec::GpuSpec;
 
@@ -18,17 +17,17 @@ fn loads(n: usize) -> Vec<KernelLoad> {
         .collect()
 }
 
-fn bench_eval(c: &mut Criterion) {
+fn main() {
+    const ITERS: u32 = 100_000;
     let params = ModelParams::from(&GpuSpec::v100_16gb());
-    let mut g = c.benchmark_group("interference");
     for n in [2usize, 8, 32] {
         let l = loads(n);
-        g.bench_with_input(BenchmarkId::new("evaluate", n), &l, |b, l| {
-            b.iter(|| evaluate(&params, std::hint::black_box(l)))
-        });
+        std::hint::black_box(evaluate(&params, &l)); // warmup
+        let start = std::time::Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(evaluate(&params, std::hint::black_box(&l)));
+        }
+        let per_iter = start.elapsed() / ITERS;
+        println!("interference/evaluate/{n}: {per_iter:?}/iter");
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_eval);
-criterion_main!(benches);

@@ -8,13 +8,13 @@
 //! a bucketed series plus the averages (the red dotted lines).
 
 use orion_core::prelude::*;
-use orion_core::world::run_dedicated;
 use orion_desim::time::SimTime;
 use orion_workloads::arrivals::ArrivalProcess;
 use orion_workloads::model::ModelKind;
 use orion_workloads::registry::training_workload;
 
-use crate::exp::ExpConfig;
+use crate::exp::{run_grid, ExpConfig};
+use crate::runner::Scenario;
 use crate::table::{f2, TextTable};
 
 /// The utilization series of one run.
@@ -43,7 +43,14 @@ pub fn run(cfg: &ExpConfig) -> Series {
         training_workload(ModelKind::MobileNetV2),
         ArrivalProcess::ClosedLoop,
     );
-    let r = run_dedicated(client, &rc).expect("training job fits alone");
+    // A one-cell grid: dedicated execution is an MPS collocation of one.
+    let outcomes = run_grid(vec![Scenario::new(
+        "MNv2-train solo",
+        PolicyKind::Mps,
+        vec![client],
+        rc,
+    )]);
+    let r = outcomes[0].res();
     let mut t_ms = Vec::new();
     let mut compute = Vec::new();
     let mut mem_bw = Vec::new();

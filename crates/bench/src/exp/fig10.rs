@@ -7,7 +7,8 @@ use orion_workloads::arrivals::ArrivalProcess;
 use orion_workloads::model::ModelKind;
 use orion_workloads::registry::{training_workload, ALL_MODELS};
 
-use crate::exp::{be_training, ideal_throughput, ExpConfig};
+use crate::exp::{be_training, ideal_throughput, mean, par_map, run_grid, ExpConfig};
+use crate::runner::Scenario;
 use crate::table::{f2, TextTable};
 
 /// One (hp model, policy) cell, averaged over best-effort training partners.
@@ -53,35 +54,71 @@ pub fn run(cfg: &ExpConfig) -> Vec<ModelRow> {
     } else {
         ALL_MODELS.to_vec()
     };
+    // Fitting partners per HP model (the paper's cluster manager only
+    // collocates fitting pairs).
+    let partner_lists: Vec<Vec<ModelKind>> = hp_models
+        .iter()
+        .map(|&hp_model| {
+            let hp_fp = training_workload(hp_model).memory_footprint;
+            ALL_MODELS
+                .iter()
+                .copied()
+                .filter(|&m| m != hp_model)
+                .filter(|&m| training_workload(m).memory_footprint + hp_fp <= capacity)
+                .take(if cfg.fast { 1 } else { 4 })
+                .collect()
+        })
+        .collect();
+
+    // Dedicated references: every training job appears at most once as HP
+    // and possibly several times as a partner — measure each model once.
+    let be_deds: Vec<f64> = par_map(ALL_MODELS.to_vec(), |_, m| {
+        ideal_throughput(&be_training(m), &rc)
+    });
+    let be_ded_of = |m: ModelKind| {
+        be_deds[ALL_MODELS.iter().position(|&x| x == m).expect("model listed")]
+    };
+    let hp_deds = par_map(hp_models.clone(), |_, m| {
+        ideal_throughput(
+            &ClientSpec::high_priority(training_workload(m), ArrivalProcess::ClosedLoop),
+            &rc,
+        )
+    });
+
+    let mut grid = Vec::new();
+    for (hi, (&hp_model, partners)) in hp_models.iter().zip(&partner_lists).enumerate() {
+        let hp = ClientSpec::high_priority(training_workload(hp_model), ArrivalProcess::ClosedLoop);
+        for policy in policies(&rc) {
+            for (pi, &bm) in partners.iter().enumerate() {
+                // Seed-paired across policies per (hp, partner) pair.
+                grid.push(
+                    Scenario::new(
+                        format!("{}-train+{}-train", hp_model.name(), bm.name()),
+                        policy.clone(),
+                        vec![hp.clone(), be_training(bm)],
+                        rc.clone(),
+                    )
+                    .with_seed_cell((hi * ALL_MODELS.len() + pi) as u64),
+                );
+            }
+        }
+    }
+    let mut outcomes = run_grid(grid).into_iter();
+
     let mut rows = Vec::new();
-    for hp_model in hp_models {
-        let hp_w = training_workload(hp_model);
-        let hp = ClientSpec::high_priority(hp_w.clone(), ArrivalProcess::ClosedLoop);
-        let hp_dedicated = ideal_throughput(&hp, &rc);
-        // Partners that fit with the HP job in device memory (the paper's
-        // cluster manager only collocates fitting pairs).
-        let partners: Vec<ModelKind> = ALL_MODELS
-            .iter()
-            .copied()
-            .filter(|&m| m != hp_model)
-            .filter(|&m| {
-                training_workload(m).memory_footprint + hp_w.memory_footprint <= capacity
-            })
-            .take(if cfg.fast { 1 } else { 4 })
-            .collect();
+    for ((&hp_model, partners), hp_dedicated) in
+        hp_models.iter().zip(&partner_lists).zip(hp_deds)
+    {
         let mut cells = Vec::new();
         for policy in policies(&rc) {
             let mut hp_norms = Vec::new();
             let mut be_norms = Vec::new();
-            for &bm in &partners {
-                let be = be_training(bm);
-                let be_ded = ideal_throughput(&be, &rc);
-                let r = run_collocation(policy.clone(), vec![hp.clone(), be], &rc)
-                    .expect("fitting pairs");
+            for &bm in partners {
+                let o = outcomes.next().expect("grid covers every cell");
+                let r = o.res();
                 hp_norms.push(r.hp().throughput / hp_dedicated.max(1e-9));
-                be_norms.push(r.be_throughput() / be_ded.max(1e-9));
+                be_norms.push(r.be_throughput() / be_ded_of(bm).max(1e-9));
             }
-            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
             cells.push(Cell {
                 policy: policy.label(),
                 hp_norm: mean(&hp_norms),

@@ -10,7 +10,11 @@ use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
 use orion_workloads::model::ModelKind;
 use orion_workloads::registry::ALL_MODELS;
 
-use crate::exp::{be_inference, hp_inference, ideal_hp, standard_policies, ExpConfig};
+use crate::exp::{
+    be_inference, hp_inference, hp_mut, ideal_hp, mean, par_map, run_grid, standard_policies,
+    std_dev, ExpConfig,
+};
+use crate::runner::Scenario;
 use crate::table::{f2, TextTable};
 
 /// Arrival flavour.
@@ -69,31 +73,41 @@ pub fn run(cfg: &ExpConfig, arrivals: Arrivals) -> Vec<ModelRow> {
         }
     };
 
-    let mut rows = Vec::new();
-    for hp_model in hp_models {
-        let hp_arrivals = match arrivals {
-            Arrivals::Apollo => ArrivalProcess::Apollo {
-                mean_rps: PaperRates::apollo_mean(hp_model),
-            },
-            Arrivals::Poisson => ArrivalProcess::Poisson {
-                rps: PaperRates::inf_inf_poisson(hp_model),
-            },
-        };
-        let hp = hp_inference(hp_model, hp_arrivals);
-        let (ideal_p99, ideal_tput) = ideal_hp(&hp, &rc);
+    let hps: Vec<ClientSpec> = hp_models
+        .iter()
+        .map(|&m| {
+            let hp_arrivals = match arrivals {
+                Arrivals::Apollo => ArrivalProcess::Apollo {
+                    mean_rps: PaperRates::apollo_mean(m),
+                },
+                Arrivals::Poisson => ArrivalProcess::Poisson {
+                    rps: PaperRates::inf_inf_poisson(m),
+                },
+            };
+            hp_inference(m, hp_arrivals)
+        })
+        .collect();
+    let ideals = par_map(hps.clone(), |_, hp| ideal_hp(&hp, &rc));
 
-        let be_models: Vec<ModelKind> = ALL_MODELS
-            .iter()
-            .copied()
-            .filter(|&m| m != hp_model)
-            .take(if cfg.fast { 2 } else { 4 })
-            .collect();
+    let be_lists: Vec<Vec<ModelKind>> = hp_models
+        .iter()
+        .map(|&hp_model| {
+            ALL_MODELS
+                .iter()
+                .copied()
+                .filter(|&m| m != hp_model)
+                .take(if cfg.fast { 2 } else { 4 })
+                .collect()
+        })
+        .collect();
 
-        let mut cells = Vec::new();
-        for policy in standard_policies() {
-            let mut p99s = Vec::new();
-            let mut tputs = Vec::new();
-            for &bm in &be_models {
+    let policies = standard_policies();
+    let mut grid = Vec::new();
+    for (hi, ((&hp_model, hp), be_models)) in
+        hp_models.iter().zip(&hps).zip(&be_lists).enumerate()
+    {
+        for policy in &policies {
+            for (bi, &bm) in be_models.iter().enumerate() {
                 let be_arrivals = match arrivals {
                     Arrivals::Apollo => ArrivalProcess::Uniform {
                         rps: PaperRates::inf_inf_uniform(bm),
@@ -102,27 +116,39 @@ pub fn run(cfg: &ExpConfig, arrivals: Arrivals) -> Vec<ModelRow> {
                         rps: PaperRates::inf_inf_poisson(bm),
                     },
                 };
-                let clients = vec![hp.clone(), be_inference(bm, be_arrivals)];
-                let mut r =
-                    run_collocation(policy.clone(), clients, &rc).expect("inf pairs fit");
-                let total = r.total_throughput();
-                let hp_res = r
-                    .clients
-                    .iter_mut()
-                    .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
-                    .expect("hp present");
-                p99s.push(hp_res.latency.p99().as_millis_f64());
-                tputs.push(total);
+                // Same (hp, be) combination under every policy shares one
+                // derived seed: policy comparisons stay seed-paired.
+                grid.push(
+                    Scenario::new(
+                        format!("{}+{}-inf", hp_model.name(), bm.name()),
+                        policy.clone(),
+                        vec![hp.clone(), be_inference(bm, be_arrivals)],
+                        rc.clone(),
+                    )
+                    .with_seed_cell((hi * ALL_MODELS.len() + bi) as u64),
+                );
             }
-            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-            let m99 = mean(&p99s);
-            let sd = (p99s.iter().map(|x| (x - m99).powi(2)).sum::<f64>()
-                / p99s.len().max(1) as f64)
-                .sqrt();
+        }
+    }
+    let mut outcomes = run_grid(grid).into_iter();
+
+    let mut rows = Vec::new();
+    for ((&hp_model, be_models), (ideal_p99, ideal_tput)) in
+        hp_models.iter().zip(&be_lists).zip(ideals)
+    {
+        let mut cells = Vec::new();
+        for policy in &policies {
+            let mut p99s = Vec::new();
+            let mut tputs = Vec::new();
+            for _ in be_models {
+                let mut o = outcomes.next().expect("grid covers every cell");
+                tputs.push(o.res().total_throughput());
+                p99s.push(hp_mut(o.res_mut()).latency.p99().as_millis_f64());
+            }
             cells.push(Cell {
                 policy: policy.label(),
-                p99_ms: m99,
-                p99_sd: sd,
+                p99_ms: mean(&p99s),
+                p99_sd: std_dev(&p99s),
                 total_tput: mean(&tputs),
             });
         }

@@ -11,7 +11,8 @@ use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
 use orion_workloads::model::ModelKind;
 use orion_workloads::registry::{inference_workload, ALL_MODELS};
 
-use crate::exp::ExpConfig;
+use crate::exp::{hp_mut, mean, par_map, run_grid, std_dev, ExpConfig};
+use crate::runner::Scenario;
 use crate::table::{f2, TextTable};
 
 /// One (hp model, policy) result.
@@ -78,40 +79,59 @@ pub fn run(cfg: &ExpConfig) -> Vec<ModelRow> {
             ),
         ),
     ];
-    let mut rows = Vec::new();
-    for hp_model in hp_models {
-        let hp = a100_client(hp_model, true, speedup);
-        let ideal_p99 = {
-            let mut r = orion_core::world::run_dedicated(hp.clone(), &rc)
-                .expect("fits on A100");
-            r.clients[0].latency.p99().as_millis_f64()
-        };
-        let mut cells = Vec::new();
+    // The dedicated reference runs under the same derived seed as replica
+    // 0 (seed cell 0), so the p99/Ideal ratios compare identical arrivals.
+    let mut rc_ideal = rc.clone();
+    rc_ideal.seed = orion_desim::rng::cell_seed(rc.seed, 0);
+    let ideals = par_map(hp_models.clone(), |_, m| {
+        let mut r = orion_core::world::run_dedicated(a100_client(m, true, speedup), &rc_ideal)
+            .expect("fits on A100");
+        r.clients[0].latency.p99().as_millis_f64()
+    });
+
+    // Grid: hp_model x policy x seed replica. The runner re-derives each
+    // cell's seed from (base seed, cell index), so the replicas act as
+    // independent draws while staying thread-count independent.
+    let mut grid = Vec::new();
+    for &hp_model in &hp_models {
         for (label, policy) in &policies {
-            let mut p99s = Vec::new();
-            for &seed in &seeds {
+            for (k, &seed) in seeds.iter().enumerate() {
                 let mut rc_seeded = rc.clone();
                 rc_seeded.seed = seed;
-                let mut clients = vec![hp.clone()];
+                let mut clients = vec![a100_client(hp_model, true, speedup)];
                 for m in ALL_MODELS.iter().copied().filter(|&m| m != hp_model) {
                     clients.push(a100_client(m, false, speedup));
                 }
-                let mut r = run_collocation(policy.clone(), clients, &rc_seeded)
-                    .expect("five inference jobs fit in 40 GiB");
-                let hp_res = r
-                    .clients
-                    .iter_mut()
-                    .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
-                    .expect("hp present");
-                p99s.push(hp_res.latency.p99().as_millis_f64());
+                // Seed cell = replica index: every policy sees the same
+                // arrival draw for replica k, and the replicas stay
+                // decorrelated through their distinct base seeds.
+                grid.push(
+                    Scenario::new(
+                        format!("{}+4be [{label}]", hp_model.name()),
+                        policy.clone(),
+                        clients,
+                        rc_seeded,
+                    )
+                    .with_seed_cell(k as u64),
+                );
             }
-            let mean = p99s.iter().sum::<f64>() / p99s.len() as f64;
-            let sd = (p99s.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / p99s.len() as f64)
-                .sqrt();
+        }
+    }
+    let mut outcomes = run_grid(grid).into_iter();
+
+    let mut rows = Vec::new();
+    for (&hp_model, ideal_p99) in hp_models.iter().zip(ideals) {
+        let mut cells = Vec::new();
+        for (label, _) in &policies {
+            let mut p99s = Vec::new();
+            for _ in &seeds {
+                let mut o = outcomes.next().expect("grid covers every cell");
+                p99s.push(hp_mut(o.res_mut()).latency.p99().as_millis_f64());
+            }
             cells.push(Cell {
                 policy: label,
-                p99_ms: mean,
-                p99_sd: sd,
+                p99_ms: mean(&p99s),
+                p99_sd: std_dev(&p99s),
             });
         }
         rows.push(ModelRow {

@@ -11,7 +11,8 @@ use orion_core::prelude::*;
 use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
 use orion_workloads::model::ModelKind;
 
-use crate::exp::{be_training, hp_inference, ExpConfig};
+use crate::exp::{be_training, hp_inference, hp_mut, mean, run_grid, ExpConfig};
+use crate::runner::Scenario;
 use crate::table::{f2, TextTable};
 
 /// One ablation step.
@@ -57,22 +58,33 @@ pub fn run(cfg: &ExpConfig) -> Vec<Step> {
     } else {
         vec![ModelKind::ResNet50, ModelKind::MobileNetV2, ModelKind::Bert]
     };
-    let mut out = Vec::new();
+    let mut grid = Vec::new();
     for (label, policy) in steps() {
+        for (bi, &bm) in be_models.iter().enumerate() {
+            // Seed-paired across the ablation ladder per BE partner.
+            grid.push(
+                Scenario::new(
+                    format!("{label} / be {}", bm.name()),
+                    policy.clone(),
+                    vec![hp.clone(), be_training(bm)],
+                    rc.clone(),
+                )
+                .with_seed_cell(bi as u64),
+            );
+        }
+    }
+    let mut outcomes = run_grid(grid).into_iter();
+
+    let mut out = Vec::new();
+    for (label, _) in steps() {
         let mut p95s = Vec::new();
         let mut p99s = Vec::new();
-        for &bm in &be_models {
-            let mut r = run_collocation(policy.clone(), vec![hp.clone(), be_training(bm)], &rc)
-                .expect("pairs fit");
-            let hp_res = r
-                .clients
-                .iter_mut()
-                .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
-                .expect("hp present");
+        for _ in &be_models {
+            let mut o = outcomes.next().expect("grid covers every cell");
+            let hp_res = hp_mut(o.res_mut());
             p95s.push(hp_res.latency.p95().as_millis_f64());
             p99s.push(hp_res.latency.p99().as_millis_f64());
         }
-        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         out.push(Step {
             label,
             p95_ms: mean(&p95s),

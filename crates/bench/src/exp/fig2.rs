@@ -12,7 +12,8 @@ use orion_workloads::arrivals::ArrivalProcess;
 use orion_workloads::model::ModelKind;
 use orion_workloads::registry::{inference_workload, training_workload};
 
-use crate::exp::{ideal_throughput, ExpConfig};
+use crate::exp::{ideal_throughput, par_map, run_grid, ExpConfig};
+use crate::runner::Scenario;
 use crate::table::{f2, TextTable};
 
 /// A collocation pair of the motivation experiment.
@@ -82,38 +83,67 @@ pub struct PairBars {
     pub bars: Vec<Bar>,
 }
 
+/// Policies compared for one pair. Tick-Tock only applies when both jobs
+/// are training; Orion runs with the tuned SM_THRESHOLD (the paper tunes it
+/// up for throughput-oriented HP jobs, §5.1.1).
+fn pair_policies(p: &Pair, rc: &RunConfig) -> Vec<PolicyKind> {
+    let mut policies = vec![
+        PolicyKind::Temporal,
+        PolicyKind::Streams,
+        PolicyKind::Mps,
+        PolicyKind::reef_default(),
+    ];
+    if p.hp.1 && p.be.1 {
+        policies.push(PolicyKind::TickTock);
+    }
+    policies.push(crate::exp::orion_aggressive(rc));
+    policies
+}
+
 /// Runs the motivation experiment.
 pub fn run(cfg: &ExpConfig) -> Vec<PairBars> {
     let rc = cfg.run_config();
+    let ps = pairs();
+    // Dedicated-GPU (Ideal) references, one per job, in parallel.
+    let ideals = par_map(ps.clone(), |_, p| {
+        (
+            ideal_throughput(&client(p.hp.0, p.hp.1, true), &rc),
+            ideal_throughput(&client(p.be.0, p.be.1, false), &rc),
+        )
+    });
+    // The collocation grid: every pair under every applicable policy.
+    let grid: Vec<Scenario> = ps
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, p)| {
+            let rc = rc.clone();
+            pair_policies(p, &rc).into_iter().map(move |policy| {
+                // Seed-paired across policies per pair.
+                Scenario::new(
+                    p.label,
+                    policy,
+                    vec![client(p.hp.0, p.hp.1, true), client(p.be.0, p.be.1, false)],
+                    rc.clone(),
+                )
+                .with_seed_cell(pi as u64)
+            })
+        })
+        .collect();
+    let outcomes = run_grid(grid);
+
     let mut out = Vec::new();
-    for p in pairs() {
-        let hp = client(p.hp.0, p.hp.1, true);
-        let be = client(p.be.0, p.be.1, false);
-        let hp_ded = ideal_throughput(&hp, &rc);
-        let be_ded = ideal_throughput(&be, &rc);
+    let mut cursor = outcomes.into_iter();
+    for (p, (hp_ded, be_ded)) in ps.iter().zip(ideals) {
         let mut bars = vec![Bar {
             policy: "Ideal",
             hp_norm: 1.0,
             be_norm: 1.0,
         }];
-        let mut policies = vec![
-            PolicyKind::Temporal,
-            PolicyKind::Streams,
-            PolicyKind::Mps,
-            PolicyKind::reef_default(),
-        ];
-        // Tick-Tock only applies when both jobs are training.
-        if p.hp.1 && p.be.1 {
-            policies.push(PolicyKind::TickTock);
-        }
-        // Closed-loop throughput study: Orion with the tuned SM_THRESHOLD
-        // (the paper tunes it up for throughput-oriented HP jobs, §5.1.1).
-        policies.push(crate::exp::orion_aggressive(&rc));
-        for policy in policies {
-            let r = run_collocation(policy.clone(), vec![hp.clone(), be.clone()], &rc)
-                .expect("figure 2 pairs fit in 16 GiB");
+        for _ in pair_policies(p, &rc) {
+            let o = cursor.next().expect("grid covers every (pair, policy)");
+            let r = o.res();
             bars.push(Bar {
-                policy: policy.label(),
+                policy: o.policy,
                 hp_norm: r.hp().throughput / hp_ded.max(1e-9),
                 be_norm: r.be_throughput() / be_ded.max(1e-9),
             });

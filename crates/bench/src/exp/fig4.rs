@@ -7,7 +7,7 @@
 use orion_workloads::model::ModelKind;
 use orion_workloads::registry::{inference_workload, training_workload, ALL_MODELS};
 
-use crate::exp::ExpConfig;
+use crate::exp::{par_map, ExpConfig};
 use crate::table::TextTable;
 
 /// Kernel mix of one workload.
@@ -32,28 +32,25 @@ impl Mix {
 
 /// Computes the mixes for all ten workloads.
 pub fn run(_cfg: &ExpConfig) -> Vec<Mix> {
-    let mut out = Vec::new();
-    for m in ALL_MODELS {
-        let w = inference_workload(m);
+    let items: Vec<(ModelKind, bool)> = ALL_MODELS
+        .into_iter()
+        .map(|m| (m, false))
+        .chain(ALL_MODELS.into_iter().map(|m| (m, true)))
+        .collect();
+    par_map(items, |_, (m, training)| {
+        let w = if training {
+            training_workload(m)
+        } else {
+            inference_workload(m)
+        };
         let (c, mm, u) = w.profile_mix();
-        out.push(Mix {
+        Mix {
             label: w.label(),
             compute: c,
             memory: mm,
             unknown: u,
-        });
-    }
-    for m in ALL_MODELS {
-        let w = training_workload(m);
-        let (c, mm, u) = w.profile_mix();
-        out.push(Mix {
-            label: w.label(),
-            compute: c,
-            memory: mm,
-            unknown: u,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Prints the mixes.

@@ -12,7 +12,11 @@ use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
 use orion_workloads::model::ModelKind;
 use orion_workloads::registry::ALL_MODELS;
 
-use crate::exp::{be_training, hp_inference, ideal_hp, standard_policies, ExpConfig};
+use crate::exp::{
+    be_training, hp_inference, hp_mut, ideal_hp, mean, par_map, run_grid, standard_policies,
+    std_dev, ExpConfig,
+};
+use crate::runner::Scenario;
 use crate::table::{f2, TextTable};
 
 /// Arrival flavour of the experiment.
@@ -82,41 +86,55 @@ pub fn run(cfg: &ExpConfig, arrivals: Arrivals) -> Vec<ModelRow> {
         ALL_MODELS.to_vec()
     };
 
+    // Dedicated-GPU references, one per HP model, in parallel.
+    let hps: Vec<ClientSpec> = hp_models
+        .iter()
+        .map(|&m| hp_inference(m, arrivals.process(m)))
+        .collect();
+    let ideals = par_map(hps.clone(), |_, hp| ideal_hp(&hp, &rc));
+
+    // The collocation grid: hp_model x policy x be partner.
+    let policies = standard_policies();
+    let mut grid = Vec::new();
+    for (hi, (&hp_model, hp)) in hp_models.iter().zip(&hps).enumerate() {
+        for policy in &policies {
+            for (bi, &bm) in be_models.iter().enumerate() {
+                // Seed-pair the policies: every policy sees identical
+                // arrivals for a given (hp, be) combination.
+                grid.push(
+                    Scenario::new(
+                        format!("{}+{}-train", hp_model.name(), bm.name()),
+                        policy.clone(),
+                        vec![hp.clone(), be_training(bm)],
+                        rc.clone(),
+                    )
+                    .with_seed_cell((hi * be_models.len() + bi) as u64),
+                );
+            }
+        }
+    }
+    let mut outcomes = run_grid(grid).into_iter();
+
     let mut rows = Vec::new();
-    for hp_model in hp_models {
-        let hp = hp_inference(hp_model, arrivals.process(hp_model));
-        let (ideal_p99, ideal_tput) = ideal_hp(&hp, &rc);
+    for (&hp_model, (ideal_p99, ideal_tput)) in hp_models.iter().zip(ideals) {
         let mut cells = Vec::new();
-        for policy in standard_policies() {
+        for policy in &policies {
             let mut p99s = Vec::new();
             let mut p95s = Vec::new();
             let mut hp_tputs = Vec::new();
             let mut be_tputs = Vec::new();
-            for &be_model in &be_models {
-                let clients = vec![hp.clone(), be_training(be_model)];
-                let mut r = run_collocation(policy.clone(), clients, &rc)
-                    .expect("inf-train pairs fit in 16 GiB");
-                {
-                    let hp_res = r
-                        .clients
-                        .iter_mut()
-                        .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
-                        .expect("hp client present");
-                    p99s.push(hp_res.latency.p99().as_millis_f64());
-                    p95s.push(hp_res.latency.p95().as_millis_f64());
-                    hp_tputs.push(hp_res.throughput);
-                }
-                be_tputs.push(r.be_throughput());
+            for _ in &be_models {
+                let mut o = outcomes.next().expect("grid covers every cell");
+                be_tputs.push(o.res().be_throughput());
+                let hp_res = hp_mut(o.res_mut());
+                p99s.push(hp_res.latency.p99().as_millis_f64());
+                p95s.push(hp_res.latency.p95().as_millis_f64());
+                hp_tputs.push(hp_res.throughput);
             }
-            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-            let m99 = mean(&p99s);
-            let sd = (p99s.iter().map(|x| (x - m99).powi(2)).sum::<f64>()
-                / p99s.len().max(1) as f64)
-                .sqrt();
             cells.push(Cell {
                 policy: policy.label(),
-                p99_ms: m99,
-                p99_sd: sd,
+                p99_ms: mean(&p99s),
+                p99_sd: std_dev(&p99s),
                 p95_ms: mean(&p95s),
                 hp_tput: mean(&hp_tputs),
                 be_tput: mean(&be_tputs),

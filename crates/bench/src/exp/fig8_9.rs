@@ -7,12 +7,12 @@
 //! utilization (Fig. 9: 10% -> 47%), and SM utilization (11% -> 49%).
 
 use orion_core::prelude::*;
-use orion_core::world::run_dedicated;
 use orion_workloads::arrivals::ArrivalProcess;
 use orion_workloads::model::ModelKind;
 use orion_workloads::registry::{inference_workload, training_workload};
 
-use crate::exp::ExpConfig;
+use crate::exp::{run_grid, ExpConfig};
+use crate::runner::Scenario;
 use crate::table::{f1, f2, TextTable};
 
 /// Utilization summary of one configuration.
@@ -43,33 +43,49 @@ pub fn run(cfg: &ExpConfig) -> (UtilRow, UtilRow) {
         )
     };
 
-    let alone = run_dedicated(inference(), &rc).expect("inference fits alone");
-    let alone_row = UtilRow {
-        label: "ResNet50 inference alone",
-        compute: 100.0 * alone.utilization.compute,
-        mem_bw: 100.0 * alone.utilization.mem_bw,
-        sm: 100.0 * alone.utilization.sm_busy,
-        timeline_compute: alone.timeline.iter().map(|s| s.compute).collect(),
-        timeline_mem: alone.timeline.iter().map(|s| s.mem_bw).collect(),
-    };
-
-    let clients = vec![
-        inference(),
-        ClientSpec::best_effort(
-            training_workload(ModelKind::ResNet50),
-            ArrivalProcess::ClosedLoop,
-        ),
+    // Two cells: dedicated (MPS with a single client) and collocated under
+    // Orion — both run through the shared runner.
+    // Both cells share seed cell 0: the collocated run sees the same
+    // inference arrivals as the dedicated one.
+    let grid = vec![
+        Scenario::new(
+            "RN50-inf alone",
+            PolicyKind::Mps,
+            vec![inference()],
+            rc.clone(),
+        )
+        .with_seed_cell(0),
+        Scenario::new(
+            "RN50-inf + RN50-train (Orion)",
+            PolicyKind::orion_default(),
+            vec![
+                inference(),
+                ClientSpec::best_effort(
+                    training_workload(ModelKind::ResNet50),
+                    ArrivalProcess::ClosedLoop,
+                ),
+            ],
+            rc.clone(),
+        )
+        .with_seed_cell(0),
     ];
-    let col = run_collocation(PolicyKind::orion_default(), clients, &rc)
-        .expect("pair fits in 16 GiB");
-    let col_row = UtilRow {
-        label: "ResNet50 inference + ResNet50 training (Orion)",
-        compute: 100.0 * col.utilization.compute,
-        mem_bw: 100.0 * col.utilization.mem_bw,
-        sm: 100.0 * col.utilization.sm_busy,
-        timeline_compute: col.timeline.iter().map(|s| s.compute).collect(),
-        timeline_mem: col.timeline.iter().map(|s| s.mem_bw).collect(),
+    let outcomes = run_grid(grid);
+    let util_row = |o: &crate::runner::CellOutcome, label: &'static str| {
+        let r = o.res();
+        UtilRow {
+            label,
+            compute: 100.0 * r.utilization.compute,
+            mem_bw: 100.0 * r.utilization.mem_bw,
+            sm: 100.0 * r.utilization.sm_busy,
+            timeline_compute: r.timeline.iter().map(|s| s.compute).collect(),
+            timeline_mem: r.timeline.iter().map(|s| s.mem_bw).collect(),
+        }
     };
+    let alone_row = util_row(&outcomes[0], "ResNet50 inference alone");
+    let col_row = util_row(
+        &outcomes[1],
+        "ResNet50 inference + ResNet50 training (Orion)",
+    );
     (alone_row, col_row)
 }
 

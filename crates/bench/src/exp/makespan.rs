@@ -18,7 +18,7 @@ use orion_workloads::arrivals::ArrivalProcess;
 use orion_workloads::model::ModelKind;
 use orion_workloads::registry::training_workload;
 
-use crate::exp::{ideal_throughput, ExpConfig};
+use crate::exp::{ideal_throughput, par_map, ExpConfig};
 use crate::table::{f2, ratio, TextTable};
 
 /// Result for one scheduling strategy.
@@ -116,25 +116,34 @@ fn plan(policy: &PolicyKind, cfg: &RunConfig) -> (f64, f64) {
 }
 
 /// Sequential baseline: every job on the GPU alone, one after another
-/// (high-priority jobs first).
+/// (high-priority jobs first). The dedicated rates are measured in
+/// parallel on the shared runner.
 fn sequential(cfg: &RunConfig) -> (f64, f64) {
     let (hp_jobs, be_jobs) = jobs();
+    let n_hp = hp_jobs.len();
+    let all: Vec<(ModelKind, f64, bool)> = hp_jobs
+        .into_iter()
+        .map(|(m, q)| (m, q, true))
+        .chain(be_jobs.into_iter().map(|(m, q)| (m, q, false)))
+        .collect();
+    let rates = par_map(all.clone(), |_, (m, _, hp)| {
+        ideal_throughput(&client(m, hp), cfg).max(1e-9)
+    });
     let mut t = 0.0;
     let mut hp_jcts = Vec::new();
-    for (m, quota) in &hp_jobs {
-        let rate = ideal_throughput(&client(*m, true), cfg).max(1e-9);
+    for (i, ((_, quota, _), rate)) in all.iter().zip(rates).enumerate() {
         t += quota / rate;
-        hp_jcts.push(t);
-    }
-    for (m, quota) in &be_jobs {
-        let rate = ideal_throughput(&client(*m, false), cfg).max(1e-9);
-        t += quota / rate;
+        if i < n_hp {
+            hp_jcts.push(t);
+        }
     }
     let hp_mean = hp_jcts.iter().sum::<f64>() / hp_jcts.len() as f64;
     (t, hp_mean)
 }
 
-/// Runs the makespan comparison.
+/// Runs the makespan comparison. The three collocating strategies plan in
+/// parallel on the shared runner; each plan's inner collocation runs stay
+/// sequential because partner selection depends on earlier measured rates.
 pub fn run(cfg: &ExpConfig) -> Vec<Strategy> {
     let rc = cfg.run_config();
     let (seq_makespan, seq_hp) = sequential(&rc);
@@ -144,12 +153,16 @@ pub fn run(cfg: &ExpConfig) -> Vec<Strategy> {
         hp_mean_jct_s: seq_hp,
         savings: 1.0,
     }];
-    for (label, policy) in [
+    let strategies = vec![
         ("MPS", PolicyKind::Mps),
         ("REEF", PolicyKind::reef_default()),
         ("Orion", crate::exp::orion_aggressive(&rc)),
-    ] {
+    ];
+    let planned = par_map(strategies, |_, (label, policy)| {
         let (makespan, hp_jct) = plan(&policy, &rc);
+        (label, makespan, hp_jct)
+    });
+    for (label, makespan, hp_jct) in planned {
         out.push(Strategy {
             label,
             makespan_s: makespan,

@@ -3,6 +3,13 @@
 //! Each module exposes `run(cfg) -> <data>` plus a `print` entry used by its
 //! binary in `src/bin/`. All experiments honour [`ExpConfig::fast`] so the
 //! full suite stays runnable in CI (shorter horizons, fewer collocations).
+//!
+//! Every module executes its cells through the shared [`Runner`]
+//! (`crate::runner`): collocation grids go through [`run_grid`], and
+//! auxiliary sweeps (dedicated-GPU references, profiling passes,
+//! engine-level microbenchmarks) through [`par_map`]. Both fan work across
+//! `ORION_THREADS` workers with per-cell seeds derived from
+//! `(base_seed, cell_index)`, so results are identical at any thread count.
 
 pub mod fig1;
 pub mod fig10;
@@ -20,12 +27,15 @@ pub mod table1;
 pub mod table2;
 pub mod table4;
 
+use orion_core::client::ClientPriority;
 use orion_core::prelude::*;
 use orion_desim::time::SimTime;
 use orion_gpu::spec::GpuSpec;
 use orion_workloads::arrivals::ArrivalProcess;
 use orion_workloads::model::ModelKind;
 use orion_workloads::registry::{inference_workload, training_workload};
+
+use crate::runner::{maybe_write_jsonl, CellOutcome, Runner, Scenario};
 
 /// Shared experiment configuration.
 #[derive(Debug, Clone)]
@@ -116,6 +126,53 @@ pub fn be_training(model: ModelKind) -> ClientSpec {
 /// A best-effort inference client for `model`.
 pub fn be_inference(model: ModelKind, arrivals: ArrivalProcess) -> ClientSpec {
     ClientSpec::best_effort(inference_workload(model), arrivals)
+}
+
+/// Runs a scenario grid on the shared [`Runner`] (thread count from
+/// `ORION_THREADS`), appends the optional `ORION_JSONL` per-cell stream,
+/// and emits the one-line wall-clock summary on stderr (suppressed by
+/// `ORION_QUIET=1`). Outcomes come back in grid order.
+pub fn run_grid(scenarios: Vec<Scenario>) -> Vec<CellOutcome> {
+    let runner = Runner::from_env();
+    let mut out = runner.run_scenarios(scenarios);
+    maybe_write_jsonl(&mut out);
+    if runner.progress_enabled() {
+        eprintln!("[runner] {}", runner.summary(&out));
+    }
+    out
+}
+
+/// Deterministic parallel map over auxiliary work items (dedicated-GPU
+/// references, profiling passes, engine microbenchmarks) on the shared
+/// runner, without per-cell progress noise. Results come back in input
+/// order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    Runner::from_env().with_progress(false).map(items, f)
+}
+
+/// The high-priority client of a finished collocation (latency percentiles
+/// need `&mut` for the lazy sort).
+pub fn hp_mut(r: &mut RunResult) -> &mut orion_core::world::ClientResult {
+    r.clients
+        .iter_mut()
+        .find(|c| c.priority == ClientPriority::HighPriority)
+        .expect("hp client present")
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+/// Population standard deviation (0.0 for an empty slice).
+pub fn std_dev(v: &[f64]) -> f64 {
+    let m = mean(v);
+    (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len().max(1) as f64).sqrt()
 }
 
 /// Ideal reference for an HP client: dedicated-GPU p99 latency (ms) and

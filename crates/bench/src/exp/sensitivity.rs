@@ -11,7 +11,8 @@ use orion_core::prelude::*;
 use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
 use orion_workloads::model::ModelKind;
 
-use crate::exp::{be_training, hp_inference, ExpConfig};
+use crate::exp::{be_training, hp_inference, hp_mut, run_grid, ExpConfig};
+use crate::runner::Scenario;
 use crate::table::{f2, TextTable};
 
 /// One sweep point.
@@ -40,24 +41,32 @@ pub fn run(cfg: &ExpConfig) -> Vec<Point> {
     } else {
         vec![0.01, 0.025, 0.05, 0.10, 0.15, 0.20]
     };
-    let mut out = Vec::new();
-    for frac in fracs {
-        let policy = PolicyKind::Orion(OrionConfig::default().with_dur_threshold(frac));
-        let mut r = run_collocation(policy, vec![hp.clone(), be.clone()], &rc)
-            .expect("pair fits");
-        let be_tput = r.be_throughput();
-        let hp_res = r
-            .clients
-            .iter_mut()
-            .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
-            .expect("hp present");
-        out.push(Point {
-            threshold_pct: 100.0 * frac,
-            p99_ms: hp_res.latency.p99().as_millis_f64(),
-            be_tput,
-        });
-    }
-    out
+    // All sweep points share one derived seed (seed cell 0): the threshold
+    // is the only thing that varies, as in a paired experiment.
+    let grid: Vec<Scenario> = fracs
+        .iter()
+        .map(|&frac| {
+            Scenario::new(
+                format!("DUR_THRESHOLD {:.1}%", 100.0 * frac),
+                PolicyKind::Orion(OrionConfig::default().with_dur_threshold(frac)),
+                vec![hp.clone(), be.clone()],
+                rc.clone(),
+            )
+            .with_seed_cell(0)
+        })
+        .collect();
+    fracs
+        .iter()
+        .zip(run_grid(grid))
+        .map(|(&frac, mut o)| {
+            let be_tput = o.res().be_throughput();
+            Point {
+                threshold_pct: 100.0 * frac,
+                p99_ms: hp_mut(o.res_mut()).latency.p99().as_millis_f64(),
+                be_tput,
+            }
+        })
+        .collect()
 }
 
 /// PCIe-aware memcpy ablation: p99 with and without the extension.
@@ -70,26 +79,26 @@ pub fn run_pcie_ablation(cfg: &ExpConfig) -> (f64, f64) {
         },
     );
     let be = be_training(ModelKind::MobileNetV2);
-    let p99_of = |pcie: bool| -> f64 {
-        let cfg_orion = OrionConfig {
-            pcie_aware_memcpy: pcie,
-            ..OrionConfig::default()
-        };
-        let mut r = run_collocation(
-            PolicyKind::Orion(cfg_orion),
-            vec![hp.clone(), be.clone()],
-            &rc,
-        )
-        .expect("pair fits");
-        r.clients
-            .iter_mut()
-            .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
-            .expect("hp present")
-            .latency
-            .p99()
-            .as_millis_f64()
-    };
-    (p99_of(false), p99_of(true))
+    let grid: Vec<Scenario> = [false, true]
+        .into_iter()
+        .map(|pcie| {
+            let cfg_orion = OrionConfig {
+                pcie_aware_memcpy: pcie,
+                ..OrionConfig::default()
+            };
+            Scenario::new(
+                if pcie { "pcie-aware" } else { "baseline" },
+                PolicyKind::Orion(cfg_orion),
+                vec![hp.clone(), be.clone()],
+                rc.clone(),
+            )
+            .with_seed_cell(0)
+        })
+        .collect();
+    let mut outcomes = run_grid(grid);
+    let mut p99 =
+        |i: usize| hp_mut(outcomes[i].res_mut()).latency.p99().as_millis_f64();
+    (p99(0), p99(1))
 }
 
 /// Prints the sweep.

@@ -6,7 +6,7 @@ use orion_profiler::profile_workload;
 use orion_workloads::model::{ModelKind, Workload};
 use orion_workloads::registry::{inference_workload, training_workload, ALL_MODELS};
 
-use crate::exp::ExpConfig;
+use crate::exp::{par_map, ExpConfig};
 use crate::table::{f1, TextTable};
 
 /// One measured row of Table 1.
@@ -48,14 +48,19 @@ fn measure(w: &Workload, spec: &GpuSpec) -> Row {
 /// Profiles all ten workloads (inference then training, Table 1 order).
 pub fn run(_cfg: &ExpConfig) -> Vec<Row> {
     let spec = GpuSpec::v100_16gb();
-    let mut rows = Vec::new();
-    for m in inference_order() {
-        rows.push(measure(&inference_workload(m), &spec));
-    }
-    for m in training_order() {
-        rows.push(measure(&training_workload(m), &spec));
-    }
-    rows
+    let items: Vec<(ModelKind, bool)> = inference_order()
+        .into_iter()
+        .map(|m| (m, false))
+        .chain(training_order().into_iter().map(|m| (m, true)))
+        .collect();
+    par_map(items, |_, (m, training)| {
+        let w = if training {
+            training_workload(m)
+        } else {
+            inference_workload(m)
+        };
+        measure(&w, &spec)
+    })
 }
 
 fn inference_order() -> [ModelKind; 5] {

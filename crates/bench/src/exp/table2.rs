@@ -10,7 +10,7 @@ use orion_gpu::kernel::{KernelBuilder, KernelDesc};
 use orion_gpu::spec::GpuSpec;
 use orion_gpu::stream::StreamPriority;
 
-use crate::exp::ExpConfig;
+use crate::exp::{par_map, ExpConfig};
 use crate::table::{ratio, TextTable};
 
 /// One row of Table 2.
@@ -76,11 +76,12 @@ fn row(pair: &'static str, a: KernelDesc, b: KernelDesc, paper: f64) -> Row {
 
 /// Regenerates the three rows of Table 2.
 pub fn run(_cfg: &ExpConfig) -> Vec<Row> {
-    vec![
-        row("Conv2d-Conv2d", conv2d(), conv2d(), 0.98),
-        row("BN2d-BN2d", bn2d(), bn2d(), 1.08),
-        row("Conv2d-BN2d", conv2d(), bn2d(), 1.41),
-    ]
+    let pairs: Vec<(&'static str, KernelDesc, KernelDesc, f64)> = vec![
+        ("Conv2d-Conv2d", conv2d(), conv2d(), 0.98),
+        ("BN2d-BN2d", bn2d(), bn2d(), 1.08),
+        ("Conv2d-BN2d", conv2d(), bn2d(), 1.41),
+    ];
+    par_map(pairs, |_, (pair, a, b, paper)| row(pair, a, b, paper))
 }
 
 /// Prints the table.

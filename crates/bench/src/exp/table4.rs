@@ -8,7 +8,10 @@ use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
 use orion_workloads::model::ModelKind;
 use orion_workloads::registry::{training_workload, ALL_MODELS};
 
-use crate::exp::{be_training, hp_inference, ideal_throughput, ExpConfig};
+use crate::exp::{
+    be_training, hp_inference, ideal_throughput, mean, par_map, run_grid, ExpConfig,
+};
+use crate::runner::Scenario;
 use crate::table::{f2, ratio, TextTable};
 
 /// One row of Table 4.
@@ -41,13 +44,15 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
     } else {
         vec![ModelKind::ResNet50, ModelKind::Bert, ModelKind::MobileNetV2]
     };
-    let mut rows = Vec::new();
-    for m in ALL_MODELS {
-        let dedicated = ideal_throughput(
+    let dedicateds = par_map(ALL_MODELS.to_vec(), |_, m| {
+        ideal_throughput(
             &ClientSpec::best_effort(training_workload(m), ArrivalProcess::ClosedLoop),
             &rc,
-        );
-        let mut cols = Vec::new();
+        )
+    });
+
+    let mut grid = Vec::new();
+    for m in ALL_MODELS {
         for &hp_model in &hp_models {
             let hp = hp_inference(
                 hp_model,
@@ -55,11 +60,29 @@ pub fn run(cfg: &ExpConfig) -> Vec<Row> {
                     rps: PaperRates::inf_train_poisson(hp_model),
                 },
             );
-            let r = run_collocation(PolicyKind::orion_default(), vec![hp, be_training(m)], &rc)
-                .expect("inf-train pairs fit");
-            cols.push(r.be_throughput());
+            grid.push(Scenario::new(
+                format!("{}-inf+{}-train", hp_model.name(), m.name()),
+                PolicyKind::orion_default(),
+                vec![hp, be_training(m)],
+                rc.clone(),
+            ));
         }
-        let collocated = cols.iter().sum::<f64>() / cols.len() as f64;
+    }
+    let mut outcomes = run_grid(grid).into_iter();
+
+    let mut rows = Vec::new();
+    for (m, dedicated) in ALL_MODELS.into_iter().zip(dedicateds) {
+        let cols: Vec<f64> = hp_models
+            .iter()
+            .map(|_| {
+                outcomes
+                    .next()
+                    .expect("grid covers every cell")
+                    .res()
+                    .be_throughput()
+            })
+            .collect();
+        let collocated = mean(&cols);
         let savings = cost_savings(2, collocated, dedicated);
         let paper_savings = paper
             .iter()

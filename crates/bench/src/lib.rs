@@ -1,3 +1,4 @@
 //! Experiment harness regenerating every table and figure of the paper.
 pub mod exp;
+pub mod runner;
 pub mod table;

@@ -1,0 +1,147 @@
+//! Fast-mode smoke suite: drives one abbreviated cell of every `exp/*`
+//! module through the shared scenario runner, asserting each produces
+//! structurally sane output. This is the CI gate that catches a module
+//! whose grid construction and outcome consumption fall out of sync
+//! (`run_grid` hands results back positionally).
+//!
+//! Every test uses `ExpConfig::fast()` — the same configuration
+//! `ORION_FAST=1` selects for the binaries.
+
+use orion_bench::exp::{self, ExpConfig};
+
+fn fast() -> ExpConfig {
+    ExpConfig::fast()
+}
+
+#[test]
+fn fast_env_flag_selects_fast_config() {
+    std::env::set_var("ORION_FAST", "1");
+    let cfg = ExpConfig::from_env();
+    std::env::remove_var("ORION_FAST");
+    assert!(cfg.fast);
+    assert!(!ExpConfig::full().fast);
+}
+
+#[test]
+fn smoke_fig1() {
+    let s = exp::fig1::run(&fast());
+    assert!(!s.t_ms.is_empty(), "fig1 produced no timeline buckets");
+    assert_eq!(s.t_ms.len(), s.compute.len());
+    assert!(s.avg_compute > 0.0 && s.avg_compute <= 100.0);
+}
+
+#[test]
+fn smoke_fig2() {
+    let rows = exp::fig2::run(&fast());
+    assert_eq!(rows.len(), 3, "fig2 covers the three motivation pairs");
+    for r in &rows {
+        assert!(r.bars.len() >= 5, "{}: missing policy bars", r.label);
+        assert!(r.bars.iter().all(|b| b.hp_norm.is_finite() && b.be_norm.is_finite()));
+    }
+}
+
+#[test]
+fn smoke_fig4() {
+    let mixes = exp::fig4::run(&fast());
+    assert!(!mixes.is_empty(), "fig4 produced no kernel mixes");
+}
+
+#[test]
+fn smoke_fig6_7() {
+    for arrivals in [exp::fig6_7::Arrivals::Apollo, exp::fig6_7::Arrivals::Poisson] {
+        let rows = exp::fig6_7::run(&fast(), arrivals);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(!r.cells.is_empty());
+            assert!(r.ideal_p99 > 0.0);
+        }
+    }
+}
+
+#[test]
+fn smoke_fig8_9() {
+    let (alone, col) = exp::fig8_9::run(&fast());
+    assert!(alone.compute >= 0.0 && alone.compute <= 100.0);
+    // Collocation keeps the device at least as busy as the solo run.
+    assert!(col.compute >= alone.compute * 0.9);
+}
+
+#[test]
+fn smoke_fig10() {
+    let rows = exp::fig10::run(&fast());
+    assert!(!rows.is_empty());
+    for r in &rows {
+        assert!(!r.cells.is_empty(), "{:?}: no collocation cells", r.model);
+    }
+}
+
+#[test]
+fn smoke_fig11_12() {
+    for arrivals in [
+        exp::fig11_12::Arrivals::Apollo,
+        exp::fig11_12::Arrivals::Poisson,
+    ] {
+        let rows = exp::fig11_12::run(&fast(), arrivals);
+        assert!(!rows.is_empty());
+    }
+}
+
+#[test]
+fn smoke_fig13() {
+    let rows = exp::fig13::run(&fast());
+    assert!(!rows.is_empty());
+    for r in &rows {
+        assert_eq!(r.cells.len(), 4, "fig13 compares four policies");
+        assert!(r.ideal_p99 > 0.0);
+    }
+}
+
+#[test]
+fn smoke_fig14() {
+    let steps = exp::fig14::run(&fast());
+    assert!(!steps.is_empty());
+}
+
+#[test]
+fn smoke_makespan() {
+    let rows = exp::makespan::run(&fast());
+    assert!(
+        rows.len() >= 3,
+        "makespan compares sequential vs sharing strategies, got {}",
+        rows.len()
+    );
+    assert!(rows.iter().all(|s| s.makespan_s > 0.0));
+}
+
+#[test]
+fn smoke_overhead() {
+    let rows = exp::overhead::run(&fast());
+    assert!(!rows.is_empty());
+    assert!(rows.iter().all(|r| r.native_ms > 0.0 && r.orion_ms > 0.0));
+}
+
+#[test]
+fn smoke_sensitivity() {
+    let points = exp::sensitivity::run(&fast());
+    assert!(points.len() >= 3, "sensitivity sweeps the threshold");
+    let pcie = exp::sensitivity::run_pcie_ablation(&fast());
+    assert!(pcie.0 > 0.0 && pcie.1 > 0.0);
+}
+
+#[test]
+fn smoke_table1() {
+    let rows = exp::table1::run(&fast());
+    assert!(!rows.is_empty());
+}
+
+#[test]
+fn smoke_table2() {
+    let rows = exp::table2::run(&fast());
+    assert_eq!(rows.len(), 3, "table2 measures the three kernel pairs");
+}
+
+#[test]
+fn smoke_table4() {
+    let rows = exp::table4::run(&fast());
+    assert!(!rows.is_empty());
+}

@@ -19,8 +19,9 @@
 //! * [`tuning`] — the `SM_THRESHOLD` binary-search auto-tuner (§5.1.1);
 //! * [`placement`] — a profile-driven cluster placement heuristic
 //!   (§7 "cluster manager co-design" extension);
-//! * [`runtime`] — a real multi-threaded interception front-end (crossbeam
-//!   queues) used to measure kernel-launch interception overhead (§6.5).
+//! * [`runtime`] — a real multi-threaded interception front-end (per-client
+//!   software queues) used to measure kernel-launch interception overhead
+//!   (§6.5).
 //!
 //! # Examples
 //!

@@ -8,11 +8,31 @@
 //! §6.5 ("less than 1%") can be *measured*, not simulated. The GPU behind it
 //! is a sink — only the client-visible launch path is under test.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
-use crossbeam::queue::SegQueue;
+/// An unbounded MPMC queue of launch records.
+///
+/// A mutex-guarded ring buffer: pushes are a lock + `VecDeque::push_back`,
+/// which stays well under the §6.5 sub-microsecond budget on an uncontended
+/// per-client queue (each client owns its queue; only the scheduler thread
+/// competes for the lock).
+#[derive(Debug, Default)]
+struct LaunchQueue {
+    inner: Mutex<VecDeque<LaunchRecord>>,
+}
+
+impl LaunchQueue {
+    fn push(&self, record: LaunchRecord) {
+        self.inner.lock().expect("queue poisoned").push_back(record);
+    }
+
+    fn pop(&self) -> Option<LaunchRecord> {
+        self.inner.lock().expect("queue poisoned").pop_front()
+    }
+}
 
 /// A launch record as the wrappers capture it: kernel id + opaque args.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +48,7 @@ pub struct LaunchRecord {
 /// The shared state between client threads and the scheduler thread.
 #[derive(Debug)]
 pub struct InterceptRuntime {
-    queues: Vec<Arc<SegQueue<LaunchRecord>>>,
+    queues: Vec<Arc<LaunchQueue>>,
     dispatched: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
 }
@@ -37,7 +57,7 @@ impl InterceptRuntime {
     /// Creates a runtime with one software queue per client.
     pub fn new(clients: usize) -> Self {
         InterceptRuntime {
-            queues: (0..clients).map(|_| Arc::new(SegQueue::new())).collect(),
+            queues: (0..clients).map(|_| Arc::new(LaunchQueue::default())).collect(),
             dispatched: Arc::new(AtomicU64::new(0)),
             stop: Arc::new(AtomicBool::new(false)),
         }
@@ -59,7 +79,7 @@ impl InterceptRuntime {
     /// queues (the `run_scheduler` loop of Listing 1, minus GPU submission).
     /// Returns a guard that stops the thread on drop.
     pub fn start_scheduler(&self) -> SchedulerGuard {
-        let queues: Vec<Arc<SegQueue<LaunchRecord>>> = self.queues.clone();
+        let queues: Vec<Arc<LaunchQueue>> = self.queues.clone();
         let dispatched = Arc::clone(&self.dispatched);
         let stop = Arc::clone(&self.stop);
         let handle = thread::spawn(move || {

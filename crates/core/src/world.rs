@@ -436,6 +436,24 @@ pub fn run_dedicated(client: ClientSpec, cfg: &RunConfig) -> Result<RunResult, G
     run_collocation(PolicyKind::Mps, vec![client], cfg)
 }
 
+// The parallel experiment runner fans `run_collocation` cells across OS
+// threads: the inputs must cross thread boundaries (`Send`) and the shared
+// configuration is borrowed from many workers at once (`Sync`). Keep these
+// compile-time assertions so a stray `Rc`/raw pointer in a policy or spec
+// can't silently break the runner.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<RunConfig>();
+    assert_sync::<RunConfig>();
+    assert_send::<ClientSpec>();
+    assert_sync::<ClientSpec>();
+    assert_send::<PolicyKind>();
+    assert_sync::<PolicyKind>();
+    assert_send::<RunResult>();
+    assert_send::<GpuError>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -559,7 +577,7 @@ mod tests {
         assert!(trace.len() as u64 >= per_request * r.clients[0].completed);
         // And the Chrome export parses as JSON.
         let json = trace.to_chrome_trace();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v = orion_json::parse(&json).unwrap();
         assert!(v["traceEvents"].as_array().unwrap().len() == trace.len());
     }
 

@@ -24,12 +24,41 @@ pub struct DetRng {
     state: [u64; 4],
 }
 
-fn splitmix64(seed: &mut u64) -> u64 {
+/// One step of the splitmix64 sequence, advancing `seed` in place.
+///
+/// Exposed publicly so callers that need a *stateless* derivation of
+/// sub-seeds (e.g. the experiment runner deriving one seed per grid cell
+/// from `(base_seed, cell_index)`) share the exact same mixer as the
+/// generator itself.
+pub fn splitmix64(seed: &mut u64) -> u64 {
     *seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *seed;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Derives a deterministic sub-seed for one cell of an experiment grid.
+///
+/// The derivation is a pure function of `(base_seed, cell_index)` — it does
+/// not depend on evaluation order — so a grid swept by N worker threads
+/// produces bit-identical results to a serial sweep. Both inputs pass
+/// through splitmix64 twice, which decorrelates neighbouring cell indices.
+///
+/// # Examples
+///
+/// ```
+/// use orion_desim::rng::cell_seed;
+///
+/// assert_eq!(cell_seed(42, 7), cell_seed(42, 7));
+/// assert_ne!(cell_seed(42, 7), cell_seed(42, 8));
+/// assert_ne!(cell_seed(42, 7), cell_seed(43, 7));
+/// ```
+pub fn cell_seed(base_seed: u64, cell_index: u64) -> u64 {
+    let mut s = base_seed;
+    let a = splitmix64(&mut s);
+    let mut s = a ^ cell_index;
+    splitmix64(&mut s)
 }
 
 impl DetRng {
@@ -184,5 +213,19 @@ mod tests {
         let mut c2 = parent.fork(2);
         let same = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
         assert!(same < 3);
+    }
+
+    #[test]
+    fn cell_seed_is_order_free_and_decorrelated() {
+        // Pure function of its inputs.
+        assert_eq!(cell_seed(42, 0), cell_seed(42, 0));
+        // Neighbouring cells and neighbouring base seeds must not collide
+        // (a collision would silently duplicate an experiment cell).
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..8u64 {
+            for cell in 0..256u64 {
+                assert!(seen.insert(cell_seed(base, cell)), "collision at ({base},{cell})");
+            }
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! range — far beyond any experiment — while keeping time arithmetic exact
 //! (no floating-point clock drift).
 
-use serde::{Deserialize, Serialize};
+use orion_json::{FromJson, JsonError, ToJson, Value};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -16,9 +16,24 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// arithmetic operators implement the usual timestamp/duration algebra.
 /// Subtraction is saturating to keep the engine panic-free on reordered
 /// bookkeeping (callers that care about underflow use [`SimTime::checked_sub`]).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
+
+/// Serialized transparently as the raw nanosecond count, so timestamps stay
+/// exact (no float truncation) in profiles and result files.
+impl ToJson for SimTime {
+    fn to_json(&self) -> Value {
+        Value::from(self.0)
+    }
+}
+
+impl FromJson for SimTime {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_u64()
+            .map(SimTime)
+            .ok_or_else(|| JsonError::new("SimTime expects a non-negative integer"))
+    }
+}
 
 impl SimTime {
     /// The zero timestamp (simulation start).

@@ -1,7 +1,11 @@
-//! Property-based tests for the DES engine invariants.
+//! Randomized property tests for the DES engine invariants.
+//!
+//! Each property is exercised over a deterministic fuzz corpus drawn from
+//! [`DetRng`] — seeded case generation instead of an external property-test
+//! framework, so failures are exactly reproducible from the case index.
 
 use orion_desim::prelude::*;
-use proptest::prelude::*;
+use orion_desim::rng::cell_seed;
 
 /// A world that records every delivery for invariant checking.
 #[derive(Default)]
@@ -16,41 +20,54 @@ impl World for Trace {
     }
 }
 
-proptest! {
-    /// The clock never moves backwards, whatever the schedule order.
-    #[test]
-    fn clock_is_monotonic(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+const CASES: u64 = 64;
+
+/// The clock never moves backwards, whatever the schedule order.
+#[test]
+fn clock_is_monotonic() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xE1, case));
+        let n = 1 + rng.uniform_u64(199) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.uniform_u64(1_000_000)).collect();
         let mut sim = Simulation::new(Trace::default());
         for (i, &t) in times.iter().enumerate() {
             sim.schedule_at(SimTime::from_nanos(t), i);
         }
         sim.run_to_completion();
         let d = &sim.world().deliveries;
-        prop_assert_eq!(d.len(), times.len());
+        assert_eq!(d.len(), times.len());
         for w in d.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
+            assert!(w[0].0 <= w[1].0, "case {case}");
         }
     }
+}
 
-    /// Events at equal times are delivered in schedule (FIFO) order.
-    #[test]
-    fn equal_time_fifo(n in 1usize..300, t in 0u64..1_000) {
+/// Events at equal times are delivered in schedule (FIFO) order.
+#[test]
+fn equal_time_fifo() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xE2, case));
+        let n = 1 + rng.uniform_u64(299) as usize;
+        let t = rng.uniform_u64(1_000);
         let mut sim = Simulation::new(Trace::default());
         for i in 0..n {
             sim.schedule_at(SimTime::from_nanos(t), i);
         }
         sim.run_to_completion();
         let order: Vec<usize> = sim.world().deliveries.iter().map(|&(_, e)| e).collect();
-        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+        assert_eq!(order, (0..n).collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    /// `run_until` delivers exactly the events at or before the horizon, and
-    /// resuming later delivers the rest — no event is lost or duplicated.
-    #[test]
-    fn horizon_partitions_events(
-        times in prop::collection::vec(0u64..1_000_000, 1..100),
-        horizon in 0u64..1_000_000,
-    ) {
+/// `run_until` delivers exactly the events at or before the horizon, and
+/// resuming later delivers the rest — no event is lost or duplicated.
+#[test]
+fn horizon_partitions_events() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xE3, case));
+        let n = 1 + rng.uniform_u64(99) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.uniform_u64(1_000_000)).collect();
+        let horizon = rng.uniform_u64(1_000_000);
         let mut sim = Simulation::new(Trace::default());
         for (i, &t) in times.iter().enumerate() {
             sim.schedule_at(SimTime::from_nanos(t), i);
@@ -59,44 +76,60 @@ proptest! {
         sim.run_until(h, u64::MAX);
         let before = sim.world().deliveries.len();
         let expected_before = times.iter().filter(|&&t| t <= horizon).count();
-        prop_assert_eq!(before, expected_before);
+        assert_eq!(before, expected_before, "case {case}");
         for &(t, _) in &sim.world().deliveries {
-            prop_assert!(t <= h);
+            assert!(t <= h, "case {case}");
         }
         sim.run_until(SimTime::MAX, u64::MAX);
-        prop_assert_eq!(sim.world().deliveries.len(), times.len());
+        assert_eq!(sim.world().deliveries.len(), times.len(), "case {case}");
     }
+}
 
-    /// The RNG's uniform_u64 stays in range and exponential is non-negative.
-    #[test]
-    fn rng_ranges(seed in any::<u64>(), n in 1u64..10_000, rate in 0.001f64..1_000.0) {
+/// The RNG's uniform_u64 stays in range and exponential is non-negative.
+#[test]
+fn rng_ranges() {
+    for case in 0..CASES {
+        let mut meta = DetRng::new(cell_seed(0xE4, case));
+        let seed = meta.next_u64();
+        let n = 1 + meta.uniform_u64(9_999);
+        let rate = meta.uniform_f64(0.001, 1_000.0);
         let mut rng = DetRng::new(seed);
         for _ in 0..64 {
-            prop_assert!(rng.uniform_u64(n) < n);
+            assert!(rng.uniform_u64(n) < n, "case {case}");
             let e = rng.exponential(rate);
-            prop_assert!(e >= 0.0);
+            assert!(e >= 0.0, "case {case}");
             let u = rng.next_f64();
-            prop_assert!((0.0..1.0).contains(&u));
+            assert!((0.0..1.0).contains(&u), "case {case}");
         }
     }
+}
 
-    /// SimTime arithmetic: (a + b) - b == a for non-overflowing values.
-    #[test]
-    fn simtime_add_sub_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+/// SimTime arithmetic: (a + b) - b == a for non-overflowing values.
+#[test]
+fn simtime_add_sub_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xE5, case));
+        let a = rng.uniform_u64(u64::MAX / 4);
+        let b = rng.uniform_u64(u64::MAX / 4);
         let ta = SimTime::from_nanos(a);
         let tb = SimTime::from_nanos(b);
-        prop_assert_eq!((ta + tb) - tb, ta);
-        prop_assert_eq!(ta.mul_f64(1.0), ta);
+        assert_eq!((ta + tb) - tb, ta, "case {case}");
+        assert_eq!(ta.mul_f64(1.0), ta, "case {case}");
     }
+}
 
-    /// div_f64 then mul_f64 by the same positive factor approximately
-    /// round-trips (within rounding of 1ns per op).
-    #[test]
-    fn simtime_scale_roundtrip(ns in 1u64..1_000_000_000_000u64, f in 0.01f64..100.0) {
+/// div_f64 then mul_f64 by the same positive factor approximately
+/// round-trips (within rounding of 1ns per op).
+#[test]
+fn simtime_scale_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xE6, case));
+        let ns = 1 + rng.uniform_u64(1_000_000_000_000 - 1);
+        let f = rng.uniform_f64(0.01, 100.0);
         let t = SimTime::from_nanos(ns);
         let rt = t.div_f64(f).mul_f64(f);
         let diff = rt.as_nanos().abs_diff(t.as_nanos());
         // Relative error bounded by rounding in two steps.
-        prop_assert!(diff as f64 <= 2.0 * f.max(1.0) + 2.0, "diff {diff}");
+        assert!(diff as f64 <= 2.0 * f.max(1.0) + 2.0, "case {case}: diff {diff}");
     }
 }

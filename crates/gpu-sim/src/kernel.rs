@@ -8,7 +8,7 @@
 //! `sm_needed = ceil(num_blocks / blocks_per_sm)`.
 
 use orion_desim::time::SimTime;
-use serde::{Deserialize, Serialize};
+use orion_json::{json, FromJson, JsonError, ToJson, Value};
 
 use crate::error::GpuError;
 use crate::spec::GpuSpec;
@@ -19,7 +19,7 @@ use crate::spec::GpuSpec;
 /// memory-bandwidth utilization exceeds the Nsight-recommended 60% rule, or
 /// when roofline analysis says so; kernels below both thresholds and without
 /// roofline data are `Unknown` (in practice: tiny optimizer-update kernels).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ResourceProfile {
     /// Performance bounded by SM compute throughput.
     ComputeBound,
@@ -42,8 +42,29 @@ impl ResourceProfile {
     }
 }
 
+impl ToJson for ResourceProfile {
+    fn to_json(&self) -> Value {
+        Value::from(match self {
+            ResourceProfile::ComputeBound => "ComputeBound",
+            ResourceProfile::MemoryBound => "MemoryBound",
+            ResourceProfile::Unknown => "Unknown",
+        })
+    }
+}
+
+impl FromJson for ResourceProfile {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("ComputeBound") => Ok(ResourceProfile::ComputeBound),
+            Some("MemoryBound") => Ok(ResourceProfile::MemoryBound),
+            Some("Unknown") => Ok(ResourceProfile::Unknown),
+            _ => Err(JsonError::new("invalid ResourceProfile")),
+        }
+    }
+}
+
 /// Description of one GPU computation kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelDesc {
     /// Stable identifier of the kernel within its workload (profile-table key).
     pub kernel_id: u32,
@@ -128,6 +149,39 @@ impl KernelDesc {
     /// Classifies this kernel with the paper's 60% rule.
     pub fn classify(&self) -> ResourceProfile {
         classify_utilization(self.compute_util, self.mem_util)
+    }
+}
+
+impl ToJson for KernelDesc {
+    fn to_json(&self) -> Value {
+        json!({
+            "kernel_id": self.kernel_id,
+            "name": &self.name,
+            "grid_blocks": self.grid_blocks,
+            "threads_per_block": self.threads_per_block,
+            "regs_per_thread": self.regs_per_thread,
+            "shmem_per_block": self.shmem_per_block,
+            "solo_duration": self.solo_duration.to_json(),
+            "compute_util": self.compute_util,
+            "mem_util": self.mem_util,
+        })
+    }
+}
+
+impl FromJson for KernelDesc {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        use orion_json::de::*;
+        Ok(KernelDesc {
+            kernel_id: u32_field(v, "kernel_id")?,
+            name: str_field(v, "name")?.to_owned(),
+            grid_blocks: u32_field(v, "grid_blocks")?,
+            threads_per_block: u32_field(v, "threads_per_block")?,
+            regs_per_thread: u32_field(v, "regs_per_thread")?,
+            shmem_per_block: u32_field(v, "shmem_per_block")?,
+            solo_duration: SimTime::from_json(field(v, "solo_duration")?)?,
+            compute_util: f64_field(v, "compute_util")?,
+            mem_util: f64_field(v, "mem_util")?,
+        })
     }
 }
 
@@ -339,8 +393,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let k = KernelBuilder::new(7, "conv").utilization(0.8, 0.2).build();
-        let s = serde_json::to_string(&k).unwrap();
-        let back: KernelDesc = serde_json::from_str(&s).unwrap();
+        let s = k.to_json().to_compact();
+        let back = KernelDesc::from_json(&orion_json::parse(&s).unwrap()).unwrap();
         assert_eq!(k, back);
     }
 }

@@ -6,10 +6,10 @@
 //! parameters here, so new architectures are a constructor away.
 
 use orion_desim::time::SimTime;
-use serde::{Deserialize, Serialize};
+use orion_json::{json, FromJson, JsonError, ToJson, Value};
 
 /// Per-SM occupancy limits: the resources a thread block consumes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmResources {
     /// Maximum resident threads per SM.
     pub max_threads: u32,
@@ -27,7 +27,7 @@ pub struct SmResources {
 /// `compute_util` / `mem_util` demands are fractions of these unit capacities,
 /// matching how Nsight Compute reports `sm_throughput` and memory throughput
 /// percentages (paper §2, §3.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuSpec {
     /// Human-readable device name.
     pub name: String,
@@ -138,6 +138,69 @@ impl Default for GpuSpec {
     }
 }
 
+impl ToJson for SmResources {
+    fn to_json(&self) -> Value {
+        json!({
+            "max_threads": self.max_threads,
+            "max_registers": self.max_registers,
+            "max_shared_mem": self.max_shared_mem,
+            "max_blocks": self.max_blocks,
+        })
+    }
+}
+
+impl FromJson for SmResources {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(SmResources {
+            max_threads: orion_json::de::u32_field(v, "max_threads")?,
+            max_registers: orion_json::de::u32_field(v, "max_registers")?,
+            max_shared_mem: orion_json::de::u32_field(v, "max_shared_mem")?,
+            max_blocks: orion_json::de::u32_field(v, "max_blocks")?,
+        })
+    }
+}
+
+impl ToJson for GpuSpec {
+    fn to_json(&self) -> Value {
+        json!({
+            "name": &self.name,
+            "num_sms": self.num_sms,
+            "sm": self.sm.to_json(),
+            "memory_capacity": self.memory_capacity,
+            "pcie_bandwidth": self.pcie_bandwidth,
+            "compute_overload_penalty": self.compute_overload_penalty,
+            "memory_overload_penalty": self.memory_overload_penalty,
+            "interleave_opposite": self.interleave_opposite,
+            "interleave_same": self.interleave_same,
+            "interleave_mixed": self.interleave_mixed,
+            "arbitration_strength": self.arbitration_strength,
+            "launch_overhead": self.launch_overhead.to_json(),
+            "priority_levels": self.priority_levels,
+        })
+    }
+}
+
+impl FromJson for GpuSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        use orion_json::de::*;
+        Ok(GpuSpec {
+            name: str_field(v, "name")?.to_owned(),
+            num_sms: u32_field(v, "num_sms")?,
+            sm: SmResources::from_json(field(v, "sm")?)?,
+            memory_capacity: u64_field(v, "memory_capacity")?,
+            pcie_bandwidth: f64_field(v, "pcie_bandwidth")?,
+            compute_overload_penalty: f64_field(v, "compute_overload_penalty")?,
+            memory_overload_penalty: f64_field(v, "memory_overload_penalty")?,
+            interleave_opposite: f64_field(v, "interleave_opposite")?,
+            interleave_same: f64_field(v, "interleave_same")?,
+            interleave_mixed: f64_field(v, "interleave_mixed")?,
+            arbitration_strength: f64_field(v, "arbitration_strength")?,
+            launch_overhead: SimTime::from_json(field(v, "launch_overhead")?)?,
+            priority_levels: u8_field(v, "priority_levels")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,8 +228,8 @@ mod tests {
     #[test]
     fn spec_serde_roundtrip() {
         let v = GpuSpec::v100_16gb();
-        let s = serde_json::to_string(&v).unwrap();
-        let back: GpuSpec = serde_json::from_str(&s).unwrap();
+        let s = v.to_json().to_compact();
+        let back = GpuSpec::from_json(&orion_json::parse(&s).unwrap()).unwrap();
         assert_eq!(v, back);
     }
 }

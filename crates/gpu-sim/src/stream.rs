@@ -1,10 +1,9 @@
 //! CUDA-style streams: in-order operation queues with priorities.
 
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Identifier of a stream on one device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StreamId(pub u32);
 
 /// Stream scheduling priority.
@@ -12,7 +11,7 @@ pub struct StreamId(pub u32);
 /// Matches CUDA semantics where a *lower* numeric value is a *higher*
 /// priority; the ordering implemented here is by urgency, so
 /// `StreamPriority::HIGH > StreamPriority::DEFAULT`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamPriority(pub i8);
 
 impl StreamPriority {

@@ -11,12 +11,12 @@ use std::io;
 use std::path::Path;
 
 use orion_desim::time::SimTime;
-use serde::{Deserialize, Serialize};
+use orion_json::{json, Value};
 
 use crate::stream::StreamId;
 
 /// One recorded operation span.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Span {
     /// Operation name (kernel name or op label).
     pub name: String,
@@ -45,7 +45,7 @@ impl Span {
 }
 
 /// A recorded execution trace.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecTrace {
     /// All spans, in completion order.
     pub spans: Vec<Span>,
@@ -80,31 +80,22 @@ impl ExecTrace {
     /// Serializes to the Chrome tracing "traceEvents" JSON format: one
     /// complete event (`ph: "X"`) per span, one row (`tid`) per stream.
     pub fn to_chrome_trace(&self) -> String {
-        #[derive(Serialize)]
-        struct Event<'a> {
-            name: &'a str,
-            cat: &'a str,
-            ph: &'a str,
-            ts: f64,
-            dur: f64,
-            pid: u32,
-            tid: u32,
-        }
-        let events: Vec<Event<'_>> = self
+        let events: Vec<Value> = self
             .spans
             .iter()
-            .map(|s| Event {
-                name: &s.name,
-                cat: &s.kind,
-                ph: "X",
-                ts: s.dispatched.as_micros_f64(),
-                dur: s.exec_time().as_micros_f64().max(0.01),
-                pid: 0,
-                tid: s.stream.0,
+            .map(|s| {
+                json!({
+                    "name": &s.name,
+                    "cat": &s.kind,
+                    "ph": "X",
+                    "ts": s.dispatched.as_micros_f64(),
+                    "dur": s.exec_time().as_micros_f64().max(0.01),
+                    "pid": 0u32,
+                    "tid": s.stream.0,
+                })
             })
             .collect();
-        serde_json::to_string(&serde_json::json!({ "traceEvents": events }))
-            .expect("chrome trace serializes")
+        json!({ "traceEvents": events }).to_compact()
     }
 
     /// Writes the Chrome trace to a file (open it in `chrome://tracing` or
@@ -151,13 +142,13 @@ mod tests {
         let mut t = ExecTrace::default();
         t.spans.push(span("conv2d_0", 0, 0, 2, 12));
         let json = t.to_chrome_trace();
-        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let v = orion_json::parse(&json).unwrap();
         let ev = &v["traceEvents"][0];
-        assert_eq!(ev["name"], "conv2d_0");
-        assert_eq!(ev["ph"], "X");
-        assert_eq!(ev["ts"], 2.0);
-        assert_eq!(ev["dur"], 10.0);
-        assert_eq!(ev["tid"], 0);
+        assert_eq!(ev["name"].as_str(), Some("conv2d_0"));
+        assert_eq!(ev["ph"].as_str(), Some("X"));
+        assert_eq!(ev["ts"].as_f64(), Some(2.0));
+        assert_eq!(ev["dur"].as_f64(), Some(10.0));
+        assert_eq!(ev["tid"].as_u64(), Some(0));
     }
 
     #[test]

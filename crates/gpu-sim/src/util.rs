@@ -6,10 +6,10 @@
 //! to a decimated timeline used to plot Figures 1, 8 and 9.
 
 use orion_desim::time::SimTime;
-use serde::{Deserialize, Serialize};
+use orion_json::{json, FromJson, JsonError, ToJson, Value};
 
 /// One sample of the utilization timeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UtilSample {
     /// Interval start time.
     pub at: SimTime,
@@ -35,7 +35,7 @@ pub struct UtilAccumulator {
 }
 
 /// Averaged utilization summary (the rows of Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UtilSummary {
     /// Mean compute-throughput utilization.
     pub compute: f64,
@@ -45,6 +45,29 @@ pub struct UtilSummary {
     pub sm_busy: f64,
     /// Total simulated time integrated.
     pub elapsed: SimTime,
+}
+
+impl ToJson for UtilSummary {
+    fn to_json(&self) -> Value {
+        json!({
+            "compute": self.compute,
+            "mem_bw": self.mem_bw,
+            "sm_busy": self.sm_busy,
+            "elapsed": self.elapsed.to_json(),
+        })
+    }
+}
+
+impl FromJson for UtilSummary {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        use orion_json::de::*;
+        Ok(UtilSummary {
+            compute: f64_field(v, "compute")?,
+            mem_bw: f64_field(v, "mem_bw")?,
+            sm_busy: f64_field(v, "sm_busy")?,
+            elapsed: SimTime::from_json(field(v, "elapsed")?)?,
+        })
+    }
 }
 
 impl UtilAccumulator {

@@ -1,87 +1,110 @@
-//! Property-based tests for the GPU simulator's core invariants.
+//! Randomized property tests for the GPU simulator's core invariants.
+//!
+//! Cases are drawn from a [`DetRng`] fuzz corpus seeded per test; every
+//! failure reproduces exactly from its case index.
 
+use orion_desim::rng::{cell_seed, DetRng};
 use orion_desim::time::SimTime;
 use orion_gpu::engine::{GpuEngine, OpKind};
 use orion_gpu::interference::{allocate_sms, evaluate, KernelLoad, ModelParams};
 use orion_gpu::kernel::{classify_utilization, KernelBuilder, ResourceProfile};
 use orion_gpu::spec::GpuSpec;
 use orion_gpu::stream::StreamPriority;
-use proptest::prelude::*;
 
-fn arb_load() -> impl Strategy<Value = KernelLoad> {
-    (
-        1u32..120,
-        0.0f64..1.0,
-        0.0f64..1.0,
-        -2i16..3,
-        0u64..1_000,
-    )
-        .prop_map(|(sm, c, m, urg, seq)| KernelLoad {
-            sm_needed: sm,
-            sm_granted: 0,
-            compute_demand: c,
-            mem_demand: m,
-            urgency: urg,
-            seq,
-        })
+const CASES: u64 = 64;
+
+fn gen_load(rng: &mut DetRng) -> KernelLoad {
+    KernelLoad {
+        sm_needed: 1 + rng.uniform_u64(119) as u32,
+        sm_granted: 0,
+        compute_demand: rng.next_f64(),
+        mem_demand: rng.next_f64(),
+        urgency: rng.uniform_u64(5) as i16 - 2,
+        seq: rng.uniform_u64(1_000),
+    }
 }
 
-proptest! {
-    /// SM grants never exceed the device total or any kernel's need.
-    #[test]
-    fn grants_bounded(loads in prop::collection::vec(arb_load(), 1..20), sms in 1u32..200) {
+fn gen_loads(rng: &mut DetRng, max: u64) -> Vec<KernelLoad> {
+    let n = 1 + rng.uniform_u64(max - 1) as usize;
+    (0..n).map(|_| gen_load(rng)).collect()
+}
+
+/// SM grants never exceed the device total or any kernel's need.
+#[test]
+fn grants_bounded() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xB1, case));
+        let loads = gen_loads(&mut rng, 20);
+        let sms = 1 + rng.uniform_u64(199) as u32;
         let grants = allocate_sms(sms, &loads);
         let total: u32 = grants.iter().sum();
-        prop_assert!(total <= sms);
+        assert!(total <= sms, "case {case}");
         for (g, l) in grants.iter().zip(&loads) {
-            prop_assert!(*g <= l.sm_needed);
+            assert!(*g <= l.sm_needed, "case {case}");
         }
     }
+}
 
-    /// Rates are in [0, 1] and consumed resources respect capacity budgets.
-    #[test]
-    fn rates_and_conservation(loads in prop::collection::vec(arb_load(), 1..20)) {
+/// Rates are in [0, 1] and consumed resources respect capacity budgets.
+#[test]
+fn rates_and_conservation() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xB2, case));
+        let loads = gen_loads(&mut rng, 20);
         let rates = evaluate(&ModelParams::from(&GpuSpec::v100_16gb()), &loads);
         let mut c_total = 0.0;
         let mut m_total = 0.0;
         for r in &rates {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&r.rate), "rate {}", r.rate);
+            assert!((0.0..=1.0 + 1e-9).contains(&r.rate), "case {case}: rate {}", r.rate);
             c_total += r.compute_used;
             m_total += r.mem_used;
         }
-        prop_assert!(c_total <= 1.0 + 1e-9, "compute {c_total}");
-        prop_assert!(m_total <= 1.0 + 1e-9, "memory {m_total}");
+        assert!(c_total <= 1.0 + 1e-9, "case {case}: compute {c_total}");
+        assert!(m_total <= 1.0 + 1e-9, "case {case}: memory {m_total}");
     }
+}
 
-    /// Adding a second kernel never speeds up the first (interference is
-    /// monotone non-positive).
-    #[test]
-    fn interference_is_monotone(a in arb_load(), b in arb_load()) {
+/// Adding a second kernel never speeds up the first (interference is
+/// monotone non-positive).
+#[test]
+fn interference_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xB3, case));
+        let a = gen_load(&mut rng);
+        let b = gen_load(&mut rng);
         let p = ModelParams::from(&GpuSpec::v100_16gb());
         let solo = evaluate(&p, &[a])[0].rate;
         let pair = evaluate(&p, &[a, b])[0].rate;
-        prop_assert!(pair <= solo + 1e-9, "solo {solo}, pair {pair}");
+        assert!(pair <= solo + 1e-9, "case {case}: solo {solo}, pair {pair}");
     }
+}
 
-    /// The 60% classification rule is total and consistent with is_opposite.
-    #[test]
-    fn classification_total(c in 0.0f64..1.0, m in 0.0f64..1.0) {
+/// The 60% classification rule is total and consistent with is_opposite.
+#[test]
+fn classification_total() {
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(cell_seed(0xB4, case));
+        let c = rng.next_f64();
+        let m = rng.next_f64();
         let p = classify_utilization(c, m);
         match p {
-            ResourceProfile::ComputeBound => prop_assert!(c >= 0.6),
-            ResourceProfile::MemoryBound => prop_assert!(m >= 0.6),
-            ResourceProfile::Unknown => prop_assert!(c < 0.6 || m < 0.6),
+            ResourceProfile::ComputeBound => assert!(c >= 0.6, "case {case}"),
+            ResourceProfile::MemoryBound => assert!(m >= 0.6, "case {case}"),
+            ResourceProfile::Unknown => assert!(c < 0.6 || m < 0.6, "case {case}"),
         }
-        prop_assert!(!p.is_opposite(p));
+        assert!(!p.is_opposite(p), "case {case}");
     }
+}
 
-    /// End-to-end: N kernels across streams all complete, completion times
-    /// are at least the solo duration, and total utilization never exceeds 1.
-    #[test]
-    fn kernels_complete_and_obey_bounds(
-        durations in prop::collection::vec(10u64..500, 1..12),
-        seed in 0u64..1000,
-    ) {
+/// End-to-end: N kernels across streams all complete, completion times
+/// are at least the solo duration, and total utilization never exceeds 1.
+#[test]
+fn kernels_complete_and_obey_bounds() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xB5, case));
+        let n = 1 + rng.uniform_u64(11) as usize;
+        let durations: Vec<u64> = (0..n).map(|_| 10 + rng.uniform_u64(490)).collect();
+        let seed = rng.uniform_u64(1000);
         let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
         let streams: Vec<_> = (0..3)
             .map(|i| {
@@ -92,7 +115,6 @@ proptest! {
                 })
             })
             .collect();
-        let mut expected = Vec::new();
         for (i, &us) in durations.iter().enumerate() {
             let mix = (seed + i as u64) % 3;
             let (c, m) = match mix {
@@ -109,30 +131,34 @@ proptest! {
                 .build();
             let stream = streams[i % streams.len()];
             e.submit(stream, OpKind::Kernel(k)).unwrap();
-            expected.push(us);
         }
         e.advance_to(SimTime::from_secs(10));
         let done = e.drain_completions();
-        prop_assert_eq!(done.len(), durations.len());
+        assert_eq!(done.len(), durations.len(), "case {case}");
         let u = e.util_summary();
-        prop_assert!(u.compute <= 1.0 + 1e-9);
-        prop_assert!(u.mem_bw <= 1.0 + 1e-9);
-        prop_assert!(u.sm_busy <= 1.0 + 1e-9);
+        assert!(u.compute <= 1.0 + 1e-9, "case {case}");
+        assert!(u.mem_bw <= 1.0 + 1e-9, "case {case}");
+        assert!(u.sm_busy <= 1.0 + 1e-9, "case {case}");
         // Makespan at least the longest kernel and at most the sum of all.
         let makespan = done.iter().map(|c| c.at).max().unwrap();
         let longest = SimTime::from_micros(*durations.iter().max().unwrap());
         let total: u64 = durations.iter().sum();
-        prop_assert!(makespan >= longest);
+        assert!(makespan >= longest, "case {case}");
         // Allow overload-penalty stretch (worst case ~1 + beta_c) plus
         // interleaving slack.
         let upper = SimTime::from_micros(total).mul_f64(1.7) + SimTime::from_micros(1);
-        prop_assert!(makespan <= upper, "makespan {makespan}, upper {upper}");
+        assert!(makespan <= upper, "case {case}: makespan {makespan}, upper {upper}");
     }
+}
 
-    /// Work conservation in time: a kernel's completion time on an idle
-    /// device equals its solo duration exactly.
-    #[test]
-    fn solo_time_exact(us in 1u64..10_000, sm in 1u32..81) {
+/// Work conservation in time: a kernel's completion time on an idle
+/// device equals its solo duration exactly.
+#[test]
+fn solo_time_exact() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xB6, case));
+        let us = 1 + rng.uniform_u64(9_999);
+        let sm = 1 + rng.uniform_u64(80) as u32;
         let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
         let s = e.create_stream(StreamPriority::DEFAULT);
         let k = KernelBuilder::new(0, "solo")
@@ -145,6 +171,6 @@ proptest! {
         e.submit(s, OpKind::Kernel(k)).unwrap();
         e.advance_to(SimTime::from_secs(100));
         let done = e.drain_completions();
-        prop_assert_eq!(done[0].at, SimTime::from_micros(us));
+        assert_eq!(done[0].at, SimTime::from_micros(us), "case {case}");
     }
 }

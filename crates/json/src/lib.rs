@@ -1,0 +1,781 @@
+//! A small, dependency-free JSON library for the Orion workspace.
+//!
+//! The experiment suite needs three things from JSON: (1) writing
+//! machine-readable result rows (JSON lines) and Chrome trace files,
+//! (2) saving/loading workload profiles, and (3) bit-for-bit stable
+//! output so the reproducibility tests can compare serialized results
+//! across thread counts. [`Value`] keeps object members in insertion
+//! order (a `Vec` of pairs, not a hash map) so serialization is fully
+//! deterministic.
+//!
+//! Numbers are kept in three lossless lanes ([`Number::PosInt`],
+//! [`Number::NegInt`], [`Number::Float`]) because simulation timestamps
+//! are `u64` nanoseconds and must survive a roundtrip exactly.
+
+use std::fmt;
+
+pub mod macros;
+
+/// Any JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Members in insertion order; serialization never reorders keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept lossless for 64-bit integers.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a == b,
+            // Cross-lane comparisons go through f64 so `1` == `1.0`.
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(v) if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 => {
+                Some(v as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// Error produced by [`parse`] or by [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError(msg.into())
+    }
+}
+
+/// Serialize a Rust value into a [`Value`] tree.
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+/// Reconstruct a Rust value from a [`Value`] tree.
+pub trait FromJson: Sized {
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+}
+
+/// Field-extraction helpers for hand-written [`FromJson`] impls: each
+/// returns a descriptive error naming the missing/ill-typed key.
+pub mod de {
+    use super::{JsonError, Value};
+
+    pub fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, JsonError> {
+        v.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field '{key}'")))
+    }
+
+    pub fn u64_field(v: &Value, key: &str) -> Result<u64, JsonError> {
+        field(v, key)?
+            .as_u64()
+            .ok_or_else(|| JsonError::new(format!("field '{key}' must be a u64")))
+    }
+
+    pub fn u32_field(v: &Value, key: &str) -> Result<u32, JsonError> {
+        u32::try_from(u64_field(v, key)?)
+            .map_err(|_| JsonError::new(format!("field '{key}' out of u32 range")))
+    }
+
+    pub fn u8_field(v: &Value, key: &str) -> Result<u8, JsonError> {
+        u8::try_from(u64_field(v, key)?)
+            .map_err(|_| JsonError::new(format!("field '{key}' out of u8 range")))
+    }
+
+    pub fn f64_field(v: &Value, key: &str) -> Result<f64, JsonError> {
+        field(v, key)?
+            .as_f64()
+            .ok_or_else(|| JsonError::new(format!("field '{key}' must be a number")))
+    }
+
+    pub fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, JsonError> {
+        field(v, key)?
+            .as_str()
+            .ok_or_else(|| JsonError::new(format!("field '{key}' must be a string")))
+    }
+
+    pub fn bool_field(v: &Value, key: &str) -> Result<bool, JsonError> {
+        field(v, key)?
+            .as_bool()
+            .ok_or_else(|| JsonError::new(format!("field '{key}' must be a bool")))
+    }
+
+    pub fn array_field<'a>(v: &'a Value, key: &str) -> Result<&'a Vec<Value>, JsonError> {
+        field(v, key)?
+            .as_array()
+            .ok_or_else(|| JsonError::new(format!("field '{key}' must be an array")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value accessors
+// ---------------------------------------------------------------------------
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup; `None` on missing key or non-object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup; `None` when out of range or non-array.
+    pub fn get_idx(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(a) => a.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Compact serialization (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        out
+    }
+
+    /// Pretty serialization with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_pretty(self, 0, &mut out);
+        out
+    }
+
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.get_idx(idx).unwrap_or(&NULL)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// From conversions (used by the `json!` macro)
+// ---------------------------------------------------------------------------
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::PosInt(v as u64)) }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v as i64))
+                }
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------------
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(n: &Number, out: &mut String) {
+    match *n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(v) if v.is_finite() => {
+            // Rust's `Display` for f64 prints the shortest decimal that
+            // roundtrips, which is exactly what deterministic output needs.
+            let s = v.to_string();
+            out.push_str(&s);
+            // "1" would be re-parsed as an integer; keep the float lane so
+            // Value-level roundtrips stay type-stable.
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                out.push_str(".0");
+            }
+        }
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(n, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(members) => {
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(v: &Value, depth: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(depth, out);
+            out.push(']');
+        }
+        Value::Object(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in members.iter().enumerate() {
+                push_indent(depth + 1, out);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, depth + 1, out);
+                if i + 1 < members.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(depth, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+/// Parse a JSON document. Trailing whitespace is allowed; trailing
+/// non-whitespace input is an error.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::new(format!(
+            "trailing input at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(JsonError::new(format!(
+                "unexpected byte '{}' at {}",
+                b as char, self.pos
+            ))),
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(JsonError::new(format!("expected ',' or ']' at {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return Err(JsonError::new(format!("expected ',' or '}}' at {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JsonError::new("bad \\u escape"))?;
+                            // Surrogate pairs are not needed by any producer in
+                            // this workspace; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(JsonError::new("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing on
+                    // char boundaries is safe via chars()).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("bad number"))?;
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| JsonError::new(format!("bad number '{text}'")))?;
+            Ok(Value::Number(Number::Float(v)))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            let v: i64 = stripped
+                .parse::<i64>()
+                .map(|v| -v)
+                .map_err(|_| JsonError::new(format!("bad number '{text}'")))?;
+            Ok(Value::Number(Number::NegInt(v)))
+        } else {
+            let v: u64 = text
+                .parse()
+                .map_err(|_| JsonError::new(format!("bad number '{text}'")))?;
+            Ok(Value::Number(Number::PosInt(v)))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for text in ["null", "true", "false", "42", "-17", "3.25", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(parse(&v.to_compact()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn u64_nanos_survive_exactly() {
+        let big = u64::MAX - 3;
+        let v = Value::from(big);
+        let back = parse(&v.to_compact()).unwrap();
+        assert_eq!(back.as_u64(), Some(big));
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let v = Value::object([("z", Value::from(1u64)), ("a", Value::from(2u64))]);
+        assert_eq!(v.to_compact(), "{\"z\":1,\"a\":2}");
+        let back = parse(&v.to_compact()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn nested_parse_and_index() {
+        let v = parse(r#"{"clients":[{"label":"rn50","p99_ms":12.5}],"n":2}"#).unwrap();
+        assert_eq!(v["clients"][0]["label"].as_str(), Some("rn50"));
+        assert_eq!(v["clients"][0]["p99_ms"].as_f64(), Some(12.5));
+        assert_eq!(v["n"].as_u64(), Some(2));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn pretty_output_is_parseable() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":"x\ny"}"#).unwrap();
+        assert_eq!(parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn float_lane_is_stable() {
+        let v = Value::from(1.0f64);
+        assert_eq!(v.to_compact(), "1.0");
+        let back = parse("1.0").unwrap();
+        assert_eq!(back.as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let s = "line1\nline\"2\"\\tab\there";
+        let v = Value::from(s);
+        assert_eq!(parse(&v.to_compact()).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} extra").is_err());
+        assert!(parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn macro_builds_objects() {
+        let label = String::from("hp");
+        let v = crate::json!({
+            "label": label,
+            "ok": true,
+            "count": 3u64,
+            "ratio": 0.5,
+            "tags": vec![Value::from("a"), Value::from("b")],
+        });
+        assert_eq!(
+            v.to_compact(),
+            r#"{"label":"hp","ok":true,"count":3,"ratio":0.5,"tags":["a","b"]}"#
+        );
+    }
+}

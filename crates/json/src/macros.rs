@@ -1,0 +1,36 @@
+//! The `json!` construction macro.
+//!
+//! Deliberately smaller than serde_json's tt-muncher: object values are
+//! ordinary expressions converted through `Into<Value>`, so nested
+//! objects/arrays are written as nested `json!` calls. That covers every
+//! call site in this workspace while keeping the macro auditable.
+
+/// Build a [`crate::Value`] from a JSON-ish literal.
+///
+/// ```
+/// use orion_json::{json, Value};
+/// let v = json!({
+///     "policy": "orion",
+///     "cells": 16u64,
+///     "nested": json!({ "ok": true }),
+///     "elems": json!([1u64, 2u64]),
+/// });
+/// assert_eq!(v["cells"].as_u64(), Some(16));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::Value::from($val)) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::Value::from($other)
+    };
+}

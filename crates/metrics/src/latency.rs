@@ -1,7 +1,6 @@
 //! Request latency recording and percentile extraction.
 
 use orion_desim::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Collects request latencies and answers percentile queries.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(r.percentile(0.50), SimTime::from_millis(50));
 /// assert_eq!(r.percentile(0.99), SimTime::from_millis(99));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
     samples: Vec<SimTime>,
     sorted: bool,

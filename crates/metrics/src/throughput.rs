@@ -1,10 +1,9 @@
 //! Throughput accounting (requests or iterations per second).
 
 use orion_desim::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Counts completed requests/iterations over a measurement window.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ThroughputCounter {
     completed: u64,
     window: SimTime,

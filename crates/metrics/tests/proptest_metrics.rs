@@ -1,13 +1,23 @@
-//! Property-based tests on the metrics crate.
+//! Randomized property tests on the metrics crate, driven by a
+//! deterministic [`DetRng`] fuzz corpus (one sub-seed per case index).
 
+use orion_desim::rng::{cell_seed, DetRng};
 use orion_desim::time::SimTime;
 use orion_metrics::{cost_savings, makespan_savings, LatencyRecorder, ThroughputCounter};
-use proptest::prelude::*;
 
-proptest! {
-    /// Percentiles are monotone in q and bounded by min/max of the sample.
-    #[test]
-    fn percentiles_monotone_and_bounded(mut xs in prop::collection::vec(1u64..1_000_000, 1..300)) {
+const CASES: u64 = 64;
+
+fn gen_samples(rng: &mut DetRng, max_len: u64) -> Vec<u64> {
+    let n = 1 + rng.uniform_u64(max_len - 1) as usize;
+    (0..n).map(|_| 1 + rng.uniform_u64(999_999)).collect()
+}
+
+/// Percentiles are monotone in q and bounded by min/max of the sample.
+#[test]
+fn percentiles_monotone_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xC1, case));
+        let mut xs = gen_samples(&mut rng, 300);
         let mut r = LatencyRecorder::new();
         for &x in &xs {
             r.record(SimTime::from_nanos(x));
@@ -18,17 +28,22 @@ proptest! {
         let mut prev = SimTime::ZERO;
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
             let p = r.percentile(q);
-            prop_assert!(p >= prev, "q={q}: {p} < {prev}");
-            prop_assert!(p >= lo && p <= hi);
+            assert!(p >= prev, "case {case} q={q}: {p} < {prev}");
+            assert!(p >= lo && p <= hi, "case {case}");
             prev = p;
         }
-        prop_assert_eq!(r.max(), hi);
-        prop_assert_eq!(r.percentile(1.0), hi);
+        assert_eq!(r.max(), hi, "case {case}");
+        assert_eq!(r.percentile(1.0), hi, "case {case}");
     }
+}
 
-    /// The nearest-rank percentile equals the sorted sample's element.
-    #[test]
-    fn nearest_rank_definition(xs in prop::collection::vec(1u64..1_000_000, 1..200), q in 0.0f64..1.0) {
+/// The nearest-rank percentile equals the sorted sample's element.
+#[test]
+fn nearest_rank_definition() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xC2, case));
+        let xs = gen_samples(&mut rng, 200);
+        let q = rng.next_f64();
         let mut r = LatencyRecorder::new();
         for &x in &xs {
             r.record(SimTime::from_nanos(x));
@@ -36,12 +51,20 @@ proptest! {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        prop_assert_eq!(r.percentile(q), SimTime::from_nanos(sorted[rank - 1]));
+        assert_eq!(
+            r.percentile(q),
+            SimTime::from_nanos(sorted[rank - 1]),
+            "case {case}"
+        );
     }
+}
 
-    /// Mean is between min and max, and recording order does not matter.
-    #[test]
-    fn mean_order_independent(xs in prop::collection::vec(1u64..1_000_000, 1..200)) {
+/// Mean is between min and max, and recording order does not matter.
+#[test]
+fn mean_order_independent() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xC3, case));
+        let xs = gen_samples(&mut rng, 200);
         let mut fwd = LatencyRecorder::new();
         let mut rev = LatencyRecorder::new();
         for &x in &xs {
@@ -50,30 +73,44 @@ proptest! {
         for &x in xs.iter().rev() {
             rev.record(SimTime::from_nanos(x));
         }
-        prop_assert_eq!(fwd.mean(), rev.mean());
-        prop_assert_eq!(fwd.p99(), rev.p99());
-        prop_assert!(fwd.mean() >= SimTime::from_nanos(*xs.iter().min().unwrap()));
-        prop_assert!(fwd.mean() <= SimTime::from_nanos(*xs.iter().max().unwrap()));
+        assert_eq!(fwd.mean(), rev.mean(), "case {case}");
+        assert_eq!(fwd.p99(), rev.p99(), "case {case}");
+        assert!(fwd.mean() >= SimTime::from_nanos(*xs.iter().min().unwrap()));
+        assert!(fwd.mean() <= SimTime::from_nanos(*xs.iter().max().unwrap()));
     }
+}
 
-    /// Throughput is completions / window exactly.
-    #[test]
-    fn throughput_definition(n in 0u64..10_000, window_ms in 1u64..100_000) {
+/// Throughput is completions / window exactly.
+#[test]
+fn throughput_definition() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xC4, case));
+        let n = rng.uniform_u64(10_000);
+        let window_ms = 1 + rng.uniform_u64(99_999);
         let mut t = ThroughputCounter::new();
         t.record_n(n);
         t.set_window(SimTime::from_millis(window_ms));
         let expect = n as f64 / (window_ms as f64 / 1000.0);
-        prop_assert!((t.per_second() - expect).abs() < 1e-9 * expect.max(1.0));
+        assert!(
+            (t.per_second() - expect).abs() < 1e-9 * expect.max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    /// Cost savings scale linearly in collocated throughput and in N.
-    #[test]
-    fn cost_savings_linear(tput in 0.1f64..100.0, ded in 0.1f64..100.0, n in 1u32..8) {
+/// Cost savings scale linearly in collocated throughput and in N.
+#[test]
+fn cost_savings_linear() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xC5, case));
+        let tput = rng.uniform_f64(0.1, 100.0);
+        let ded = rng.uniform_f64(0.1, 100.0);
+        let n = 1 + rng.uniform_u64(7) as u32;
         let s1 = cost_savings(n, tput, ded);
         let s2 = cost_savings(n, 2.0 * tput, ded);
-        prop_assert!((s2 - 2.0 * s1).abs() < 1e-9);
+        assert!((s2 - 2.0 * s1).abs() < 1e-9, "case {case}");
         let sn = cost_savings(2 * n, tput, ded);
-        prop_assert!((sn - 2.0 * s1).abs() < 1e-9);
-        prop_assert!(makespan_savings(tput, tput) - 1.0 < 1e-12);
+        assert!((sn - 2.0 * s1).abs() < 1e-9, "case {case}");
+        assert!(makespan_savings(tput, tput) - 1.0 < 1e-12, "case {case}");
     }
 }

@@ -7,10 +7,10 @@ use std::path::Path;
 use orion_desim::time::SimTime;
 use orion_gpu::kernel::ResourceProfile;
 use orion_gpu::util::UtilSummary;
-use serde::{Deserialize, Serialize};
+use orion_json::{json, FromJson, JsonError, ToJson, Value};
 
 /// Profiling results for one kernel, keyed by its id within the workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelProfile {
     /// Kernel id (stable within the workload).
     pub kernel_id: u32,
@@ -29,7 +29,7 @@ pub struct KernelProfile {
 }
 
 /// The offline profile of one workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadProfile {
     /// Workload label, e.g. `ResNet50-train-bs32`.
     pub label: String,
@@ -60,15 +60,73 @@ impl WorkloadProfile {
     /// Serializes the profile to a JSON file (the paper's profile-file
     /// handoff between the offline phase and the scheduler).
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        std::fs::write(path, self.to_json().to_pretty())
     }
 
     /// Loads a profile previously written by [`WorkloadProfile::save`].
     pub fn load(path: &Path) -> io::Result<WorkloadProfile> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let v = orion_json::parse(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        WorkloadProfile::from_json(&v).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl ToJson for KernelProfile {
+    fn to_json(&self) -> Value {
+        json!({
+            "kernel_id": self.kernel_id,
+            "name": &self.name,
+            "duration": self.duration.to_json(),
+            "profile": self.profile.to_json(),
+            "sm_needed": self.sm_needed,
+            "compute_util": self.compute_util,
+            "mem_util": self.mem_util,
+        })
+    }
+}
+
+impl FromJson for KernelProfile {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        use orion_json::de::*;
+        Ok(KernelProfile {
+            kernel_id: u32_field(v, "kernel_id")?,
+            name: str_field(v, "name")?.to_owned(),
+            duration: SimTime::from_json(field(v, "duration")?)?,
+            profile: ResourceProfile::from_json(field(v, "profile")?)?,
+            sm_needed: u32_field(v, "sm_needed")?,
+            compute_util: f64_field(v, "compute_util")?,
+            mem_util: f64_field(v, "mem_util")?,
+        })
+    }
+}
+
+impl ToJson for WorkloadProfile {
+    fn to_json(&self) -> Value {
+        let kernels: Vec<Value> = self.kernels.iter().map(|k| k.to_json()).collect();
+        json!({
+            "label": &self.label,
+            "kernels": kernels,
+            "request_latency": self.request_latency.to_json(),
+            "utilization": self.utilization.to_json(),
+            "memory_peak": self.memory_peak,
+        })
+    }
+}
+
+impl FromJson for WorkloadProfile {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        use orion_json::de::*;
+        Ok(WorkloadProfile {
+            label: str_field(v, "label")?.to_owned(),
+            kernels: array_field(v, "kernels")?
+                .iter()
+                .map(KernelProfile::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            request_latency: SimTime::from_json(field(v, "request_latency")?)?,
+            utilization: UtilSummary::from_json(field(v, "utilization")?)?,
+            memory_peak: u64_field(v, "memory_peak")?,
+        })
     }
 }
 

@@ -11,12 +11,11 @@
 
 use orion_desim::rng::DetRng;
 use orion_desim::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::model::ModelKind;
 
 /// An inference request arrival process.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalProcess {
     /// Poisson arrivals with the given mean requests/second.
     Poisson {

@@ -2,12 +2,11 @@
 
 use orion_desim::time::SimTime;
 use orion_gpu::kernel::{KernelDesc, ResourceProfile};
-use serde::{Deserialize, Serialize};
 
 use crate::ops::OpSpec;
 
 /// The DNN models evaluated in the paper (plus the LLM-decode extension).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// ResNet50 (TorchVision), vision.
     ResNet50,
@@ -48,7 +47,7 @@ impl ModelKind {
 }
 
 /// Inference vs. training configuration, with the paper's batch sizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
     /// Latency-sensitive inference; a request is one batch.
     Inference {
@@ -70,7 +69,7 @@ impl WorkloadKind {
 }
 
 /// Phase of a training iteration an op belongs to (used by Tick-Tock).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Phase {
     /// Forward pass (also the only phase of inference).
     #[default]
@@ -83,7 +82,7 @@ pub enum Phase {
 
 /// A complete workload: the op trace of one request (inference batch) or one
 /// iteration (training minibatch), plus metadata.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Workload {
     /// Model identity.
     pub model: ModelKind,

@@ -1,13 +1,12 @@
 //! Operation specifications emitted by workload builders.
 
 use orion_gpu::kernel::KernelDesc;
-use serde::{Deserialize, Serialize};
 
 /// One GPU operation in a request/iteration, in submission order.
 ///
 /// This is the framework-level view (what PyTorch would submit through the
 /// CUDA runtime); the scheduler layer decides when each op reaches the device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OpSpec {
     /// A computation kernel.
     Kernel(KernelDesc),

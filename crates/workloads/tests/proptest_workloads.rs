@@ -1,76 +1,117 @@
-//! Property-based tests on workload invariants.
+//! Randomized property tests on workload invariants, driven by a
+//! deterministic [`DetRng`] fuzz corpus (one sub-seed per case index).
 
-use orion_desim::rng::DetRng;
+use orion_desim::rng::{cell_seed, DetRng};
 use orion_desim::time::SimTime;
 use orion_gpu::spec::GpuSpec;
 use orion_workloads::arrivals::ArrivalProcess;
 use orion_workloads::registry::{inference_workload, training_workload, ALL_MODELS};
 use orion_workloads::swap::{estimated_weights_bytes, swapped_workload};
-use proptest::prelude::*;
+use orion_workloads::ModelKind;
 
-fn any_model() -> impl Strategy<Value = orion_workloads::ModelKind> {
-    prop::sample::select(ALL_MODELS.to_vec())
+const CASES: u64 = 48;
+
+fn pick_model(rng: &mut DetRng) -> ModelKind {
+    ALL_MODELS[rng.uniform_u64(ALL_MODELS.len() as u64) as usize]
 }
 
-proptest! {
-    /// Scaling kernel durations scales total solo time proportionally and
-    /// changes nothing else.
-    #[test]
-    fn scaling_is_linear(m in any_model(), speedup in 0.5f64..4.0) {
+/// Scaling kernel durations scales total solo time proportionally and
+/// changes nothing else.
+#[test]
+fn scaling_is_linear() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xD1, case));
+        let m = pick_model(&mut rng);
+        let speedup = rng.uniform_f64(0.5, 4.0);
         let w = inference_workload(m);
         let s = w.scaled(speedup);
-        prop_assert_eq!(s.kernel_count(), w.kernel_count());
-        prop_assert_eq!(s.memory_footprint, w.memory_footprint);
+        assert_eq!(s.kernel_count(), w.kernel_count(), "case {case}");
+        assert_eq!(s.memory_footprint, w.memory_footprint, "case {case}");
         let ratio = w.solo_kernel_time().as_secs_f64() / s.solo_kernel_time().as_secs_f64();
-        prop_assert!((ratio - speedup).abs() / speedup < 0.01, "ratio {ratio}");
-        prop_assert_eq!(s.profile_mix(), w.profile_mix());
+        assert!(
+            (ratio - speedup).abs() / speedup < 0.01,
+            "case {case}: ratio {ratio}"
+        );
+        assert_eq!(s.profile_mix(), w.profile_mix(), "case {case}");
     }
+}
 
-    /// Every kernel in every workload is valid and fits the device limits.
-    #[test]
-    fn all_kernels_valid(m in any_model(), training in any::<bool>()) {
-        let w = if training { training_workload(m) } else { inference_workload(m) };
-        let spec = GpuSpec::v100_16gb();
-        for k in w.kernels() {
-            prop_assert!(k.validate().is_ok(), "{}: {:?}", w.label(), k.name);
-            let sm = k.sm_needed(&spec);
-            prop_assert!(sm >= 1 && sm <= spec.num_sms);
-            prop_assert!(k.solo_duration >= SimTime::from_micros(1));
-            prop_assert!(k.solo_duration <= SimTime::from_millis(10));
+/// Every kernel in every workload (both variants of every model) is valid
+/// and fits the device limits.
+#[test]
+fn all_kernels_valid() {
+    let spec = GpuSpec::v100_16gb();
+    for m in ALL_MODELS {
+        for training in [false, true] {
+            let w = if training {
+                training_workload(m)
+            } else {
+                inference_workload(m)
+            };
+            for k in w.kernels() {
+                assert!(k.validate().is_ok(), "{}: {:?}", w.label(), k.name);
+                let sm = k.sm_needed(&spec);
+                assert!(sm >= 1 && sm <= spec.num_sms);
+                assert!(k.solo_duration >= SimTime::from_micros(1));
+                assert!(k.solo_duration <= SimTime::from_millis(10));
+            }
         }
     }
+}
 
-    /// Workload construction is deterministic: building twice gives
-    /// identical traces.
-    #[test]
-    fn builders_are_deterministic(m in any_model(), training in any::<bool>()) {
-        let a = if training { training_workload(m) } else { inference_workload(m) };
-        let b = if training { training_workload(m) } else { inference_workload(m) };
-        prop_assert_eq!(a.ops.len(), b.ops.len());
-        for (x, y) in a.ops.iter().zip(&b.ops) {
-            prop_assert_eq!(x, y);
+/// Workload construction is deterministic: building twice gives
+/// identical traces.
+#[test]
+fn builders_are_deterministic() {
+    for m in ALL_MODELS {
+        for training in [false, true] {
+            let mk = || {
+                if training {
+                    training_workload(m)
+                } else {
+                    inference_workload(m)
+                }
+            };
+            let a = mk();
+            let b = mk();
+            assert_eq!(a.ops.len(), b.ops.len());
+            for (x, y) in a.ops.iter().zip(&b.ops) {
+                assert_eq!(x, y);
+            }
         }
     }
+}
 
-    /// Swapping preserves kernels, monotonically shrinks the footprint with
-    /// lower residency, and never exceeds the original footprint.
-    #[test]
-    fn swapping_is_monotone(m in any_model(), keep in 0.1f64..0.9, groups in 4u32..40) {
+/// Swapping preserves kernels, monotonically shrinks the footprint with
+/// lower residency, and never exceeds the original footprint.
+#[test]
+fn swapping_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xD2, case));
+        let m = pick_model(&mut rng);
+        let keep = rng.uniform_f64(0.1, 0.9);
+        let groups = 4 + rng.uniform_u64(36) as u32;
         let w = inference_workload(m);
         let s = swapped_workload(&w, keep, groups);
-        prop_assert_eq!(s.kernel_count(), w.kernel_count());
-        prop_assert!(s.memory_footprint <= w.memory_footprint);
+        assert_eq!(s.kernel_count(), w.kernel_count(), "case {case}");
+        assert!(s.memory_footprint <= w.memory_footprint, "case {case}");
         let s_lower = swapped_workload(&w, keep / 2.0, groups);
-        prop_assert!(
-            s_lower.memory_footprint <= s.memory_footprint + estimated_weights_bytes(&w) / groups as u64,
-            "lower residency should not grow the footprint materially"
+        assert!(
+            s_lower.memory_footprint
+                <= s.memory_footprint + estimated_weights_bytes(&w) / groups as u64,
+            "case {case}: lower residency should not grow the footprint materially"
         );
     }
+}
 
-    /// Arrival schedules are sorted, within the horizon, and the realized
-    /// rate tracks the nominal rate for all process types.
-    #[test]
-    fn arrival_schedules_well_formed(seed in any::<u64>(), rps in 5.0f64..120.0) {
+/// Arrival schedules are sorted, within the horizon, and the realized
+/// rate tracks the nominal rate for all process types.
+#[test]
+fn arrival_schedules_well_formed() {
+    for case in 0..CASES {
+        let mut meta = DetRng::new(cell_seed(0xD3, case));
+        let seed = meta.next_u64();
+        let rps = meta.uniform_f64(5.0, 120.0);
         let horizon = SimTime::from_secs(20);
         for process in [
             ArrivalProcess::Poisson { rps },
@@ -79,12 +120,12 @@ proptest! {
         ] {
             let mut rng = DetRng::new(seed);
             let s = process.schedule(horizon, &mut rng);
-            prop_assert!(s.windows(2).all(|w| w[0] <= w[1]));
-            prop_assert!(s.iter().all(|&t| t < horizon));
+            assert!(s.windows(2).all(|w| w[0] <= w[1]), "case {case}");
+            assert!(s.iter().all(|&t| t < horizon), "case {case}");
             let rate = s.len() as f64 / horizon.as_secs_f64();
-            prop_assert!(
+            assert!(
                 (rate - rps).abs() < 0.35 * rps + 2.0,
-                "{process:?}: rate {rate} vs nominal {rps}"
+                "case {case} {process:?}: rate {rate} vs nominal {rps}"
             );
         }
     }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate for the Orion reproduction: lint, build, full test suite, and the
+# fast-mode smoke pass that drives every experiment module through the
+# shared scenario runner.
+#
+# Usage: scripts/ci.sh
+# Knobs: ORION_THREADS controls runner parallelism inside the experiments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q (full workspace suite)"
+cargo test -q --workspace
+
+echo "==> fast smoke suite (ORION_FAST=1, every exp module via the runner)"
+ORION_FAST=1 cargo test -q -p orion-bench --test smoke --test determinism
+
+echo "==> CI green"

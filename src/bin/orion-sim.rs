@@ -214,12 +214,12 @@ fn run(args: &Args) -> Result<(), String> {
     }
 
     if args.json {
-        let clients_json: Vec<serde_json::Value> = result
+        let clients_json: Vec<orion_json::Value> = result
             .clients
             .iter_mut()
             .map(|c| {
-                serde_json::json!({
-                    "label": c.label,
+                orion_json::json!({
+                    "label": &c.label,
                     "priority": format!("{:?}", c.priority),
                     "completed": c.completed,
                     "throughput_per_s": c.throughput,
@@ -229,17 +229,17 @@ fn run(args: &Args) -> Result<(), String> {
                 })
             })
             .collect();
-        let out = serde_json::json!({
+        let out = orion_json::json!({
             "policy": result.policy,
             "window_s": result.window.as_secs_f64(),
-            "utilization": {
+            "utilization": orion_json::json!({
                 "compute": result.utilization.compute,
                 "mem_bw": result.utilization.mem_bw,
                 "sm_busy": result.utilization.sm_busy,
-            },
+            }),
             "clients": clients_json,
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializes"));
+        println!("{}", out.to_pretty());
     } else {
         println!("policy: {}", result.policy);
         println!(
