@@ -1,0 +1,166 @@
+//! Engine-throughput microbenchmark: measures how many simulated operations
+//! per second the GPU engine hot path sustains, plus the wall-clock cost of a
+//! Figure 6/7-style collocation run, and writes both to `BENCH_engine.json`.
+//!
+//! Driven by `scripts/bench.sh`. Environment:
+//!
+//! - `ORION_FAST=1` — smoke mode: fewer iterations, shorter collocation
+//!   horizon (CI uses this; the numbers are not meaningful, the schema is).
+//! - `ORION_BENCH_OUT=<path>` — output path (default `BENCH_engine.json`
+//!   in the current directory, which `scripts/bench.sh` pins to repo root).
+//!
+//! Output schema (`orion-bench-engine/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "orion-bench-engine/v1",
+//!   "fast": false,
+//!   "events_per_sec": 3.1e6,          // peak ops/sec over engine configs
+//!   "wall_ms": 812.4,                 // total wall clock of all sections
+//!   "engine": [                       // one row per (streams x ops) config
+//!     {"streams": 1, "ops": 1000, "iters": 20,
+//!      "events_per_sec": 3.1e6, "wall_ms": 6.4}
+//!   ],
+//!   "collocation": {                  // one fig6_7-style cell, Orion policy
+//!     "label": "resnet50+resnet50-train", "policy": "Orion",
+//!     "wall_ms": 310.0, "ops": 81234, "events_per_sec": 2.6e5,
+//!     "hp_p99_ms": 9.1, "be_tput": 3.4}
+//! }
+//! ```
+
+use std::time::Instant;
+
+use orion_bench::exp::{be_training, hp_inference, ExpConfig};
+use orion_core::prelude::*;
+use orion_desim::time::SimTime;
+use orion_gpu::engine::{GpuEngine, OpKind};
+use orion_gpu::kernel::KernelBuilder;
+use orion_gpu::spec::GpuSpec;
+use orion_gpu::stream::StreamPriority;
+use orion_json::{json, Value};
+use orion_workloads::arrivals::ArrivalProcess;
+use orion_workloads::model::ModelKind;
+
+/// Submits `n_ops` kernels round-robin over `n_streams` streams and advances
+/// until all complete. Returns the number of completions (== `n_ops`).
+fn submit_and_drain(n_ops: u64, n_streams: usize) -> u64 {
+    let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
+    let streams: Vec<_> = (0..n_streams)
+        .map(|_| e.create_stream(StreamPriority::DEFAULT))
+        .collect();
+    for i in 0..n_ops {
+        let k = KernelBuilder::new(i as u32, "bench")
+            .grid_blocks(40)
+            .threads_per_block(256)
+            .solo_duration(SimTime::from_micros(50))
+            .utilization(0.5, 0.3)
+            .build();
+        e.submit(streams[i as usize % n_streams], OpKind::Kernel(k))
+            .unwrap();
+    }
+    e.advance_to(SimTime::from_secs(60));
+    e.drain_completions().len() as u64
+}
+
+/// Times one engine config over `iters` timed iterations (plus one warmup).
+fn engine_config(n_ops: u64, n_streams: usize, iters: u32) -> Value {
+    let done = submit_and_drain(n_ops, n_streams); // warmup
+    assert_eq!(done, n_ops, "engine dropped operations");
+    let start = Instant::now();
+    for _ in 0..iters {
+        submit_and_drain(std::hint::black_box(n_ops), n_streams);
+    }
+    let wall = start.elapsed();
+    let total_ops = n_ops * iters as u64;
+    let eps = total_ops as f64 / wall.as_secs_f64();
+    eprintln!(
+        "[bench] engine streams={n_streams} ops={n_ops}: {:.0} events/sec ({:?}/iter)",
+        eps,
+        wall / iters
+    );
+    json!({
+        "streams": n_streams as u64,
+        "ops": n_ops,
+        "iters": iters,
+        "events_per_sec": eps,
+        "wall_ms": wall.as_secs_f64() * 1e3,
+    })
+}
+
+/// One Figure 6/7-style collocation cell (HP ResNet50 inference under
+/// Poisson arrivals + BE ResNet50 training, Orion policy), with the trace
+/// enabled so the executed-op count is exact.
+fn collocation(cfg: &ExpConfig) -> Value {
+    let mut rc = cfg.run_config();
+    rc.record_trace = true;
+    let clients = vec![
+        hp_inference(
+            ModelKind::ResNet50,
+            ArrivalProcess::Poisson { rps: 40.0 },
+        ),
+        be_training(ModelKind::ResNet50),
+    ];
+    let policy = PolicyKind::orion_default();
+    let start = Instant::now();
+    let mut r = run_collocation(policy, clients, &rc).expect("collocation runs");
+    let wall = start.elapsed();
+    let ops = r.trace.as_ref().map_or(0, |t| t.len()) as u64;
+    let eps = ops as f64 / wall.as_secs_f64();
+    let be_tput = r.be_throughput();
+    let hp = r
+        .clients
+        .iter_mut()
+        .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
+        .expect("hp client present");
+    eprintln!(
+        "[bench] collocation {}: {} ops in {:.1} ms ({:.0} events/sec)",
+        r.policy,
+        ops,
+        wall.as_secs_f64() * 1e3,
+        eps
+    );
+    json!({
+        "label": "resnet50+resnet50-train",
+        "policy": r.policy,
+        "wall_ms": wall.as_secs_f64() * 1e3,
+        "ops": ops,
+        "events_per_sec": eps,
+        "hp_p99_ms": hp.latency.p99().as_millis_f64(),
+        "be_tput": be_tput,
+    })
+}
+
+fn main() {
+    let cfg = ExpConfig::from_env();
+    let iters: u32 = if cfg.fast { 3 } else { 20 };
+    let configs: &[(u64, usize)] = if cfg.fast {
+        &[(200, 1), (200, 4)]
+    } else {
+        &[(1_000, 1), (1_000, 4), (1_000, 16), (10_000, 4)]
+    };
+
+    let total = Instant::now();
+    let engine: Vec<Value> = configs
+        .iter()
+        .map(|&(ops, streams)| engine_config(ops, streams, iters))
+        .collect();
+    let peak = engine
+        .iter()
+        .filter_map(|row| row["events_per_sec"].as_f64())
+        .fold(0.0_f64, f64::max);
+    let coll = collocation(&cfg);
+    let wall_ms = total.elapsed().as_secs_f64() * 1e3;
+
+    let out = json!({
+        "schema": "orion-bench-engine/v1",
+        "fast": cfg.fast,
+        "events_per_sec": peak,
+        "wall_ms": wall_ms,
+        "engine": engine,
+        "collocation": coll,
+    });
+    let path =
+        std::env::var("ORION_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
+    std::fs::write(&path, out.to_pretty()).expect("write bench output");
+    println!("{path}: peak {peak:.0} events/sec, total wall {wall_ms:.0} ms");
+}

@@ -50,6 +50,7 @@ pub struct LaunchRecord {
 pub struct InterceptRuntime {
     queues: Vec<Arc<LaunchQueue>>,
     dispatched: Arc<AtomicU64>,
+    idle_parks: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
 }
 
@@ -59,6 +60,7 @@ impl InterceptRuntime {
         InterceptRuntime {
             queues: (0..clients).map(|_| Arc::new(LaunchQueue::default())).collect(),
             dispatched: Arc::new(AtomicU64::new(0)),
+            idle_parks: Arc::new(AtomicU64::new(0)),
             stop: Arc::new(AtomicBool::new(false)),
         }
     }
@@ -75,14 +77,35 @@ impl InterceptRuntime {
         self.dispatched.load(Ordering::Relaxed)
     }
 
+    /// Number of times the idle scheduler thread has parked (slept). A
+    /// growing value with a constant [`InterceptRuntime::dispatched`] means
+    /// the runtime is quiescent instead of burning a core.
+    pub fn idle_parks(&self) -> u64 {
+        self.idle_parks.load(Ordering::Relaxed)
+    }
+
     /// Starts the scheduler thread: a round-robin poller draining all client
     /// queues (the `run_scheduler` loop of Listing 1, minus GPU submission).
     /// Returns a guard that stops the thread on drop.
+    ///
+    /// An idle scheduler backs off in three stages instead of busy-waiting
+    /// forever: a bounded spin (lowest wake-up latency while a launch is
+    /// probably imminent), then cooperative `yield_now`, then short
+    /// `park_timeout` naps. The 50 us nap bounds the added dispatch latency
+    /// for a launch arriving while the scheduler sleeps, and keeps an idle
+    /// runtime at ~0% CPU without any wake-up signalling on the §6.5
+    /// interception hot path.
     pub fn start_scheduler(&self) -> SchedulerGuard {
+        const SPIN_POLLS: u32 = 64;
+        const YIELD_POLLS: u32 = 192;
+        const PARK_NAP: std::time::Duration = std::time::Duration::from_micros(50);
+
         let queues: Vec<Arc<LaunchQueue>> = self.queues.clone();
         let dispatched = Arc::clone(&self.dispatched);
+        let idle_parks = Arc::clone(&self.idle_parks);
         let stop = Arc::clone(&self.stop);
         let handle = thread::spawn(move || {
+            let mut empty_polls: u32 = 0;
             while !stop.load(Ordering::Relaxed) {
                 let mut drained = false;
                 for q in &queues {
@@ -91,8 +114,18 @@ impl InterceptRuntime {
                         drained = true;
                     }
                 }
-                if !drained {
-                    std::hint::spin_loop();
+                if drained {
+                    empty_polls = 0;
+                } else {
+                    empty_polls = empty_polls.saturating_add(1);
+                    if empty_polls < SPIN_POLLS {
+                        std::hint::spin_loop();
+                    } else if empty_polls < YIELD_POLLS {
+                        thread::yield_now();
+                    } else {
+                        idle_parks.fetch_add(1, Ordering::Relaxed);
+                        thread::park_timeout(PARK_NAP);
+                    }
                 }
             }
             // Final drain so no launch is lost at shutdown.
@@ -196,6 +229,34 @@ mod tests {
         }
         guard.stop();
         assert_eq!(rt.dispatched(), 40_000);
+    }
+
+    #[test]
+    fn idle_runtime_parks_instead_of_spinning() {
+        let rt = InterceptRuntime::new(2);
+        let guard = rt.start_scheduler();
+        // With nothing to drain the scheduler must fall through its backoff
+        // ladder into parking within a few milliseconds.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while rt.idle_parks() == 0 && std::time::Instant::now() < deadline {
+            thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(rt.idle_parks() > 0, "idle scheduler never parked");
+        assert_eq!(rt.dispatched(), 0);
+        // A parked scheduler still drains new launches promptly.
+        for seq in 0..100u64 {
+            rt.intercept(LaunchRecord {
+                kernel_id: seq as u32,
+                client: (seq % 2) as u32,
+                seq,
+            });
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while rt.dispatched() < 100 && std::time::Instant::now() < deadline {
+            thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(rt.dispatched(), 100, "parked scheduler failed to resume");
+        guard.stop();
     }
 
     #[test]

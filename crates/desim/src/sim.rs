@@ -137,7 +137,10 @@ impl<W: World> Simulation<W> {
         loop {
             match self.sched.queue.peek_time() {
                 None => {
-                    self.sched.now = self.sched.now.max(horizon.min(self.sched.now));
+                    // The queue drained before the horizon: simulated time
+                    // still passes up to the horizon (an empty world is an
+                    // idle world, not a stopped clock).
+                    self.sched.now = self.sched.now.max(horizon);
                     return RunOutcome::Drained;
                 }
                 Some(t) if t > horizon => {
@@ -227,6 +230,24 @@ mod tests {
         let out = sim.run_until(SimTime::from_micros(50), u64::MAX);
         assert_eq!(out, RunOutcome::Drained);
         assert_eq!(sim.world().seen.len(), 1);
+    }
+
+    #[test]
+    fn draining_early_advances_clock_to_horizon() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule_at(SimTime::from_micros(1), 0);
+        let out = sim.run_until(SimTime::from_micros(50), u64::MAX);
+        assert_eq!(out, RunOutcome::Drained);
+        // The last event fired at t=1us, but 50us of simulated time passed.
+        assert_eq!(sim.now(), SimTime::from_micros(50));
+        // Draining an already-empty queue also advances the clock.
+        let out = sim.run_until(SimTime::from_micros(80), u64::MAX);
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(sim.now(), SimTime::from_micros(80));
+        // ...but never moves it backwards.
+        let out = sim.run_until(SimTime::from_micros(10), u64::MAX);
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(sim.now(), SimTime::from_micros(80));
     }
 
     #[test]

@@ -20,13 +20,24 @@
 //! 2. mutate (submit ops, create streams),
 //! 3. read [`GpuEngine::next_event_time`] and schedule a DES wake-up,
 //! 4. on wake-up, `advance_to` again and [`GpuEngine::drain_completions`].
+//!
+//! # Data layout (see DESIGN.md, "Engine internals & performance")
+//!
+//! The hot path is allocation-free in steady state: operations live in a
+//! slab (`Vec<Option<OpState>>` + free list) indexed directly by op id,
+//! streams and events are dense `Vec`s indexed by their ids, the priority
+//! dispatch order is cached and recomputed only on stream creation, and the
+//! interference model evaluates into reusable scratch buffers. Freed op
+//! slots are recycled only after [`GpuEngine::drain_completions`], so an op
+//! id stays unique for as long as any completion referring to it is
+//! undelivered.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use orion_desim::time::SimTime;
 
 use crate::error::GpuError;
-use crate::interference::{evaluate, KernelLoad, ModelParams};
+use crate::interference::{evaluate_into, EvalScratch, KernelLoad, ModelParams};
 use crate::kernel::KernelDesc;
 use crate::memory::{AllocId, MemoryLedger};
 use crate::spec::GpuSpec;
@@ -35,6 +46,12 @@ use crate::trace::{ExecTrace, Span};
 use crate::util::{UtilAccumulator, UtilSummary};
 
 /// Identifier of a submitted operation.
+///
+/// Ids index the engine's internal op slab and are **recycled** after the
+/// operation's completion has been drained: an id is unique among live and
+/// undrained ops, but a long-running simulation will reuse the ids of
+/// long-finished ops. Treat an `OpId` as a handle valid until its
+/// [`Completion`] is consumed, not as a global sequence number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpId(pub u64);
 
@@ -109,18 +126,10 @@ pub struct Completion {
     pub dispatched_at: Option<SimTime>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OpStatus {
-    Queued,
-    Running,
-    Done,
-}
-
 #[derive(Debug, Clone)]
 struct OpState {
     stream: StreamId,
     kind: OpKind,
-    status: OpStatus,
     submitted_at: SimTime,
     /// Remaining solo-execution work in nanoseconds (kernels) or remaining
     /// bytes (copies).
@@ -128,6 +137,8 @@ struct OpState {
     /// Current progress rate (kernels: solo-sec per sec; copies: bytes/sec).
     rate: f64,
     sm_granted: u32,
+    /// Occupancy-derived SM demand, computed once at dispatch (kernels only).
+    sm_needed: u32,
     dispatch_seq: u64,
     dispatched_at: Option<SimTime>,
 }
@@ -144,28 +155,59 @@ fn copy_eta(remaining: f64, rate: f64) -> SimTime {
     SimTime::from_nanos((ns as u64).max(1))
 }
 
+/// Time for a kernel with `remaining` solo-nanoseconds of work progressing at
+/// `rate` (solo-sec per sec) to finish, rounded *up* to at least one
+/// nanosecond — the same progress guarantee as [`copy_eta`].
+///
+/// Rounding choice: an unfinished running kernel always has
+/// `remaining > 0.5 ns` (the completion epsilon) and `rate <= 1.0` (no kernel
+/// beats its solo rate), so `ceil(remaining / rate) >= 1` already; the
+/// `max(1)` clamp is a safety net, not a behaviour change. This single
+/// helper replaces two near-duplicate scans that differed only in clamping
+/// (`max(1.0)` vs `max(0.0)`) — deliberately unified to the progress-safe
+/// variant.
+fn kernel_eta(remaining: f64, rate: f64) -> SimTime {
+    SimTime::from_nanos(((remaining / rate).ceil().max(1.0)) as u64)
+}
+
 /// The simulated GPU device.
 #[derive(Debug)]
 pub struct GpuEngine {
     spec: GpuSpec,
-    streams: HashMap<u32, StreamState>,
-    stream_order: Vec<u32>,
-    ops: HashMap<u64, OpState>,
+    /// Dense per-stream state, indexed by `StreamId.0`.
+    streams: Vec<StreamState>,
+    /// Stream visit order for dispatch: sorted by (priority urgency desc,
+    /// creation order). Recomputed only in [`GpuEngine::create_stream`],
+    /// never in the dispatch loop (priorities are fixed at creation).
+    dispatch_order: Vec<u32>,
+    /// Op slab: `ops[id]` holds the live op with that id. Indices are
+    /// recycled through `free_ops` after their completion is drained.
+    ops: Vec<Option<OpState>>,
+    /// Slab slots available for new ops.
+    free_ops: Vec<u64>,
+    /// Slots of finished ops whose completions are not yet drained; moved to
+    /// `free_ops` in [`GpuEngine::drain_completions`] so an undrained
+    /// completion's op id can never be reused.
+    retired_ops: Vec<u64>,
     running_kernels: Vec<u64>,
     running_copies: Vec<u64>,
     blocking_copies: usize,
     sync_requested: bool,
-    events: HashMap<u64, bool>,
+    /// Dense event-signalled flags, indexed by `EventId.0`.
+    events: Vec<bool>,
     memory: MemoryLedger,
     util: UtilAccumulator,
     completions: Vec<Completion>,
     trace: Option<ExecTrace>,
     now: SimTime,
-    next_op_id: u64,
-    next_stream_id: u32,
-    next_event_id: u64,
     next_dispatch_seq: u64,
     rates_dirty: bool,
+    /// Scratch: interference-model inputs, parallel to `running_kernels`.
+    loads: Vec<KernelLoad>,
+    /// Scratch: interference-model working buffers and output rates.
+    eval: EvalScratch,
+    /// Scratch: ids collected by `complete_finished` / `apply_sync_ops`.
+    scratch_ids: Vec<u64>,
 }
 
 impl GpuEngine {
@@ -175,24 +217,26 @@ impl GpuEngine {
         let memory = MemoryLedger::new(spec.memory_capacity);
         GpuEngine {
             spec,
-            streams: HashMap::new(),
-            stream_order: Vec::new(),
-            ops: HashMap::new(),
+            streams: Vec::new(),
+            dispatch_order: Vec::new(),
+            ops: Vec::new(),
+            free_ops: Vec::new(),
+            retired_ops: Vec::new(),
             running_kernels: Vec::new(),
             running_copies: Vec::new(),
             blocking_copies: 0,
             sync_requested: false,
-            events: HashMap::new(),
+            events: Vec::new(),
             memory,
             util: UtilAccumulator::new(record_timeline),
             completions: Vec::new(),
             trace: None,
             now: SimTime::ZERO,
-            next_op_id: 0,
-            next_stream_id: 0,
-            next_event_id: 0,
             next_dispatch_seq: 0,
             rates_dirty: false,
+            loads: Vec::new(),
+            eval: EvalScratch::default(),
+            scratch_ids: Vec::new(),
         }
     }
 
@@ -208,32 +252,40 @@ impl GpuEngine {
 
     /// Creates a stream with the given priority.
     pub fn create_stream(&mut self, priority: StreamPriority) -> StreamId {
-        let id = StreamId(self.next_stream_id);
-        self.next_stream_id += 1;
-        self.streams.insert(id.0, StreamState::new(priority));
-        self.stream_order.push(id.0);
+        let id = StreamId(self.streams.len() as u32);
+        self.streams.push(StreamState::new(priority));
+        self.dispatch_order.push(id.0);
+        // Cold path: re-derive the cached dispatch order so the hot loop
+        // never sorts. Keys are unique (sid ties break the urgency), so an
+        // unstable sort is deterministic.
+        let streams = &self.streams;
+        self.dispatch_order.sort_unstable_by_key(|&sid| {
+            (
+                std::cmp::Reverse(streams[sid as usize].priority.urgency()),
+                sid,
+            )
+        });
         id
     }
 
     /// Creates an event object for `EventRecord` ops.
     pub fn create_event(&mut self) -> EventId {
-        let id = EventId(self.next_event_id);
-        self.next_event_id += 1;
-        self.events.insert(id.0, false);
+        let id = EventId(self.events.len() as u64);
+        self.events.push(false);
         id
     }
 
     /// Non-blocking `cudaEventQuery`: has the event been signalled?
     pub fn event_done(&self, event: EventId) -> Result<bool, GpuError> {
         self.events
-            .get(&event.0)
+            .get(event.0 as usize)
             .copied()
             .ok_or(GpuError::UnknownEvent(event.0))
     }
 
     /// Resets an event to unsignalled so it can be recorded again.
     pub fn event_reset(&mut self, event: EventId) -> Result<(), GpuError> {
-        match self.events.get_mut(&event.0) {
+        match self.events.get_mut(event.0 as usize) {
             Some(flag) => {
                 *flag = false;
                 Ok(())
@@ -252,29 +304,35 @@ impl GpuEngine {
         }
         let st = self
             .streams
-            .get_mut(&stream.0)
+            .get_mut(stream.0 as usize)
             .ok_or(GpuError::UnknownStream(stream.0))?;
-        let id = self.next_op_id;
-        self.next_op_id += 1;
         let remaining = match &kind {
             OpKind::Kernel(k) => k.solo_duration.as_nanos() as f64,
             OpKind::MemcpyH2D { bytes, .. } | OpKind::MemcpyD2H { bytes, .. } => *bytes as f64,
             _ => 0.0,
         };
-        self.ops.insert(
-            id,
-            OpState {
-                stream,
-                kind,
-                status: OpStatus::Queued,
-                submitted_at: self.now,
-                remaining,
-                rate: 0.0,
-                sm_granted: 0,
-                dispatch_seq: 0,
-                dispatched_at: None,
-            },
-        );
+        let state = OpState {
+            stream,
+            kind,
+            submitted_at: self.now,
+            remaining,
+            rate: 0.0,
+            sm_granted: 0,
+            sm_needed: 0,
+            dispatch_seq: 0,
+            dispatched_at: None,
+        };
+        let id = match self.free_ops.pop() {
+            Some(slot) => {
+                debug_assert!(self.ops[slot as usize].is_none(), "free slot is empty");
+                self.ops[slot as usize] = Some(state);
+                slot
+            }
+            None => {
+                self.ops.push(Some(state));
+                (self.ops.len() - 1) as u64
+            }
+        };
         st.queue.push_back(id);
         self.try_dispatch();
         Ok(OpId(id))
@@ -287,13 +345,13 @@ impl GpuEngine {
 
     /// True when every stream is idle and nothing is running.
     pub fn fully_idle(&self) -> bool {
-        !self.busy() && self.streams.values().all(|s| s.is_idle())
+        !self.busy() && self.streams.iter().all(|s| s.is_idle())
     }
 
     /// Number of ops (queued + running) on a stream.
     pub fn stream_depth(&self, stream: StreamId) -> Result<usize, GpuError> {
         self.streams
-            .get(&stream.0)
+            .get(stream.0 as usize)
             .map(|s| s.depth())
             .ok_or(GpuError::UnknownStream(stream.0))
     }
@@ -330,7 +388,11 @@ impl GpuEngine {
     }
 
     /// Takes all completions recorded since the last drain.
+    ///
+    /// Draining also recycles the op slots of the reported completions:
+    /// their ids become eligible for reuse by subsequent submissions.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
+        self.free_ops.append(&mut self.retired_ops);
         std::mem::take(&mut self.completions)
     }
 
@@ -356,24 +418,7 @@ impl GpuEngine {
     /// completes), or `None` when nothing is running.
     pub fn next_event_time(&mut self) -> Option<SimTime> {
         self.refresh_rates();
-        let mut earliest: Option<SimTime> = None;
-        for &kid in &self.running_kernels {
-            let op = &self.ops[&kid];
-            let t = if op.rate > 0.0 {
-                self.now + SimTime::from_nanos((op.remaining / op.rate).ceil().max(1.0) as u64)
-            } else {
-                continue; // Stalled: will be unblocked by another completion.
-            };
-            earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
-        }
-        for &cid in &self.running_copies {
-            let op = &self.ops[&cid];
-            if op.rate > 0.0 {
-                let t = self.now + copy_eta(op.remaining, op.rate);
-                earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
-            }
-        }
-        earliest
+        self.earliest_completion()
     }
 
     /// Advances the device clock to `now`, executing work and recording
@@ -382,7 +427,7 @@ impl GpuEngine {
         debug_assert!(now >= self.now, "advance_to must not move backwards");
         while self.now < now {
             self.refresh_rates();
-            let next = self.next_internal_completion();
+            let next = self.earliest_completion();
             match next {
                 Some(t) if t <= now => {
                     self.integrate(t);
@@ -397,7 +442,7 @@ impl GpuEngine {
         }
         // Handle zero-duration work (e.g. completions exactly at `now`).
         self.refresh_rates();
-        if let Some(t) = self.next_internal_completion() {
+        if let Some(t) = self.earliest_completion() {
             if t <= now {
                 self.complete_finished(t);
                 self.try_dispatch();
@@ -407,18 +452,28 @@ impl GpuEngine {
 
     // ---- internals ----
 
-    fn next_internal_completion(&self) -> Option<SimTime> {
+    /// The live op with `id`. Panics when the slot is empty: the engine's
+    /// running/queued lists only ever hold live ids.
+    #[inline]
+    fn op(&self, id: u64) -> &OpState {
+        self.ops[id as usize].as_ref().expect("live op")
+    }
+
+    /// Earliest predicted completion among running kernels and copies, one
+    /// merged scan (rates must be fresh — call [`GpuEngine::refresh_rates`]
+    /// first). Ops with a zero rate are stalled and will be re-examined when
+    /// another completion frees resources.
+    fn earliest_completion(&self) -> Option<SimTime> {
         let mut earliest: Option<SimTime> = None;
         for &kid in &self.running_kernels {
-            let op = &self.ops[&kid];
+            let op = self.op(kid);
             if op.rate > 0.0 {
-                let ns = (op.remaining / op.rate).ceil().max(0.0) as u64;
-                let t = self.now + SimTime::from_nanos(ns);
+                let t = self.now + kernel_eta(op.remaining, op.rate);
                 earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
             }
         }
         for &cid in &self.running_copies {
-            let op = &self.ops[&cid];
+            let op = self.op(cid);
             if op.rate > 0.0 {
                 let t = self.now + copy_eta(op.remaining, op.rate);
                 earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
@@ -434,40 +489,45 @@ impl GpuEngine {
         }
         self.rates_dirty = false;
 
-        // Kernels.
-        let loads: Vec<KernelLoad> = self
-            .running_kernels
-            .iter()
-            .map(|&kid| {
-                let op = &self.ops[&kid];
-                let OpKind::Kernel(k) = &op.kind else {
-                    unreachable!("running_kernels holds only kernels");
-                };
-                KernelLoad {
-                    sm_needed: k.sm_needed(&self.spec),
-                    sm_granted: op.sm_granted,
-                    compute_demand: k.compute_util,
-                    mem_demand: k.mem_util,
-                    urgency: self.streams[&op.stream.0].priority.urgency(),
-                    seq: op.dispatch_seq,
-                }
-            })
-            .collect();
-        let rates = evaluate(&ModelParams::from(&self.spec), &loads);
-        let ids: Vec<u64> = self.running_kernels.clone();
-        for (kid, r) in ids.iter().zip(rates) {
-            let op = self.ops.get_mut(kid).expect("running op exists");
+        // Kernels: evaluate the interference model into scratch buffers.
+        let Self {
+            spec,
+            streams,
+            ops,
+            running_kernels,
+            running_copies,
+            loads,
+            eval,
+            ..
+        } = self;
+        loads.clear();
+        for &kid in running_kernels.iter() {
+            let op = ops[kid as usize].as_ref().expect("running op exists");
+            let OpKind::Kernel(k) = &op.kind else {
+                unreachable!("running_kernels holds only kernels");
+            };
+            loads.push(KernelLoad {
+                sm_needed: op.sm_needed,
+                sm_granted: op.sm_granted,
+                compute_demand: k.compute_util,
+                mem_demand: k.mem_util,
+                urgency: streams[op.stream.0 as usize].priority.urgency(),
+                seq: op.dispatch_seq,
+            });
+        }
+        evaluate_into(&ModelParams::from(&*spec), loads, eval);
+        for (&kid, r) in running_kernels.iter().zip(eval.rates.iter()) {
+            let op = ops[kid as usize].as_mut().expect("running op exists");
             op.sm_granted = r.sm_granted;
             op.rate = r.rate;
         }
 
         // Copies: processor-share the PCIe link.
-        let n = self.running_copies.len();
+        let n = running_copies.len();
         if n > 0 {
-            let share = self.spec.pcie_bandwidth / n as f64;
-            let ids: Vec<u64> = self.running_copies.clone();
-            for cid in ids {
-                self.ops.get_mut(&cid).expect("running copy exists").rate = share;
+            let share = spec.pcie_bandwidth / n as f64;
+            for &cid in running_copies.iter() {
+                ops[cid as usize].as_mut().expect("running copy exists").rate = share;
             }
         }
     }
@@ -481,11 +541,20 @@ impl GpuEngine {
             return;
         }
         let dt_ns = dur.as_nanos() as f64;
+        let now = self.now;
+        let Self {
+            spec,
+            ops,
+            running_kernels,
+            running_copies,
+            util,
+            ..
+        } = self;
         let mut compute = 0.0;
         let mut mem_bw = 0.0;
         let mut sm_busy = 0u32;
-        for &kid in &self.running_kernels {
-            let op = &self.ops[&kid];
+        for &kid in running_kernels.iter() {
+            let op = ops[kid as usize].as_ref().expect("running op");
             let OpKind::Kernel(k) = &op.kind else {
                 unreachable!()
             };
@@ -493,22 +562,20 @@ impl GpuEngine {
             mem_bw += op.rate * k.mem_util;
             sm_busy += op.sm_granted;
         }
-        self.util.add(
-            self.now,
+        util.add(
+            now,
             dur,
             compute.min(1.0),
             mem_bw.min(1.0),
-            (sm_busy as f64 / self.spec.num_sms as f64).min(1.0),
+            (sm_busy as f64 / spec.num_sms as f64).min(1.0),
         );
-        let ids: Vec<u64> = self.running_kernels.clone();
-        for kid in ids {
-            let op = self.ops.get_mut(&kid).expect("running op");
+        for &kid in running_kernels.iter() {
+            let op = ops[kid as usize].as_mut().expect("running op");
             op.remaining -= op.rate * dt_ns;
         }
         let dt_s = dur.as_secs_f64();
-        let ids: Vec<u64> = self.running_copies.clone();
-        for cid in ids {
-            let op = self.ops.get_mut(&cid).expect("running copy");
+        for &cid in running_copies.iter() {
+            let op = ops[cid as usize].as_mut().expect("running copy");
             op.remaining -= op.rate * dt_s;
         }
         self.now = to;
@@ -519,26 +586,49 @@ impl GpuEngine {
         const EPS: f64 = 0.5; // half a nanosecond of work / half a byte
 
         self.now = self.now.max(at);
-        let finished_kernels: Vec<u64> = self
-            .running_kernels
-            .iter()
-            .copied()
-            .filter(|kid| self.ops[kid].remaining <= EPS)
-            .collect();
-        for kid in finished_kernels {
-            self.running_kernels.retain(|&x| x != kid);
+
+        // One in-place pass per list: drop finished ids while collecting
+        // them (in running order, which is dispatch order) into scratch.
+        let mut finished = std::mem::take(&mut self.scratch_ids);
+        finished.clear();
+        {
+            let Self {
+                ops,
+                running_kernels,
+                ..
+            } = self;
+            running_kernels.retain(|&kid| {
+                if ops[kid as usize].as_ref().expect("running op").remaining <= EPS {
+                    finished.push(kid);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for &kid in &finished {
             self.finish_op(kid, at, None);
         }
-        let finished_copies: Vec<u64> = self
-            .running_copies
-            .iter()
-            .copied()
-            .filter(|cid| self.ops[cid].remaining <= EPS)
-            .collect();
-        for cid in finished_copies {
-            self.running_copies.retain(|&x| x != cid);
+
+        finished.clear();
+        {
+            let Self {
+                ops,
+                running_copies,
+                ..
+            } = self;
+            running_copies.retain(|&cid| {
+                if ops[cid as usize].as_ref().expect("running copy").remaining <= EPS {
+                    finished.push(cid);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for &cid in &finished {
             let blocking = matches!(
-                self.ops[&cid].kind,
+                self.op(cid).kind,
                 OpKind::MemcpyH2D { blocking: true, .. } | OpKind::MemcpyD2H { blocking: true, .. }
             );
             if blocking {
@@ -546,49 +636,59 @@ impl GpuEngine {
             }
             self.finish_op(cid, at, None);
         }
+        self.scratch_ids = finished;
     }
 
-    /// Marks `op` done, records the completion, frees its stream slot.
+    /// Marks `op` done, records the completion, frees its stream slot, and
+    /// retires the slab slot (recycled after the next completion drain).
     fn finish_op(&mut self, op_id: u64, at: SimTime, alloc: Option<AllocId>) {
-        let (stream, kind_label, dispatched_at) = {
-            let op = self.ops.get_mut(&op_id).expect("finishing op exists");
-            op.status = OpStatus::Done;
-            (op.stream, op.kind.label(), op.dispatched_at)
-        };
+        let op = self.ops[op_id as usize]
+            .take()
+            .expect("finishing op exists");
+        let kind_label = op.kind.label();
         if let Some(trace) = &mut self.trace {
-            let op = &self.ops[&op_id];
             let name = match &op.kind {
-                OpKind::Kernel(k) => k.name.clone(),
-                other => other.label().to_owned(),
+                OpKind::Kernel(k) => Arc::clone(&k.name),
+                other => Arc::from(other.label()),
             };
             trace.spans.push(Span {
                 name,
-                stream,
+                stream: op.stream,
                 submitted: op.submitted_at,
-                dispatched: dispatched_at.unwrap_or(op.submitted_at),
+                dispatched: op.dispatched_at.unwrap_or(op.submitted_at),
                 completed: at,
-                kind: kind_label.to_owned(),
+                kind: kind_label,
             });
         }
-        if let Some(st) = self.streams.get_mut(&stream.0) {
+        if let Some(st) = self.streams.get_mut(op.stream.0 as usize) {
             if st.inflight == Some(op_id) {
                 st.inflight = None;
             }
         }
         self.completions.push(Completion {
             op: OpId(op_id),
-            stream,
+            stream: op.stream,
             at,
             alloc,
             kind: kind_label,
-            dispatched_at,
+            dispatched_at: op.dispatched_at,
         });
-        self.ops.remove(&op_id);
+        self.retired_ops.push(op_id);
         self.rates_dirty = true;
     }
 
     /// Pulls work from stream queues onto the device wherever permitted.
     fn try_dispatch(&mut self) {
+        /// Head-of-queue classification copied out of the op so the dispatch
+        /// loop never clones an [`OpKind`] (a kernel clone would copy the
+        /// whole descriptor).
+        enum Head {
+            Kernel,
+            Copy { blocking: bool },
+            Sync,
+            Event { event: u64 },
+        }
+
         loop {
             let mut dispatched_any = false;
 
@@ -602,54 +702,61 @@ impl GpuEngine {
                 self.sync_requested = false;
             }
 
-            // Visit streams in priority order (then creation order) so that
-            // simultaneous head-of-line candidates dispatch by priority.
-            let mut order = self.stream_order.clone();
-            order.sort_by_key(|sid| {
-                (
-                    std::cmp::Reverse(self.streams[sid].priority.urgency()),
-                    *sid,
-                )
-            });
-
-            for sid in order {
-                let st = self.streams.get_mut(&sid).expect("stream exists");
+            // Visit streams in the cached (priority desc, creation order)
+            // sequence so simultaneous head-of-line candidates dispatch by
+            // priority. Index loop: the order vector is only mutated by
+            // `create_stream`, never inside dispatch.
+            for oi in 0..self.dispatch_order.len() {
+                let sid = self.dispatch_order[oi] as usize;
+                let st = &mut self.streams[sid];
                 if st.inflight.is_some() {
                     continue;
                 }
                 let Some(&head) = st.queue.front() else {
                     continue;
                 };
-                let kind = self.ops[&head].kind.clone();
-                match kind {
-                    OpKind::Kernel(_) => {
+                let head_kind = match &self.op(head).kind {
+                    OpKind::Kernel(_) => Head::Kernel,
+                    OpKind::MemcpyH2D { blocking, .. } | OpKind::MemcpyD2H { blocking, .. } => {
+                        Head::Copy {
+                            blocking: *blocking,
+                        }
+                    }
+                    OpKind::Malloc { .. } | OpKind::Free { .. } => Head::Sync,
+                    OpKind::EventRecord { event } => Head::Event { event: event.0 },
+                };
+                match head_kind {
+                    Head::Kernel => {
                         if self.blocking_copies > 0 || self.sync_requested {
                             continue;
                         }
-                        let st = self.streams.get_mut(&sid).expect("stream exists");
+                        let st = &mut self.streams[sid];
                         st.queue.pop_front();
                         st.inflight = Some(head);
                         let seq = self.next_dispatch_seq;
                         self.next_dispatch_seq += 1;
                         let now = self.now;
-                        let op = self.ops.get_mut(&head).expect("op exists");
-                        op.status = OpStatus::Running;
+                        let spec = &self.spec;
+                        let op = self.ops[head as usize].as_mut().expect("op exists");
+                        let OpKind::Kernel(k) = &op.kind else {
+                            unreachable!("head classified as kernel")
+                        };
+                        op.sm_needed = k.sm_needed(spec);
                         op.dispatch_seq = seq;
                         op.dispatched_at = Some(now);
                         self.running_kernels.push(head);
                         self.rates_dirty = true;
                         dispatched_any = true;
                     }
-                    OpKind::MemcpyH2D { blocking, .. } | OpKind::MemcpyD2H { blocking, .. } => {
+                    Head::Copy { blocking } => {
                         if self.sync_requested {
                             continue;
                         }
-                        let st = self.streams.get_mut(&sid).expect("stream exists");
+                        let st = &mut self.streams[sid];
                         st.queue.pop_front();
                         st.inflight = Some(head);
                         let now = self.now;
-                        let op = self.ops.get_mut(&head).expect("op exists");
-                        op.status = OpStatus::Running;
+                        let op = self.ops[head as usize].as_mut().expect("op exists");
                         op.dispatched_at = Some(now);
                         self.running_copies.push(head);
                         if blocking {
@@ -658,21 +765,24 @@ impl GpuEngine {
                         self.rates_dirty = true;
                         dispatched_any = true;
                     }
-                    OpKind::Malloc { .. } | OpKind::Free { .. } => {
+                    Head::Sync => {
                         // Take the slot and request drain; applied when idle.
-                        let st = self.streams.get_mut(&sid).expect("stream exists");
+                        let st = &mut self.streams[sid];
                         st.queue.pop_front();
                         st.inflight = Some(head);
-                        self.ops.get_mut(&head).expect("op exists").status = OpStatus::Running;
                         self.sync_requested = true;
                         dispatched_any = true;
                     }
-                    OpKind::EventRecord { event } => {
+                    Head::Event { event } => {
                         // Zero-duration marker: completes instantly once all
                         // prior ops on the stream are done.
-                        let st = self.streams.get_mut(&sid).expect("stream exists");
+                        let st = &mut self.streams[sid];
                         st.queue.pop_front();
-                        self.events.insert(event.0, true);
+                        let idx = event as usize;
+                        if idx >= self.events.len() {
+                            self.events.resize(idx + 1, false);
+                        }
+                        self.events[idx] = true;
                         let at = self.now;
                         self.finish_op(head, at, None);
                         dispatched_any = true;
@@ -687,33 +797,45 @@ impl GpuEngine {
     }
 
     /// Applies all in-flight sync ops (malloc/free) on a drained device.
+    ///
+    /// Streams are visited in id (creation) order, so simultaneous sync ops
+    /// apply deterministically.
     fn apply_sync_ops(&mut self) {
-        let pending: Vec<u64> = self
-            .streams
-            .values()
-            .filter_map(|s| s.inflight)
-            .filter(|id| {
-                matches!(
-                    self.ops[id].kind,
+        let mut pending = std::mem::take(&mut self.scratch_ids);
+        pending.clear();
+        for st in &self.streams {
+            if let Some(id) = st.inflight {
+                if matches!(
+                    self.op(id).kind,
                     OpKind::Malloc { .. } | OpKind::Free { .. }
-                )
-            })
-            .collect();
+                ) {
+                    pending.push(id);
+                }
+            }
+        }
         let at = self.now;
-        for op_id in pending {
-            let kind = self.ops[&op_id].kind.clone();
-            let alloc = match kind {
+        for &op_id in &pending {
+            enum Sync {
+                Malloc(u64),
+                Free(AllocId),
+            }
+            let sync = match &self.op(op_id).kind {
+                OpKind::Malloc { bytes } => Sync::Malloc(*bytes),
+                OpKind::Free { alloc } => Sync::Free(*alloc),
+                _ => unreachable!("apply_sync_ops only sees malloc/free"),
+            };
+            let alloc = match sync {
                 // OOM inside the pipeline surfaces as a completion with no
                 // allocation; the client layer maps this to an error.
-                OpKind::Malloc { bytes } => self.memory.alloc(bytes).ok(),
-                OpKind::Free { alloc } => {
+                Sync::Malloc(bytes) => self.memory.alloc(bytes).ok(),
+                Sync::Free(alloc) => {
                     let _ = self.memory.free(alloc);
                     None
                 }
-                _ => unreachable!("apply_sync_ops only sees malloc/free"),
             };
             self.finish_op(op_id, at, alloc);
         }
+        self.scratch_ids = pending;
     }
 }
 
@@ -1033,5 +1155,42 @@ mod tests {
         e.advance_to(SimTime::from_micros(10));
         e.drain_completions();
         assert!(e.fully_idle());
+    }
+
+    #[test]
+    fn op_ids_recycle_only_after_drain() {
+        let mut e = engine();
+        let s = e.create_stream(StreamPriority::DEFAULT);
+        let a = e.submit(s, OpKind::Kernel(kernel(0, 10, 4, 0.2, 0.2))).unwrap();
+        e.advance_to(SimTime::from_micros(10));
+        // `a` is finished but undrained: its id must NOT be reused yet.
+        let b = e.submit(s, OpKind::Kernel(kernel(1, 10, 4, 0.2, 0.2))).unwrap();
+        assert_ne!(a, b, "undrained op id was recycled");
+        e.advance_to(SimTime::from_micros(20));
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 2);
+        // After the drain both slots are free; the next submit reuses one.
+        let c = e.submit(s, OpKind::Kernel(kernel(2, 10, 4, 0.2, 0.2))).unwrap();
+        assert!(c == a || c == b, "drained slots should be recycled");
+    }
+
+    #[test]
+    fn high_priority_stream_dispatches_first_regardless_of_creation_order() {
+        // The cached dispatch order must re-sort when a high-priority stream
+        // is created *after* default ones.
+        let mut e = engine();
+        let be = e.create_stream(StreamPriority::DEFAULT);
+        let hp = e.create_stream(StreamPriority::HIGH);
+        // Fill the device so both queued kernels contend for dispatch order.
+        e.submit(be, OpKind::Kernel(kernel(0, 50, 80, 0.9, 0.1))).unwrap();
+        e.advance_to(SimTime::from_micros(1));
+        e.submit(be, OpKind::Kernel(kernel(1, 50, 80, 0.9, 0.1))).unwrap();
+        e.submit(hp, OpKind::Kernel(kernel(2, 50, 80, 0.9, 0.1))).unwrap();
+        e.advance_to(SimTime::from_millis(1));
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 3);
+        assert_eq!(done[0].stream, be);
+        assert_eq!(done[1].stream, hp, "HP kernel must overtake the queued BE one");
+        assert_eq!(done[2].stream, be);
     }
 }

@@ -107,16 +107,46 @@ pub struct KernelRate {
     pub mem_used: f64,
 }
 
+/// Reusable buffers for [`evaluate_into`], so the engine's steady-state rate
+/// refresh performs no heap allocation once the buffers have grown to the
+/// high-water concurrency of the run.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// Output of the last [`evaluate_into`] call, parallel to its `loads`.
+    pub rates: Vec<KernelRate>,
+    grants: Vec<u32>,
+    order: Vec<usize>,
+    mult: Vec<f64>,
+    sm_share: Vec<f64>,
+    eff_c: Vec<f64>,
+    eff_m: Vec<f64>,
+    compute_factors: Vec<f64>,
+    mem_factors: Vec<f64>,
+    weights: Vec<f64>,
+}
+
 /// Tops up SM grants in (urgency, seq) order without revoking existing grants.
 ///
 /// Returns the new grant for each kernel, parallel to `loads`.
 pub fn allocate_sms(num_sms: u32, loads: &[KernelLoad]) -> Vec<u32> {
+    let mut grants = Vec::new();
+    allocate_sms_into(num_sms, loads, &mut grants, &mut Vec::new());
+    grants
+}
+
+/// [`allocate_sms`] into caller-owned buffers (`order` is scratch).
+fn allocate_sms_into(num_sms: u32, loads: &[KernelLoad], grants: &mut Vec<u32>, order: &mut Vec<usize>) {
     let granted_total: u32 = loads.iter().map(|l| l.sm_granted).sum();
     let mut free = num_sms.saturating_sub(granted_total);
-    let mut order: Vec<usize> = (0..loads.len()).collect();
-    order.sort_by_key(|&i| (std::cmp::Reverse(loads[i].urgency), loads[i].seq));
-    let mut grants: Vec<u32> = loads.iter().map(|l| l.sm_granted).collect();
-    for i in order {
+    order.clear();
+    order.extend(0..loads.len());
+    // Unstable sort to avoid the stable sort's internal allocation; the key
+    // is unique per load (`seq` is the engine's unique dispatch sequence), so
+    // the resulting order is identical to a stable sort.
+    order.sort_unstable_by_key(|&i| (std::cmp::Reverse(loads[i].urgency), loads[i].seq));
+    grants.clear();
+    grants.extend(loads.iter().map(|l| l.sm_granted));
+    for &i in order.iter() {
         let want = loads[i].sm_needed.saturating_sub(grants[i]);
         let take = want.min(free);
         grants[i] += take;
@@ -125,7 +155,6 @@ pub fn allocate_sms(num_sms: u32, loads: &[KernelLoad]) -> Vec<u32> {
             break;
         }
     }
-    grants
 }
 
 /// The interleave multiplier for a kernel granted `granted` of `needed` SMs
@@ -161,97 +190,115 @@ pub fn rationing_factor(d: f64, beta: f64) -> f64 {
 
 /// Evaluates the full interference model: grants + rates + consumed resources.
 pub fn evaluate(params: &ModelParams, loads: &[KernelLoad]) -> Vec<KernelRate> {
-    let grants = allocate_sms(params.num_sms, loads);
+    let mut scratch = EvalScratch::default();
+    evaluate_into(params, loads, &mut scratch);
+    scratch.rates
+}
+
+/// [`evaluate`] into reusable buffers: the result lands in `scratch.rates`
+/// (parallel to `loads`) and no allocation happens once the buffers have
+/// grown to the run's peak concurrency. Arithmetic is performed in exactly
+/// the order of [`evaluate`], so results are bit-identical.
+pub fn evaluate_into(params: &ModelParams, loads: &[KernelLoad], scratch: &mut EvalScratch) {
+    let EvalScratch {
+        rates,
+        grants,
+        order,
+        mult,
+        sm_share,
+        eff_c,
+        eff_m,
+        compute_factors,
+        mem_factors,
+        weights,
+    } = scratch;
+    allocate_sms_into(params.num_sms, loads, grants, order);
 
     // Dominant SM-holder profile: the class of the kernel holding the most
     // SMs (ties: earliest dispatch). Starved kernels interleave against it.
     let holder = loads
         .iter()
-        .zip(&grants)
+        .zip(grants.iter())
         .filter(|(_, &g)| g > 0)
         .max_by_key(|(l, &g)| (g, std::cmp::Reverse(l.seq)))
         .map(|(l, _)| l.profile());
 
     // Progress multiplier from SM availability.
-    let mult: Vec<f64> = loads
-        .iter()
-        .zip(&grants)
-        .map(|(l, &g)| {
-            let alpha = match holder {
-                Some(h) if g < l.sm_needed => interleave_alpha(params, l.profile(), h),
-                // No holder (device empty of granted kernels): free dispatch.
-                _ => 1.0,
-            };
-            interleave_multiplier(g, l.sm_needed, alpha)
-        })
-        .collect();
+    mult.clear();
+    mult.extend(loads.iter().zip(grants.iter()).map(|(l, &g)| {
+        let alpha = match holder {
+            Some(h) if g < l.sm_needed => interleave_alpha(params, l.profile(), h),
+            // No holder (device empty of granted kernels): free dispatch.
+            _ => 1.0,
+        };
+        interleave_multiplier(g, l.sm_needed, alpha)
+    }));
 
     // Effective demands scale with the multiplier: a kernel progressing at
     // half speed issues half the instructions and memory traffic.
-    let total_compute: f64 = loads
-        .iter()
-        .zip(&mult)
-        .map(|(l, &f)| l.compute_demand * f)
-        .sum();
-    let total_mem: f64 = loads
-        .iter()
-        .zip(&mult)
-        .map(|(l, &f)| l.mem_demand * f)
-        .sum();
+    eff_c.clear();
+    eff_c.extend(
+        loads
+            .iter()
+            .zip(mult.iter())
+            .map(|(l, &f)| l.compute_demand * f),
+    );
+    eff_m.clear();
+    eff_m.extend(
+        loads
+            .iter()
+            .zip(mult.iter())
+            .map(|(l, &f)| l.mem_demand * f),
+    );
+    let total_compute: f64 = eff_c.iter().sum();
+    let total_mem: f64 = eff_m.iter().sum();
 
     // Per-kernel rationing factors: proportional sharing of the delivered
     // capacity, discounted by SM share under overload (kernels with more
     // resident warps win warp-scheduler arbitration).
-    let sm_share: Vec<f64> = grants
-        .iter()
-        .map(|&g| g as f64 / params.num_sms.max(1) as f64)
-        .collect();
-    let eff_c: Vec<f64> = loads
-        .iter()
-        .zip(&mult)
-        .map(|(l, &f)| l.compute_demand * f)
-        .collect();
-    let eff_m: Vec<f64> = loads
-        .iter()
-        .zip(&mult)
-        .map(|(l, &f)| l.mem_demand * f)
-        .collect();
-    let compute_factors = arbitrated_factors(
+    sm_share.clear();
+    sm_share.extend(
+        grants
+            .iter()
+            .map(|&g| g as f64 / params.num_sms.max(1) as f64),
+    );
+    arbitrated_factors_into(
         total_compute,
         params.compute_beta,
         params.arbitration,
-        &eff_c,
-        &sm_share,
+        eff_c,
+        sm_share,
+        weights,
+        compute_factors,
     );
-    let mem_factors = arbitrated_factors(
+    arbitrated_factors_into(
         total_mem,
         params.mem_beta,
         params.arbitration,
-        &eff_m,
-        &sm_share,
+        eff_m,
+        sm_share,
+        weights,
+        mem_factors,
     );
 
-    loads
-        .iter()
-        .enumerate()
-        .map(|(i, l)| {
-            let f = mult[i];
-            // Rate limited by the most-contended resource the kernel uses.
-            let mut rate = f;
-            if l.compute_demand > 0.0 {
-                rate = rate.min(f * compute_factors[i]);
-            }
-            if l.mem_demand > 0.0 {
-                rate = rate.min(f * mem_factors[i]);
-            }
-            KernelRate {
-                sm_granted: grants[i],
-                rate,
-                compute_used: rate * l.compute_demand,
-                mem_used: rate * l.mem_demand,
-            }
-        })
-        .collect()
+    rates.clear();
+    rates.extend(loads.iter().enumerate().map(|(i, l)| {
+        let f = mult[i];
+        // Rate limited by the most-contended resource the kernel uses.
+        let mut rate = f;
+        if l.compute_demand > 0.0 {
+            rate = rate.min(f * compute_factors[i]);
+        }
+        if l.mem_demand > 0.0 {
+            rate = rate.min(f * mem_factors[i]);
+        }
+        KernelRate {
+            sm_granted: grants[i],
+            rate,
+            compute_used: rate * l.compute_demand,
+            mem_used: rate * l.mem_demand,
+        }
+    }));
 }
 
 /// Per-kernel rationing factors for one resource.
@@ -269,32 +316,48 @@ pub fn arbitrated_factors(
     eff_demands: &[f64],
     sm_shares: &[f64],
 ) -> Vec<f64> {
+    let mut out = Vec::new();
+    arbitrated_factors_into(total, beta, arb, eff_demands, sm_shares, &mut Vec::new(), &mut out);
+    out
+}
+
+/// [`arbitrated_factors`] into caller-owned buffers (`weights` is scratch).
+fn arbitrated_factors_into(
+    total: f64,
+    beta: f64,
+    arb: f64,
+    eff_demands: &[f64],
+    sm_shares: &[f64],
+    weights: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) {
     let n = eff_demands.len();
+    out.clear();
     if total <= 1.0 {
-        return vec![1.0; n];
+        out.resize(n, 1.0);
+        return;
     }
     let lambda = arb * (total - 1.0);
-    let weights: Vec<f64> = eff_demands
-        .iter()
-        .zip(sm_shares)
-        .map(|(&d, &s)| d / (1.0 + lambda * (1.0 - s.clamp(0.0, 1.0))))
-        .collect();
+    weights.clear();
+    weights.extend(
+        eff_demands
+            .iter()
+            .zip(sm_shares)
+            .map(|(&d, &s)| d / (1.0 + lambda * (1.0 - s.clamp(0.0, 1.0)))),
+    );
     let weight_sum: f64 = weights.iter().sum();
     if weight_sum <= 0.0 {
-        return vec![1.0; n];
+        out.resize(n, 1.0);
+        return;
     }
     let delivered_total = total * rationing_factor(total, beta);
-    weights
-        .iter()
-        .zip(eff_demands)
-        .map(|(&w, &d)| {
-            if d <= 0.0 {
-                1.0
-            } else {
-                (delivered_total * w / (weight_sum * d)).min(1.0)
-            }
-        })
-        .collect()
+    out.extend(weights.iter().zip(eff_demands).map(|(&w, &d)| {
+        if d <= 0.0 {
+            1.0
+        } else {
+            (delivered_total * w / (weight_sum * d)).min(1.0)
+        }
+    }));
 }
 
 #[cfg(test)]

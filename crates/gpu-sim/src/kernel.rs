@@ -7,6 +7,8 @@
 //! [`KernelDesc::sm_needed`] implements the paper's occupancy formula
 //! `sm_needed = ceil(num_blocks / blocks_per_sm)`.
 
+use std::sync::Arc;
+
 use orion_desim::time::SimTime;
 use orion_json::{json, FromJson, JsonError, ToJson, Value};
 
@@ -69,7 +71,11 @@ pub struct KernelDesc {
     /// Stable identifier of the kernel within its workload (profile-table key).
     pub kernel_id: u32,
     /// Human-readable name, e.g. `conv2d_fprop_64x56x56`.
-    pub name: String,
+    ///
+    /// Interned as `Arc<str>`: kernel descriptions are cloned on every
+    /// submit/dispatch/trace of the simulation hot path, and an `Arc` bump is
+    /// allocation-free where a `String` clone would copy the bytes each time.
+    pub name: Arc<str>,
     /// Number of thread blocks in the launch grid.
     pub grid_blocks: u32,
     /// Threads per block.
@@ -156,7 +162,7 @@ impl ToJson for KernelDesc {
     fn to_json(&self) -> Value {
         json!({
             "kernel_id": self.kernel_id,
-            "name": &self.name,
+            "name": self.name.as_ref(),
             "grid_blocks": self.grid_blocks,
             "threads_per_block": self.threads_per_block,
             "regs_per_thread": self.regs_per_thread,
@@ -173,7 +179,7 @@ impl FromJson for KernelDesc {
         use orion_json::de::*;
         Ok(KernelDesc {
             kernel_id: u32_field(v, "kernel_id")?,
-            name: str_field(v, "name")?.to_owned(),
+            name: str_field(v, "name")?.into(),
             grid_blocks: u32_field(v, "grid_blocks")?,
             threads_per_block: u32_field(v, "threads_per_block")?,
             regs_per_thread: u32_field(v, "regs_per_thread")?,
@@ -207,7 +213,7 @@ pub struct KernelBuilder {
 
 impl KernelBuilder {
     /// Starts a kernel description with the given id and name.
-    pub fn new(kernel_id: u32, name: impl Into<String>) -> Self {
+    pub fn new(kernel_id: u32, name: impl Into<Arc<str>>) -> Self {
         KernelBuilder {
             desc: KernelDesc {
                 kernel_id,

@@ -9,6 +9,7 @@
 
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 use orion_desim::time::SimTime;
 use orion_json::{json, Value};
@@ -18,8 +19,10 @@ use crate::stream::StreamId;
 /// One recorded operation span.
 #[derive(Debug, Clone)]
 pub struct Span {
-    /// Operation name (kernel name or op label).
-    pub name: String,
+    /// Operation name (kernel name or op label). Shares the interned
+    /// [`crate::kernel::KernelDesc::name`] — recording a span never copies
+    /// the name bytes.
+    pub name: Arc<str>,
     /// Stream the op ran on (becomes the trace row).
     pub stream: StreamId,
     /// Time the op was submitted to the device.
@@ -28,8 +31,9 @@ pub struct Span {
     pub dispatched: SimTime,
     /// Completion time.
     pub completed: SimTime,
-    /// Kind label (`kernel`, `memcpy_h2d`, ...).
-    pub kind: String,
+    /// Kind label (`kernel`, `memcpy_h2d`, ...), from
+    /// [`crate::engine::OpKind::label`].
+    pub kind: &'static str,
 }
 
 impl Span {
@@ -85,8 +89,8 @@ impl ExecTrace {
             .iter()
             .map(|s| {
                 json!({
-                    "name": &s.name,
-                    "cat": &s.kind,
+                    "name": s.name.as_ref(),
+                    "cat": s.kind,
                     "ph": "X",
                     "ts": s.dispatched.as_micros_f64(),
                     "dur": s.exec_time().as_micros_f64().max(0.01),
@@ -116,7 +120,7 @@ mod tests {
             submitted: SimTime::from_micros(sub_us),
             dispatched: SimTime::from_micros(disp_us),
             completed: SimTime::from_micros(done_us),
-            kind: "kernel".to_owned(),
+            kind: "kernel",
         }
     }
 

@@ -1,0 +1,136 @@
+//! Golden-digest regression test for the engine's execution semantics.
+//!
+//! A fixed multi-stream scenario mixing kernels, async and blocking copies,
+//! `Malloc`/`Free` synchronization points, and event records is executed with
+//! tracing enabled, and the full [`ExecTrace`] — every span's name, stream,
+//! and nanosecond-exact submit/dispatch/completion times — is hashed with
+//! FNV-1a. The digest below was recorded against the pre-slab (HashMap-based)
+//! engine; any refactor of the engine's data layout or inner loop must keep
+//! it **byte-identical**. Do not "fix" the constant to make a behavioural
+//! change pass: a digest mismatch means simulation results changed.
+
+use orion_desim::time::SimTime;
+use orion_gpu::engine::{GpuEngine, OpKind};
+use orion_gpu::kernel::KernelBuilder;
+use orion_gpu::spec::GpuSpec;
+use orion_gpu::stream::StreamPriority;
+use orion_gpu::trace::ExecTrace;
+
+/// The committed digest of [`scenario`]'s trace (pre-refactor engine).
+const GOLDEN_DIGEST: u64 = 0xdf5c77d35a6a935e;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Hashes every span field that the simulation semantics determine.
+fn digest(trace: &ExecTrace) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv1a(&mut h, &(trace.len() as u64).to_le_bytes());
+    for s in &trace.spans {
+        fnv1a(&mut h, s.name.as_bytes());
+        fnv1a(&mut h, s.kind.as_bytes());
+        fnv1a(&mut h, &s.stream.0.to_le_bytes());
+        fnv1a(&mut h, &s.submitted.as_nanos().to_le_bytes());
+        fnv1a(&mut h, &s.dispatched.as_nanos().to_le_bytes());
+        fnv1a(&mut h, &s.completed.as_nanos().to_le_bytes());
+    }
+    h
+}
+
+/// A deterministic collocation scenario touching every op kind and both the
+/// priority-dispatch and device-synchronization paths.
+fn scenario() -> ExecTrace {
+    let mut e = GpuEngine::new(GpuSpec::v100_16gb(), true);
+    e.enable_trace();
+    let hp = e.create_stream(StreamPriority::HIGH);
+    let be1 = e.create_stream(StreamPriority::DEFAULT);
+    let be2 = e.create_stream(StreamPriority::DEFAULT);
+
+    let kernel = |id: u32, us: u64, sm: u32, c: f64, m: f64| {
+        KernelBuilder::new(id, format!("k{id}"))
+            .grid_blocks(2 * sm)
+            .threads_per_block(1024)
+            .regs_per_thread(16)
+            .solo_duration(SimTime::from_micros(us))
+            .utilization(c, m)
+            .build()
+    };
+
+    // Phase 1: contended kernels on all three streams (compute vs memory
+    // profiles exercise every interference-model branch).
+    e.submit(be1, OpKind::Kernel(kernel(0, 120, 80, 0.9, 0.15))).unwrap();
+    e.submit(be2, OpKind::Kernel(kernel(1, 90, 30, 0.14, 0.8))).unwrap();
+    e.submit(hp, OpKind::Kernel(kernel(2, 40, 80, 0.9, 0.1))).unwrap();
+    e.submit(hp, OpKind::Kernel(kernel(3, 25, 20, 0.3, 0.3))).unwrap();
+
+    // Phase 2 (submitted mid-flight at t=50us): copies, one blocking.
+    e.advance_to(SimTime::from_micros(50));
+    e.submit(
+        be1,
+        OpKind::MemcpyH2D {
+            bytes: 6_000_000,
+            blocking: false,
+        },
+    )
+    .unwrap();
+    e.submit(
+        be2,
+        OpKind::MemcpyD2H {
+            bytes: 3_000_000,
+            blocking: true,
+        },
+    )
+    .unwrap();
+    e.submit(hp, OpKind::Kernel(kernel(4, 60, 40, 0.5, 0.4))).unwrap();
+
+    // Phase 3: a device-wide sync (malloc), an event, and a trailing kernel.
+    e.advance_to(SimTime::from_micros(400));
+    e.submit(be1, OpKind::Malloc { bytes: 1 << 20 }).unwrap();
+    let ev = e.create_event();
+    e.submit(be2, OpKind::EventRecord { event: ev }).unwrap();
+    e.submit(hp, OpKind::Kernel(kernel(5, 30, 40, 0.7, 0.2))).unwrap();
+
+    e.advance_to(SimTime::from_millis(2));
+    let done = e.drain_completions();
+    assert_eq!(done.len(), 10, "all submitted ops completed");
+    let alloc = done
+        .iter()
+        .find_map(|c| c.alloc)
+        .expect("malloc produced an allocation");
+
+    // Phase 4: free the allocation (second sync path) behind one more kernel.
+    e.submit(be2, OpKind::Kernel(kernel(6, 20, 30, 0.2, 0.7))).unwrap();
+    e.submit(be1, OpKind::Free { alloc }).unwrap();
+    e.advance_to(SimTime::from_millis(3));
+    assert_eq!(e.drain_completions().len(), 2);
+    assert!(e.event_done(ev).unwrap());
+    assert_eq!(e.memory().used(), 0);
+
+    e.take_trace().expect("trace enabled")
+}
+
+#[test]
+fn trace_digest_is_unchanged() {
+    let trace = scenario();
+    assert_eq!(trace.len(), 12, "span count changed");
+    let d = digest(&trace);
+    assert_eq!(
+        d, GOLDEN_DIGEST,
+        "execution trace changed: digest {d:#018x} != golden {GOLDEN_DIGEST:#018x}.\n\
+         The engine produced different simulation results (names, streams, or\n\
+         nanosecond timings differ). This is a behavioural regression unless the\n\
+         simulation semantics were deliberately changed."
+    );
+}
+
+#[test]
+fn trace_digest_is_deterministic_across_runs() {
+    assert_eq!(digest(&scenario()), digest(&scenario()));
+}

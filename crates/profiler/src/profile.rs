@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
 
 use orion_desim::time::SimTime;
 use orion_gpu::kernel::ResourceProfile;
@@ -14,8 +15,10 @@ use orion_json::{json, FromJson, JsonError, ToJson, Value};
 pub struct KernelProfile {
     /// Kernel id (stable within the workload).
     pub kernel_id: u32,
-    /// Kernel name (diagnostics only).
-    pub name: String,
+    /// Kernel name (diagnostics only). Interned: shares the
+    /// [`orion_gpu::kernel::KernelDesc::name`] allocation when built by the
+    /// profiling run, so cloning a profile never copies name bytes.
+    pub name: Arc<str>,
     /// Execution time measured on a dedicated device.
     pub duration: SimTime,
     /// Roofline classification (60% rule).
@@ -76,7 +79,7 @@ impl ToJson for KernelProfile {
     fn to_json(&self) -> Value {
         json!({
             "kernel_id": self.kernel_id,
-            "name": &self.name,
+            "name": self.name.as_ref(),
             "duration": self.duration.to_json(),
             "profile": self.profile.to_json(),
             "sm_needed": self.sm_needed,
@@ -91,7 +94,7 @@ impl FromJson for KernelProfile {
         use orion_json::de::*;
         Ok(KernelProfile {
             kernel_id: u32_field(v, "kernel_id")?,
-            name: str_field(v, "name")?.to_owned(),
+            name: str_field(v, "name")?.into(),
             duration: SimTime::from_json(field(v, "duration")?)?,
             profile: ResourceProfile::from_json(field(v, "profile")?)?,
             sm_needed: u32_field(v, "sm_needed")?,

@@ -219,7 +219,7 @@ mod tests {
         let names: Vec<&str> = ops
             .iter()
             .filter_map(|(_, o)| o.as_kernel())
-            .map(|k| k.name.as_str())
+            .map(|k| k.name.as_ref())
             .collect();
         assert!(names[0].starts_with("conv2d"));
         assert!(names[1].starts_with("batch_norm"));

@@ -20,4 +20,10 @@ cargo test -q --workspace
 echo "==> fast smoke suite (ORION_FAST=1, every exp module via the runner)"
 ORION_FAST=1 cargo test -q -p orion-bench --test smoke --test determinism
 
+echo "==> cargo bench --no-run (benches stay compilable)"
+cargo bench --workspace --no-run
+
+echo "==> bench smoke (ORION_FAST=1 scripts/bench.sh)"
+ORION_FAST=1 scripts/bench.sh
+
 echo "==> CI green"

@@ -246,7 +246,7 @@ fn outstanding_be_duration_bounded_by_dur_threshold() {
 fn be_kernels_never_on_hp_stream() {
     let hp_workload = inference_workload(ModelKind::Bert);
     let hp_names: std::collections::HashSet<&str> =
-        hp_workload.kernels().map(|k| k.name.as_str()).collect();
+        hp_workload.kernels().map(|k| k.name.as_ref()).collect();
     for seed in [1u64, 7, 42] {
         let mut cfg = quick(seed);
         cfg.warmup = SimTime::ZERO;
@@ -274,7 +274,7 @@ fn be_kernels_never_on_hp_stream() {
         assert!(!hp_spans.is_empty(), "seed {seed}: HP stream idle");
         for s in &hp_spans {
             assert!(
-                hp_names.contains(s.name.as_str()),
+                hp_names.contains(s.name.as_ref()),
                 "seed {seed}: best-effort kernel {:?} ran on the HP stream",
                 s.name
             );
