@@ -52,12 +52,14 @@ pub mod placement;
 pub mod policy;
 pub mod runtime;
 pub mod tuning;
+pub mod validate;
 pub mod world;
 
 /// Convenience re-exports for experiment code.
 pub mod prelude {
     pub use crate::client::{ClientPriority, ClientSpec};
     pub use crate::policy::{OrionConfig, PolicyKind};
+    pub use crate::validate::{ValidateMode, ValidationReport};
     pub use crate::world::{run_collocation, ClientResult, RunConfig, RunResult};
 }
 

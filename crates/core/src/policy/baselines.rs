@@ -2,7 +2,7 @@
 
 use orion_gpu::stream::{StreamId, StreamPriority};
 
-use super::{Policy, RoutedCompletion, SchedCtx};
+use super::{Policy, PolicyDebugState, RoutedCompletion, SchedCtx};
 use crate::client::ClientPriority;
 
 /// Pass-through spatial sharing: every client submits directly to its own
@@ -78,6 +78,13 @@ impl Policy for PassThrough {
                 ctx.submit_head(i, stream);
             }
         }
+    }
+
+    // Pass-through keeps no mirror of device state, so there is nothing for
+    // the oracle to cross-check: the default (all-`None`) debug state is the
+    // honest answer, and only policy-independent invariants apply.
+    fn debug_state(&self) -> PolicyDebugState {
+        PolicyDebugState::default()
     }
 }
 
@@ -177,6 +184,13 @@ impl Policy for Temporal {
                     }
                 }
             }
+        }
+    }
+
+    fn debug_state(&self) -> PolicyDebugState {
+        PolicyDebugState {
+            exclusive_owner: Some(self.active),
+            ..PolicyDebugState::default()
         }
     }
 }

@@ -65,6 +65,39 @@ pub struct RoutedCompletion {
     pub request_id: u64,
 }
 
+/// Structured snapshot of a policy's internal bookkeeping, consumed by the
+/// validation oracle ([`crate::validate`]).
+///
+/// Every field is optional: `None` means "this policy does not track that
+/// quantity" and the oracle skips the corresponding invariant. A `Some`
+/// value is a *claim* that the oracle cross-checks against the engine's
+/// ground-truth event log after every scheduling round — set a field only if
+/// the policy really maintains it.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyDebugState {
+    /// The dedicated high-priority stream, when the policy routes by class.
+    /// Claiming it arms the BE-never-on-HP-stream invariant.
+    pub hp_stream: Option<StreamId>,
+    /// Op ids believed to be outstanding best-effort kernels.
+    pub be_kernels: Option<Vec<OpId>>,
+    /// Op ids believed to be outstanding high-priority kernels.
+    pub hp_kernels: Option<Vec<OpId>>,
+    /// Cumulative expected-duration counter (Listing 1's `be_duration`).
+    pub be_duration: Option<SimTime>,
+    /// Absolute `DUR_THRESHOLD` in force (`SimTime::MAX` = throttle off).
+    pub dur_threshold: Option<SimTime>,
+    /// High-priority blocking copies believed in flight (§5.1.3 PCIe gate).
+    pub hp_copies: Option<usize>,
+    /// Count of outstanding best-effort ops of any kind (REEF's queue bound).
+    pub be_inflight: Option<usize>,
+    /// Per-client outstanding op ids (Tick-Tock's barrier bookkeeping).
+    pub per_client: Option<Vec<Vec<OpId>>>,
+    /// Temporal sharing: the `(client, request)` that owns the device. The
+    /// outer `Some` claims exclusive-ownership tracking; the inner `Option`
+    /// is the owner itself (`None` = device believed idle).
+    pub exclusive_owner: Option<Option<(usize, u64)>>,
+}
+
 /// Mutable view handed to policies: the device, the client queues, and the
 /// submission log the world uses for completion routing.
 pub struct SchedCtx<'a> {
@@ -149,6 +182,16 @@ pub trait Policy: Send {
     /// Observes completions (before the follow-up [`Policy::schedule`]).
     fn on_completions(&mut self, completions: &[RoutedCompletion], ctx: &mut SchedCtx) {
         let _ = (completions, ctx);
+    }
+
+    /// Snapshot of internal bookkeeping for the validation oracle.
+    ///
+    /// The default claims nothing (all fields `None`); the oracle then only
+    /// applies policy-independent checks to the run. Policies that mirror
+    /// device state (outstanding sets, duration counters, copy gates) should
+    /// override this and expose those mirrors so drift is caught.
+    fn debug_state(&self) -> PolicyDebugState {
+        PolicyDebugState::default()
     }
 }
 

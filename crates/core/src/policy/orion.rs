@@ -23,14 +23,14 @@
 //! directly, which generalizes to multiple best-effort streams without a
 //! per-kernel event object.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use orion_desim::time::SimTime;
 use orion_gpu::engine::OpId;
 use orion_gpu::kernel::ResourceProfile;
 use orion_gpu::stream::{StreamId, StreamPriority};
 
-use super::{Policy, RoutedCompletion, SchedCtx};
+use super::{Policy, PolicyDebugState, RoutedCompletion, SchedCtx};
 use crate::client::ClientPriority;
 
 /// Orion configuration: the paper's defaults plus the ablation switches of
@@ -60,6 +60,13 @@ pub struct OrionConfig {
     /// the high-priority job collaterally — the effect our Figure 13
     /// reproduction exposes. Off by default (paper-faithful).
     pub gate_be_vs_be: bool,
+    /// Test-only fault injection: reintroduces the historical `hp_copies`
+    /// increment/decrement asymmetry (count only *blocking* HP copies on
+    /// submit, but decrement on *any* HP non-kernel completion). Kept so the
+    /// validation oracle's stress harness can demonstrate that it catches
+    /// this bug class; never enable outside tests.
+    #[doc(hidden)]
+    pub inject_hp_copy_drift: bool,
 }
 
 impl Default for OrionConfig {
@@ -72,6 +79,7 @@ impl Default for OrionConfig {
             sm_threshold: None,
             pcie_aware_memcpy: false,
             gate_be_vs_be: false,
+            inject_hp_copy_drift: false,
         }
     }
 }
@@ -122,8 +130,17 @@ pub struct Orion {
     be_duration: SimTime,
     /// Outstanding high-priority kernels with their profiles.
     hp_outstanding: Vec<(OpId, ResourceProfile)>,
-    /// Outstanding high-priority blocking copies (PCIe extension).
-    hp_copies: usize,
+    /// Outstanding high-priority blocking copies, by op id (PCIe extension).
+    ///
+    /// Tracking ids — not a bare counter — keeps the increment and decrement
+    /// sides structurally symmetric: an id leaves the set only when *that*
+    /// op completes. The historical counter version decremented on any HP
+    /// non-kernel completion (async copies included), so an async HP copy
+    /// completing while a blocking copy was still in flight zeroed the gate.
+    hp_copy_ids: HashSet<OpId>,
+    /// The historical asymmetric counter, maintained (and consulted) only
+    /// under [`OrionConfig::inject_hp_copy_drift`].
+    hp_copies_legacy: usize,
     /// Round-robin cursor over best-effort clients.
     rr: usize,
 }
@@ -140,7 +157,8 @@ impl Orion {
             be_outstanding: HashMap::new(),
             be_duration: SimTime::ZERO,
             hp_outstanding: Vec::new(),
-            hp_copies: 0,
+            hp_copy_ids: HashSet::new(),
+            hp_copies_legacy: 0,
             rr: 0,
         }
     }
@@ -148,6 +166,15 @@ impl Orion {
     /// The active absolute duration threshold (for tests and tuning).
     pub fn dur_threshold(&self) -> SimTime {
         self.dur_threshold
+    }
+
+    /// High-priority blocking copies the PCIe gate currently counts.
+    fn hp_copies(&self) -> usize {
+        if self.cfg.inject_hp_copy_drift {
+            self.hp_copies_legacy
+        } else {
+            self.hp_copy_ids.len()
+        }
     }
 
     fn hp_active(&self) -> bool {
@@ -211,14 +238,23 @@ impl Policy for Orion {
         for (i, c) in ctx.clients.iter().enumerate() {
             match c.priority() {
                 ClientPriority::HighPriority => {
-                    let s = ctx.gpu.create_stream(hp_prio);
-                    self.hp_stream = Some(s);
+                    // All high-priority clients share one high-priority
+                    // stream (the paper assumes a single HP client; with
+                    // several, a per-client stream would let the *last*
+                    // client's stream silently absorb everyone's ops).
+                    let s = *self
+                        .hp_stream
+                        .get_or_insert_with(|| ctx.gpu.create_stream(hp_prio));
+                    debug_assert_eq!(Some(s), self.hp_stream);
                     // DUR_THRESHOLD is a tunable percentage of the HP job's
-                    // solo request latency (§5.1.1).
-                    self.dur_threshold = match self.cfg.dur_threshold_frac {
+                    // solo request latency (§5.1.1). With several HP clients
+                    // the tightest (minimum) threshold governs, so the most
+                    // latency-sensitive of them keeps its guarantee.
+                    let threshold = match self.cfg.dur_threshold_frac {
                         Some(f) => c.profile.request_latency.mul_f64(f),
                         None => SimTime::MAX,
                     };
+                    self.dur_threshold = self.dur_threshold.min(threshold);
                 }
                 ClientPriority::BestEffort => {
                     self.be_streams[i] = Some(ctx.gpu.create_stream(StreamPriority::DEFAULT));
@@ -247,7 +283,8 @@ impl Policy for Orion {
                     if routed.is_kernel {
                         self.hp_outstanding.push((routed.op, routed.profile));
                     } else if blocking_copy {
-                        self.hp_copies += 1;
+                        self.hp_copy_ids.insert(routed.op);
+                        self.hp_copies_legacy += 1;
                     }
                 }
             }
@@ -274,7 +311,7 @@ impl Policy for Orion {
             if !head.is_kernel() {
                 // Memory operations are submitted directly (§5.1.3), unless
                 // the PCIe extension is on and HP copies are in flight.
-                if self.cfg.pcie_aware_memcpy && self.hp_copies > 0 {
+                if self.cfg.pcie_aware_memcpy && self.hp_copies() > 0 {
                     idle_rounds += 1;
                     continue;
                 }
@@ -308,14 +345,31 @@ impl Policy for Orion {
     fn on_completions(&mut self, completions: &[RoutedCompletion], ctx: &mut SchedCtx) {
         for c in completions {
             self.be_outstanding.remove(&c.op);
+            self.hp_copy_ids.remove(&c.op);
             if let Some(pos) = self.hp_outstanding.iter().position(|(op, _)| *op == c.op) {
                 self.hp_outstanding.remove(pos);
             } else if !c.is_kernel
                 && ctx.clients[c.client].priority() == ClientPriority::HighPriority
-                && self.hp_copies > 0
+                && self.hp_copies_legacy > 0
             {
-                self.hp_copies -= 1;
+                // The historical asymmetry: *any* HP non-kernel completion
+                // (async copies included) decremented the gate counter, even
+                // though only blocking copies incremented it. Maintained for
+                // the oracle's drift-injection fixture.
+                self.hp_copies_legacy -= 1;
             }
+        }
+    }
+
+    fn debug_state(&self) -> PolicyDebugState {
+        PolicyDebugState {
+            hp_stream: self.hp_stream,
+            be_kernels: Some(self.be_outstanding.keys().copied().collect()),
+            hp_kernels: Some(self.hp_outstanding.iter().map(|(op, _)| *op).collect()),
+            be_duration: Some(self.be_duration),
+            dur_threshold: Some(self.dur_threshold),
+            hp_copies: Some(self.hp_copies()),
+            ..PolicyDebugState::default()
         }
     }
 }
@@ -323,6 +377,124 @@ impl Policy for Orion {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use orion_gpu::engine::{Completion, GpuEngine};
+    use orion_gpu::kernel::KernelBuilder;
+    use orion_gpu::spec::GpuSpec;
+    use orion_profiler::profile_workload;
+    use orion_workloads::arrivals::ArrivalProcess;
+    use orion_workloads::model::{ModelKind, Phase, Workload, WorkloadKind};
+    use orion_workloads::ops::OpSpec;
+    use orion_workloads::registry::inference_workload;
+
+    use crate::client::{ClientSpec, ClientState};
+    use crate::policy::Routed;
+
+    fn state(spec: ClientSpec, gpu: &GpuSpec) -> ClientState {
+        let profile = profile_workload(&spec.workload, gpu).table();
+        ClientState::new(spec, profile)
+    }
+
+    /// Starts a request and pushes ops until the cursor blocks or the
+    /// request's trace is exhausted.
+    fn stage(client: &mut ClientState) {
+        client.on_arrival(SimTime::ZERO);
+        client.try_start_request();
+        while client.push_next().is_some() {}
+    }
+
+    fn route(comps: &[Completion], submissions: &[Routed]) -> Vec<RoutedCompletion> {
+        comps
+            .iter()
+            .map(|c| {
+                let r = submissions
+                    .iter()
+                    .find(|r| r.op == c.op)
+                    .expect("completion for a submitted op");
+                RoutedCompletion {
+                    op: c.op,
+                    client: r.client,
+                    at: c.at,
+                    is_kernel: r.is_kernel,
+                    last_of_request: r.last_of_request,
+                    request_id: r.request_id,
+                }
+            })
+            .collect()
+    }
+
+    fn tiny_kernel(id: u32) -> OpSpec {
+        OpSpec::Kernel(
+            KernelBuilder::new(id, "k")
+                .solo_duration(SimTime::from_micros(50))
+                .utilization(0.5, 0.2)
+                .build(),
+        )
+    }
+
+    /// HP inference-style trace: one large blocking input copy, one kernel.
+    fn hp_copy_workload() -> Workload {
+        Workload {
+            model: ModelKind::ResNet50,
+            kind: WorkloadKind::Inference { batch: 1 },
+            ops: vec![
+                (
+                    Phase::Forward,
+                    OpSpec::H2D {
+                        bytes: 64 << 20,
+                        blocking: true,
+                    },
+                ),
+                (Phase::Forward, tiny_kernel(0)),
+            ],
+            memory_footprint: 1 << 20,
+        }
+    }
+
+    /// HP trace mixing copy semantics: an async prefetch *then* a blocking
+    /// copy (the §5.1.3 ordering that exposed the historical gate drift).
+    fn hp_mixed_copy_workload() -> Workload {
+        Workload {
+            model: ModelKind::ResNet50,
+            kind: WorkloadKind::Inference { batch: 1 },
+            ops: vec![
+                (
+                    Phase::Forward,
+                    OpSpec::H2D {
+                        bytes: 1 << 20,
+                        blocking: false,
+                    },
+                ),
+                (
+                    Phase::Forward,
+                    OpSpec::H2D {
+                        bytes: 64 << 20,
+                        blocking: true,
+                    },
+                ),
+                (Phase::Forward, tiny_kernel(0)),
+            ],
+            memory_footprint: 1 << 20,
+        }
+    }
+
+    /// BE trace whose head is an async memcpy (the op the PCIe gate stalls).
+    fn be_copy_workload() -> Workload {
+        Workload {
+            model: ModelKind::MobileNetV2,
+            kind: WorkloadKind::Training { batch: 1 },
+            ops: vec![
+                (
+                    Phase::Forward,
+                    OpSpec::H2D {
+                        bytes: 1 << 20,
+                        blocking: false,
+                    },
+                ),
+                (Phase::Forward, tiny_kernel(10)),
+            ],
+            memory_footprint: 1 << 20,
+        }
+    }
 
     #[test]
     fn default_config_matches_paper() {
@@ -393,5 +565,211 @@ mod tests {
         o.hp_outstanding.push((OpId(1), ResourceProfile::ComputeBound));
         // Profile check disabled: same-profile kernels pass if small.
         assert!(o.schedule_be(ResourceProfile::ComputeBound, 40));
+    }
+
+    #[test]
+    fn multi_hp_clients_share_one_stream_and_min_threshold() {
+        let spec = GpuSpec::v100_16gb();
+        let mut gpu = GpuEngine::new(spec.clone(), false);
+        // Two HP clients with different solo latencies (MobileNetV2 is the
+        // faster, latency-tighter one).
+        let mut clients = vec![
+            state(
+                ClientSpec::high_priority(
+                    inference_workload(ModelKind::ResNet50),
+                    ArrivalProcess::ClosedLoop,
+                ),
+                &spec,
+            ),
+            state(
+                ClientSpec::high_priority(
+                    inference_workload(ModelKind::MobileNetV2),
+                    ArrivalProcess::ClosedLoop,
+                ),
+                &spec,
+            ),
+        ];
+        let expected = clients
+            .iter()
+            .map(|c| c.profile.request_latency.mul_f64(0.025))
+            .min()
+            .unwrap();
+
+        let mut o = Orion::new(OrionConfig::default());
+        let mut submissions = Vec::new();
+        let mut ctx = SchedCtx {
+            now: SimTime::ZERO,
+            gpu: &mut gpu,
+            clients: &mut clients,
+            submissions: &mut submissions,
+        };
+        o.setup(&mut ctx);
+
+        // One shared HP stream: the next stream created gets id 1, proving
+        // setup made exactly one (the overwrite bug made one per HP client,
+        // stranding the first client's ops on an orphaned stream).
+        assert_eq!(o.debug_state().hp_stream, Some(StreamId(0)));
+        assert_eq!(
+            ctx.gpu.create_stream(StreamPriority::DEFAULT),
+            StreamId(1),
+            "setup must create exactly one stream for two HP clients"
+        );
+        // The tightest client's DUR_THRESHOLD governs (the overwrite bug
+        // kept whichever client happened to be listed last).
+        assert_eq!(o.dur_threshold(), expected);
+        assert!(o.dur_threshold() < SimTime::MAX);
+    }
+
+    #[test]
+    fn pcie_gate_blocks_be_memcpy_while_hp_blocking_copy_in_flight() {
+        let spec = GpuSpec::v100_16gb();
+        let mut gpu = GpuEngine::new(spec.clone(), false);
+        let mut clients = vec![
+            state(
+                ClientSpec::high_priority(hp_copy_workload(), ArrivalProcess::ClosedLoop),
+                &spec,
+            ),
+            state(
+                ClientSpec::best_effort(be_copy_workload(), ArrivalProcess::ClosedLoop),
+                &spec,
+            ),
+        ];
+        let mut o = Orion::new(OrionConfig {
+            pcie_aware_memcpy: true,
+            ..OrionConfig::default()
+        });
+        let mut submissions = Vec::new();
+        {
+            let mut ctx = SchedCtx {
+                now: SimTime::ZERO,
+                gpu: &mut gpu,
+                clients: &mut clients,
+                submissions: &mut submissions,
+            };
+            o.setup(&mut ctx);
+        }
+        stage(&mut clients[0]); // HP queues its blocking copy, then blocks.
+        stage(&mut clients[1]); // BE queues its async copy + kernel.
+
+        {
+            let mut ctx = SchedCtx {
+                now: SimTime::ZERO,
+                gpu: &mut gpu,
+                clients: &mut clients,
+                submissions: &mut submissions,
+            };
+            o.schedule(&mut ctx);
+        }
+        // Only the HP blocking copy went to the device; the BE memcpy (and
+        // the kernel queued behind it) are withheld by the PCIe gate.
+        assert_eq!(submissions.len(), 1, "submissions: {submissions:?}");
+        assert_eq!(submissions[0].client, 0);
+        assert_eq!(o.debug_state().hp_copies, Some(1));
+        assert_eq!(clients[1].queue_depth(), 2, "BE ops withheld");
+
+        // The HP copy completes; the gate opens and the BE ops flow.
+        gpu.advance_to(SimTime::from_secs(1));
+        let comps = gpu.drain_completions();
+        assert_eq!(comps.len(), 1);
+        let routed = route(&comps, &submissions);
+        {
+            let mut ctx = SchedCtx {
+                now: SimTime::from_secs(1),
+                gpu: &mut gpu,
+                clients: &mut clients,
+                submissions: &mut submissions,
+            };
+            o.on_completions(&routed, &mut ctx);
+            o.schedule(&mut ctx);
+        }
+        assert_eq!(o.debug_state().hp_copies, Some(0));
+        assert!(
+            submissions.iter().any(|r| r.client == 1 && !r.is_kernel),
+            "BE memcpy submitted once the PCIe link is free: {submissions:?}"
+        );
+    }
+
+    #[test]
+    fn injected_counter_drift_collapses_the_pcie_gate() {
+        // The historical bug: an async HP copy completing decremented the
+        // gate counter even though only blocking copies incremented it, so
+        // the gate read 0 while a blocking HP copy was still in flight. The
+        // id-set fix keeps the gate up; the injection flag reproduces the
+        // collapse for the oracle's stress harness.
+        for (inject, expect_gate_open) in [(false, false), (true, true)] {
+            let spec = GpuSpec::v100_16gb();
+            let mut gpu = GpuEngine::new(spec.clone(), false);
+            let mut clients = vec![
+                state(
+                    ClientSpec::high_priority(
+                        hp_mixed_copy_workload(),
+                        ArrivalProcess::ClosedLoop,
+                    ),
+                    &spec,
+                ),
+                state(
+                    ClientSpec::best_effort(be_copy_workload(), ArrivalProcess::ClosedLoop),
+                    &spec,
+                ),
+            ];
+            let mut o = Orion::new(OrionConfig {
+                pcie_aware_memcpy: true,
+                inject_hp_copy_drift: inject,
+                ..OrionConfig::default()
+            });
+            let mut submissions = Vec::new();
+            {
+                let mut ctx = SchedCtx {
+                    now: SimTime::ZERO,
+                    gpu: &mut gpu,
+                    clients: &mut clients,
+                    submissions: &mut submissions,
+                };
+                o.setup(&mut ctx);
+            }
+            // HP queues the async prefetch and the blocking copy behind it.
+            stage(&mut clients[0]);
+            {
+                let mut ctx = SchedCtx {
+                    now: SimTime::ZERO,
+                    gpu: &mut gpu,
+                    clients: &mut clients,
+                    submissions: &mut submissions,
+                };
+                o.schedule(&mut ctx);
+            }
+            assert_eq!(submissions.len(), 2, "both HP copies submitted");
+            assert_eq!(o.debug_state().hp_copies, Some(1));
+
+            // Advance just far enough for the small async copy to finish;
+            // the large blocking copy is still on the PCIe link.
+            gpu.advance_to(SimTime::from_millis(1));
+            let comps = gpu.drain_completions();
+            assert_eq!(comps.len(), 1, "only the async copy finished");
+            let routed = route(&comps, &submissions);
+            assert!(!gpu.fully_idle(), "blocking copy still in flight");
+
+            stage(&mut clients[1]); // BE wants to memcpy now.
+            {
+                let mut ctx = SchedCtx {
+                    now: SimTime::from_millis(1),
+                    gpu: &mut gpu,
+                    clients: &mut clients,
+                    submissions: &mut submissions,
+                };
+                o.on_completions(&routed, &mut ctx);
+                o.schedule(&mut ctx);
+            }
+            let be_copy_submitted = submissions.iter().any(|r| r.client == 1 && !r.is_kernel);
+            if expect_gate_open {
+                // Drifted counter hit zero: the gate wrongly opens.
+                assert_eq!(o.debug_state().hp_copies, Some(0));
+                assert!(be_copy_submitted, "drift lets the BE memcpy through");
+            } else {
+                // Fixed bookkeeping: the blocking copy still holds the gate.
+                assert_eq!(o.debug_state().hp_copies, Some(1));
+                assert!(!be_copy_submitted, "gate held: {submissions:?}");
+            }
+        }
     }
 }

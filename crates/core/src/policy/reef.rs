@@ -19,7 +19,7 @@ use orion_desim::time::SimTime;
 use orion_gpu::engine::OpId;
 use orion_gpu::stream::{StreamId, StreamPriority};
 
-use super::{Policy, RoutedCompletion, SchedCtx};
+use super::{Policy, PolicyDebugState, RoutedCompletion, SchedCtx};
 use crate::client::ClientPriority;
 
 /// The REEF-N policy.
@@ -149,6 +149,15 @@ impl Policy for ReefN {
             {
                 self.be_outstanding -= 1;
             }
+        }
+    }
+
+    fn debug_state(&self) -> PolicyDebugState {
+        PolicyDebugState {
+            hp_stream: self.hp_stream,
+            hp_kernels: Some(self.hp_outstanding.keys().copied().collect()),
+            be_inflight: Some(self.be_outstanding),
+            ..PolicyDebugState::default()
         }
     }
 }

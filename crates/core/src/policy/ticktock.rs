@@ -14,7 +14,7 @@ use orion_gpu::engine::OpId;
 use orion_gpu::stream::{StreamId, StreamPriority};
 use orion_workloads::model::Phase;
 
-use super::{Policy, RoutedCompletion, SchedCtx};
+use super::{Policy, PolicyDebugState, RoutedCompletion, SchedCtx};
 
 /// Window parity: which client runs its forward pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +132,18 @@ impl Policy for TickTock {
             if let Some(set) = self.outstanding.get_mut(c.client) {
                 set.remove(&c.op);
             }
+        }
+    }
+
+    fn debug_state(&self) -> PolicyDebugState {
+        PolicyDebugState {
+            per_client: Some(
+                self.outstanding
+                    .iter()
+                    .map(|set| set.iter().copied().collect())
+                    .collect(),
+            ),
+            ..PolicyDebugState::default()
         }
     }
 }

@@ -8,6 +8,8 @@
 //! Larger thresholds admit more best-effort kernels (more aggressive
 //! collocation); the search finds the largest acceptable threshold.
 
+use std::collections::HashMap;
+
 use orion_gpu::error::GpuError;
 use orion_profiler::profile_workload;
 
@@ -46,6 +48,8 @@ pub fn tune_sm_threshold(
     let dedicated = run_dedicated(hp, cfg)?.hp().throughput;
 
     // Upper bound: the largest SM demand of any best-effort kernel (§5.1.1).
+    // Best-effort workloads without kernels (pure memcpy traces) yield 0,
+    // collapsing the search interval to the single candidate 0.
     let mut hi = clients
         .iter()
         .skip(1)
@@ -54,18 +58,28 @@ pub fn tune_sm_threshold(
         .unwrap_or(cfg.spec.num_sms);
     let mut lo = 0u32;
     let mut probes = Vec::new();
-    let mut best = (0u32, 0.0f64);
+    // Each collocation run is expensive; memoize by threshold so no setting
+    // is ever simulated twice (the fallback below may revisit `lo`, and a
+    // degenerate `hi == 0` interval makes `lo` and `hi` the same probe).
+    let mut cache: HashMap<u32, f64> = HashMap::new();
 
-    let hp_at = |threshold: u32, probes: &mut Vec<(u32, f64)>| -> Result<f64, GpuError> {
+    let hp_at = |threshold: u32,
+                 cache: &mut HashMap<u32, f64>,
+                 probes: &mut Vec<(u32, f64)>|
+     -> Result<f64, GpuError> {
+        if let Some(&t) = cache.get(&threshold) {
+            return Ok(t);
+        }
         let kind = PolicyKind::Orion(OrionConfig::default().with_sm_threshold(threshold));
         let r = run_collocation(kind, clients.to_vec(), cfg)?;
         let t = r.hp().throughput;
+        cache.insert(threshold, t);
         probes.push((threshold, t));
         Ok(t)
     };
 
     // Check the most aggressive setting first.
-    let t_hi = hp_at(hi, &mut probes)?;
+    let t_hi = hp_at(hi, &mut cache, &mut probes)?;
     if t_hi >= target_ratio * dedicated {
         return Ok(TuneResult {
             sm_threshold: hi,
@@ -75,25 +89,29 @@ pub fn tune_sm_threshold(
         });
     }
 
+    // `None` until some probe meets the target; a bare `(0, _)` sentinel
+    // would conflate "nothing met the target" with "threshold 0 met it".
+    let mut best: Option<(u32, f64)> = None;
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        let t = hp_at(mid, &mut probes)?;
+        let t = hp_at(mid, &mut cache, &mut probes)?;
         if t >= target_ratio * dedicated {
-            best = (mid, t);
+            best = Some((mid, t));
             lo = mid;
         } else {
             hi = mid;
         }
     }
 
-    // Fall back to the least aggressive probe if nothing met the target.
-    if best.0 == 0 {
-        let t = hp_at(lo, &mut probes)?;
-        best = (lo, t);
-    }
+    // Fall back to the least aggressive candidate if nothing met the target
+    // (a cache hit when the interval was degenerate, e.g. `hi == 0`).
+    let (sm_threshold, hp_throughput) = match best {
+        Some(b) => b,
+        None => (lo, hp_at(lo, &mut cache, &mut probes)?),
+    };
     Ok(TuneResult {
-        sm_threshold: best.0,
-        hp_throughput: best.1,
+        sm_threshold,
+        hp_throughput,
         hp_dedicated: dedicated,
         probes,
     })
@@ -102,7 +120,10 @@ pub fn tune_sm_threshold(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use orion_desim::time::SimTime;
     use orion_workloads::arrivals::ArrivalProcess;
+    use orion_workloads::model::{Phase, Workload, WorkloadKind};
+    use orion_workloads::ops::OpSpec;
     use orion_workloads::registry::training_workload;
     use orion_workloads::ModelKind;
 
@@ -126,5 +147,77 @@ mod tests {
         // The selected threshold keeps HP throughput near or above target,
         // or is the most conservative probe.
         assert!(r.sm_threshold <= cfg.spec.num_sms);
+    }
+
+    #[test]
+    fn unreachable_target_probes_each_threshold_once() {
+        let clients = vec![
+            ClientSpec::high_priority(
+                training_workload(ModelKind::ResNet50),
+                ArrivalProcess::ClosedLoop,
+            ),
+            ClientSpec::best_effort(
+                training_workload(ModelKind::MobileNetV2),
+                ArrivalProcess::ClosedLoop,
+            ),
+        ];
+        let mut cfg = RunConfig::quick_test();
+        cfg.horizon = SimTime::from_secs(1);
+        cfg.warmup = SimTime::from_millis(200);
+        // No collocation can beat the dedicated GPU twice over, so every
+        // probe fails and the search walks down to the fallback at `lo`.
+        let r = tune_sm_threshold(&clients, &cfg, 2.0).unwrap();
+        assert_eq!(r.sm_threshold, 0, "fallback is the conservative bound");
+        let mut thresholds: Vec<u32> = r.probes.iter().map(|p| p.0).collect();
+        let total = thresholds.len();
+        thresholds.sort_unstable();
+        thresholds.dedup();
+        assert_eq!(thresholds.len(), total, "duplicate probes: {:?}", r.probes);
+    }
+
+    #[test]
+    fn degenerate_interval_probes_once() {
+        // A best-effort workload with no kernels: max_sm_needed() is 0, so
+        // the search interval collapses to the single candidate 0. The
+        // fallback used to re-run that same probe as `lo`.
+        let copies_only = Workload {
+            model: ModelKind::MobileNetV2,
+            kind: WorkloadKind::Training { batch: 1 },
+            ops: vec![
+                (
+                    Phase::Forward,
+                    OpSpec::H2D {
+                        bytes: 4 << 20,
+                        blocking: false,
+                    },
+                ),
+                (
+                    Phase::Forward,
+                    OpSpec::D2H {
+                        bytes: 1 << 20,
+                        blocking: true,
+                    },
+                ),
+            ],
+            memory_footprint: 64 << 20,
+        };
+        let clients = vec![
+            ClientSpec::high_priority(
+                training_workload(ModelKind::MobileNetV2),
+                ArrivalProcess::ClosedLoop,
+            ),
+            ClientSpec::best_effort(copies_only, ArrivalProcess::ClosedLoop),
+        ];
+        let mut cfg = RunConfig::quick_test();
+        cfg.horizon = SimTime::from_millis(500);
+        cfg.warmup = SimTime::from_millis(100);
+        let r = tune_sm_threshold(&clients, &cfg, 2.0).unwrap();
+        assert_eq!(r.sm_threshold, 0);
+        assert_eq!(
+            r.probes.len(),
+            1,
+            "degenerate interval must run one collocation, got {:?}",
+            r.probes
+        );
     }
 }

@@ -12,6 +12,7 @@ use orion_profiler::profile_workload;
 
 use crate::client::{ClientPriority, ClientSpec, ClientState};
 use crate::policy::{Policy, PolicyKind, Routed, RoutedCompletion, SchedCtx};
+use crate::validate::{ValidateMode, ValidationReport, Validator};
 
 /// Configuration of one collocation run.
 #[derive(Debug, Clone)]
@@ -28,6 +29,12 @@ pub struct RunConfig {
     pub record_timeline: bool,
     /// Record per-operation execution spans (Chrome-trace export).
     pub record_trace: bool,
+    /// Policy-state oracle mode (see [`crate::validate`]). When enabled, the
+    /// engine's ground-truth event log is activated and every scheduling
+    /// round is cross-checked against the policy's claimed bookkeeping. The
+    /// oracle observes only — enabling it changes no scheduling decision,
+    /// timestamp, or result.
+    pub validate: ValidateMode,
 }
 
 impl RunConfig {
@@ -40,6 +47,7 @@ impl RunConfig {
             seed: 42,
             record_timeline: false,
             record_trace: false,
+            validate: ValidateMode::Off,
         }
     }
 
@@ -52,6 +60,7 @@ impl RunConfig {
             seed: 42,
             record_timeline: false,
             record_trace: false,
+            validate: ValidateMode::Strict,
         }
     }
 
@@ -64,6 +73,12 @@ impl RunConfig {
     /// Replaces the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replaces the oracle mode.
+    pub fn with_validate(mut self, mode: ValidateMode) -> Self {
+        self.validate = mode;
         self
     }
 }
@@ -98,6 +113,8 @@ pub struct RunResult {
     pub trace: Option<orion_gpu::trace::ExecTrace>,
     /// Measurement window length.
     pub window: SimTime,
+    /// Policy-state oracle report (when [`RunConfig::validate`] enabled it).
+    pub validation: Option<ValidationReport>,
 }
 
 impl RunResult {
@@ -152,6 +169,8 @@ struct CollocationWorld {
     wake_token: u64,
     /// Per-client launch cost on the client thread (overhead x GIL factor).
     launch_cost: Vec<SimTime>,
+    /// The policy-state oracle, when enabled via [`RunConfig::validate`].
+    validator: Option<Validator>,
 }
 
 impl CollocationWorld {
@@ -180,11 +199,31 @@ impl CollocationWorld {
             policy.schedule(&mut ctx);
         }
         self.policy = Some(policy);
-        self.register(submissions);
+        self.register(&submissions);
+        if self.validator.is_some() {
+            self.validate_round(now, &submissions);
+        }
         self.arm_wake(now, sched);
     }
 
-    fn register(&mut self, submissions: Vec<Routed>) {
+    /// Feeds the oracle one scheduling round: the round's routing records,
+    /// then the engine's ground-truth events, then a cross-check of the
+    /// policy's claimed bookkeeping. Purely observational.
+    fn validate_round(&mut self, now: SimTime, submissions: &[Routed]) {
+        let Some(v) = self.validator.as_mut() else {
+            return;
+        };
+        let policy = self.policy.as_ref().expect("policy present");
+        let name = policy.name();
+        for r in submissions {
+            v.observe_submission(r, self.clients[r.client].priority());
+        }
+        let events = self.gpu.drain_events();
+        v.observe_engine_events(&events, name);
+        v.check_round(now, name, &policy.debug_state(), self.gpu.fully_idle());
+    }
+
+    fn register(&mut self, submissions: &[Routed]) {
         for r in submissions {
             self.routes.insert(
                 r.op.0,
@@ -311,6 +350,9 @@ pub fn run_collocation(
     if cfg.record_trace {
         gpu.enable_trace();
     }
+    if cfg.validate.enabled() {
+        gpu.enable_event_log();
+    }
 
     // Offline profiling phase (§5.2): each workload profiled solo.
     let mut states = Vec::with_capacity(clients.len());
@@ -358,6 +400,10 @@ pub fn run_collocation(
         routes: HashMap::new(),
         wake_token: 0,
         launch_cost,
+        validator: cfg
+            .validate
+            .enabled()
+            .then(|| Validator::new(cfg.validate == ValidateMode::Strict)),
     };
 
     let mut sim = Simulation::new(world);
@@ -388,6 +434,9 @@ pub fn run_collocation(
     let horizon = cfg.horizon;
     sim.world_mut().gpu.advance_to(horizon);
     let trace = sim.world_mut().gpu.take_trace();
+    // The oracle stops at the last scheduling round: the horizon drain above
+    // is pure accounting (no policy ran), so there is no claim to check.
+    let validation = sim.world_mut().validator.take().map(Validator::into_report);
 
     let world = sim.world();
     let window = cfg.horizon - cfg.warmup;
@@ -428,6 +477,7 @@ pub fn run_collocation(
         timeline,
         trace,
         window,
+        validation,
     })
 }
 

@@ -109,6 +109,41 @@ impl OpKind {
     }
 }
 
+/// Ground-truth submit/complete record emitted by the engine when its event
+/// log is enabled (see [`GpuEngine::enable_event_log`]).
+///
+/// The log is the authoritative, policy-independent account of what entered
+/// and left the device: the validation oracle replays it to reconstruct the
+/// true in-flight set and cross-check scheduler bookkeeping against it.
+/// Events are appended in device-time order.
+#[derive(Debug, Clone)]
+pub struct EngineEvent {
+    /// The operation the event concerns.
+    pub op: OpId,
+    /// Stream the op was submitted on.
+    pub stream: StreamId,
+    /// Device time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: EngineEventKind,
+}
+
+/// Kind of an [`EngineEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineEventKind {
+    /// The op entered the device (queued on its stream).
+    Submitted {
+        /// Op kind label (`"kernel"`, `"memcpy_h2d"`, ...).
+        label: &'static str,
+        /// True for kernels.
+        is_kernel: bool,
+        /// True for synchronous (`cudaMemcpy`-style) copies.
+        blocking: bool,
+    },
+    /// The op finished and its completion was recorded.
+    Completed,
+}
+
 /// A finished operation, reported once via [`GpuEngine::drain_completions`].
 #[derive(Debug, Clone)]
 pub struct Completion {
@@ -208,6 +243,9 @@ pub struct GpuEngine {
     eval: EvalScratch,
     /// Scratch: ids collected by `complete_finished` / `apply_sync_ops`.
     scratch_ids: Vec<u64>,
+    /// Ground-truth submit/complete log for the validation oracle. `None`
+    /// (the default) keeps the hot path to a single branch per op.
+    event_log: Option<Vec<EngineEvent>>,
 }
 
 impl GpuEngine {
@@ -237,6 +275,7 @@ impl GpuEngine {
             loads: Vec::new(),
             eval: EvalScratch::default(),
             scratch_ids: Vec::new(),
+            event_log: None,
         }
     }
 
@@ -311,6 +350,17 @@ impl GpuEngine {
             OpKind::MemcpyH2D { bytes, .. } | OpKind::MemcpyD2H { bytes, .. } => *bytes as f64,
             _ => 0.0,
         };
+        let log_entry = self.event_log.is_some().then(|| {
+            let blocking = matches!(
+                kind,
+                OpKind::MemcpyH2D { blocking: true, .. } | OpKind::MemcpyD2H { blocking: true, .. }
+            );
+            EngineEventKind::Submitted {
+                label: kind.label(),
+                is_kernel: matches!(kind, OpKind::Kernel(_)),
+                blocking,
+            }
+        });
         let state = OpState {
             stream,
             kind,
@@ -334,6 +384,15 @@ impl GpuEngine {
             }
         };
         st.queue.push_back(id);
+        if let Some(kind) = log_entry {
+            let at = self.now;
+            self.event_log.as_mut().expect("log enabled").push(EngineEvent {
+                op: OpId(id),
+                stream,
+                at,
+                kind,
+            });
+        }
         self.try_dispatch();
         Ok(OpId(id))
     }
@@ -394,6 +453,24 @@ impl GpuEngine {
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         self.free_ops.append(&mut self.retired_ops);
         std::mem::take(&mut self.completions)
+    }
+
+    /// Enables the ground-truth submit/complete event log consumed by the
+    /// validation oracle. Off by default; when off the only cost is one
+    /// branch per submit and per completion.
+    pub fn enable_event_log(&mut self) {
+        if self.event_log.is_none() {
+            self.event_log = Some(Vec::new());
+        }
+    }
+
+    /// Takes all engine events recorded since the last drain (empty when the
+    /// log is disabled). Events are in device-time order.
+    pub fn drain_events(&mut self) -> Vec<EngineEvent> {
+        match &mut self.event_log {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Enables per-operation span recording (see [`crate::trace`]).
@@ -673,6 +750,14 @@ impl GpuEngine {
             kind: kind_label,
             dispatched_at: op.dispatched_at,
         });
+        if let Some(log) = &mut self.event_log {
+            log.push(EngineEvent {
+                op: OpId(op_id),
+                stream: op.stream,
+                at,
+                kind: EngineEventKind::Completed,
+            });
+        }
         self.retired_ops.push(op_id);
         self.rates_dirty = true;
     }
@@ -1172,6 +1257,55 @@ mod tests {
         // After the drain both slots are free; the next submit reuses one.
         let c = e.submit(s, OpKind::Kernel(kernel(2, 10, 4, 0.2, 0.2))).unwrap();
         assert!(c == a || c == b, "drained slots should be recycled");
+    }
+
+    #[test]
+    fn event_log_records_submits_and_completes_in_order() {
+        let mut e = engine();
+        let s = e.create_stream(StreamPriority::DEFAULT);
+        assert!(e.drain_events().is_empty(), "log disabled by default");
+        e.enable_event_log();
+        let a = e.submit(s, OpKind::Kernel(kernel(0, 10, 4, 0.2, 0.2))).unwrap();
+        let b = e
+            .submit(
+                s,
+                OpKind::MemcpyH2D {
+                    bytes: 100,
+                    blocking: true,
+                },
+            )
+            .unwrap();
+        e.advance_to(SimTime::from_millis(1));
+        let ev = e.drain_events();
+        assert_eq!(ev.len(), 4, "2 submits + 2 completes");
+        assert_eq!(ev[0].op, a);
+        assert!(matches!(
+            ev[0].kind,
+            EngineEventKind::Submitted {
+                is_kernel: true,
+                blocking: false,
+                ..
+            }
+        ));
+        assert_eq!(ev[1].op, b);
+        assert!(matches!(
+            ev[1].kind,
+            EngineEventKind::Submitted {
+                is_kernel: false,
+                blocking: true,
+                label: "memcpy_h2d",
+            }
+        ));
+        // Completions follow in stream order, stamped with device time.
+        assert_eq!(ev[2].op, a);
+        assert_eq!(ev[2].kind, EngineEventKind::Completed);
+        assert_eq!(ev[2].at, SimTime::from_micros(10));
+        assert_eq!(ev[3].op, b);
+        assert_eq!(ev[3].kind, EngineEventKind::Completed);
+        // Drain is destructive; the log keeps recording afterwards.
+        assert!(e.drain_events().is_empty());
+        e.submit(s, OpKind::Kernel(kernel(1, 10, 4, 0.2, 0.2))).unwrap();
+        assert_eq!(e.drain_events().len(), 1);
     }
 
     #[test]

@@ -20,6 +20,12 @@ cargo test -q --workspace
 echo "==> fast smoke suite (ORION_FAST=1, every exp module via the runner)"
 ORION_FAST=1 cargo test -q -p orion-bench --test smoke --test determinism
 
+echo "==> policy-state oracle stress (ORION_FAST=1, strict mode, all policies)"
+ORION_FAST=1 cargo test -q --test validate_oracle
+
+echo "==> golden trace digest (oracle compiled in but disabled: must be byte-identical)"
+cargo test -q -p orion-gpu --test golden_trace
+
 echo "==> cargo bench --no-run (benches stay compilable)"
 cargo bench --workspace --no-run
 
