@@ -1,0 +1,6 @@
+//! Regenerates the chaos grid (fault injection + recovery supervisor).
+use orion_bench::exp::robustness::{print, run};
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    print(&run(&cfg));
+}

@@ -22,6 +22,7 @@ pub mod fig6_7;
 pub mod fig8_9;
 pub mod makespan;
 pub mod overhead;
+pub mod robustness;
 pub mod sensitivity;
 pub mod table1;
 pub mod table2;

@@ -29,7 +29,7 @@ pub struct Row {
 }
 
 fn measure(w: &Workload, spec: &GpuSpec) -> Row {
-    let p = profile_workload(w, spec);
+    let p = profile_workload(w, spec).expect("table1 workload fits the profiling device");
     let batch = match w.kind {
         orion_workloads::model::WorkloadKind::Inference { batch } => batch,
         orion_workloads::model::WorkloadKind::Training { batch } => batch,

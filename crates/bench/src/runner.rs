@@ -132,6 +132,30 @@ impl CellOutcome {
                         "sm_busy": r.utilization.sm_busy,
                     }),
                 ));
+                // Only present when something actually fired: fault-free runs
+                // keep their JSONL byte-identical to pre-chaos builds.
+                if r.robustness.any() {
+                    let rb = &r.robustness;
+                    obj.push((
+                        "robustness".to_string(),
+                        json!({
+                            "device_faults": rb.device_faults,
+                            "device_resets": rb.device_resets,
+                            "op_faults": rb.op_faults,
+                            "ops_aborted": rb.ops_aborted,
+                            "resubmitted_ops": rb.resubmitted_ops,
+                            "retries": rb.retries,
+                            "quarantines": rb.quarantines,
+                            "readmissions": rb.readmissions,
+                            "shed_requests": rb.shed_requests,
+                            "client_crashes": rb.client_crashes,
+                            "client_hangs": rb.client_hangs,
+                            "slow_polls": rb.slow_polls,
+                            "watchdog_stalls": rb.watchdog_stalls,
+                            "unknown_kernel_ops": rb.unknown_kernel_ops,
+                        }),
+                    ));
+                }
                 let clients: Vec<Value> = r
                     .clients
                     .iter_mut()

@@ -58,6 +58,42 @@ fn jsonl_is_identical_at_any_thread_count() {
     assert_eq!(b, c, "4-thread vs 7-thread results differ");
 }
 
+/// The determinism grid under chaos: probabilistic kernel/copy faults plus
+/// the recovery supervisor. Fault decisions are pure functions of
+/// `(fault seed, submit ordinal)`, so the injected schedule — and every
+/// recovery action it triggers — must also be thread-count independent.
+fn chaos_grid() -> Vec<Scenario> {
+    let faults = FaultConfig::none().with_rates(FaultRates {
+        kernel_fault: 2e-3,
+        copy_fail: 4e-3,
+        ..FaultRates::default()
+    });
+    grid()
+        .into_iter()
+        .map(|mut s| {
+            s.rc = s.rc.with_faults(faults.clone());
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn chaos_jsonl_is_identical_at_any_thread_count() {
+    let mut serial = Runner::new(1).run_scenarios(chaos_grid());
+    let mut par4 = Runner::new(4).run_scenarios(chaos_grid());
+    let mut par7 = Runner::new(7).run_scenarios(chaos_grid());
+    let a = Runner::to_jsonl(&mut serial);
+    let b = Runner::to_jsonl(&mut par4);
+    let c = Runner::to_jsonl(&mut par7);
+    assert_eq!(a, b, "1-thread vs 4-thread chaos results differ");
+    assert_eq!(b, c, "4-thread vs 7-thread chaos results differ");
+    // The plan actually fired somewhere, or this test proves nothing.
+    assert!(
+        serial.iter().any(|o| o.res().robustness.any()),
+        "chaos grid injected no faults; raise the rates"
+    );
+}
+
 #[test]
 fn pinned_seed_cells_share_arrival_draws() {
     // Two cells differing only in policy, pinned to the same seed cell,

@@ -129,6 +129,31 @@ fn smoke_sensitivity() {
 }
 
 #[test]
+fn smoke_robustness() {
+    let cfg = fast();
+    let cells = exp::robustness::run(&cfg);
+    let rates = exp::robustness::fault_rates(&cfg);
+    assert_eq!(cells.len(), rates.len() * exp::standard_policies().len());
+    for c in &cells {
+        assert!(c.hp_completed > 0, "{}: HP starved under chaos", c.policy);
+        if c.kernel_fault_rate == 0.0 {
+            assert_eq!(
+                c.robustness.device_faults, 0,
+                "{}: faults fired at rate zero",
+                c.policy
+            );
+        }
+    }
+    // At the top rate the injector must actually have fired.
+    let top = cells
+        .iter()
+        .filter(|c| c.kernel_fault_rate == *rates.last().unwrap())
+        .map(|c| c.robustness.device_faults)
+        .sum::<u64>();
+    assert!(top > 0, "no kernel faults injected at the top chaos rate");
+}
+
+#[test]
 fn smoke_table1() {
     let rows = exp::table1::run(&fast());
     assert!(!rows.is_empty());

@@ -16,6 +16,8 @@ use orion_workloads::arrivals::ArrivalProcess;
 use orion_workloads::model::{Phase, Workload};
 use orion_workloads::ops::OpSpec;
 
+use crate::supervisor::ClientFault;
+
 /// Scheduling class of a client (paper §5: one high-priority client, any
 /// number of best-effort clients).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,6 +37,12 @@ pub struct ClientSpec {
     pub arrivals: ArrivalProcess,
     /// Scheduling class.
     pub priority: ClientPriority,
+    /// Optional injected lifecycle fault (crash/hang/slow-poll).
+    pub fault: Option<ClientFault>,
+    /// Skip the offline profiling phase (§5.2) for this client: every kernel
+    /// lookup misses and the scheduler takes the conservative unprofiled
+    /// path. Models a client submitting kernels the profiler has never seen.
+    pub unprofiled: bool,
 }
 
 impl ClientSpec {
@@ -44,6 +52,8 @@ impl ClientSpec {
             workload,
             arrivals,
             priority: ClientPriority::HighPriority,
+            fault: None,
+            unprofiled: false,
         }
     }
 
@@ -53,7 +63,22 @@ impl ClientSpec {
             workload,
             arrivals,
             priority: ClientPriority::BestEffort,
+            fault: None,
+            unprofiled: false,
         }
+    }
+
+    /// Injects a lifecycle fault into this client (builder style).
+    pub fn with_fault(mut self, fault: ClientFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Skips offline profiling for this client (builder style); see
+    /// [`ClientSpec::unprofiled`].
+    pub fn unprofiled(mut self) -> Self {
+        self.unprofiled = true;
+        self
     }
 }
 
@@ -77,6 +102,10 @@ pub struct QueuedOp {
     pub expected_dur: SimTime,
     /// Profiled SM demand (kernels; zero for copies).
     pub sm_needed: u32,
+    /// False when the offline profile has no entry for this kernel; such ops
+    /// must be scheduled conservatively (DESIGN.md §11). Always true for
+    /// memory ops (they need no profile).
+    pub profiled: bool,
 }
 
 impl QueuedOp {
@@ -123,6 +152,10 @@ pub struct ClientState {
     next_request_id: u64,
     /// Completed request latencies with completion timestamps.
     pub finished: Vec<(SimTime, SimTime)>, // (completed_at, latency)
+    /// Kernel ops pushed without an offline profile entry.
+    pub profile_misses: u64,
+    /// Set when the client crashed or hung: the push cursor stops forever.
+    halted: bool,
 }
 
 impl ClientState {
@@ -137,6 +170,8 @@ impl ClientState {
             blocked_on: None,
             next_request_id: 0,
             finished: Vec::new(),
+            profile_misses: 0,
+            halted: false,
         }
     }
 
@@ -200,11 +235,80 @@ impl ClientState {
 
     /// Whether the push cursor can emit another op right now.
     pub fn can_push(&self) -> bool {
+        if self.halted {
+            return false;
+        }
         match &self.current {
             Some(r) if !r.done => {
                 self.blocked_on.is_none() && (r.next_op as usize) < self.spec.workload.ops.len()
             }
             _ => false,
+        }
+    }
+
+    /// Permanently stops the push cursor (crashed or hung client).
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// Progress of the in-flight request: `(request_id, next_op)`.
+    pub fn current_progress(&self) -> Option<(u64, u32)> {
+        self.current
+            .as_ref()
+            .filter(|r| !r.done)
+            .map(|r| (r.request_id, r.next_op))
+    }
+
+    /// Puts a previously popped (and aborted) op back at the queue head for
+    /// deterministic resubmission after a device reset. The blocked-on
+    /// marker is untouched: an aborted blocking op never completed, so the
+    /// marker set at its original push is still correct.
+    pub fn requeue_front(&mut self, op: QueuedOp) {
+        self.queue.push_front(op);
+    }
+
+    /// Sheds the in-flight request: drops its unsubmitted ops and the
+    /// request itself. The queue only ever holds ops of the current request,
+    /// so clearing it is exact. Pending arrivals are untouched; restarting
+    /// (or not) is the caller's decision.
+    pub fn shed_current(&mut self) {
+        self.queue.clear();
+        self.blocked_on = None;
+        self.current = None;
+    }
+
+    /// Enqueues a synthetic pending arrival (quarantine re-admission).
+    pub fn enqueue_pending(&mut self, at: SimTime) {
+        self.pending.push_back(at);
+    }
+
+    /// Rebuilds the queued-op record for `(request_id, op_seq)` of the
+    /// in-flight request, for resubmission after a reset. Deterministic: the
+    /// workload trace and profile table are immutable, so this reproduces
+    /// exactly what [`ClientState::push_next`] produced (without re-counting
+    /// profile misses).
+    pub fn op_for(&self, request_id: u64, op_seq: u32) -> QueuedOp {
+        let idx = op_seq as usize;
+        let (phase, spec) = self.spec.workload.ops[idx].clone();
+        let (profile, expected_dur, sm_needed, profiled) = match &spec {
+            OpSpec::Kernel(k) => (
+                self.profile.resource_profile(k.kernel_id),
+                self.profile.duration(k.kernel_id),
+                self.profile.sm_needed(k.kernel_id),
+                self.profile.get(k.kernel_id).is_some(),
+            ),
+            _ => (ResourceProfile::Unknown, SimTime::ZERO, 0, true),
+        };
+        QueuedOp {
+            spec,
+            phase,
+            request_id,
+            op_seq,
+            last_of_request: idx + 1 == self.spec.workload.ops.len(),
+            profile,
+            expected_dur,
+            sm_needed,
+            profiled,
         }
     }
 
@@ -219,14 +323,18 @@ impl ClientState {
         let r = self.current.as_mut().expect("can_push checked");
         let idx = r.next_op as usize;
         let (phase, spec) = self.spec.workload.ops[idx].clone();
-        let (profile, expected_dur, sm_needed) = match &spec {
+        let (profile, expected_dur, sm_needed, profiled) = match &spec {
             OpSpec::Kernel(k) => (
                 self.profile.resource_profile(k.kernel_id),
                 self.profile.duration(k.kernel_id),
                 self.profile.sm_needed(k.kernel_id),
+                self.profile.get(k.kernel_id).is_some(),
             ),
-            _ => (ResourceProfile::Unknown, SimTime::ZERO, 0),
+            _ => (ResourceProfile::Unknown, SimTime::ZERO, 0, true),
         };
+        if !profiled {
+            self.profile_misses += 1;
+        }
         let op = QueuedOp {
             spec,
             phase,
@@ -236,6 +344,7 @@ impl ClientState {
             profile,
             expected_dur,
             sm_needed,
+            profiled,
         };
         r.next_op += 1;
         if op.is_blocking() {
@@ -293,7 +402,7 @@ mod tests {
 
     fn client(arrivals: ArrivalProcess) -> ClientState {
         let w = inference_workload(ModelKind::MobileNetV2);
-        let profile = profile_workload(&w, &GpuSpec::v100_16gb()).table();
+        let profile = profile_workload(&w, &GpuSpec::v100_16gb()).unwrap().table();
         ClientState::new(ClientSpec::high_priority(w, arrivals), profile)
     }
 
@@ -369,6 +478,76 @@ mod tests {
         assert_eq!(c.queue_depth(), 2);
         assert_eq!(c.pop().unwrap().op_seq, 0);
         assert_eq!(c.peek().unwrap().op_seq, 1);
+    }
+
+    #[test]
+    fn halt_stops_push_cursor() {
+        let mut c = client(ArrivalProcess::ClosedLoop);
+        c.on_arrival(SimTime::ZERO);
+        c.try_start_request();
+        assert!(c.can_push());
+        c.halt();
+        assert!(!c.can_push());
+        assert!(c.push_next().is_none());
+        assert!(c.request_in_flight(), "request stays stuck, not completed");
+    }
+
+    #[test]
+    fn shed_current_clears_request_but_keeps_pending() {
+        let mut c = client(ArrivalProcess::Poisson { rps: 1.0 });
+        c.on_arrival(SimTime::ZERO);
+        c.on_arrival(SimTime::from_millis(1));
+        c.try_start_request();
+        c.push_next();
+        assert!(c.request_in_flight());
+        assert_eq!(c.queue_depth(), 1);
+        c.shed_current();
+        assert!(!c.request_in_flight());
+        assert_eq!(c.queue_depth(), 0);
+        assert!(!c.can_push());
+        // The second arrival is still pending and can start.
+        assert!(c.try_start_request());
+        assert_eq!(c.current_progress(), Some((1, 0)));
+    }
+
+    #[test]
+    fn op_for_reproduces_push_next() {
+        let mut c = client(ArrivalProcess::ClosedLoop);
+        c.on_arrival(SimTime::ZERO);
+        c.try_start_request();
+        c.push_next(); // blocking H2D
+        c.blocked_on = None;
+        let pushed = c.push_next().unwrap(); // first kernel
+        let rebuilt = c.op_for(pushed.request_id, pushed.op_seq);
+        assert_eq!(rebuilt.op_seq, pushed.op_seq);
+        assert_eq!(rebuilt.expected_dur, pushed.expected_dur);
+        assert_eq!(rebuilt.sm_needed, pushed.sm_needed);
+        assert_eq!(rebuilt.profiled, pushed.profiled);
+        assert_eq!(rebuilt.last_of_request, pushed.last_of_request);
+        assert_eq!(c.profile_misses, 0, "op_for never counts misses");
+    }
+
+    #[test]
+    fn unprofiled_kernels_flagged_and_counted() {
+        // Empty profile table: every kernel is a miss.
+        let w = inference_workload(ModelKind::MobileNetV2);
+        let c0 = ClientSpec::high_priority(w, ArrivalProcess::ClosedLoop);
+        let mut c = ClientState::new(c0, ProfileTable::default());
+        c.on_arrival(SimTime::ZERO);
+        c.try_start_request();
+        let mut kernels = 0u64;
+        while let Some(op) = c.push_next() {
+            c.blocked_on = None;
+            if op.is_kernel() {
+                assert!(!op.profiled);
+                assert_eq!(op.expected_dur, SimTime::ZERO);
+                kernels += 1;
+            } else {
+                assert!(op.profiled, "memory ops need no profile");
+            }
+        }
+        assert!(kernels > 0);
+        assert_eq!(c.profile_misses, kernels);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod cluster;
 pub mod placement;
 pub mod policy;
 pub mod runtime;
+pub mod supervisor;
 pub mod tuning;
 pub mod validate;
 pub mod world;
@@ -59,8 +60,12 @@ pub mod world;
 pub mod prelude {
     pub use crate::client::{ClientPriority, ClientSpec};
     pub use crate::policy::{OrionConfig, PolicyKind};
+    pub use crate::supervisor::{
+        ClientFault, ClientFaultKind, FaultConfig, RobustnessReport, SupervisorConfig,
+    };
     pub use crate::validate::{ValidateMode, ValidationReport};
     pub use crate::world::{run_collocation, ClientResult, RunConfig, RunResult};
+    pub use orion_gpu::fault::{FaultKind, FaultRates, FaultTarget};
 }
 
 pub use client::{ClientPriority, ClientSpec};

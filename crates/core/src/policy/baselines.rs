@@ -75,7 +75,9 @@ impl Policy for PassThrough {
         for i in 0..ctx.clients.len() {
             let stream = self.streams[i].expect("setup created streams");
             while ctx.clients[i].peek().is_some() {
-                ctx.submit_head(i, stream);
+                if ctx.submit_head(i, stream).is_none() {
+                    return; // device faulted: head requeued, retry next round
+                }
             }
         }
     }
@@ -171,7 +173,9 @@ impl Policy for Temporal {
             if head.request_id != request {
                 break;
             }
-            ctx.submit_head(owner, stream).expect("peeked");
+            if ctx.submit_head(owner, stream).is_none() {
+                return; // device faulted: head requeued, retry next round
+            }
         }
     }
 
@@ -184,6 +188,14 @@ impl Policy for Temporal {
                     }
                 }
             }
+        }
+    }
+
+    fn on_request_shed(&mut self, client: usize, request_id: u64) {
+        // A shed request's final op will never complete, so ownership must
+        // be released here or the device deadlocks on the dead owner.
+        if self.active == Some((client, request_id)) {
+            self.active = None;
         }
     }
 

@@ -12,6 +12,7 @@ pub mod ticktock;
 
 use orion_desim::time::SimTime;
 use orion_gpu::engine::{GpuEngine, OpId, OpKind};
+use orion_gpu::error::GpuError;
 use orion_gpu::kernel::ResourceProfile;
 use orion_gpu::stream::StreamId;
 use orion_workloads::model::Phase;
@@ -45,6 +46,9 @@ pub struct Routed {
     pub sm_needed: u32,
     /// Training phase.
     pub phase: Phase,
+    /// False for kernels missing from the offline profile (scheduled
+    /// conservatively, see DESIGN.md §11).
+    pub profiled: bool,
 }
 
 /// A completion routed back to its client, passed to
@@ -114,12 +118,14 @@ pub struct SchedCtx<'a> {
 impl SchedCtx<'_> {
     /// Pops the head op of `client`'s software queue and submits it on
     /// `stream`. Returns the routing record, or `None` when the queue is
-    /// empty.
+    /// empty — or when the device is sticky-faulted, in which case the op is
+    /// put back at the queue head for resubmission after recovery.
     ///
     /// # Panics
     ///
-    /// Panics if the GPU rejects the submission (unknown stream / invalid
-    /// kernel), which indicates a policy bug rather than a runtime condition.
+    /// Panics if the GPU rejects the submission for any non-fault reason
+    /// (unknown stream / invalid kernel), which indicates a policy bug
+    /// rather than a runtime condition.
     pub fn submit_head(&mut self, client: usize, stream: StreamId) -> Option<Routed> {
         let op = self.clients[client].pop()?;
         let kind = match &op.spec {
@@ -133,10 +139,17 @@ impl SchedCtx<'_> {
                 blocking: *blocking,
             },
         };
-        let op_id = self
-            .gpu
-            .submit(stream, kind)
-            .expect("policy submitted to a stream it created");
+        let op_id = match self.gpu.submit(stream, kind) {
+            Ok(id) => id,
+            Err(GpuError::DeviceFault) => {
+                // Sticky device fault raced the scheduling round: keep the
+                // op queued so the recovery supervisor resubmits it in
+                // order after the reset.
+                self.clients[client].requeue_front(op);
+                return None;
+            }
+            Err(e) => panic!("policy submitted an invalid op: {e}"),
+        };
         let routed = Routed {
             op: op_id,
             client,
@@ -148,6 +161,7 @@ impl SchedCtx<'_> {
             profile: op.profile,
             sm_needed: op.sm_needed,
             phase: op.phase,
+            profiled: op.profiled,
         };
         self.submissions.push(routed.clone());
         Some(routed)
@@ -182,6 +196,15 @@ pub trait Policy: Send {
     /// Observes completions (before the follow-up [`Policy::schedule`]).
     fn on_completions(&mut self, completions: &[RoutedCompletion], ctx: &mut SchedCtx) {
         let _ = (completions, ctx);
+    }
+
+    /// Notifies the policy that the recovery supervisor shed a request
+    /// (quarantine, retry budget exhausted, or dead client). Policies that
+    /// track per-request ownership (e.g. temporal sharing's exclusive owner)
+    /// must release it here or they deadlock on a request that will never
+    /// finish.
+    fn on_request_shed(&mut self, client: usize, request_id: u64) {
+        let _ = (client, request_id);
     }
 
     /// Snapshot of internal bookkeeping for the validation oracle.

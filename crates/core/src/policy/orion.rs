@@ -201,8 +201,16 @@ impl Orion {
             || hp.is_opposite(be)
     }
 
-    /// Listing 1 `schedule_be`, plus the optional BE-vs-BE extension gate.
-    fn schedule_be(&self, be_profile: ResourceProfile, be_sm: u32) -> bool {
+    /// Listing 1 `schedule_be`, plus the optional BE-vs-BE extension gate
+    /// and the conservative unprofiled-kernel gate (DESIGN.md §11).
+    fn schedule_be(&self, be_profile: ResourceProfile, be_sm: u32, profiled: bool) -> bool {
+        if !profiled {
+            // The offline profile has no entry for this kernel, so its SM
+            // demand and bottleneck are unknown (not merely "balanced").
+            // Degrade conservatively: never co-schedule it with high-priority
+            // work, run it only on an otherwise HP-idle device.
+            return !self.hp_active();
+        }
         if self.cfg.gate_be_vs_be
             && self
                 .be_outstanding
@@ -277,9 +285,9 @@ impl Policy for Orion {
                     let blocking_copy = ctx.clients[hc]
                         .peek()
                         .is_some_and(|o| o.is_blocking() && !o.is_kernel());
-                    let routed = ctx
-                        .submit_head(hc, hp_stream)
-                        .expect("peeked op exists");
+                    let Some(routed) = ctx.submit_head(hc, hp_stream) else {
+                        return; // device faulted: head requeued, retry next round
+                    };
                     if routed.is_kernel {
                         self.hp_outstanding.push((routed.op, routed.profile));
                     } else if blocking_copy {
@@ -330,12 +338,14 @@ impl Policy for Orion {
                 }
             }
 
-            let ok = self.schedule_be(head.profile, head.sm_needed);
+            let ok = self.schedule_be(head.profile, head.sm_needed, head.profiled);
             if !ok {
                 idle_rounds += 1;
                 continue;
             }
-            let routed = ctx.submit_head(bc, stream).expect("peeked op exists");
+            let Some(routed) = ctx.submit_head(bc, stream) else {
+                return; // device faulted: head requeued, retry next round
+            };
             self.be_outstanding.insert(routed.op, routed.profile);
             self.be_duration += routed.expected_dur;
             idle_rounds = 0;
@@ -390,7 +400,7 @@ mod tests {
     use crate::policy::Routed;
 
     fn state(spec: ClientSpec, gpu: &GpuSpec) -> ClientState {
-        let profile = profile_workload(&spec.workload, gpu).table();
+        let profile = profile_workload(&spec.workload, gpu).unwrap().table();
         ClientState::new(spec, profile)
     }
 
@@ -520,13 +530,38 @@ mod tests {
         let mut o = Orion::new(OrionConfig::default());
         o.sm_threshold = 80;
         // No HP running: everything goes.
-        assert!(o.schedule_be(ResourceProfile::ComputeBound, 100));
+        assert!(o.schedule_be(ResourceProfile::ComputeBound, 100, true));
         // HP compute kernel running: only small, memory/unknown kernels.
         o.hp_outstanding.push((OpId(1), ResourceProfile::ComputeBound));
-        assert!(o.schedule_be(ResourceProfile::MemoryBound, 40));
-        assert!(!o.schedule_be(ResourceProfile::MemoryBound, 80), "sm gate");
-        assert!(!o.schedule_be(ResourceProfile::ComputeBound, 40), "profile gate");
-        assert!(o.schedule_be(ResourceProfile::Unknown, 40));
+        assert!(o.schedule_be(ResourceProfile::MemoryBound, 40, true));
+        assert!(!o.schedule_be(ResourceProfile::MemoryBound, 80, true), "sm gate");
+        assert!(
+            !o.schedule_be(ResourceProfile::ComputeBound, 40, true),
+            "profile gate"
+        );
+        assert!(o.schedule_be(ResourceProfile::Unknown, 40, true));
+    }
+
+    #[test]
+    fn unprofiled_kernels_never_coscheduled_with_hp() {
+        let mut o = Orion::new(OrionConfig::default());
+        o.sm_threshold = 80;
+        // HP idle: unprofiled best-effort kernels may run solo.
+        assert!(o.schedule_be(ResourceProfile::Unknown, 0, false));
+        // HP active: a *profiled* Unknown-profile kernel is optimistically
+        // allowed (§5.2), but an unprofiled one is conservatively blocked
+        // even though it would pass every individual gate.
+        o.hp_outstanding.push((OpId(1), ResourceProfile::ComputeBound));
+        assert!(o.schedule_be(ResourceProfile::Unknown, 0, true));
+        assert!(!o.schedule_be(ResourceProfile::Unknown, 0, false));
+        // Conservatism is unconditional: disabling both gates changes nothing.
+        let mut o = Orion::new(OrionConfig {
+            use_profile_check: false,
+            use_sm_check: false,
+            ..OrionConfig::default()
+        });
+        o.hp_outstanding.push((OpId(1), ResourceProfile::ComputeBound));
+        assert!(!o.schedule_be(ResourceProfile::Unknown, 0, false));
     }
 
     #[test]
@@ -539,14 +574,14 @@ mod tests {
         // A memory-bound BE kernel is outstanding; another memory-bound BE
         // kernel is blocked even with no HP activity.
         o.be_outstanding.insert(OpId(7), ResourceProfile::MemoryBound);
-        assert!(!o.schedule_be(ResourceProfile::MemoryBound, 20));
-        assert!(o.schedule_be(ResourceProfile::ComputeBound, 20));
-        assert!(o.schedule_be(ResourceProfile::Unknown, 20));
+        assert!(!o.schedule_be(ResourceProfile::MemoryBound, 20, true));
+        assert!(o.schedule_be(ResourceProfile::ComputeBound, 20, true));
+        assert!(o.schedule_be(ResourceProfile::Unknown, 20, true));
         // Without the extension the stacking is allowed (paper-faithful).
         let mut o = Orion::new(OrionConfig::default());
         o.sm_threshold = 80;
         o.be_outstanding.insert(OpId(7), ResourceProfile::MemoryBound);
-        assert!(o.schedule_be(ResourceProfile::MemoryBound, 20));
+        assert!(o.schedule_be(ResourceProfile::MemoryBound, 20, true));
     }
 
     #[test]
@@ -555,7 +590,7 @@ mod tests {
         o.sm_threshold = 10;
         o.hp_outstanding.push((OpId(1), ResourceProfile::ComputeBound));
         // SM check disabled: large opposite-profile kernels pass.
-        assert!(o.schedule_be(ResourceProfile::MemoryBound, 80));
+        assert!(o.schedule_be(ResourceProfile::MemoryBound, 80, true));
 
         let mut o = Orion::new(OrionConfig {
             use_profile_check: false,
@@ -564,7 +599,7 @@ mod tests {
         o.sm_threshold = 80;
         o.hp_outstanding.push((OpId(1), ResourceProfile::ComputeBound));
         // Profile check disabled: same-profile kernels pass if small.
-        assert!(o.schedule_be(ResourceProfile::ComputeBound, 40));
+        assert!(o.schedule_be(ResourceProfile::ComputeBound, 40, true));
     }
 
     #[test]

@@ -91,7 +91,9 @@ impl Policy for ReefN {
         if let Some(hp_stream) = self.hp_stream {
             for &hc in &hp_clients {
                 while ctx.clients[hc].peek().is_some() {
-                    let routed = ctx.submit_head(hc, hp_stream).expect("peeked");
+                    let Some(routed) = ctx.submit_head(hc, hp_stream) else {
+                        return; // device faulted: head requeued, retry next round
+                    };
                     if routed.is_kernel {
                         self.hp_outstanding.insert(
                             routed.op,
@@ -135,7 +137,9 @@ impl Policy for ReefN {
                     continue;
                 }
             }
-            ctx.submit_head(bc, stream).expect("peeked");
+            if ctx.submit_head(bc, stream).is_none() {
+                return; // device faulted: head requeued, retry next round
+            }
             self.be_outstanding += 1;
             idle = 0;
         }

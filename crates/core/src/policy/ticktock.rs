@@ -108,7 +108,9 @@ impl Policy for TickTock {
                     if head.is_kernel() && !allowed.contains(&head.phase) {
                         break;
                     }
-                    let routed = ctx.submit_head(i, stream).expect("peeked");
+                    let Some(routed) = ctx.submit_head(i, stream) else {
+                        return; // device faulted: head requeued, retry next round
+                    };
                     self.outstanding[i].insert(routed.op);
                     progressed = true;
                 }

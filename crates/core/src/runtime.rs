@@ -10,27 +10,72 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 
-/// An unbounded MPMC queue of launch records.
+/// Outcome of a bounded-queue launch interception
+/// ([`InterceptRuntime::try_intercept`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryPushOutcome {
+    /// The launch record was enqueued.
+    Queued,
+    /// The queue is at capacity; the caller should back off and retry (the
+    /// record was *not* enqueued).
+    Backpressure,
+}
+
+/// An MPMC queue of launch records, optionally bounded.
 ///
 /// A mutex-guarded ring buffer: pushes are a lock + `VecDeque::push_back`,
 /// which stays well under the §6.5 sub-microsecond budget on an uncontended
 /// per-client queue (each client owns its queue; only the scheduler thread
 /// competes for the lock).
+///
+/// Lock poisoning is *recovered*, not propagated: a client thread that
+/// panics while holding the lock leaves a structurally intact `VecDeque`
+/// (push_back/pop_front never leave it half-mutated), so the scheduler
+/// thread keeps draining instead of cascading the panic through every
+/// client of the process.
 #[derive(Debug, Default)]
 struct LaunchQueue {
     inner: Mutex<VecDeque<LaunchRecord>>,
+    /// Maximum queued records; `None` = unbounded (the §6.5 default, so the
+    /// overhead measurements keep their no-backpressure semantics).
+    capacity: Option<usize>,
 }
 
 impl LaunchQueue {
     fn push(&self, record: LaunchRecord) {
-        self.inner.lock().expect("queue poisoned").push_back(record);
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(record);
+    }
+
+    fn try_push(&self, record: LaunchRecord) -> TryPushOutcome {
+        let mut q = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.capacity.is_some_and(|cap| q.len() >= cap) {
+            return TryPushOutcome::Backpressure;
+        }
+        q.push_back(record);
+        TryPushOutcome::Queued
     }
 
     fn pop(&self) -> Option<LaunchRecord> {
-        self.inner.lock().expect("queue poisoned").pop_front()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+    }
+
+    /// Test hook: poisons the queue lock the way a client thread panicking
+    /// mid-push would.
+    #[cfg(test)]
+    fn poison(&self) {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("client thread dies while holding the queue lock");
+        }));
     }
 }
 
@@ -65,11 +110,39 @@ impl InterceptRuntime {
         }
     }
 
+    /// Creates a runtime whose per-client queues are bounded to `capacity`
+    /// records. Only [`InterceptRuntime::try_intercept`] observes the bound;
+    /// [`InterceptRuntime::intercept`] stays unbounded so the §6.5 overhead
+    /// measurements are unaffected by the mode.
+    pub fn with_capacity(clients: usize, capacity: usize) -> Self {
+        InterceptRuntime {
+            queues: (0..clients)
+                .map(|_| {
+                    Arc::new(LaunchQueue {
+                        inner: Mutex::new(VecDeque::with_capacity(capacity)),
+                        capacity: Some(capacity),
+                    })
+                })
+                .collect(),
+            dispatched: Arc::new(AtomicU64::new(0)),
+            idle_parks: Arc::new(AtomicU64::new(0)),
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
     /// The wrapper-side call: intercept one kernel launch.
     ///
     /// This is the §6.5 hot path — one queue push.
     pub fn intercept(&self, record: LaunchRecord) {
         self.queues[record.client as usize].push(record);
+    }
+
+    /// Bounded-mode interception: enqueues the launch unless the client's
+    /// queue is at capacity, in which case [`TryPushOutcome::Backpressure`]
+    /// tells the wrapper to stall the client (a run-ahead limit, REEF-style)
+    /// instead of buffering unboundedly.
+    pub fn try_intercept(&self, record: LaunchRecord) -> TryPushOutcome {
+        self.queues[record.client as usize].try_push(record)
     }
 
     /// Number of launches the scheduler has drained.
@@ -257,6 +330,97 @@ mod tests {
         }
         assert_eq!(rt.dispatched(), 100, "parked scheduler failed to resume");
         guard.stop();
+    }
+
+    #[test]
+    fn poisoned_queue_keeps_working() {
+        let q = LaunchQueue::default();
+        q.push(LaunchRecord {
+            kernel_id: 1,
+            client: 0,
+            seq: 0,
+        });
+        q.poison();
+        assert!(q.inner.is_poisoned(), "fixture must actually poison");
+        // Push and pop recover the poisoned lock instead of panicking, and
+        // the record enqueued before the poison is still there.
+        q.push(LaunchRecord {
+            kernel_id: 2,
+            client: 0,
+            seq: 1,
+        });
+        assert_eq!(q.pop().map(|r| r.kernel_id), Some(1));
+        assert_eq!(q.pop().map(|r| r.kernel_id), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scheduler_survives_panicking_client() {
+        let rt = Arc::new(InterceptRuntime::new(2));
+        let guard = rt.start_scheduler();
+        // A healthy client launches concurrently with a client that dies
+        // mid-launch, poisoning its queue lock with records still inside.
+        let dying = Arc::clone(&rt);
+        let dead = thread::spawn(move || {
+            for seq in 0..500u64 {
+                dying.intercept(LaunchRecord {
+                    kernel_id: seq as u32,
+                    client: 1,
+                    seq,
+                });
+            }
+            dying.queues[1].poison();
+        });
+        for seq in 0..1_000u64 {
+            rt.intercept(LaunchRecord {
+                kernel_id: seq as u32,
+                client: 0,
+                seq,
+            });
+        }
+        dead.join().unwrap();
+        guard.stop();
+        // Clean drain: every record from both clients dispatched, nothing
+        // lost to the poisoned lock, scheduler thread joined without panic.
+        assert_eq!(rt.dispatched(), 1_500);
+    }
+
+    #[test]
+    fn bounded_queue_reports_backpressure() {
+        let rt = InterceptRuntime::with_capacity(1, 4);
+        let rec = |seq| LaunchRecord {
+            kernel_id: seq as u32,
+            client: 0,
+            seq,
+        };
+        for seq in 0..4 {
+            assert_eq!(rt.try_intercept(rec(seq)), TryPushOutcome::Queued);
+        }
+        assert_eq!(rt.try_intercept(rec(4)), TryPushOutcome::Backpressure);
+        // Draining one slot re-opens the queue.
+        assert!(rt.queues[0].pop().is_some());
+        assert_eq!(rt.try_intercept(rec(4)), TryPushOutcome::Queued);
+        // The backpressured record was not enqueued: 4 remain.
+        let mut n = 0;
+        while rt.queues[0].pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn default_mode_is_unbounded() {
+        let rt = InterceptRuntime::new(1);
+        for seq in 0..10_000u64 {
+            assert_eq!(
+                rt.try_intercept(LaunchRecord {
+                    kernel_id: 0,
+                    client: 0,
+                    seq,
+                }),
+                TryPushOutcome::Queued
+            );
+        }
     }
 
     #[test]

@@ -50,12 +50,14 @@ pub fn tune_sm_threshold(
     // Upper bound: the largest SM demand of any best-effort kernel (§5.1.1).
     // Best-effort workloads without kernels (pure memcpy traces) yield 0,
     // collapsing the search interval to the single candidate 0.
-    let mut hi = clients
-        .iter()
-        .skip(1)
-        .map(|c| profile_workload(&c.workload, &cfg.spec).table().max_sm_needed())
-        .max()
-        .unwrap_or(cfg.spec.num_sms);
+    let mut hi = {
+        let mut max_needed = None;
+        for c in clients.iter().skip(1) {
+            let needed = profile_workload(&c.workload, &cfg.spec)?.table().max_sm_needed();
+            max_needed = Some(max_needed.map_or(needed, |m: u32| m.max(needed)));
+        }
+        max_needed.unwrap_or(cfg.spec.num_sms)
+    };
     let mut lo = 0u32;
     let mut probes = Vec::new();
     // Each collocation run is expensive; memoize by threshold so no setting

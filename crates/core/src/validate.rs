@@ -104,6 +104,10 @@ pub struct OpProvenance {
     pub expected_dur: SimTime,
     /// Device time of submission.
     pub submitted_at: SimTime,
+    /// Client-side request the op belongs to.
+    pub request_id: u64,
+    /// Position of the op within its request.
+    pub op_seq: u32,
 }
 
 impl fmt::Display for OpProvenance {
@@ -162,6 +166,12 @@ pub struct ValidationReport {
     pub quiescence_checks: u64,
     /// Total ops tracked through their full submit → complete lifecycle.
     pub ops_tracked: u64,
+    /// Device resets observed in the engine event log.
+    pub device_resets: u64,
+    /// Ops that finished with an injected-fault status.
+    pub ops_faulted: u64,
+    /// Ops killed by a sticky fault or device reset before finishing.
+    pub ops_aborted: u64,
 }
 
 impl ValidationReport {
@@ -183,6 +193,8 @@ struct RouteMeta {
     client: usize,
     priority: ClientPriority,
     expected_dur: SimTime,
+    request_id: u64,
+    op_seq: u32,
 }
 
 /// Cap on recorded violations (see [`ValidationReport::dropped`]).
@@ -201,6 +213,13 @@ pub struct Validator {
     /// Largest expected duration of any best-effort kernel seen, bounding
     /// the one-kernel overshoot `be_duration` may legally accumulate.
     max_be_kernel_dur: SimTime,
+    /// No-duplicate tracking across resets: `(client, request_id, op_seq)`
+    /// of every live op. A second live submission of the same logical op is
+    /// a duplicated resubmission.
+    live_keys: HashMap<(usize, u64, u32), u64>,
+    /// Faulted/aborted ops awaiting a recovery claim (requeue or shed) from
+    /// the supervisor this round. Leftovers at `check_round` are lost ops.
+    aborted_unclaimed: Vec<(usize, u64, u32, u64)>,
     report: ValidationReport,
 }
 
@@ -227,6 +246,8 @@ impl Validator {
                 client: routed.client,
                 priority,
                 expected_dur: routed.expected_dur,
+                request_id: routed.request_id,
+                op_seq: routed.op_seq,
             },
         );
     }
@@ -264,9 +285,24 @@ impl Validator {
                         blocking: *blocking,
                         expected_dur: meta.expected_dur,
                         submitted_at: ev.at,
+                        request_id: meta.request_id,
+                        op_seq: meta.op_seq,
                     };
                     if *is_kernel && meta.priority == ClientPriority::BestEffort {
                         self.max_be_kernel_dur = self.max_be_kernel_dur.max(meta.expected_dur);
+                    }
+                    let key = (meta.client, meta.request_id, meta.op_seq);
+                    if let Some(prior) = self.live_keys.insert(key, ev.op.0) {
+                        self.violation(
+                            ev.at,
+                            policy,
+                            "op-duplicated",
+                            format!(
+                                "client {} request {} op_seq {} submitted as op {} while already \
+                                 live as op {prior} — duplicated across a recovery?",
+                                meta.client, meta.request_id, meta.op_seq, ev.op.0
+                            ),
+                        );
                     }
                     if let Some(live) = self.inflight.insert(ev.op.0, prov) {
                         self.violation(
@@ -278,18 +314,102 @@ impl Validator {
                     }
                 }
                 EngineEventKind::Completed => {
-                    if self.inflight.remove(&ev.op.0).is_none() {
-                        self.violation(
+                    match self.inflight.remove(&ev.op.0) {
+                        None => self.violation(
                             ev.at,
                             policy,
                             "unknown-completion",
                             format!("engine completed op {} which was not in flight", ev.op.0),
+                        ),
+                        Some(p) => {
+                            self.live_keys.remove(&(p.client, p.request_id, p.op_seq));
+                            self.report.ops_tracked += 1;
+                        }
+                    }
+                }
+                EngineEventKind::Faulted | EngineEventKind::Aborted => {
+                    let faulted = ev.kind == EngineEventKind::Faulted;
+                    match self.inflight.remove(&ev.op.0) {
+                        None => self.violation(
+                            ev.at,
+                            policy,
+                            "unknown-completion",
+                            format!(
+                                "engine {} op {} which was not in flight",
+                                if faulted { "faulted" } else { "aborted" },
+                                ev.op.0
+                            ),
+                        ),
+                        Some(p) => {
+                            self.live_keys.remove(&(p.client, p.request_id, p.op_seq));
+                            if faulted {
+                                self.report.ops_faulted += 1;
+                            } else {
+                                self.report.ops_aborted += 1;
+                            }
+                            // The supervisor must requeue or shed this op
+                            // before the round's check, else it is lost.
+                            self.aborted_unclaimed
+                                .push((p.client, p.request_id, p.op_seq, ev.op.0));
+                        }
+                    }
+                }
+                EngineEventKind::DeviceReset => {
+                    self.report.device_resets += 1;
+                    // Every live op must have been aborted (and logged as
+                    // such) before the reset event.
+                    if !self.inflight.is_empty() {
+                        let residue = self.sample_inflight(|_| true);
+                        self.inflight.clear();
+                        self.live_keys.clear();
+                        self.violation(
+                            ev.at,
+                            policy,
+                            "post-reset-residue",
+                            format!("ops survived a device reset without aborting: {residue}"),
                         );
-                    } else {
-                        self.report.ops_tracked += 1;
                     }
                 }
             }
+        }
+    }
+
+    /// Reports the supervisor's recovery actions for this round so the
+    /// oracle can discharge faulted/aborted ops: `requeued` carries
+    /// `(client, request_id, op_seq)` of ops deterministically resubmitted,
+    /// `shed` carries `(client, request_id)` of requests dropped whole. A
+    /// requeue with no matching aborted op is phantom; aborted ops neither
+    /// requeued nor shed are flagged as lost in the next `check_round`.
+    pub fn observe_recovery(
+        &mut self,
+        requeued: &[(usize, u64, u32)],
+        shed: &[(usize, u64)],
+        policy: &'static str,
+        now: SimTime,
+    ) {
+        for &(client, request_id, op_seq) in requeued {
+            let pos = self
+                .aborted_unclaimed
+                .iter()
+                .position(|&(c, r, s, _)| (c, r, s) == (client, request_id, op_seq));
+            match pos {
+                Some(i) => {
+                    self.aborted_unclaimed.swap_remove(i);
+                }
+                None => self.violation(
+                    now,
+                    policy,
+                    "phantom-requeue",
+                    format!(
+                        "supervisor requeued client {client} request {request_id} op_seq \
+                         {op_seq}, but no such op faulted or aborted"
+                    ),
+                ),
+            }
+        }
+        for &(client, request_id) in shed {
+            self.aborted_unclaimed
+                .retain(|&(c, r, _, _)| (c, r) != (client, request_id));
         }
     }
 
@@ -315,6 +435,24 @@ impl Validator {
                 policy,
                 "missing-engine-event",
                 format!("routing records without engine submissions: ops {ids:?}"),
+            );
+        }
+        // No-lost-op: every faulted/aborted op must have been requeued or
+        // shed by the supervisor within the same round.
+        if !self.aborted_unclaimed.is_empty() {
+            let lost: Vec<String> = self
+                .aborted_unclaimed
+                .drain(..)
+                .map(|(c, r, s, op)| format!("client {c} request {r} op_seq {s} (op {op})"))
+                .collect();
+            self.violation(
+                now,
+                policy,
+                "op-lost",
+                format!(
+                    "faulted/aborted ops neither requeued nor shed: {}",
+                    lost.join(", ")
+                ),
             );
         }
         // Truth integrity: the engine is idle exactly when nothing is truly
@@ -593,6 +731,7 @@ mod tests {
             profile: ResourceProfile::Unknown,
             sm_needed: 1,
             phase: Phase::Forward,
+            profiled: true,
         }
     }
 
@@ -723,5 +862,79 @@ mod tests {
         assert_eq!(report.violations.len(), MAX_VIOLATIONS);
         assert!(report.dropped > 0);
         assert!(!report.is_clean());
+    }
+
+    fn ended(op: u64, kind: K) -> EngineEvent {
+        EngineEvent {
+            op: OpId(op),
+            stream: StreamId(0),
+            at: SimTime::from_micros(5),
+            kind,
+        }
+    }
+
+    #[test]
+    fn aborted_op_without_recovery_is_lost() {
+        let mut v = Validator::new(false);
+        v.observe_submission(&routed(3, 1, 100), ClientPriority::BestEffort);
+        v.observe_engine_events(&[submitted(3, 1, true, false)], "T");
+        v.observe_engine_events(&[ended(3, K::Aborted)], "T");
+        v.check_round(SimTime::from_micros(5), "T", &PolicyDebugState::default(), true);
+        let report = v.into_report();
+        assert!(report.violated("op-lost"));
+        assert_eq!(report.ops_aborted, 1);
+    }
+
+    #[test]
+    fn requeued_and_shed_ops_are_discharged() {
+        let mut v = Validator::new(false);
+        let mut a = routed(3, 1, 100);
+        a.request_id = 7;
+        a.op_seq = 2;
+        let mut b = routed(4, 2, 100);
+        b.request_id = 9;
+        v.observe_submission(&a, ClientPriority::HighPriority);
+        v.observe_submission(&b, ClientPriority::BestEffort);
+        v.observe_engine_events(
+            &[submitted(3, 0, true, false), submitted(4, 1, true, false)],
+            "T",
+        );
+        v.observe_engine_events(&[ended(3, K::Faulted), ended(4, K::Aborted)], "T");
+        // HP op requeued, BE request shed whole.
+        v.observe_recovery(&[(1, 7, 2)], &[(2, 9)], "T", SimTime::from_micros(5));
+        v.check_round(SimTime::from_micros(5), "T", &PolicyDebugState::default(), true);
+        let report = v.into_report();
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.ops_faulted, 1);
+        assert_eq!(report.ops_aborted, 1);
+    }
+
+    #[test]
+    fn phantom_requeue_is_flagged() {
+        let mut v = Validator::new(false);
+        v.observe_recovery(&[(0, 1, 0)], &[], "T", SimTime::ZERO);
+        assert!(v.into_report().violated("phantom-requeue"));
+    }
+
+    #[test]
+    fn duplicated_logical_op_is_flagged() {
+        let mut v = Validator::new(false);
+        // The same (client, request, op_seq) submitted twice while live.
+        v.observe_submission(&routed(3, 1, 100), ClientPriority::BestEffort);
+        v.observe_engine_events(&[submitted(3, 1, true, false)], "T");
+        v.observe_submission(&routed(8, 1, 100), ClientPriority::BestEffort);
+        v.observe_engine_events(&[submitted(8, 1, true, false)], "T");
+        assert!(v.into_report().violated("op-duplicated"));
+    }
+
+    #[test]
+    fn reset_with_live_ops_is_residue() {
+        let mut v = Validator::new(false);
+        v.observe_submission(&routed(3, 1, 100), ClientPriority::BestEffort);
+        v.observe_engine_events(&[submitted(3, 1, true, false)], "T");
+        v.observe_engine_events(&[ended(u64::MAX, K::DeviceReset)], "T");
+        let report = v.into_report();
+        assert!(report.violated("post-reset-residue"));
+        assert_eq!(report.device_resets, 1);
     }
 }

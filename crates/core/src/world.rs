@@ -1,10 +1,12 @@
 //! The collocation engine: clients + policy + GPU wired into a DES world.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use orion_desim::prelude::*;
-use orion_gpu::engine::GpuEngine;
+use orion_desim::rng::cell_seed;
+use orion_gpu::engine::{CompletionStatus, GpuEngine};
 use orion_gpu::error::GpuError;
+use orion_gpu::fault::FaultPlan;
 use orion_gpu::spec::GpuSpec;
 use orion_gpu::util::UtilSummary;
 use orion_metrics::{LatencyRecorder, ThroughputCounter};
@@ -12,7 +14,13 @@ use orion_profiler::profile_workload;
 
 use crate::client::{ClientPriority, ClientSpec, ClientState};
 use crate::policy::{Policy, PolicyKind, Routed, RoutedCompletion, SchedCtx};
+use crate::supervisor::{ClientFaultKind, FaultConfig, RobustnessReport, Supervisor};
 use crate::validate::{ValidateMode, ValidationReport, Validator};
+
+/// Domain-separation tag deriving the device fault-plan seed from the run
+/// seed (disjoint from the per-client arrival forks, which use small
+/// indices).
+const FAULT_SEED_TAG: u64 = 0xfa17_0000_0000_0001;
 
 /// Configuration of one collocation run.
 #[derive(Debug, Clone)]
@@ -35,6 +43,10 @@ pub struct RunConfig {
     /// oracle observes only — enabling it changes no scheduling decision,
     /// timestamp, or result.
     pub validate: ValidateMode,
+    /// Deterministic fault injection + recovery supervisor tuning. The
+    /// default ([`FaultConfig::none`]) injects nothing and arms no
+    /// supervisor, leaving the run byte-identical to pre-fault builds.
+    pub faults: FaultConfig,
 }
 
 impl RunConfig {
@@ -48,6 +60,7 @@ impl RunConfig {
             record_timeline: false,
             record_trace: false,
             validate: ValidateMode::Off,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -61,6 +74,7 @@ impl RunConfig {
             record_timeline: false,
             record_trace: false,
             validate: ValidateMode::Strict,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -79,6 +93,12 @@ impl RunConfig {
     /// Replaces the oracle mode.
     pub fn with_validate(mut self, mode: ValidateMode) -> Self {
         self.validate = mode;
+        self
+    }
+
+    /// Replaces the fault configuration.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -115,6 +135,8 @@ pub struct RunResult {
     pub window: SimTime,
     /// Policy-state oracle report (when [`RunConfig::validate`] enabled it).
     pub validation: Option<ValidationReport>,
+    /// Fault-and-recovery accounting (all zeros for a fault-free run).
+    pub robustness: RobustnessReport,
 }
 
 impl RunResult {
@@ -151,6 +173,11 @@ enum Ev {
     StartRequest { client: usize },
     /// Wake-up at the GPU's next internal completion.
     GpuWake { token: u64 },
+    /// Periodic recovery-supervisor scan (chaos runs only): op deadlines and
+    /// client liveness.
+    Watchdog,
+    /// A quarantined client's backoff expired; re-admit it.
+    Readmit { client: usize },
 }
 
 struct RouteInfo {
@@ -159,6 +186,9 @@ struct RouteInfo {
     op_seq: u32,
     last_of_request: bool,
     is_kernel: bool,
+    /// Watchdog deadline: submit time + expected duration + op timeout
+    /// (`SimTime::MAX` when no supervisor is armed).
+    deadline: SimTime,
 }
 
 struct CollocationWorld {
@@ -171,6 +201,18 @@ struct CollocationWorld {
     launch_cost: Vec<SimTime>,
     /// The policy-state oracle, when enabled via [`RunConfig::validate`].
     validator: Option<Validator>,
+    /// The recovery supervisor — armed only for chaos runs (device or
+    /// client faults configured), so fault-free runs take zero new branches
+    /// in the hot path.
+    supervisor: Option<Supervisor>,
+    /// Ops requeued by recovery since the last oracle round (claims for the
+    /// no-op-lost rule).
+    recovery_requeued: Vec<(usize, u64, u32)>,
+    /// Requests shed by recovery since the last oracle round.
+    recovery_shed: Vec<(usize, u64)>,
+    /// Culprit attribution for a watchdog-initiated reset, consumed by the
+    /// recovery pass that drains its aborts.
+    pending_culprit: Option<usize>,
 }
 
 impl CollocationWorld {
@@ -199,9 +241,14 @@ impl CollocationWorld {
             policy.schedule(&mut ctx);
         }
         self.policy = Some(policy);
-        self.register(&submissions);
+        self.register(now, &submissions);
         if self.validator.is_some() {
             self.validate_round(now, &submissions);
+        } else {
+            // No oracle to consume the recovery claims; drop them so chaos
+            // runs without validation don't accumulate them unboundedly.
+            self.recovery_requeued.clear();
+            self.recovery_shed.clear();
         }
         self.arm_wake(now, sched);
     }
@@ -220,11 +267,20 @@ impl CollocationWorld {
         }
         let events = self.gpu.drain_events();
         v.observe_engine_events(&events, name);
+        if !self.recovery_requeued.is_empty() || !self.recovery_shed.is_empty() {
+            let requeued = std::mem::take(&mut self.recovery_requeued);
+            let shed = std::mem::take(&mut self.recovery_shed);
+            v.observe_recovery(&requeued, &shed, name, now);
+        }
         v.check_round(now, name, &policy.debug_state(), self.gpu.fully_idle());
     }
 
-    fn register(&mut self, submissions: &[Routed]) {
+    fn register(&mut self, now: SimTime, submissions: &[Routed]) {
         for r in submissions {
+            let deadline = match &self.supervisor {
+                Some(s) => now + r.expected_dur + s.cfg.op_timeout,
+                None => SimTime::MAX,
+            };
             self.routes.insert(
                 r.op.0,
                 RouteInfo {
@@ -233,8 +289,12 @@ impl CollocationWorld {
                     op_seq: r.op_seq,
                     last_of_request: r.last_of_request,
                     is_kernel: r.is_kernel,
+                    deadline,
                 },
             );
+            if let Some(s) = self.supervisor.as_mut() {
+                s.last_progress[r.client] = now;
+            }
         }
     }
 
@@ -254,41 +314,315 @@ impl CollocationWorld {
             return;
         }
         let mut routed = Vec::with_capacity(completions.len());
+        // Faulted/aborted ops, grouped per client in op_seq order for
+        // deterministic resubmission.
+        let mut failed: BTreeMap<usize, Vec<(u64, u32)>> = BTreeMap::new();
+        // The client whose kernel raised a sticky fault this round.
+        let mut culprit: Option<usize> = None;
         for c in &completions {
             let Some(info) = self.routes.remove(&c.op.0) else {
                 continue;
             };
-            let client = &mut self.clients[info.client];
-            let was_blocked = !client.can_push();
-            client.on_op_complete(c.at, info.request_id, info.op_seq, info.last_of_request);
-            if info.last_of_request {
-                // The next request starts now, or after closed-loop think
-                // time (its pending arrival timestamp may lie in the future).
-                match client.next_pending_at() {
-                    Some(at) if at <= now && client.try_start_request() => {
+            match c.status {
+                CompletionStatus::Ok => {
+                    let client = &mut self.clients[info.client];
+                    let was_blocked = !client.can_push();
+                    client.on_op_complete(
+                        c.at,
+                        info.request_id,
+                        info.op_seq,
+                        info.last_of_request,
+                    );
+                    if let Some(s) = self.supervisor.as_mut() {
+                        s.last_progress[info.client] = now;
+                        if info.last_of_request {
+                            s.forget_request(info.client, info.request_id);
+                        }
+                    }
+                    if info.last_of_request {
+                        // The next request starts now, or after closed-loop
+                        // think time (its pending arrival timestamp may lie
+                        // in the future).
+                        self.restart_next_request(now, info.client, sched);
+                    } else if was_blocked && self.clients[info.client].can_push() {
+                        // A blocking copy finished: resume the launch thread.
                         sched.schedule_at(now, Ev::Push { client: info.client });
                     }
-                    Some(at) if at > now => {
-                        sched.schedule_at(at, Ev::StartRequest { client: info.client });
-                    }
-                    _ => {}
                 }
-            } else if was_blocked && client.can_push() {
-                // A blocking copy finished: resume the launch thread.
-                sched.schedule_at(now, Ev::Push { client: info.client });
+                CompletionStatus::Faulted | CompletionStatus::Aborted => {
+                    if let Some(s) = self.supervisor.as_mut() {
+                        if c.status == CompletionStatus::Faulted {
+                            s.report.op_faults += 1;
+                        } else {
+                            s.report.ops_aborted += 1;
+                        }
+                    }
+                    if c.status == CompletionStatus::Faulted
+                        && info.is_kernel
+                        && self.gpu.device_faulted()
+                    {
+                        culprit = Some(info.client);
+                    }
+                    failed
+                        .entry(info.client)
+                        .or_default()
+                        .push((info.request_id, info.op_seq));
+                    // Do NOT feed this into on_op_complete: the op did not
+                    // run, so the client's blocked-on marker and request
+                    // progress must stay put for the retry.
+                }
             }
             routed.push(RoutedCompletion {
                 op: c.op,
                 client: info.client,
                 at: c.at,
                 is_kernel: info.is_kernel,
-                last_of_request: info.last_of_request,
+                // A failed final op must not look like a finished request to
+                // policy mirrors (Temporal's ownership transfers on shed via
+                // on_request_shed instead).
+                last_of_request: info.last_of_request
+                    && c.status == CompletionStatus::Ok,
                 request_id: info.request_id,
             });
         }
+        let mut shed = Vec::new();
+        if !failed.is_empty() {
+            self.recover(now, sched, failed, culprit, &mut shed);
+        }
         self.run_policy_with(now, sched, |policy, ctx| {
             policy.on_completions(&routed, ctx);
+            for &(client, request_id) in &shed {
+                policy.on_request_shed(client, request_id);
+            }
         });
+    }
+
+    /// Starts the client's next pending request (immediately or at its
+    /// future arrival time). No-op for dead or quarantined clients.
+    fn restart_next_request(&mut self, now: SimTime, client: usize, sched: &mut Scheduler<Ev>) {
+        if let Some(s) = &self.supervisor {
+            if s.dead[client] || s.is_suspended(client) {
+                return;
+            }
+        }
+        let c = &mut self.clients[client];
+        match c.next_pending_at() {
+            Some(at) if at <= now && c.try_start_request() => {
+                sched.schedule_at(now, Ev::Push { client });
+            }
+            Some(at) if at > now => {
+                sched.schedule_at(at, Ev::StartRequest { client });
+            }
+            _ => {}
+        }
+    }
+
+    /// The recovery pass (DESIGN.md §11): runs after a scheduling round
+    /// drained faulted/aborted completions. Resets a sticky device,
+    /// quarantines or retries the culprit, and deterministically requeues
+    /// every surviving client's aborted ops — high-priority clients first.
+    fn recover(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+        mut failed: BTreeMap<usize, Vec<(u64, u32)>>,
+        culprit: Option<usize>,
+        shed: &mut Vec<(usize, u64)>,
+    ) {
+        let sticky = self.gpu.device_faulted();
+        let culprit = culprit.or_else(|| self.pending_culprit.take());
+        {
+            let sup = self.supervisor.as_mut().expect("faults imply supervisor");
+            if sticky {
+                sup.report.device_faults += 1;
+                sup.report.device_resets += 1;
+            }
+        }
+        if sticky {
+            self.gpu.reset_device();
+        }
+        for ops in failed.values_mut() {
+            ops.sort_unstable();
+        }
+        let device_was_reset = sticky || culprit.is_some();
+        // HP clients recover first: their aborted ops go back at queue heads
+        // before any best-effort decision, so the next scheduling round
+        // re-admits high-priority work ahead of best-effort work.
+        let mut order: Vec<usize> = failed.keys().copied().collect();
+        order.sort_by_key(|&c| {
+            (
+                self.clients[c].priority() != ClientPriority::HighPriority,
+                c,
+            )
+        });
+        for client_idx in order {
+            let ops = failed.remove(&client_idx).expect("key from map");
+            let is_culprit = device_was_reset && culprit == Some(client_idx);
+            let request_id = ops[0].0;
+            if is_culprit {
+                let is_hp =
+                    self.clients[client_idx].priority() == ClientPriority::HighPriority;
+                let retry_ok = is_hp
+                    && self
+                        .supervisor
+                        .as_mut()
+                        .expect("supervisor")
+                        .try_retry(client_idx, request_id);
+                if retry_ok {
+                    self.requeue_ops(client_idx, &ops);
+                } else {
+                    // Best-effort culprit: quarantine with exponential
+                    // backoff. High-priority culprit over its retry budget:
+                    // shed, but stay admitted.
+                    self.shed_request(client_idx, request_id, shed);
+                    if is_hp {
+                        self.restart_next_request(now, client_idx, sched);
+                    } else {
+                        let sup = self.supervisor.as_mut().expect("supervisor");
+                        sup.report.quarantines += 1;
+                        let readmit_at = now + sup.next_backoff(client_idx);
+                        sup.suspended_until[client_idx] = Some(readmit_at);
+                        if self.clients[client_idx].spec.arrivals.is_closed_loop() {
+                            self.clients[client_idx].enqueue_pending(readmit_at);
+                        }
+                        sched.schedule_at(readmit_at, Ev::Readmit { client: client_idx });
+                    }
+                }
+            } else if device_was_reset {
+                // Innocent victim of the reset: resubmit unconditionally.
+                self.requeue_ops(client_idx, &ops);
+            } else {
+                // Non-sticky op fault (failed copy): bounded per-request
+                // retry without touching the rest of the device.
+                let retry_ok = self
+                    .supervisor
+                    .as_mut()
+                    .expect("supervisor")
+                    .try_retry(client_idx, request_id);
+                if retry_ok {
+                    self.requeue_ops(client_idx, &ops);
+                } else {
+                    self.shed_request(client_idx, request_id, shed);
+                    self.restart_next_request(now, client_idx, sched);
+                }
+            }
+        }
+    }
+
+    /// Puts a client's aborted ops back at its queue head, oldest first.
+    fn requeue_ops(&mut self, client: usize, ops: &[(u64, u32)]) {
+        let c = &mut self.clients[client];
+        for &(request_id, op_seq) in ops.iter().rev() {
+            let op = c.op_for(request_id, op_seq);
+            c.requeue_front(op);
+        }
+        let sup = self.supervisor.as_mut().expect("supervisor");
+        sup.report.resubmitted_ops += ops.len() as u64;
+        self.recovery_requeued
+            .extend(ops.iter().map(|&(r, s)| (client, r, s)));
+    }
+
+    /// Drops a client's in-flight request and records the shed.
+    fn shed_request(&mut self, client: usize, request_id: u64, shed: &mut Vec<(usize, u64)>) {
+        self.clients[client].shed_current();
+        let sup = self.supervisor.as_mut().expect("supervisor");
+        sup.report.shed_requests += 1;
+        sup.forget_request(client, request_id);
+        shed.push((client, request_id));
+        self.recovery_shed.push((client, request_id));
+    }
+
+    /// The periodic watchdog (chaos runs only): detects stalled ops (reset +
+    /// recover) and hung/crashed clients (shed their stuck requests).
+    fn watchdog(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        // (a) Op deadline scan. One stalled op condemns the whole device —
+        // the reset aborts everything, so handling the earliest (by
+        // deadline, then op id, for determinism across map iteration
+        // orders) is enough.
+        let stalled = self
+            .routes
+            .iter()
+            .filter(|(_, info)| info.deadline <= now)
+            .map(|(&op, info)| (info.deadline, op, info.client))
+            .min();
+        if let Some((_, _, client)) = stalled {
+            let sup = self.supervisor.as_mut().expect("watchdog implies supervisor");
+            sup.report.watchdog_stalls += 1;
+            sup.report.device_resets += 1;
+            self.pending_culprit = Some(client);
+            self.gpu.reset_device();
+            // Route the aborts through the normal recovery path.
+            self.drain_gpu(now, sched);
+        }
+        // (b) Client liveness: a request is stuck when it is in flight with
+        // no device ops, no queued ops, and a push cursor that cannot move.
+        let mut shed = Vec::new();
+        for i in 0..self.clients.len() {
+            let c = &self.clients[i];
+            let Some((request_id, _)) = c.current_progress() else {
+                continue;
+            };
+            if c.can_push()
+                || c.queue_depth() > 0
+                || self.routes.values().any(|r| r.client == i)
+            {
+                continue;
+            }
+            let sup = self.supervisor.as_ref().expect("supervisor");
+            let stuck = sup.dead[i]
+                || now.checked_sub(sup.last_progress[i]).is_some_and(|idle| {
+                    idle > sup.cfg.client_timeout
+                });
+            if stuck {
+                self.shed_request(i, request_id, &mut shed);
+                // Hung clients are treated as dead from here on: their
+                // pending arrivals are abandoned rather than re-stuck.
+                self.supervisor.as_mut().expect("supervisor").dead[i] = true;
+            }
+        }
+        if !shed.is_empty() {
+            self.run_policy_with(now, sched, |policy, _ctx| {
+                for &(client, request_id) in &shed {
+                    policy.on_request_shed(client, request_id);
+                }
+            });
+        }
+    }
+
+    /// Fires the client's configured lifecycle fault if its trigger point
+    /// (request ordinal, op index) has been reached.
+    fn maybe_fire_client_fault(&mut self, client: usize) {
+        let Some(sup) = self.supervisor.as_mut() else {
+            return;
+        };
+        if sup.fault_fired[client] {
+            return;
+        }
+        let Some(f) = self.clients[client].spec.fault else {
+            return;
+        };
+        let due = self.clients[client]
+            .current_progress()
+            .is_some_and(|(req, op)| (req, op) >= (f.at_request, f.after_ops));
+        if !due {
+            return;
+        }
+        sup.fault_fired[client] = true;
+        match f.kind {
+            ClientFaultKind::Crash => {
+                sup.dead[client] = true;
+                sup.report.client_crashes += 1;
+                self.clients[client].halt();
+            }
+            ClientFaultKind::Hang => {
+                sup.report.client_hangs += 1;
+                self.clients[client].halt();
+            }
+            ClientFaultKind::SlowPoll { factor } => {
+                sup.report.slow_polls += 1;
+                self.launch_cost[client] = self.launch_cost[client] * u64::from(factor.max(1));
+            }
+        }
     }
 }
 
@@ -299,15 +633,28 @@ impl World for CollocationWorld {
         // Completions at or before `now` are always processed first so every
         // handler sees up-to-date queue/GPU state.
         self.drain_gpu(now, sched);
+        let gated = |sup: &Option<Supervisor>, client: usize| -> (bool, bool) {
+            sup.as_ref()
+                .map_or((false, false), |s| (s.dead[client], s.is_suspended(client)))
+        };
         match ev {
             Ev::Arrival { client } => {
+                let (dead, suspended) = gated(&self.supervisor, client);
+                if dead {
+                    // A crashed client's remaining open-loop arrivals are
+                    // abandoned.
+                    return;
+                }
                 let c = &mut self.clients[client];
                 c.on_arrival(now);
-                if c.try_start_request() {
+                // Quarantined clients buffer arrivals but may not start
+                // them until Readmit fires.
+                if !suspended && c.try_start_request() {
                     sched.schedule_at(now, Ev::Push { client });
                 }
             }
             Ev::Push { client } => {
+                self.maybe_fire_client_fault(client);
                 let c = &mut self.clients[client];
                 if c.push_next().is_some() {
                     if c.can_push() {
@@ -317,7 +664,8 @@ impl World for CollocationWorld {
                 }
             }
             Ev::StartRequest { client } => {
-                if self.clients[client].try_start_request() {
+                let (dead, suspended) = gated(&self.supervisor, client);
+                if !dead && !suspended && self.clients[client].try_start_request() {
                     sched.schedule_at(now, Ev::Push { client });
                 }
             }
@@ -326,6 +674,27 @@ impl World for CollocationWorld {
                 // drain_gpu above already advanced the device.
                 if token == self.wake_token {
                     self.arm_wake(now, sched);
+                }
+            }
+            Ev::Watchdog => {
+                if let Some(interval) =
+                    self.supervisor.as_ref().map(|s| s.cfg.watchdog_interval)
+                {
+                    self.watchdog(now, sched);
+                    sched.schedule_in(interval, Ev::Watchdog);
+                }
+            }
+            Ev::Readmit { client } => {
+                let Some(sup) = self.supervisor.as_mut() else {
+                    return;
+                };
+                if sup.dead[client] || !sup.is_suspended(client) {
+                    return;
+                }
+                sup.suspended_until[client] = None;
+                sup.report.readmissions += 1;
+                if self.clients[client].try_start_request() {
+                    sched.schedule_at(now, Ev::Push { client });
                 }
             }
         }
@@ -353,11 +722,28 @@ pub fn run_collocation(
     if cfg.validate.enabled() {
         gpu.enable_event_log();
     }
+    if !cfg.faults.is_none() {
+        // The plan seed is splitmix-derived from the run seed, so fault
+        // decisions are a pure function of (seed, submit ordinal) — immune
+        // to thread count and wall-clock, like the PR 1 per-cell seeds.
+        let mut plan = FaultPlan::seeded(cell_seed(cfg.seed, FAULT_SEED_TAG), cfg.faults.rates)
+            .with_stall(cfg.faults.stall);
+        for &(target, kind) in &cfg.faults.targets {
+            plan = plan.with_target(target, kind);
+        }
+        gpu.set_fault_plan(plan);
+    }
 
-    // Offline profiling phase (§5.2): each workload profiled solo.
+    // Offline profiling phase (§5.2): each workload profiled solo. A client
+    // marked `unprofiled` skips the phase and gets an empty table, so every
+    // kernel lookup misses and the scheduler degrades conservatively.
     let mut states = Vec::with_capacity(clients.len());
     for spec in clients {
-        let profile = profile_workload(&spec.workload, &cfg.spec).table();
+        let profile = if spec.unprofiled {
+            orion_profiler::ProfileTable::default()
+        } else {
+            profile_workload(&spec.workload, &cfg.spec)?.table()
+        };
         gpu.alloc_immediate(spec.workload.memory_footprint)?;
         states.push(ClientState::new(spec, profile));
     }
@@ -393,6 +779,10 @@ pub fn run_collocation(
         );
     }
 
+    // The supervisor (and its watchdog event stream) exists only for chaos
+    // runs, keeping fault-free runs event-for-event identical to pre-fault
+    // builds.
+    let chaos = !cfg.faults.is_none() || states.iter().any(|c| c.spec.fault.is_some());
     let world = CollocationWorld {
         gpu,
         clients: states,
@@ -404,9 +794,16 @@ pub fn run_collocation(
             .validate
             .enabled()
             .then(|| Validator::new(cfg.validate == ValidateMode::Strict)),
+        supervisor: chaos.then(|| Supervisor::new(cfg.faults.supervisor.clone(), n_clients)),
+        recovery_requeued: Vec::new(),
+        recovery_shed: Vec::new(),
+        pending_culprit: None,
     };
 
     let mut sim = Simulation::new(world);
+    if chaos {
+        sim.schedule_at(cfg.faults.supervisor.watchdog_interval, Ev::Watchdog);
+    }
 
     // Seed arrivals.
     let mut rng = DetRng::new(cfg.seed);
@@ -437,6 +834,18 @@ pub fn run_collocation(
     // The oracle stops at the last scheduling round: the horizon drain above
     // is pure accounting (no policy ran), so there is no claim to check.
     let validation = sim.world_mut().validator.take().map(Validator::into_report);
+    let mut robustness = sim
+        .world_mut()
+        .supervisor
+        .take()
+        .map(|s| s.report)
+        .unwrap_or_default();
+    robustness.unknown_kernel_ops = sim
+        .world()
+        .clients
+        .iter()
+        .map(|c| c.profile_misses)
+        .sum();
 
     let world = sim.world();
     let window = cfg.horizon - cfg.warmup;
@@ -478,6 +887,7 @@ pub fn run_collocation(
         trace,
         window,
         validation,
+        robustness,
     })
 }
 

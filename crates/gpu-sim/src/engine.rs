@@ -37,6 +37,7 @@ use std::sync::Arc;
 use orion_desim::time::SimTime;
 
 use crate::error::GpuError;
+use crate::fault::{FaultCategory, FaultInjector, FaultKind, FaultPlan};
 use crate::interference::{evaluate_into, EvalScratch, KernelLoad, ModelParams};
 use crate::kernel::KernelDesc;
 use crate::memory::{AllocId, MemoryLedger};
@@ -142,6 +143,32 @@ pub enum EngineEventKind {
     },
     /// The op finished and its completion was recorded.
     Completed,
+    /// The op finished with an injected fault (see [`crate::fault`]).
+    Faulted,
+    /// The op was killed by a sticky device fault or an explicit
+    /// [`GpuEngine::reset_device`] before it could finish.
+    Aborted,
+    /// The device was reset (sticky fault cleared, all work aborted). The
+    /// event's `op`/`stream` carry the sentinels [`RESET_OP`]/[`RESET_STREAM`].
+    DeviceReset,
+}
+
+/// Sentinel op id carried by [`EngineEventKind::DeviceReset`] events.
+pub const RESET_OP: OpId = OpId(u64::MAX);
+/// Sentinel stream id carried by [`EngineEventKind::DeviceReset`] events.
+pub const RESET_STREAM: StreamId = StreamId(u32::MAX);
+
+/// How a submitted operation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionStatus {
+    /// Finished normally (includes capacity-OOM mallocs, which report
+    /// `alloc: None` but did execute).
+    Ok,
+    /// Finished with an injected fault (kernel fault, copy failure, or
+    /// malloc failure).
+    Faulted,
+    /// Killed before finishing by a sticky device fault or a device reset.
+    Aborted,
 }
 
 /// A finished operation, reported once via [`GpuEngine::drain_completions`].
@@ -159,6 +186,8 @@ pub struct Completion {
     pub kind: &'static str,
     /// For kernels: time the kernel was dispatched onto SMs.
     pub dispatched_at: Option<SimTime>,
+    /// How the operation ended.
+    pub status: CompletionStatus,
 }
 
 #[derive(Debug, Clone)]
@@ -176,6 +205,8 @@ struct OpState {
     sm_needed: u32,
     dispatch_seq: u64,
     dispatched_at: Option<SimTime>,
+    /// Injected fault decided at submit time, if any.
+    fault: Option<FaultKind>,
 }
 
 /// Time for a copy with `remaining` bytes at `rate` bytes/sec to finish,
@@ -246,6 +277,17 @@ pub struct GpuEngine {
     /// Ground-truth submit/complete log for the validation oracle. `None`
     /// (the default) keeps the hot path to a single branch per op.
     event_log: Option<Vec<EngineEvent>>,
+    /// Fault injector, present only for a non-empty [`FaultPlan`]: the
+    /// fault-free hot path pays one `None` branch per submit.
+    fault: Option<FaultInjector>,
+    /// Sticky CUDA-style device fault: set when a `KernelFault` op finishes,
+    /// cleared only by [`GpuEngine::reset_device`]. While set, every submit
+    /// returns [`GpuError::DeviceFault`] and dispatch stops.
+    device_faulted: bool,
+    /// A `KernelFault` completion happened in the current
+    /// `complete_finished` pass; the sticky abort applies after the pass so
+    /// sibling completions at the same instant are still delivered.
+    device_fault_pending: bool,
 }
 
 impl GpuEngine {
@@ -276,6 +318,42 @@ impl GpuEngine {
             eval: EvalScratch::default(),
             scratch_ids: Vec::new(),
             event_log: None,
+            fault: None,
+            device_faulted: false,
+            device_fault_pending: false,
+        }
+    }
+
+    /// Installs a fault plan. An [empty](FaultPlan::is_empty) plan is
+    /// discarded entirely so the fault-free path stays byte-identical.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = (!plan.is_empty()).then(|| FaultInjector::new(plan));
+    }
+
+    /// True while the device is in the sticky faulted state.
+    pub fn device_faulted(&self) -> bool {
+        self.device_faulted
+    }
+
+    /// Resets the device after a sticky fault (or preemptively, e.g. from a
+    /// watchdog): aborts everything still queued or running, clears the
+    /// sticky state, and logs a [`EngineEventKind::DeviceReset`] event.
+    ///
+    /// The memory ledger survives the reset — this models the lightweight
+    /// context-recovery path where allocations are restored from the
+    /// supervisor's ledger rather than re-played through `Malloc` ops.
+    pub fn reset_device(&mut self) {
+        let at = self.now;
+        self.abort_all(at);
+        self.device_faulted = false;
+        self.device_fault_pending = false;
+        if let Some(log) = &mut self.event_log {
+            log.push(EngineEvent {
+                op: RESET_OP,
+                stream: RESET_STREAM,
+                at,
+                kind: EngineEventKind::DeviceReset,
+            });
         }
     }
 
@@ -338,6 +416,9 @@ impl GpuEngine {
     /// The caller must have called [`GpuEngine::advance_to`] with the current
     /// simulated time first (debug-asserted).
     pub fn submit(&mut self, stream: StreamId, kind: OpKind) -> Result<OpId, GpuError> {
+        if self.device_faulted {
+            return Err(GpuError::DeviceFault);
+        }
         if let OpKind::Kernel(k) = &kind {
             k.validate()?;
         }
@@ -345,11 +426,34 @@ impl GpuEngine {
             .streams
             .get_mut(stream.0 as usize)
             .ok_or(GpuError::UnknownStream(stream.0))?;
-        let remaining = match &kind {
+        // Fault decision: exactly one injector call per accepted submit, in
+        // submission order, so decisions are a pure function of the seed and
+        // the submit ordinal.
+        let fault = match &mut self.fault {
+            Some(inj) => {
+                let category = match &kind {
+                    OpKind::Kernel(_) => FaultCategory::Kernel {
+                        best_effort: st.priority < StreamPriority::HIGH,
+                    },
+                    OpKind::MemcpyH2D { .. } | OpKind::MemcpyD2H { .. } => FaultCategory::Copy,
+                    OpKind::Malloc { .. } => FaultCategory::Malloc,
+                    OpKind::Free { .. } | OpKind::EventRecord { .. } => FaultCategory::Other,
+                };
+                inj.decide(category)
+            }
+            None => None,
+        };
+        let mut remaining = match &kind {
             OpKind::Kernel(k) => k.solo_duration.as_nanos() as f64,
             OpKind::MemcpyH2D { bytes, .. } | OpKind::MemcpyD2H { bytes, .. } => *bytes as f64,
             _ => 0.0,
         };
+        if fault == Some(FaultKind::Stall) && matches!(kind, OpKind::Kernel(_)) {
+            // A stalled kernel silently carries extra solo work; it still
+            // completes normally unless a supervisor watchdog fires first.
+            let stall = self.fault.as_ref().expect("stall implies injector").stall();
+            remaining += stall.as_nanos() as f64;
+        }
         let log_entry = self.event_log.is_some().then(|| {
             let blocking = matches!(
                 kind,
@@ -371,6 +475,7 @@ impl GpuEngine {
             sm_needed: 0,
             dispatch_seq: 0,
             dispatched_at: None,
+            fault,
         };
         let id = match self.free_ops.pop() {
             Some(slot) => {
@@ -714,11 +819,75 @@ impl GpuEngine {
             self.finish_op(cid, at, None);
         }
         self.scratch_ids = finished;
+
+        // Sticky fault: once the pass has delivered every same-instant
+        // completion, the device dies and everything else aborts.
+        if self.device_fault_pending {
+            self.device_fault_pending = false;
+            self.device_faulted = true;
+            self.abort_all(at);
+        }
     }
 
-    /// Marks `op` done, records the completion, frees its stream slot, and
-    /// retires the slab slot (recycled after the next completion drain).
+    /// Kills everything still on the device: running kernels and copies,
+    /// in-flight sync ops, and queued ops all finish with an `Aborted`
+    /// status at `at`, in a deterministic order (running kernels in dispatch
+    /// order, then running copies, then per-stream leftovers in
+    /// stream-creation order).
+    fn abort_all(&mut self, at: SimTime) {
+        let mut ids = std::mem::take(&mut self.scratch_ids);
+        ids.clear();
+        ids.append(&mut self.running_kernels);
+        ids.append(&mut self.running_copies);
+        for st in &mut self.streams {
+            if let Some(id) = st.inflight.take() {
+                // Running ops are already collected; this catches sync ops
+                // that hold their stream slot while waiting for the drain.
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+            ids.extend(st.queue.drain(..));
+        }
+        for &id in &ids {
+            self.finish_op_with(id, at, None, CompletionStatus::Aborted);
+        }
+        self.blocking_copies = 0;
+        self.sync_requested = false;
+        self.rates_dirty = true;
+        ids.clear();
+        self.scratch_ids = ids;
+    }
+
+    /// Marks `op` done with a status derived from its injected fault (if
+    /// any), records the completion, frees its stream slot, and retires the
+    /// slab slot (recycled after the next completion drain).
     fn finish_op(&mut self, op_id: u64, at: SimTime, alloc: Option<AllocId>) {
+        let status = match self.op(op_id).fault {
+            Some(FaultKind::KernelFault | FaultKind::CopyFail | FaultKind::MallocFail) => {
+                CompletionStatus::Faulted
+            }
+            // A stall only stretches execution; the op itself succeeds.
+            Some(FaultKind::Stall) | None => CompletionStatus::Ok,
+        };
+        if status == CompletionStatus::Faulted
+            && matches!(self.op(op_id).fault, Some(FaultKind::KernelFault))
+        {
+            // Sticky CUDA semantics: the abort applies after the current
+            // completion pass (see `complete_finished`).
+            self.device_fault_pending = true;
+        }
+        self.finish_op_with(op_id, at, alloc, status);
+    }
+
+    /// [`GpuEngine::finish_op`] with an explicit status (abort path).
+    fn finish_op_with(
+        &mut self,
+        op_id: u64,
+        at: SimTime,
+        alloc: Option<AllocId>,
+        status: CompletionStatus,
+    ) {
         let op = self.ops[op_id as usize]
             .take()
             .expect("finishing op exists");
@@ -749,13 +918,18 @@ impl GpuEngine {
             alloc,
             kind: kind_label,
             dispatched_at: op.dispatched_at,
+            status,
         });
         if let Some(log) = &mut self.event_log {
             log.push(EngineEvent {
                 op: OpId(op_id),
                 stream: op.stream,
                 at,
-                kind: EngineEventKind::Completed,
+                kind: match status {
+                    CompletionStatus::Ok => EngineEventKind::Completed,
+                    CompletionStatus::Faulted => EngineEventKind::Faulted,
+                    CompletionStatus::Aborted => EngineEventKind::Aborted,
+                },
             });
         }
         self.retired_ops.push(op_id);
@@ -772,6 +946,11 @@ impl GpuEngine {
             Copy { blocking: bool },
             Sync,
             Event { event: u64 },
+        }
+
+        // A faulted device dispatches nothing until it is reset.
+        if self.device_faulted {
+            return;
         }
 
         loop {
@@ -911,8 +1090,16 @@ impl GpuEngine {
             };
             let alloc = match sync {
                 // OOM inside the pipeline surfaces as a completion with no
-                // allocation; the client layer maps this to an error.
-                Sync::Malloc(bytes) => self.memory.alloc(bytes).ok(),
+                // allocation; the client layer maps this to an error. An
+                // injected `MallocFail` skips the ledger entirely and is
+                // reported as a `Faulted` completion by `finish_op`.
+                Sync::Malloc(bytes) => {
+                    if self.op(op_id).fault == Some(FaultKind::MallocFail) {
+                        None
+                    } else {
+                        self.memory.alloc(bytes).ok()
+                    }
+                }
                 Sync::Free(alloc) => {
                     let _ = self.memory.free(alloc);
                     None
@@ -1326,5 +1513,168 @@ mod tests {
         assert_eq!(done[0].stream, be);
         assert_eq!(done[1].stream, hp, "HP kernel must overtake the queued BE one");
         assert_eq!(done[2].stream, be);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_noop() {
+        use crate::fault::FaultPlan;
+        let mut e = engine();
+        e.set_fault_plan(FaultPlan::none());
+        let s = e.create_stream(StreamPriority::DEFAULT);
+        e.submit(s, OpKind::Kernel(kernel(0, 100, 40, 0.5, 0.3))).unwrap();
+        e.advance_to(SimTime::from_micros(100));
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].status, CompletionStatus::Ok);
+        assert_eq!(done[0].at, SimTime::from_micros(100));
+        assert!(!e.device_faulted());
+    }
+
+    #[test]
+    fn kernel_fault_is_sticky_until_reset() {
+        use crate::fault::{FaultKind, FaultPlan, FaultTarget};
+        let mut e = engine();
+        e.enable_event_log();
+        e.set_fault_plan(
+            FaultPlan::none().with_target(FaultTarget::Ordinal(0), FaultKind::KernelFault),
+        );
+        let s1 = e.create_stream(StreamPriority::DEFAULT);
+        let s2 = e.create_stream(StreamPriority::DEFAULT);
+        let bad = e.submit(s1, OpKind::Kernel(kernel(0, 50, 40, 0.5, 0.3))).unwrap();
+        // A sibling kernel and a queued follow-up both die with the device.
+        let sib = e.submit(s2, OpKind::Kernel(kernel(1, 200, 40, 0.5, 0.3))).unwrap();
+        let queued = e.submit(s1, OpKind::Kernel(kernel(2, 50, 40, 0.5, 0.3))).unwrap();
+        e.advance_to(SimTime::from_millis(1));
+        assert!(e.device_faulted());
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 3);
+        let by_op = |op: OpId| done.iter().find(|c| c.op == op).unwrap();
+        assert_eq!(by_op(bad).status, CompletionStatus::Faulted);
+        assert_eq!(by_op(sib).status, CompletionStatus::Aborted);
+        assert_eq!(by_op(queued).status, CompletionStatus::Aborted);
+        // Aborts land at the fault instant, not the horizon.
+        assert_eq!(by_op(sib).at, by_op(bad).at);
+        // Sticky: submits now fail...
+        let err = e.submit(s1, OpKind::Kernel(kernel(3, 10, 4, 0.2, 0.2)));
+        assert!(matches!(err, Err(GpuError::DeviceFault)));
+        // ...until the device is reset.
+        e.reset_device();
+        assert!(!e.device_faulted());
+        assert!(e.fully_idle());
+        e.submit(s1, OpKind::Kernel(kernel(3, 10, 4, 0.2, 0.2))).unwrap();
+        e.advance_to(SimTime::from_millis(2));
+        assert_eq!(e.drain_completions().len(), 1);
+        // The event log saw the fault, the aborts, and the reset.
+        let ev = e.drain_events();
+        let kinds: Vec<_> = ev.iter().map(|x| x.kind.clone()).collect();
+        assert!(kinds.contains(&EngineEventKind::Faulted));
+        assert!(kinds.contains(&EngineEventKind::DeviceReset));
+        assert_eq!(
+            kinds.iter().filter(|k| **k == EngineEventKind::Aborted).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn copy_fail_is_not_sticky() {
+        use crate::fault::{FaultKind, FaultPlan, FaultTarget};
+        let mut e = engine();
+        e.set_fault_plan(
+            FaultPlan::none().with_target(FaultTarget::Ordinal(0), FaultKind::CopyFail),
+        );
+        let s = e.create_stream(StreamPriority::DEFAULT);
+        e.submit(
+            s,
+            OpKind::MemcpyH2D {
+                bytes: 1000,
+                blocking: false,
+            },
+        )
+        .unwrap();
+        e.submit(s, OpKind::Kernel(kernel(0, 10, 4, 0.2, 0.2))).unwrap();
+        e.advance_to(SimTime::from_millis(1));
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].status, CompletionStatus::Faulted);
+        assert_eq!(done[1].status, CompletionStatus::Ok, "device survived");
+        assert!(!e.device_faulted());
+    }
+
+    #[test]
+    fn malloc_fault_completes_without_allocation() {
+        use crate::fault::{FaultKind, FaultPlan, FaultTarget};
+        let mut e = engine();
+        e.set_fault_plan(
+            FaultPlan::none().with_target(FaultTarget::Ordinal(0), FaultKind::MallocFail),
+        );
+        let s = e.create_stream(StreamPriority::DEFAULT);
+        e.submit(s, OpKind::Malloc { bytes: 1 << 20 }).unwrap();
+        e.advance_to(SimTime::from_micros(1));
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].status, CompletionStatus::Faulted);
+        assert!(done[0].alloc.is_none());
+        assert_eq!(e.memory().used(), 0, "failed malloc must not charge the ledger");
+        assert!(!e.device_faulted());
+    }
+
+    #[test]
+    fn stall_extends_kernel_but_completes_ok() {
+        use crate::fault::{FaultKind, FaultPlan, FaultTarget};
+        let mut e = engine();
+        e.set_fault_plan(
+            FaultPlan::none()
+                .with_target(FaultTarget::Ordinal(0), FaultKind::Stall)
+                .with_stall(SimTime::from_micros(300)),
+        );
+        let s = e.create_stream(StreamPriority::DEFAULT);
+        e.submit(s, OpKind::Kernel(kernel(0, 100, 40, 0.5, 0.3))).unwrap();
+        e.advance_to(SimTime::from_millis(1));
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].status, CompletionStatus::Ok);
+        assert_eq!(done[0].at, SimTime::from_micros(400), "100us solo + 300us stall");
+    }
+
+    #[test]
+    fn reset_device_aborts_a_stalled_device_preemptively() {
+        // Watchdog path: nothing faulted, but the supervisor resets anyway.
+        let mut e = engine();
+        let s = e.create_stream(StreamPriority::DEFAULT);
+        e.submit(s, OpKind::Kernel(kernel(0, 1000, 40, 0.5, 0.3))).unwrap();
+        e.advance_to(SimTime::from_micros(10));
+        e.reset_device();
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].status, CompletionStatus::Aborted);
+        assert_eq!(done[0].at, SimTime::from_micros(10));
+        assert!(e.fully_idle());
+        // The device keeps working afterwards.
+        e.submit(s, OpKind::Kernel(kernel(1, 10, 4, 0.2, 0.2))).unwrap();
+        e.advance_to(SimTime::from_micros(20));
+        assert_eq!(e.drain_completions().len(), 1);
+    }
+
+    #[test]
+    fn fault_during_pending_device_sync_aborts_the_sync_op() {
+        use crate::fault::{FaultKind, FaultPlan, FaultTarget};
+        let mut e = engine();
+        e.set_fault_plan(
+            FaultPlan::none().with_target(FaultTarget::Ordinal(0), FaultKind::KernelFault),
+        );
+        let s1 = e.create_stream(StreamPriority::DEFAULT);
+        let s2 = e.create_stream(StreamPriority::DEFAULT);
+        e.submit(s1, OpKind::Kernel(kernel(0, 100, 40, 0.5, 0.3))).unwrap();
+        // The malloc takes its stream slot and waits for the drain; the
+        // drain ends in a sticky fault, so the malloc must abort, not apply.
+        e.submit(s2, OpKind::Malloc { bytes: 1 << 20 }).unwrap();
+        e.advance_to(SimTime::from_millis(1));
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].status, CompletionStatus::Faulted);
+        assert_eq!(done[1].kind, "malloc");
+        assert_eq!(done[1].status, CompletionStatus::Aborted);
+        assert!(done[1].alloc.is_none());
+        assert_eq!(e.memory().used(), 0);
     }
 }

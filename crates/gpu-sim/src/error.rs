@@ -21,6 +21,9 @@ pub enum GpuError {
     UnknownAllocation(u64),
     /// A kernel description is invalid (e.g. zero blocks or zero threads).
     InvalidKernel(String),
+    /// The device is in a sticky faulted state (a kernel faulted earlier):
+    /// every submit fails until [`crate::GpuEngine::reset_device`].
+    DeviceFault,
 }
 
 impl fmt::Display for GpuError {
@@ -37,6 +40,9 @@ impl fmt::Display for GpuError {
             GpuError::UnknownEvent(id) => write!(f, "unknown event id {id}"),
             GpuError::UnknownAllocation(id) => write!(f, "unknown allocation id {id}"),
             GpuError::InvalidKernel(msg) => write!(f, "invalid kernel: {msg}"),
+            GpuError::DeviceFault => {
+                write!(f, "device is in a sticky faulted state; reset required")
+            }
         }
     }
 }

@@ -1,0 +1,329 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! A [`FaultPlan`] describes *which* submitted operations misbehave and *how*.
+//! Decisions are a pure function of `(plan.seed, submit ordinal)` — the
+//! ordinal is the count of operations submitted to the device so far — so a
+//! run with the same seed and plan produces byte-identical faults regardless
+//! of how many runner threads drive sibling simulations (the same
+//! splitmix-derived independence argument as the per-cell experiment seeds).
+//!
+//! Fault taxonomy (see DESIGN.md §11):
+//!
+//! - [`FaultKind::KernelFault`]: the kernel runs to its scheduled completion
+//!   but produces a *sticky* device fault, mirroring CUDA sticky-error
+//!   semantics: every running and queued op is aborted, and all subsequent
+//!   submits return [`crate::GpuError::DeviceFault`] until
+//!   [`crate::GpuEngine::reset_device`].
+//! - [`FaultKind::CopyFail`]: a memcpy completes with a `Faulted` status but
+//!   the device survives (non-sticky, like a host-side transfer error).
+//! - [`FaultKind::MallocFail`]: a `Malloc` op completes with no allocation
+//!   and a `Faulted` status (transient allocator failure, distinct from
+//!   capacity OOM which stays an `Ok` completion with `alloc: None`).
+//! - [`FaultKind::Stall`]: the kernel's execution is silently extended by
+//!   [`FaultPlan::stall`] of solo work — it still completes normally, but a
+//!   supervisor watchdog may fire first.
+//!
+//! An empty plan ([`FaultPlan::none`] or all-zero rates with no targets) is a
+//! strict no-op: the engine stores no injector at all, so the fault-free hot
+//! path is untouched and results stay byte-identical.
+
+use orion_desim::rng::cell_seed;
+use orion_desim::time::SimTime;
+
+/// What a faulted operation does. See the module docs for semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Sticky device fault raised when the kernel completes.
+    KernelFault,
+    /// Non-sticky memcpy failure.
+    CopyFail,
+    /// Non-sticky allocation failure (completion carries no allocation).
+    MallocFail,
+    /// Kernel execution silently extended by [`FaultPlan::stall`].
+    Stall,
+}
+
+/// Per-category fault probabilities, each rolled independently per submitted
+/// op of that category. All zero by default.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultRates {
+    /// P(sticky kernel fault) per submitted kernel.
+    pub kernel_fault: f64,
+    /// P(stall) per submitted kernel, rolled after `kernel_fault` on the
+    /// same uniform draw (the two are mutually exclusive).
+    pub stall: f64,
+    /// P(transfer failure) per submitted memcpy.
+    pub copy_fail: f64,
+    /// P(allocation failure) per submitted malloc.
+    pub malloc_fail: f64,
+}
+
+impl FaultRates {
+    /// True when every probability is zero.
+    pub fn is_zero(&self) -> bool {
+        self.kernel_fault == 0.0
+            && self.stall == 0.0
+            && self.copy_fail == 0.0
+            && self.malloc_fail == 0.0
+    }
+}
+
+/// Selects a specific operation for a targeted (non-probabilistic) fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The n-th operation submitted to the device (0-based, all kinds).
+    Ordinal(u64),
+    /// The n-th *kernel* submitted on a stream whose priority is below
+    /// [`crate::StreamPriority::HIGH`] (0-based). Aims chaos at best-effort
+    /// work under priority-aware policies without knowing op ids up front.
+    NthBestEffortKernel(u64),
+}
+
+/// A deterministic fault schedule for one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-ordinal uniform draws.
+    pub seed: u64,
+    /// Probabilistic fault rates.
+    pub rates: FaultRates,
+    /// Extra solo work added to a stalled kernel.
+    pub stall: SimTime,
+    /// Targeted faults, checked before the probabilistic roll. Each target
+    /// matches at most one operation.
+    pub targets: Vec<(FaultTarget, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing and costs nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            rates: FaultRates::default(),
+            stall: SimTime::ZERO,
+            targets: Vec::new(),
+        }
+    }
+
+    /// A probabilistic plan with the given seed and rates.
+    pub fn seeded(seed: u64, rates: FaultRates) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates,
+            stall: SimTime::from_millis(50),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Adds a targeted fault (builder style).
+    pub fn with_target(mut self, target: FaultTarget, kind: FaultKind) -> FaultPlan {
+        self.targets.push((target, kind));
+        self
+    }
+
+    /// Sets the stall extension (builder style).
+    pub fn with_stall(mut self, stall: SimTime) -> FaultPlan {
+        self.stall = stall;
+        self
+    }
+
+    /// True when the plan can never inject a fault.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_zero() && self.targets.is_empty()
+    }
+}
+
+/// Uniform draw in `[0, 1)` for one submit ordinal: a double application of
+/// splitmix64 (via [`cell_seed`]) keyed on `(seed, ordinal)`, mapped to the
+/// unit interval with the standard 53-bit mantissa trick.
+fn roll(seed: u64, ordinal: u64) -> f64 {
+    (cell_seed(seed, ordinal) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Operation category for a fault decision, as seen by the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCategory {
+    /// A kernel; `best_effort` is true when the stream priority is below
+    /// [`crate::StreamPriority::HIGH`].
+    Kernel {
+        /// Submitted on a non-high-priority stream.
+        best_effort: bool,
+    },
+    /// A memcpy (either direction).
+    Copy,
+    /// A `Malloc` op.
+    Malloc,
+    /// Anything else (free, event record) — never faulted.
+    Other,
+}
+
+/// Streaming decision state over a [`FaultPlan`]: tracks the submit ordinal
+/// and the best-effort kernel count. Owned by the engine; one per device.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    ordinal: u64,
+    be_kernels_seen: u64,
+}
+
+impl FaultInjector {
+    /// Wraps a plan. Callers should skip construction entirely for an
+    /// [empty](FaultPlan::is_empty) plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            ordinal: 0,
+            be_kernels_seen: 0,
+        }
+    }
+
+    /// The plan's stall extension.
+    pub fn stall(&self) -> SimTime {
+        self.plan.stall
+    }
+
+    /// Decides the fate of the next submitted operation. Must be called
+    /// exactly once per submit, in submission order: every call consumes one
+    /// ordinal so decisions stay aligned with the device's submit stream.
+    pub fn decide(&mut self, category: FaultCategory) -> Option<FaultKind> {
+        let ordinal = self.ordinal;
+        self.ordinal += 1;
+        let be_seen = self.be_kernels_seen;
+        if let FaultCategory::Kernel { best_effort: true } = category {
+            self.be_kernels_seen += 1;
+        }
+
+        // Targeted faults first: exact ordinal or n-th best-effort kernel.
+        for &(target, kind) in &self.plan.targets {
+            let hit = match target {
+                FaultTarget::Ordinal(n) => n == ordinal,
+                FaultTarget::NthBestEffortKernel(n) => {
+                    matches!(category, FaultCategory::Kernel { best_effort: true }) && n == be_seen
+                }
+            };
+            if hit {
+                return Some(kind);
+            }
+        }
+
+        let rates = &self.plan.rates;
+        match category {
+            FaultCategory::Kernel { .. } => {
+                if rates.kernel_fault == 0.0 && rates.stall == 0.0 {
+                    return None;
+                }
+                let u = roll(self.plan.seed, ordinal);
+                if u < rates.kernel_fault {
+                    Some(FaultKind::KernelFault)
+                } else if u < rates.kernel_fault + rates.stall {
+                    Some(FaultKind::Stall)
+                } else {
+                    None
+                }
+            }
+            FaultCategory::Copy => {
+                if rates.copy_fail == 0.0 {
+                    return None;
+                }
+                (roll(self.plan.seed, ordinal) < rates.copy_fail).then_some(FaultKind::CopyFail)
+            }
+            FaultCategory::Malloc => {
+                if rates.malloc_fail == 0.0 {
+                    return None;
+                }
+                (roll(self.plan.seed, ordinal) < rates.malloc_fail).then_some(FaultKind::MallocFail)
+            }
+            FaultCategory::Other => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::seeded(7, FaultRates::default()).is_empty());
+        let p = FaultPlan::none().with_target(FaultTarget::Ordinal(0), FaultKind::CopyFail);
+        assert!(!p.is_empty());
+        let r = FaultRates {
+            stall: 0.1,
+            ..FaultRates::default()
+        };
+        assert!(!FaultPlan::seeded(7, r).is_empty());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_ordinal() {
+        let rates = FaultRates {
+            kernel_fault: 0.2,
+            stall: 0.2,
+            copy_fail: 0.3,
+            malloc_fail: 0.3,
+        };
+        let plan = FaultPlan::seeded(1234, rates);
+        let cats = [
+            FaultCategory::Kernel { best_effort: true },
+            FaultCategory::Copy,
+            FaultCategory::Malloc,
+            FaultCategory::Kernel { best_effort: false },
+            FaultCategory::Other,
+        ];
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        let seq_a: Vec<_> = cats.iter().map(|&c| a.decide(c)).collect();
+        let seq_b: Vec<_> = cats.iter().map(|&c| b.decide(c)).collect();
+        assert_eq!(seq_a, seq_b);
+        // `Other` ops are never faulted even at rate 1.
+        assert_eq!(seq_a[4], None);
+    }
+
+    #[test]
+    fn rate_one_faults_every_kernel() {
+        let rates = FaultRates {
+            kernel_fault: 1.0,
+            ..FaultRates::default()
+        };
+        let mut inj = FaultInjector::new(FaultPlan::seeded(9, rates));
+        for _ in 0..10 {
+            assert_eq!(
+                inj.decide(FaultCategory::Kernel { best_effort: false }),
+                Some(FaultKind::KernelFault)
+            );
+        }
+        assert_eq!(inj.decide(FaultCategory::Copy), None);
+    }
+
+    #[test]
+    fn targeted_nth_best_effort_kernel_fires_once() {
+        let plan = FaultPlan::none()
+            .with_target(FaultTarget::NthBestEffortKernel(1), FaultKind::KernelFault);
+        let mut inj = FaultInjector::new(plan);
+        // HP kernels never advance the BE count.
+        assert_eq!(inj.decide(FaultCategory::Kernel { best_effort: false }), None);
+        assert_eq!(inj.decide(FaultCategory::Kernel { best_effort: true }), None);
+        assert_eq!(
+            inj.decide(FaultCategory::Kernel { best_effort: true }),
+            Some(FaultKind::KernelFault)
+        );
+        assert_eq!(inj.decide(FaultCategory::Kernel { best_effort: true }), None);
+    }
+
+    #[test]
+    fn targeted_ordinal_counts_all_submits() {
+        let plan = FaultPlan::none().with_target(FaultTarget::Ordinal(2), FaultKind::MallocFail);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.decide(FaultCategory::Other), None);
+        assert_eq!(inj.decide(FaultCategory::Copy), None);
+        assert_eq!(inj.decide(FaultCategory::Malloc), Some(FaultKind::MallocFail));
+    }
+
+    #[test]
+    fn roll_is_in_unit_interval() {
+        for ord in 0..1000 {
+            let u = roll(42, ord);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -29,6 +29,7 @@
 pub mod cuda;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod interference;
 pub mod kernel;
 pub mod memory;
@@ -37,8 +38,9 @@ pub mod stream;
 pub mod trace;
 pub mod util;
 
-pub use engine::{Completion, GpuEngine, OpId, OpKind};
+pub use engine::{Completion, CompletionStatus, GpuEngine, OpId, OpKind};
 pub use error::GpuError;
+pub use fault::{FaultKind, FaultPlan, FaultRates, FaultTarget};
 pub use kernel::{KernelDesc, ResourceProfile};
 pub use spec::GpuSpec;
 pub use stream::{StreamId, StreamPriority};

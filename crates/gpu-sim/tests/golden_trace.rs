@@ -11,6 +11,7 @@
 
 use orion_desim::time::SimTime;
 use orion_gpu::engine::{GpuEngine, OpKind};
+use orion_gpu::fault::FaultPlan;
 use orion_gpu::kernel::KernelBuilder;
 use orion_gpu::spec::GpuSpec;
 use orion_gpu::stream::StreamPriority;
@@ -47,7 +48,15 @@ fn digest(trace: &ExecTrace) -> u64 {
 /// A deterministic collocation scenario touching every op kind and both the
 /// priority-dispatch and device-synchronization paths.
 fn scenario() -> ExecTrace {
+    scenario_with(None)
+}
+
+/// Same scenario, optionally installing a fault plan before any submit.
+fn scenario_with(plan: Option<FaultPlan>) -> ExecTrace {
     let mut e = GpuEngine::new(GpuSpec::v100_16gb(), true);
+    if let Some(plan) = plan {
+        e.set_fault_plan(plan);
+    }
     e.enable_trace();
     let hp = e.create_stream(StreamPriority::HIGH);
     let be1 = e.create_stream(StreamPriority::DEFAULT);
@@ -133,4 +142,19 @@ fn trace_digest_is_unchanged() {
 #[test]
 fn trace_digest_is_deterministic_across_runs() {
     assert_eq!(digest(&scenario()), digest(&scenario()));
+}
+
+#[test]
+fn empty_fault_plan_is_a_strict_no_op() {
+    // Installing a zero-rate, zero-target fault plan must leave the engine's
+    // execution byte-identical to never installing one: same span count, same
+    // nanosecond timings, same golden digest. This is the fault-injection
+    // layer's "off means off" guarantee.
+    let trace = scenario_with(Some(FaultPlan::none()));
+    assert_eq!(trace.len(), 12, "span count changed under empty fault plan");
+    assert_eq!(
+        digest(&trace),
+        GOLDEN_DIGEST,
+        "an empty FaultPlan perturbed the execution trace"
+    );
 }

@@ -134,7 +134,10 @@ impl FromJson for WorkloadProfile {
 }
 
 /// The scheduler-facing lookup table: kernel id -> profile.
-#[derive(Debug, Clone)]
+///
+/// `Default` yields an empty table: every lookup is a miss, so the scheduler
+/// falls back to its conservative unprofiled-kernel path (DESIGN.md §11).
+#[derive(Debug, Clone, Default)]
 pub struct ProfileTable {
     by_id: HashMap<u32, KernelProfile>,
     /// Solo request latency of the profiled workload.

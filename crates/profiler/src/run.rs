@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use orion_desim::time::SimTime;
 use orion_gpu::engine::{GpuEngine, OpKind};
+use orion_gpu::error::GpuError;
 use orion_gpu::kernel::classify_utilization;
 use orion_gpu::spec::GpuSpec;
 use orion_gpu::stream::StreamPriority;
@@ -43,12 +44,14 @@ impl SoloRunStats {
 /// Requests are submitted in a closed loop on a single stream, mirroring
 /// how the paper profiles with Nsight ("the first 10 mini-batches ... or 10
 /// requests", §6.5).
-pub fn solo_run(workload: &Workload, spec: &GpuSpec, iterations: u32) -> SoloRunStats {
+pub fn solo_run(
+    workload: &Workload,
+    spec: &GpuSpec,
+    iterations: u32,
+) -> Result<SoloRunStats, GpuError> {
     let mut engine = GpuEngine::new(spec.clone(), false);
     let stream = engine.create_stream(StreamPriority::DEFAULT);
-    let _model_state = engine
-        .alloc_immediate(workload.memory_footprint)
-        .expect("profiling device fits the workload");
+    let _model_state = engine.alloc_immediate(workload.memory_footprint)?;
 
     let mut request_latencies = Vec::with_capacity(iterations as usize);
     let mut kernel_durations: HashMap<u32, SimTime> = HashMap::new();
@@ -70,9 +73,7 @@ pub fn solo_run(workload: &Workload, spec: &GpuSpec, iterations: u32) -> SoloRun
                 },
             };
             let is_kernel = matches!(op, OpSpec::Kernel(_));
-            let op_id = engine
-                .submit(stream, kind)
-                .expect("profiling submission succeeds");
+            let op_id = engine.submit(stream, kind)?;
             if is_kernel {
                 if let OpSpec::Kernel(k) = op {
                     op_to_kernel.insert(op_id.0, k.kernel_id);
@@ -94,18 +95,21 @@ pub fn solo_run(workload: &Workload, spec: &GpuSpec, iterations: u32) -> SoloRun
     }
 
     let memory_peak = engine.memory().high_water();
-    SoloRunStats {
+    Ok(SoloRunStats {
         request_latencies,
         utilization: engine.util_summary(),
         kernel_durations,
         memory_peak,
-    }
+    })
 }
 
 /// Full offline profiling phase for one workload (paper §5.2): solo run +
 /// roofline classification + occupancy calculation.
-pub fn profile_workload(workload: &Workload, spec: &GpuSpec) -> WorkloadProfile {
-    let stats = solo_run(workload, spec, 10);
+///
+/// Errors if the workload does not fit the profiling device
+/// ([`GpuError::OutOfMemory`]) or a submission is rejected.
+pub fn profile_workload(workload: &Workload, spec: &GpuSpec) -> Result<WorkloadProfile, GpuError> {
+    let stats = solo_run(workload, spec, 10)?;
     let kernels = workload
         .kernels()
         .map(|k| KernelProfile {
@@ -122,13 +126,13 @@ pub fn profile_workload(workload: &Workload, spec: &GpuSpec) -> WorkloadProfile 
             mem_util: k.mem_util,
         })
         .collect();
-    WorkloadProfile {
+    Ok(WorkloadProfile {
         label: workload.label(),
         kernels,
         request_latency: stats.mean_latency(),
         utilization: stats.utilization,
         memory_peak: stats.memory_peak,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -141,7 +145,7 @@ mod tests {
     fn solo_run_measures_request_latency() {
         let w = inference_workload(ModelKind::ResNet50);
         let spec = GpuSpec::v100_16gb();
-        let stats = solo_run(&w, &spec, 5);
+        let stats = solo_run(&w, &spec, 5).unwrap();
         assert_eq!(stats.request_latencies.len(), 5);
         let mean = stats.mean_latency().as_millis_f64();
         // Kernel time ~7 ms plus the 0.2 ms input copy.
@@ -154,7 +158,7 @@ mod tests {
     fn measured_kernel_durations_match_solo_durations() {
         let w = inference_workload(ModelKind::MobileNetV2);
         let spec = GpuSpec::v100_16gb();
-        let stats = solo_run(&w, &spec, 1);
+        let stats = solo_run(&w, &spec, 1).unwrap();
         for k in w.kernels() {
             let measured = stats.kernel_durations[&k.kernel_id];
             assert_eq!(measured, k.solo_duration, "kernel {}", k.name);
@@ -164,7 +168,7 @@ mod tests {
     #[test]
     fn profile_contains_every_kernel() {
         let w = training_workload(ModelKind::Bert);
-        let p = profile_workload(&w, &GpuSpec::v100_16gb());
+        let p = profile_workload(&w, &GpuSpec::v100_16gb()).unwrap();
         assert_eq!(p.kernels.len(), w.kernel_count());
         assert!(p.request_latency > SimTime::ZERO);
         assert_eq!(p.memory_peak, w.memory_footprint);
@@ -178,7 +182,7 @@ mod tests {
     fn training_profile_latency_matches_table4() {
         // Table 4 anchors: ResNet50 ~97 ms/iter solo.
         let w = training_workload(ModelKind::ResNet50);
-        let p = profile_workload(&w, &GpuSpec::v100_16gb());
+        let p = profile_workload(&w, &GpuSpec::v100_16gb()).unwrap();
         let ms = p.request_latency.as_millis_f64();
         assert!((85.0..115.0).contains(&ms), "iteration {ms} ms");
     }

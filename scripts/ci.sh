@@ -23,8 +23,11 @@ ORION_FAST=1 cargo test -q -p orion-bench --test smoke --test determinism
 echo "==> policy-state oracle stress (ORION_FAST=1, strict mode, all policies)"
 ORION_FAST=1 cargo test -q --test validate_oracle
 
-echo "==> golden trace digest (oracle compiled in but disabled: must be byte-identical)"
-cargo test -q -p orion-gpu --test golden_trace
+echo "==> chaos recovery (ORION_FAST=1, fault injection + supervisor, strict oracle)"
+ORION_FAST=1 cargo test -q --test chaos_recovery
+
+echo "==> golden trace digest (oracle + fault injection compiled in but disabled: must be byte-identical)"
+cargo test -q -p orion-gpu --test golden_trace --test error_paths
 
 echo "==> cargo bench --no-run (benches stay compilable)"
 cargo bench --workspace --no-run

@@ -45,6 +45,7 @@ fn orion_dur_threshold_bounds_outstanding_be_work() {
         &inference_workload(ModelKind::ResNet50),
         &GpuSpec::v100_16gb(),
     )
+    .unwrap()
     .request_latency;
     let threshold = hp_solo.mul_f64(0.025);
     let longest: SimTime = be_kernels.iter().map(|s| s.exec_time()).max().unwrap();

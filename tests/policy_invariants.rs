@@ -180,6 +180,7 @@ fn reef_queue_depth_bounds_be() {
 fn outstanding_be_duration_bounded_by_dur_threshold() {
     let hp_workload = inference_workload(ModelKind::ResNet50);
     let hp_solo = orion::profiler::profile_workload(&hp_workload, &GpuSpec::v100_16gb())
+        .unwrap()
         .request_latency;
     for frac in [0.01f64, 0.025, 0.1] {
         for seed in [1u64, 7, 42] {
@@ -295,7 +296,7 @@ fn be_kernels_never_on_hp_stream() {
 fn profile_file_handoff() {
     let w = inference_workload(ModelKind::Bert);
     let spec = GpuSpec::v100_16gb();
-    let p = orion::profiler::profile_workload(&w, &spec);
+    let p = orion::profiler::profile_workload(&w, &spec).unwrap();
     let dir = std::env::temp_dir().join("orion_it");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("bert.json");
