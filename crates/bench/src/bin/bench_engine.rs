@@ -28,6 +28,7 @@
 //! }
 //! ```
 
+use std::error::Error;
 use std::time::Instant;
 
 use orion_bench::exp::{be_training, hp_inference, ExpConfig};
@@ -43,7 +44,7 @@ use orion_workloads::model::ModelKind;
 
 /// Submits `n_ops` kernels round-robin over `n_streams` streams and advances
 /// until all complete. Returns the number of completions (== `n_ops`).
-fn submit_and_drain(n_ops: u64, n_streams: usize) -> u64 {
+fn submit_and_drain(n_ops: u64, n_streams: usize) -> Result<u64, Box<dyn Error>> {
     let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
     let streams: Vec<_> = (0..n_streams)
         .map(|_| e.create_stream(StreamPriority::DEFAULT))
@@ -56,19 +57,24 @@ fn submit_and_drain(n_ops: u64, n_streams: usize) -> u64 {
             .utilization(0.5, 0.3)
             .build();
         e.submit(streams[i as usize % n_streams], OpKind::Kernel(k))
-            .unwrap();
+            .map_err(|e| format!("submitting bench kernel {i}/{n_ops}: {e}"))?;
     }
     e.advance_to(SimTime::from_secs(60));
-    e.drain_completions().len() as u64
+    Ok(e.drain_completions().len() as u64)
 }
 
 /// Times one engine config over `iters` timed iterations (plus one warmup).
-fn engine_config(n_ops: u64, n_streams: usize, iters: u32) -> Value {
-    let done = submit_and_drain(n_ops, n_streams); // warmup
-    assert_eq!(done, n_ops, "engine dropped operations");
+fn engine_config(n_ops: u64, n_streams: usize, iters: u32) -> Result<Value, Box<dyn Error>> {
+    let done = submit_and_drain(n_ops, n_streams)?; // warmup
+    if done != n_ops {
+        return Err(format!(
+            "engine dropped operations: {done}/{n_ops} completed (streams={n_streams})"
+        )
+        .into());
+    }
     let start = Instant::now();
     for _ in 0..iters {
-        submit_and_drain(std::hint::black_box(n_ops), n_streams);
+        submit_and_drain(std::hint::black_box(n_ops), n_streams)?;
     }
     let wall = start.elapsed();
     let total_ops = n_ops * iters as u64;
@@ -78,19 +84,19 @@ fn engine_config(n_ops: u64, n_streams: usize, iters: u32) -> Value {
         eps,
         wall / iters
     );
-    json!({
+    Ok(json!({
         "streams": n_streams as u64,
         "ops": n_ops,
         "iters": iters,
         "events_per_sec": eps,
         "wall_ms": wall.as_secs_f64() * 1e3,
-    })
+    }))
 }
 
 /// One Figure 6/7-style collocation cell (HP ResNet50 inference under
 /// Poisson arrivals + BE ResNet50 training, Orion policy), with the trace
 /// enabled so the executed-op count is exact.
-fn collocation(cfg: &ExpConfig) -> Value {
+fn collocation(cfg: &ExpConfig) -> Result<Value, Box<dyn Error>> {
     let mut rc = cfg.run_config();
     rc.record_trace = true;
     let clients = vec![
@@ -102,7 +108,8 @@ fn collocation(cfg: &ExpConfig) -> Value {
     ];
     let policy = PolicyKind::orion_default();
     let start = Instant::now();
-    let mut r = run_collocation(policy, clients, &rc).expect("collocation runs");
+    let mut r = run_collocation(policy, clients, &rc)
+        .map_err(|e| format!("collocation cell failed to run: {e}"))?;
     let wall = start.elapsed();
     let ops = r.trace.as_ref().map_or(0, |t| t.len()) as u64;
     let eps = ops as f64 / wall.as_secs_f64();
@@ -111,7 +118,7 @@ fn collocation(cfg: &ExpConfig) -> Value {
         .clients
         .iter_mut()
         .find(|c| c.priority == orion_core::client::ClientPriority::HighPriority)
-        .expect("hp client present");
+        .ok_or("collocation cell has no high-priority client")?;
     eprintln!(
         "[bench] collocation {}: {} ops in {:.1} ms ({:.0} events/sec)",
         r.policy,
@@ -119,7 +126,7 @@ fn collocation(cfg: &ExpConfig) -> Value {
         wall.as_secs_f64() * 1e3,
         eps
     );
-    json!({
+    Ok(json!({
         "label": "resnet50+resnet50-train",
         "policy": r.policy,
         "wall_ms": wall.as_secs_f64() * 1e3,
@@ -127,10 +134,10 @@ fn collocation(cfg: &ExpConfig) -> Value {
         "events_per_sec": eps,
         "hp_p99_ms": hp.latency.p99().as_millis_f64(),
         "be_tput": be_tput,
-    })
+    }))
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let cfg = ExpConfig::from_env();
     let iters: u32 = if cfg.fast { 3 } else { 20 };
     let configs: &[(u64, usize)] = if cfg.fast {
@@ -143,12 +150,12 @@ fn main() {
     let engine: Vec<Value> = configs
         .iter()
         .map(|&(ops, streams)| engine_config(ops, streams, iters))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let peak = engine
         .iter()
         .filter_map(|row| row["events_per_sec"].as_f64())
         .fold(0.0_f64, f64::max);
-    let coll = collocation(&cfg);
+    let coll = collocation(&cfg)?;
     let wall_ms = total.elapsed().as_secs_f64() * 1e3;
 
     let out = json!({
@@ -161,6 +168,8 @@ fn main() {
     });
     let path =
         std::env::var("ORION_BENCH_OUT").unwrap_or_else(|_| "BENCH_engine.json".to_string());
-    std::fs::write(&path, out.to_pretty()).expect("write bench output");
+    std::fs::write(&path, out.to_pretty())
+        .map_err(|e| format!("writing bench output {path}: {e}"))?;
     println!("{path}: peak {peak:.0} events/sec, total wall {wall_ms:.0} ms");
+    Ok(())
 }

@@ -1,0 +1,6 @@
+//! Regenerates the online-profiling convergence grid (cold start + drift).
+use orion_bench::exp::online::{print, run};
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    print(&run(&cfg));
+}

@@ -156,6 +156,26 @@ impl CellOutcome {
                         }),
                     ));
                 }
+                // Only present when online profiling was enabled: offline
+                // runs keep their JSONL byte-identical to pre-online builds.
+                if let Some(on) = &r.online {
+                    obj.push((
+                        "online".to_string(),
+                        json!({
+                            "tracked": on.tracked as u64,
+                            "admitted": on.admitted as u64,
+                            "admissions": on.admissions,
+                            "demotions": on.demotions,
+                            "clean_samples": on.clean_samples,
+                            "interfered_samples": on.interfered_samples,
+                            "clean_latency_samples": on.clean_latency_samples,
+                            "contaminated_latency_samples": on.contaminated_latency_samples,
+                            "latency_estimates": on.latency_estimates,
+                            "mean_profile_error": on.mean_profile_error,
+                            "max_profile_error": on.max_profile_error,
+                        }),
+                    ));
+                }
                 let clients: Vec<Value> = r
                     .clients
                     .iter_mut()
@@ -452,6 +472,10 @@ mod tests {
             assert_eq!(v["cell"].as_u64(), Some(i as u64));
             assert!(v["clients"].as_array().is_some());
             assert!(v["wall"].is_null(), "wall-clock must not leak into results");
+            assert!(
+                v["online"].is_null(),
+                "online block must be absent when online profiling is off"
+            );
         }
     }
 }

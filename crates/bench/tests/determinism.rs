@@ -94,6 +94,41 @@ fn chaos_jsonl_is_identical_at_any_thread_count() {
     );
 }
 
+/// The determinism grid under online profiling: cold-start clients (no
+/// offline profiles) with the admission ladder + solo-latency tuner live.
+/// Estimator updates are driven solely by sim-time-ordered completions, so
+/// every learned profile, threshold update, and the report counters must be
+/// thread-count independent.
+fn online_grid() -> Vec<Scenario> {
+    grid()
+        .into_iter()
+        .map(|mut s| {
+            s.clients = s.clients.into_iter().map(ClientSpec::unprofiled).collect();
+            s.rc = s.rc.with_online(OnlineConfig::learning());
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn online_jsonl_is_identical_at_any_thread_count() {
+    let mut serial = Runner::new(1).run_scenarios(online_grid());
+    let mut par4 = Runner::new(4).run_scenarios(online_grid());
+    let mut par7 = Runner::new(7).run_scenarios(online_grid());
+    let a = Runner::to_jsonl(&mut serial);
+    let b = Runner::to_jsonl(&mut par4);
+    let c = Runner::to_jsonl(&mut par7);
+    assert_eq!(a, b, "1-thread vs 4-thread online results differ");
+    assert_eq!(b, c, "4-thread vs 7-thread online results differ");
+    // Learning actually happened somewhere, or this test proves nothing.
+    assert!(
+        serial
+            .iter()
+            .any(|o| o.res().online.as_ref().is_some_and(|r| r.admitted > 0)),
+        "online grid admitted no kernels; the cold start never converged"
+    );
+}
+
 #[test]
 fn pinned_seed_cells_share_arrival_draws() {
     // Two cells differing only in policy, pinned to the same seed cell,

@@ -154,6 +154,58 @@ fn smoke_robustness() {
 }
 
 #[test]
+fn smoke_online() {
+    let cells = exp::online::run(&fast());
+    assert_eq!(cells.len(), 4, "online grid covers the four provenance modes");
+    let offline = &cells[0];
+    let online = &cells[1];
+    let never = &cells[2];
+    let drift = &cells[3];
+    assert!(offline.online.is_none(), "offline cell must not learn");
+    assert!(never.online.is_none(), "never-profiled cell must not learn");
+
+    let rep = online.online.as_ref().expect("online cell learned");
+    assert!(rep.admitted > 0, "cold start admitted no kernels");
+    assert!(rep.latency_estimates > 0, "solo-latency tuner never fired");
+    assert!(
+        rep.max_profile_error < 0.10,
+        "learned durations off by {:.1}%",
+        100.0 * rep.max_profile_error
+    );
+    // The acceptance bar: post-convergence HP p99 within 10% of the
+    // offline-profiled run, BE throughput recovered to >= 80% of it.
+    assert!(
+        online.hp_p99_ms <= offline.hp_p99_ms * 1.10,
+        "online HP p99 {:.2} ms vs offline {:.2} ms",
+        online.hp_p99_ms,
+        offline.hp_p99_ms
+    );
+    assert!(
+        online.be_tput >= offline.be_tput * 0.80,
+        "online BE throughput {:.2} vs offline {:.2}",
+        online.be_tput,
+        offline.be_tput
+    );
+    // The never-profiled cell is the conservative reference; its cost
+    // shows up as worse HP tail latency (BE bursts fill every HP-idle gap
+    // ungated), which is workload-dependent, so it is reported in the
+    // table rather than hard-asserted here.
+    assert!(never.be_tput > 0.0 && never.hp_completed > 0);
+
+    let drep = drift.online.as_ref().expect("drift cell learned");
+    assert!(drep.demotions > 0, "duration drift was never detected");
+    assert!(
+        drep.admissions > drep.demotions,
+        "drifted kernels were never re-admitted"
+    );
+    assert!(
+        drep.max_profile_error < 0.10,
+        "post-drift profiles off by {:.1}%",
+        100.0 * drep.max_profile_error
+    );
+}
+
+#[test]
 fn smoke_table1() {
     let rows = exp::table1::run(&fast());
     assert!(!rows.is_empty());

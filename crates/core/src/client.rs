@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use orion_desim::time::SimTime;
 use orion_gpu::kernel::ResourceProfile;
 use orion_profiler::ProfileTable;
-use orion_workloads::arrivals::ArrivalProcess;
+use orion_workloads::arrivals::{ArrivalProcess, DriftSpec};
 use orion_workloads::model::{Phase, Workload};
 use orion_workloads::ops::OpSpec;
 
@@ -43,6 +43,11 @@ pub struct ClientSpec {
     /// lookup misses and the scheduler takes the conservative unprofiled
     /// path. Models a client submitting kernels the profiler has never seen.
     pub unprofiled: bool,
+    /// Optional mid-run kernel-duration drift (changed tensor shapes, a
+    /// model redeploy). Applied when ops are routed to the device; offline
+    /// profiles are *not* adjusted, so a drifted client's profiles go stale —
+    /// exactly the situation the online profiler's drift detector handles.
+    pub drift: Option<DriftSpec>,
 }
 
 impl ClientSpec {
@@ -54,6 +59,7 @@ impl ClientSpec {
             priority: ClientPriority::HighPriority,
             fault: None,
             unprofiled: false,
+            drift: None,
         }
     }
 
@@ -65,6 +71,7 @@ impl ClientSpec {
             priority: ClientPriority::BestEffort,
             fault: None,
             unprofiled: false,
+            drift: None,
         }
     }
 
@@ -78,6 +85,13 @@ impl ClientSpec {
     /// [`ClientSpec::unprofiled`].
     pub fn unprofiled(mut self) -> Self {
         self.unprofiled = true;
+        self
+    }
+
+    /// Attaches a mid-run kernel-duration drift (builder style); see
+    /// [`ClientSpec::drift`].
+    pub fn with_drift(mut self, drift: DriftSpec) -> Self {
+        self.drift = Some(drift);
         self
     }
 }

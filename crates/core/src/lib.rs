@@ -16,6 +16,10 @@
 //! * [`world`] — the collocation engine: a discrete-event world wiring
 //!   clients + policy + the simulated GPU, producing per-client latency and
 //!   throughput plus device utilization;
+//! * [`online`] — online profiling: streaming per-kernel duration
+//!   estimators, the `Unknown → Observing → Admitted` admission ladder with
+//!   drift detection, and adaptive `DUR_THRESHOLD` tuning, for runs that
+//!   start with no offline profiles (DESIGN.md §12);
 //! * [`tuning`] — the `SM_THRESHOLD` binary-search auto-tuner (§5.1.1);
 //! * [`placement`] — a profile-driven cluster placement heuristic
 //!   (§7 "cluster manager co-design" extension);
@@ -48,6 +52,7 @@
 
 pub mod client;
 pub mod cluster;
+pub mod online;
 pub mod placement;
 pub mod policy;
 pub mod runtime;
@@ -59,6 +64,7 @@ pub mod world;
 /// Convenience re-exports for experiment code.
 pub mod prelude {
     pub use crate::client::{ClientPriority, ClientSpec};
+    pub use crate::online::{OnlineConfig, OnlineReport};
     pub use crate::policy::{OrionConfig, PolicyKind};
     pub use crate::supervisor::{
         ClientFault, ClientFaultKind, FaultConfig, RobustnessReport, SupervisorConfig,

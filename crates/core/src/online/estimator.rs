@@ -1,0 +1,149 @@
+//! Streaming moment estimators for online profiling.
+//!
+//! The online profiler never stores raw sample vectors: every per-kernel
+//! duration estimate is a Welford running-moment accumulator (mean + M2),
+//! which is numerically stable, O(1) per sample, and allocation-free — the
+//! same constraints the PR 3 hot-path rewrite imposed on the engine.
+
+use orion_desim::time::SimTime;
+
+/// Welford's online algorithm for mean and variance, in nanoseconds.
+///
+/// `push` folds one sample in; `mean`/`sigma`/`cv` read the current moments.
+/// The accumulator is cumulative — it never forgets — so callers that need
+/// regime changes (duration drift) must [`Welford::reset`] and re-seed when
+/// samples diverge, rather than waiting for the old regime to wash out.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one duration sample (nanoseconds) into the moments.
+    pub fn push(&mut self, sample_ns: f64) {
+        self.n += 1;
+        let delta = sample_ns - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = sample_ns - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Samples folded in since the last reset.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean in nanoseconds (zero when empty).
+    pub fn mean_ns(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current mean as a [`SimTime`].
+    pub fn mean_time(&self) -> SimTime {
+        SimTime::from_nanos(self.mean.max(0.0).round() as u64)
+    }
+
+    /// Sample variance (n-1 denominator; zero below two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation in nanoseconds.
+    pub fn sigma(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (sigma / mean; zero for an empty or
+    /// zero-mean accumulator). The admission ladder gates on this: a low CV
+    /// means the clean samples agree and the mean is trustworthy.
+    pub fn cv(&self) -> f64 {
+        if self.mean <= 0.0 {
+            0.0
+        } else {
+            self.sigma() / self.mean
+        }
+    }
+
+    /// Z-score of a prospective sample against the current moments, with
+    /// `min_sigma_ns` as an absolute floor on the deviation. The floor
+    /// matters because the simulator is deterministic: repeated clean runs
+    /// of one kernel produce near-identical durations, sigma collapses to
+    /// ~0, and an unfloored z-score would flag microscopic jitter as drift.
+    pub fn z_score(&self, sample_ns: f64, min_sigma_ns: f64) -> f64 {
+        let sigma = self.sigma().max(min_sigma_ns).max(f64::MIN_POSITIVE);
+        (sample_ns - self.mean).abs() / sigma
+    }
+
+    /// Clears the accumulator (regime change: discard the old distribution).
+    pub fn reset(&mut self) {
+        *self = Welford::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_batch_formulas() {
+        let samples = [100.0, 110.0, 90.0, 105.0, 95.0];
+        let mut w = Welford::new();
+        for s in samples {
+            w.push(s);
+        }
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var: f64 = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert_eq!(w.count(), 5);
+        assert!((w.mean_ns() - mean).abs() < 1e-9);
+        assert!((w.variance() - var).abs() < 1e-9);
+        assert!(w.cv() > 0.0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_variance() {
+        let mut w = Welford::new();
+        for _ in 0..10 {
+            w.push(50_000.0);
+        }
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.cv(), 0.0);
+        assert_eq!(w.mean_time(), SimTime::from_micros(50));
+    }
+
+    #[test]
+    fn z_score_floors_sigma() {
+        let mut w = Welford::new();
+        for _ in 0..5 {
+            w.push(100_000.0);
+        }
+        // Sigma is zero; the floor keeps the z-score finite and meaningful:
+        // a 50 us deviation over a 500 ns floor is z = 100.
+        let z = w.z_score(150_000.0, 500.0);
+        assert!((z - 100.0).abs() < 1e-9, "z {z}");
+        // And an on-distribution sample scores ~0.
+        assert!(w.z_score(100_000.0, 500.0) < 1e-9);
+    }
+
+    #[test]
+    fn reset_discards_history() {
+        let mut w = Welford::new();
+        w.push(1.0);
+        w.push(2.0);
+        w.reset();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean_ns(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Adaptive `DUR_THRESHOLD` tuning from online solo-latency estimates.
+//!
+//! Orion's best-effort duration throttle (Listing 1) is a fraction of the
+//! high-priority client's *solo* request latency. Offline that denominator
+//! comes from the profiling phase; online it must be learned from the live
+//! run — where almost every high-priority request overlaps *some*
+//! best-effort work (a straggler kernel admitted before the request
+//! arrived), so waiting for a perfectly quiet request would starve the
+//! estimator forever.
+//!
+//! The tuner instead keeps a sliding window of *all* completed request
+//! latencies and estimates the solo latency as the **window minimum**:
+//! interference and queueing only ever add latency, never subtract it, so
+//! the minimum is a tight upper bound on the solo latency that converges
+//! whenever any near-clean request lands in the window (the same
+//! windowed-min filter BBR uses for propagation RTT under queueing noise).
+//! The window (rather than an all-time minimum) lets the estimate track
+//! regime changes: after a duration drift the old, smaller minimum ages
+//! out and the threshold re-learns.
+
+use orion_desim::time::SimTime;
+
+/// Sliding-window minimum estimator of one high-priority client's solo
+/// request latency.
+#[derive(Debug, Clone)]
+pub struct SoloLatencyTuner {
+    /// Ring buffer of request latencies, nanoseconds.
+    window: Vec<f64>,
+    /// Ring capacity.
+    capacity: usize,
+    /// Next write slot.
+    next: usize,
+    /// Requests observed over the run (monotonic).
+    samples: u64,
+    /// Requests whose ops all ran uninterfered and that never queued
+    /// (diagnostics: how often the minimum was an exact solo observation).
+    clean: u64,
+}
+
+impl SoloLatencyTuner {
+    /// A tuner with the given sliding-window capacity (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        SoloLatencyTuner {
+            window: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            next: 0,
+            samples: 0,
+            clean: 0,
+        }
+    }
+
+    /// Folds in one completed request's latency. `clean` marks a request
+    /// certified interference- and queueing-free (diagnostics only — the
+    /// windowed minimum uses every sample).
+    pub fn push(&mut self, latency: SimTime, clean: bool) {
+        let ns = latency.as_nanos() as f64;
+        if self.window.len() < self.capacity {
+            self.window.push(ns);
+        } else {
+            self.window[self.next] = ns;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.samples += 1;
+        if clean {
+            self.clean += 1;
+        }
+    }
+
+    /// Requests observed over the run.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Certified-clean requests observed over the run.
+    pub fn clean(&self) -> u64 {
+        self.clean
+    }
+
+    /// Minimum of the current window once at least `min_samples` requests
+    /// have been observed; `None` while still warming up.
+    pub fn estimate(&self, min_samples: u64) -> Option<SimTime> {
+        if self.samples < min_samples.max(1) || self.window.is_empty() {
+            return None;
+        }
+        let min = self.window.iter().copied().fold(f64::INFINITY, f64::min);
+        Some(SimTime::from_nanos(min.max(0.0).round() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warms_up_then_estimates_window_minimum() {
+        let mut t = SoloLatencyTuner::new(4);
+        assert_eq!(t.estimate(3), None);
+        t.push(SimTime::from_millis(6), false); // inflated (interference)
+        t.push(SimTime::from_millis(4), true); // near-solo
+        assert_eq!(t.estimate(3), None, "below min_samples");
+        t.push(SimTime::from_millis(9), false); // badly queued
+        assert_eq!(t.estimate(3), Some(SimTime::from_millis(4)));
+    }
+
+    #[test]
+    fn window_minimum_tracks_upward_drift() {
+        let mut t = SoloLatencyTuner::new(2);
+        t.push(SimTime::from_millis(10), true);
+        t.push(SimTime::from_millis(10), true);
+        assert_eq!(t.estimate(1), Some(SimTime::from_millis(10)));
+        // The regime slows to 15 ms: the old minimum must age out of the
+        // window rather than pin the estimate down forever.
+        t.push(SimTime::from_millis(15), true);
+        t.push(SimTime::from_millis(15), true);
+        assert_eq!(t.estimate(1), Some(SimTime::from_millis(15)));
+        assert_eq!(t.samples(), 4);
+    }
+
+    #[test]
+    fn clean_flag_is_diagnostics_only() {
+        let mut t = SoloLatencyTuner::new(4);
+        t.push(SimTime::from_millis(7), false);
+        assert_eq!(t.clean(), 0);
+        // Contaminated samples still feed the minimum — they bound it from
+        // above until something cleaner arrives.
+        assert_eq!(t.estimate(1), Some(SimTime::from_millis(7)));
+        t.push(SimTime::from_millis(5), true);
+        assert_eq!(t.clean(), 1);
+        assert_eq!(t.estimate(1), Some(SimTime::from_millis(5)));
+    }
+}

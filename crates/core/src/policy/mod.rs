@@ -128,7 +128,20 @@ impl SchedCtx<'_> {
     /// rather than a runtime condition.
     pub fn submit_head(&mut self, client: usize, stream: StreamId) -> Option<Routed> {
         let op = self.clients[client].pop()?;
+        // Workload drift: from the drift instant on, the client's kernels
+        // take `factor ×` their nominal solo time. Applied here, at routing
+        // time, so kernels already on the device keep their old duration and
+        // the shift is sharp at the configured sim time.
+        let drift_scale = self.clients[client]
+            .spec
+            .drift
+            .map_or(1.0, |d| d.scale_at(self.now));
         let kind = match &op.spec {
+            OpSpec::Kernel(k) if drift_scale != 1.0 => {
+                let mut k = k.clone();
+                k.solo_duration = k.solo_duration.mul_f64(drift_scale);
+                OpKind::Kernel(k)
+            }
             OpSpec::Kernel(k) => OpKind::Kernel(k.clone()),
             OpSpec::H2D { bytes, blocking } => OpKind::MemcpyH2D {
                 bytes: *bytes,
@@ -196,6 +209,16 @@ pub trait Policy: Send {
     /// Observes completions (before the follow-up [`Policy::schedule`]).
     fn on_completions(&mut self, completions: &[RoutedCompletion], ctx: &mut SchedCtx) {
         let _ = (completions, ctx);
+    }
+
+    /// Delivers an online estimate of a high-priority client's *solo*
+    /// request latency (measured over windows with no best-effort work in
+    /// flight). Policies that derive thresholds from offline solo latency
+    /// (Orion's `DUR_THRESHOLD`, §5.1) should re-derive them from this
+    /// estimate so cold-start runs — where the offline latency is zero —
+    /// converge to the offline-quality threshold. Default: ignored.
+    fn on_solo_latency_estimate(&mut self, client: usize, latency: SimTime) {
+        let _ = (client, latency);
     }
 
     /// Notifies the policy that the recovery supervisor shed a request

@@ -123,6 +123,13 @@ pub struct Orion {
     be_streams: Vec<Option<StreamId>>,
     /// Absolute `DUR_THRESHOLD` derived from the HP profile at setup.
     dur_threshold: SimTime,
+    /// Per-HP-client absolute thresholds feeding the min above. Setup seeds
+    /// each entry from the offline profile; an online solo-latency estimate
+    /// ([`Policy::on_solo_latency_estimate`]) *replaces* its client's entry —
+    /// replacement, not `min`, because a cold start seeds ZERO (empty
+    /// profile ⇒ zero request latency) and a min would pin the throttle shut
+    /// forever.
+    dur_thresholds: HashMap<usize, SimTime>,
     sm_threshold: u32,
     /// Outstanding best-effort kernels with their profiles.
     be_outstanding: HashMap<OpId, ResourceProfile>,
@@ -153,6 +160,7 @@ impl Orion {
             hp_stream: None,
             be_streams: Vec::new(),
             dur_threshold: SimTime::MAX,
+            dur_thresholds: HashMap::new(),
             sm_threshold: u32::MAX,
             be_outstanding: HashMap::new(),
             be_duration: SimTime::ZERO,
@@ -262,6 +270,7 @@ impl Policy for Orion {
                         Some(f) => c.profile.request_latency.mul_f64(f),
                         None => SimTime::MAX,
                     };
+                    self.dur_thresholds.insert(i, threshold);
                     self.dur_threshold = self.dur_threshold.min(threshold);
                 }
                 ClientPriority::BestEffort => {
@@ -350,6 +359,27 @@ impl Policy for Orion {
             self.be_duration += routed.expected_dur;
             idle_rounds = 0;
         }
+    }
+
+    fn on_solo_latency_estimate(&mut self, client: usize, latency: SimTime) {
+        // Only meaningful when the throttle is on and the client is one the
+        // setup pass registered as high priority.
+        let Some(f) = self.cfg.dur_threshold_frac else {
+            return;
+        };
+        if !self.dur_thresholds.contains_key(&client) {
+            return;
+        }
+        self.dur_thresholds.insert(client, latency.mul_f64(f));
+        // The tightest client still governs; recompute the min from scratch
+        // (replacement can *raise* a client's entry, e.g. recovering from the
+        // zero a cold start seeds, so an incremental min is wrong).
+        self.dur_threshold = self
+            .dur_thresholds
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::MAX);
     }
 
     fn on_completions(&mut self, completions: &[RoutedCompletion], ctx: &mut SchedCtx) {
@@ -653,6 +683,56 @@ mod tests {
         // kept whichever client happened to be listed last).
         assert_eq!(o.dur_threshold(), expected);
         assert!(o.dur_threshold() < SimTime::MAX);
+    }
+
+    #[test]
+    fn solo_latency_estimate_replaces_cold_start_threshold() {
+        use orion_profiler::ProfileTable;
+        let spec = GpuSpec::v100_16gb();
+        let mut gpu = GpuEngine::new(spec.clone(), false);
+        // Cold start: the HP client has an empty profile table, so setup
+        // seeds a ZERO threshold (at most one BE kernel outstanding).
+        let mut clients = vec![
+            ClientState::new(
+                ClientSpec::high_priority(
+                    inference_workload(ModelKind::ResNet50),
+                    ArrivalProcess::ClosedLoop,
+                )
+                .unprofiled(),
+                ProfileTable::default(),
+            ),
+            state(
+                ClientSpec::best_effort(be_copy_workload(), ArrivalProcess::ClosedLoop),
+                &spec,
+            ),
+        ];
+        let mut o = Orion::new(OrionConfig::default());
+        let mut submissions = Vec::new();
+        let mut ctx = SchedCtx {
+            now: SimTime::ZERO,
+            gpu: &mut gpu,
+            clients: &mut clients,
+            submissions: &mut submissions,
+        };
+        o.setup(&mut ctx);
+        assert_eq!(o.dur_threshold(), SimTime::ZERO, "cold start throttles hard");
+
+        // An online estimate replaces the zero — a min would keep it stuck.
+        o.on_solo_latency_estimate(0, SimTime::from_millis(40));
+        assert_eq!(o.dur_threshold(), SimTime::from_millis(1));
+        // Estimates refine in both directions.
+        o.on_solo_latency_estimate(0, SimTime::from_millis(80));
+        assert_eq!(o.dur_threshold(), SimTime::from_millis(2));
+        // Estimates for clients setup never registered as HP are ignored.
+        o.on_solo_latency_estimate(1, SimTime::from_millis(4));
+        assert_eq!(o.dur_threshold(), SimTime::from_millis(2));
+        // With the throttle ablated, estimates change nothing.
+        let mut o = Orion::new(OrionConfig {
+            dur_threshold_frac: None,
+            ..OrionConfig::default()
+        });
+        o.on_solo_latency_estimate(0, SimTime::from_millis(40));
+        assert_eq!(o.dur_threshold(), SimTime::MAX);
     }
 
     #[test]

@@ -172,6 +172,8 @@ pub struct ValidationReport {
     pub ops_faulted: u64,
     /// Ops killed by a sticky fault or device reset before finishing.
     pub ops_aborted: u64,
+    /// Online-profiler admissions cross-checked against true durations.
+    pub online_admissions: u64,
 }
 
 impl ValidationReport {
@@ -410,6 +412,46 @@ impl Validator {
         for &(client, request_id) in shed {
             self.aborted_unclaimed
                 .retain(|&(c, r, _, _)| (c, r) != (client, request_id));
+        }
+    }
+
+    /// Cross-checks one online-profiler admission against ground truth: the
+    /// learned solo duration must sit within `tolerance` (relative) of some
+    /// plausible true solo duration. `true_durs` carries every candidate
+    /// regime — a drifting client's pre- *and* post-drift durations — and
+    /// the *minimum* relative error counts, because a kernel submitted
+    /// before the drift boundary may legitimately complete (and be learned)
+    /// after it; demanding a match against only the at-admission regime
+    /// would flag that race as a violation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_online_admission(
+        &mut self,
+        at: SimTime,
+        policy: &'static str,
+        client: usize,
+        name: &str,
+        learned: SimTime,
+        true_durs: &[SimTime],
+        tolerance: f64,
+    ) {
+        self.report.online_admissions += 1;
+        let learned_ns = learned.as_nanos() as f64;
+        let err = true_durs
+            .iter()
+            .filter(|d| !d.is_zero())
+            .map(|d| (learned_ns - d.as_nanos() as f64).abs() / d.as_nanos() as f64)
+            .fold(f64::INFINITY, f64::min);
+        if err.is_finite() && err > tolerance {
+            self.violation(
+                at,
+                policy,
+                "online-admission-error",
+                format!(
+                    "client {client} kernel `{name}` admitted with learned solo duration \
+                     {learned}, relative error {err:.3} vs true durations {true_durs:?} \
+                     (tolerance {tolerance})"
+                ),
+            );
         }
     }
 

@@ -4,15 +4,18 @@ use std::collections::{BTreeMap, HashMap};
 
 use orion_desim::prelude::*;
 use orion_desim::rng::cell_seed;
-use orion_gpu::engine::{CompletionStatus, GpuEngine};
+use orion_gpu::engine::{Completion, CompletionStatus, GpuEngine};
 use orion_gpu::error::GpuError;
 use orion_gpu::fault::FaultPlan;
 use orion_gpu::spec::GpuSpec;
 use orion_gpu::util::UtilSummary;
+use orion_gpu::kernel::classify_utilization;
 use orion_metrics::{LatencyRecorder, ThroughputCounter};
-use orion_profiler::profile_workload;
+use orion_profiler::{profile_workload, KernelProfile};
+use orion_workloads::OpSpec;
 
 use crate::client::{ClientPriority, ClientSpec, ClientState};
+use crate::online::{OnlineConfig, OnlineReport, OnlineState, ProfileAction};
 use crate::policy::{Policy, PolicyKind, Routed, RoutedCompletion, SchedCtx};
 use crate::supervisor::{ClientFaultKind, FaultConfig, RobustnessReport, Supervisor};
 use crate::validate::{ValidateMode, ValidationReport, Validator};
@@ -47,6 +50,10 @@ pub struct RunConfig {
     /// default ([`FaultConfig::none`]) injects nothing and arms no
     /// supervisor, leaving the run byte-identical to pre-fault builds.
     pub faults: FaultConfig,
+    /// Online profiling (see [`crate::online`]). The default
+    /// ([`OnlineConfig::disabled`]) constructs no online state, leaving the
+    /// run byte-identical to pre-online builds.
+    pub online: OnlineConfig,
 }
 
 impl RunConfig {
@@ -61,6 +68,7 @@ impl RunConfig {
             record_trace: false,
             validate: ValidateMode::Off,
             faults: FaultConfig::none(),
+            online: OnlineConfig::disabled(),
         }
     }
 
@@ -75,6 +83,7 @@ impl RunConfig {
             record_trace: false,
             validate: ValidateMode::Strict,
             faults: FaultConfig::none(),
+            online: OnlineConfig::disabled(),
         }
     }
 
@@ -99,6 +108,12 @@ impl RunConfig {
     /// Replaces the fault configuration.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Replaces the online-profiling configuration.
+    pub fn with_online(mut self, online: OnlineConfig) -> Self {
+        self.online = online;
         self
     }
 }
@@ -137,6 +152,8 @@ pub struct RunResult {
     pub validation: Option<ValidationReport>,
     /// Fault-and-recovery accounting (all zeros for a fault-free run).
     pub robustness: RobustnessReport,
+    /// Online-profiler summary (when [`RunConfig::online`] enabled it).
+    pub online: Option<OnlineReport>,
 }
 
 impl RunResult {
@@ -213,6 +230,9 @@ struct CollocationWorld {
     /// Culprit attribution for a watchdog-initiated reset, consumed by the
     /// recovery pass that drains its aborts.
     pending_culprit: Option<usize>,
+    /// The online profiler — armed only when [`RunConfig::online`] enables
+    /// it, so profile-driven runs take zero new branches in the hot path.
+    online: Option<OnlineState>,
 }
 
 impl CollocationWorld {
@@ -327,12 +347,15 @@ impl CollocationWorld {
                 CompletionStatus::Ok => {
                     let client = &mut self.clients[info.client];
                     let was_blocked = !client.can_push();
-                    client.on_op_complete(
+                    let finished = client.on_op_complete(
                         c.at,
                         info.request_id,
                         info.op_seq,
                         info.last_of_request,
                     );
+                    if self.online.is_some() {
+                        self.observe_online(c, &info, finished);
+                    }
                     if let Some(s) = self.supervisor.as_mut() {
                         s.last_progress[info.client] = now;
                         if info.last_of_request {
@@ -350,6 +373,11 @@ impl CollocationWorld {
                     }
                 }
                 CompletionStatus::Faulted | CompletionStatus::Aborted => {
+                    if let Some(o) = self.online.as_mut() {
+                        // A retried op's request carries recovery latency on
+                        // top of its solo latency: taint the sample.
+                        o.note_op_interference(info.client, true);
+                    }
                     if let Some(s) = self.supervisor.as_mut() {
                         if c.status == CompletionStatus::Faulted {
                             s.report.op_faults += 1;
@@ -389,12 +417,106 @@ impl CollocationWorld {
         if !failed.is_empty() {
             self.recover(now, sched, failed, culprit, &mut shed);
         }
+        // Solo-latency estimates learned from this round's completions reach
+        // the policy before it schedules, so the refreshed DUR_THRESHOLD
+        // governs this round's best-effort admissions.
+        let estimates = self
+            .online
+            .as_mut()
+            .map(OnlineState::take_estimates)
+            .unwrap_or_default();
         self.run_policy_with(now, sched, |policy, ctx| {
+            for &(client, est) in &estimates {
+                policy.on_solo_latency_estimate(client, est);
+            }
             policy.on_completions(&routed, ctx);
             for &(client, request_id) in &shed {
                 policy.on_request_shed(client, request_id);
             }
         });
+    }
+
+    /// Feeds one successful completion into the online profiler:
+    /// best-effort occupancy bookkeeping, kernel-duration learning (with
+    /// profile-table publication on admission and withdrawal on demotion),
+    /// and clean high-priority solo-latency samples. `finished` carries the
+    /// request latency when this op completed a whole request.
+    fn observe_online(&mut self, c: &Completion, info: &RouteInfo, finished: Option<SimTime>) {
+        let Some(online) = self.online.as_mut() else {
+            return;
+        };
+        online.note_op_interference(info.client, c.interfered);
+        // Kernel-duration learning: the measured span is a clean solo
+        // sample exactly when the engine certifies the op never ran below
+        // its solo rate.
+        let mut action = None;
+        if info.is_kernel {
+            let spec = &self.clients[info.client].spec;
+            if let (OpSpec::Kernel(k), Some(dispatched)) =
+                (&spec.workload.ops[info.op_seq as usize].1, c.dispatched_at)
+            {
+                action = online
+                    .observe_kernel(
+                        info.client,
+                        &k.name,
+                        k.kernel_id,
+                        c.at - dispatched,
+                        c.interfered,
+                    )
+                    .map(|a| (a, k.clone()));
+            }
+        }
+        if let Some((action, k)) = action {
+            match action {
+                ProfileAction::Publish { kernel_ids, mean } => {
+                    if let Some(v) = self.validator.as_mut() {
+                        // Around a drift boundary both regimes are plausible
+                        // truths (see `observe_online_admission`).
+                        let mut true_durs = vec![k.solo_duration];
+                        if let Some(d) = self.clients[info.client].spec.drift {
+                            let scaled = k.solo_duration.mul_f64(d.factor);
+                            if scaled != k.solo_duration {
+                                true_durs.push(scaled);
+                            }
+                        }
+                        let policy = self.policy.as_ref().expect("policy present").name();
+                        v.observe_online_admission(
+                            c.at,
+                            policy,
+                            info.client,
+                            &k.name,
+                            mean,
+                            &true_durs,
+                            online.cfg().admit_tolerance,
+                        );
+                    }
+                    let profile = classify_utilization(k.compute_util, k.mem_util);
+                    let sm_needed = k.sm_needed(self.gpu.spec());
+                    for id in kernel_ids {
+                        self.clients[info.client].profile.insert(KernelProfile {
+                            kernel_id: id,
+                            name: std::sync::Arc::clone(&k.name),
+                            duration: mean,
+                            profile,
+                            sm_needed,
+                            compute_util: k.compute_util,
+                            mem_util: k.mem_util,
+                        });
+                    }
+                }
+                ProfileAction::Withdraw { kernel_ids } => {
+                    for id in kernel_ids {
+                        self.clients[info.client].profile.remove(id);
+                    }
+                }
+            }
+        }
+        // Solo request latency for the DUR_THRESHOLD denominator.
+        if let Some(latency) = finished {
+            if self.clients[info.client].priority() == ClientPriority::HighPriority {
+                online.observe_hp_request(info.client, c.at, latency);
+            }
+        }
     }
 
     /// Starts the client's next pending request (immediately or at its
@@ -783,6 +905,10 @@ pub fn run_collocation(
     // runs, keeping fault-free runs event-for-event identical to pre-fault
     // builds.
     let chaos = !cfg.faults.is_none() || states.iter().any(|c| c.spec.fault.is_some());
+    let online = cfg.online.enabled.then(|| {
+        let priorities: Vec<ClientPriority> = states.iter().map(ClientState::priority).collect();
+        OnlineState::new(cfg.online.clone(), &priorities)
+    });
     let world = CollocationWorld {
         gpu,
         clients: states,
@@ -798,6 +924,7 @@ pub fn run_collocation(
         recovery_requeued: Vec::new(),
         recovery_shed: Vec::new(),
         pending_culprit: None,
+        online,
     };
 
     let mut sim = Simulation::new(world);
@@ -850,6 +977,22 @@ pub fn run_collocation(
     let world = sim.world();
     let window = cfg.horizon - cfg.warmup;
     let policy_name = kind.label();
+    // Learned-vs-true error columns: ground truth is each kernel's solo
+    // duration with the client's drift applied as of the horizon.
+    let online = world.online.as_ref().map(|o| {
+        o.report(|ci, kid| {
+            let spec = &world.clients[ci].spec;
+            let scale = spec.drift.map_or(1.0, |d| d.scale_at(horizon));
+            spec.workload.ops.iter().find_map(|(_, op)| match op {
+                OpSpec::Kernel(k) if k.kernel_id == kid => Some(if scale == 1.0 {
+                    k.solo_duration
+                } else {
+                    k.solo_duration.mul_f64(scale)
+                }),
+                _ => None,
+            })
+        })
+    });
     let clients = world
         .clients
         .iter()
@@ -888,6 +1031,7 @@ pub fn run_collocation(
         window,
         validation,
         robustness,
+        online,
     })
 }
 
@@ -1060,6 +1204,89 @@ mod tests {
         ];
         let err = run_collocation(PolicyKind::Mps, clients, &cfg);
         assert!(matches!(err, Err(GpuError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn online_report_absent_when_disabled() {
+        let cfg = RunConfig::quick_test();
+        let r = run_dedicated(
+            ClientSpec::high_priority(
+                inference_workload(ModelKind::MobileNetV2),
+                ArrivalProcess::Poisson { rps: 10.0 },
+            ),
+            &cfg,
+        )
+        .unwrap();
+        assert!(r.online.is_none());
+    }
+
+    #[test]
+    fn online_cold_start_learns_profiles_under_strict_oracle() {
+        // Zero offline profiles: both clients start Unknown, and the run
+        // must still admit kernels whose learned durations match ground
+        // truth (the Strict oracle panics on any admission outside the
+        // tolerance).
+        let mut cfg = RunConfig::quick_test();
+        cfg.online = OnlineConfig::learning();
+        let clients = vec![
+            ClientSpec::high_priority(
+                inference_workload(ModelKind::ResNet50),
+                ArrivalProcess::Poisson { rps: 15.0 },
+            )
+            .unprofiled(),
+            ClientSpec::best_effort(
+                training_workload(ModelKind::MobileNetV2),
+                ArrivalProcess::ClosedLoop,
+            )
+            .unprofiled(),
+        ];
+        let r = run_collocation(PolicyKind::orion_default(), clients, &cfg).unwrap();
+        let o = r.online.as_ref().expect("online report present");
+        assert!(o.admitted > 0, "no kernels admitted: {o:?}");
+        assert!(o.clean_samples > 0);
+        assert!(
+            o.max_profile_error < 0.10,
+            "learned profiles diverge from truth: {o:?}"
+        );
+        assert!(
+            o.latency_estimates > 0,
+            "solo-latency tuner never fired: {o:?}"
+        );
+        assert!(r.hp().completed > 0);
+        assert!(r.be_throughput() > 0.0, "admission never unthrottled BE");
+    }
+
+    #[test]
+    fn online_drift_demotes_and_relearns() {
+        // Mid-run 1.5x duration drift on the best-effort client: admitted
+        // kernels must be caught by the z-strike detector, withdrawn, and
+        // re-admitted at the new regime — all under the Strict oracle.
+        let mut cfg = RunConfig::quick_test();
+        cfg.online = OnlineConfig::learning();
+        let drift_at = SimTime::from_millis(1500);
+        let clients = vec![
+            ClientSpec::high_priority(
+                inference_workload(ModelKind::ResNet50),
+                ArrivalProcess::Poisson { rps: 15.0 },
+            )
+            .unprofiled(),
+            ClientSpec::best_effort(
+                training_workload(ModelKind::MobileNetV2),
+                ArrivalProcess::ClosedLoop,
+            )
+            .unprofiled()
+            .with_drift(orion_workloads::DriftSpec::new(drift_at, 1.5)),
+        ];
+        let r = run_collocation(PolicyKind::orion_default(), clients, &cfg).unwrap();
+        let o = r.online.expect("online report present");
+        assert!(o.demotions > 0, "drift never detected: {o:?}");
+        assert!(
+            o.admissions > o.demotions,
+            "demoted kernels never re-admitted: {o:?}"
+        );
+        // Post-drift ground truth at the horizon: learned profiles that
+        // survived to the end must match the *drifted* durations.
+        assert!(o.max_profile_error < 0.10, "stale profiles survived: {o:?}");
     }
 
     #[test]

@@ -186,6 +186,11 @@ pub struct Completion {
     pub kind: &'static str,
     /// For kernels: time the kernel was dispatched onto SMs.
     pub dispatched_at: Option<SimTime>,
+    /// True when the op ever ran below its solo rate (kernels sharing the
+    /// device, copies sharing the PCIe link). A `false` here certifies that
+    /// `at - dispatched_at` *is* the solo duration — the clean-sample
+    /// predicate the online profiler keys on.
+    pub interfered: bool,
     /// How the operation ended.
     pub status: CompletionStatus,
 }
@@ -205,6 +210,8 @@ struct OpState {
     sm_needed: u32,
     dispatch_seq: u64,
     dispatched_at: Option<SimTime>,
+    /// Set whenever a rate refresh leaves the op below its solo rate.
+    interfered: bool,
     /// Injected fault decided at submit time, if any.
     fault: Option<FaultKind>,
 }
@@ -475,6 +482,10 @@ impl GpuEngine {
             sm_needed: 0,
             dispatch_seq: 0,
             dispatched_at: None,
+            // A stalled kernel completes with status Ok but carries hidden
+            // extra work; its measured duration must never be mistaken for
+            // a clean solo sample.
+            interfered: fault == Some(FaultKind::Stall),
             fault,
         };
         let id = match self.free_ops.pop() {
@@ -702,6 +713,9 @@ impl GpuEngine {
             let op = ops[kid as usize].as_mut().expect("running op exists");
             op.sm_granted = r.sm_granted;
             op.rate = r.rate;
+            if r.rate < 1.0 - 1e-9 {
+                op.interfered = true;
+            }
         }
 
         // Copies: processor-share the PCIe link.
@@ -709,7 +723,11 @@ impl GpuEngine {
         if n > 0 {
             let share = spec.pcie_bandwidth / n as f64;
             for &cid in running_copies.iter() {
-                ops[cid as usize].as_mut().expect("running copy exists").rate = share;
+                let op = ops[cid as usize].as_mut().expect("running copy exists");
+                op.rate = share;
+                if n > 1 {
+                    op.interfered = true;
+                }
             }
         }
     }
@@ -918,6 +936,7 @@ impl GpuEngine {
             alloc,
             kind: kind_label,
             dispatched_at: op.dispatched_at,
+            interfered: op.interfered,
             status,
         });
         if let Some(log) = &mut self.event_log {
@@ -1145,6 +1164,50 @@ mod tests {
         assert_eq!(done[0].op, op);
         assert_eq!(done[0].at, SimTime::from_micros(100));
         assert!(!e.busy());
+    }
+
+    #[test]
+    fn solo_kernel_completes_uninterfered() {
+        let mut e = engine();
+        let s = e.create_stream(StreamPriority::DEFAULT);
+        e.submit(s, OpKind::Kernel(kernel(0, 100, 40, 0.5, 0.3))).unwrap();
+        e.advance_to(SimTime::from_micros(100));
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].interfered, "solo kernel must be a clean sample");
+        assert_eq!(done[0].at - done[0].dispatched_at.unwrap(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn contended_kernels_complete_interfered() {
+        // Two memory-bound kernels slow each other: both samples are dirty.
+        let mut e = engine();
+        let s1 = e.create_stream(StreamPriority::DEFAULT);
+        let s2 = e.create_stream(StreamPriority::DEFAULT);
+        e.submit(s1, OpKind::Kernel(kernel(0, 100, 30, 0.14, 0.80))).unwrap();
+        e.submit(s2, OpKind::Kernel(kernel(1, 100, 30, 0.14, 0.80))).unwrap();
+        e.advance_to(SimTime::from_millis(1));
+        let done = e.drain_completions();
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            assert!(c.interfered, "contended kernel must be flagged");
+        }
+    }
+
+    #[test]
+    fn concurrent_copies_complete_interfered() {
+        let mut e = engine();
+        let s1 = e.create_stream(StreamPriority::DEFAULT);
+        let s2 = e.create_stream(StreamPriority::DEFAULT);
+        for s in [s1, s2] {
+            e.submit(s, OpKind::MemcpyH2D { bytes: 1 << 20, blocking: false }).unwrap();
+        }
+        e.advance_to(SimTime::from_secs(1));
+        assert!(e.drain_completions().iter().all(|c| c.interfered));
+        // A lone copy afterwards is clean again.
+        e.submit(s1, OpKind::MemcpyH2D { bytes: 1 << 20, blocking: false }).unwrap();
+        e.advance_to(SimTime::from_secs(2));
+        assert!(e.drain_completions().iter().all(|c| !c.interfered));
     }
 
     #[test]

@@ -132,6 +132,30 @@ mod tests {
     }
 
     #[test]
+    fn all_equal_samples_collapse_every_percentile() {
+        // The online solo-latency estimator leans on this: a deterministic
+        // simulator produces runs of identical latencies, and every
+        // percentile of such a sample must be that one value.
+        let mut r = rec(&[25; 64]);
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(r.percentile(q), SimTime::from_millis(25), "q={q}");
+        }
+        assert_eq!(r.mean(), SimTime::from_millis(25));
+        assert_eq!(r.max(), SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn two_samples_split_at_the_median() {
+        let mut r = rec(&[10, 20]);
+        // Nearest-rank: p50 lands on the lower sample, anything above on
+        // the upper; no interpolation ever invents an unobserved value.
+        assert_eq!(r.p50(), SimTime::from_millis(10));
+        assert_eq!(r.percentile(0.51), SimTime::from_millis(20));
+        assert_eq!(r.p99(), SimTime::from_millis(20));
+        assert_eq!(r.mean(), SimTime::from_millis(15));
+    }
+
+    #[test]
     fn nearest_rank_on_100_samples() {
         let mut r = rec(&(1..=100).collect::<Vec<_>>());
         assert_eq!(r.p50(), SimTime::from_millis(50));

@@ -150,6 +150,20 @@ impl ProfileTable {
         self.by_id.get(&kernel_id)
     }
 
+    /// Inserts (or replaces) a kernel's profile. This is how the *online*
+    /// profiler admits a learned profile into the scheduler's view at
+    /// runtime; offline tables are built in one shot by
+    /// [`WorkloadProfile::table`].
+    pub fn insert(&mut self, profile: KernelProfile) -> Option<KernelProfile> {
+        self.by_id.insert(profile.kernel_id, profile)
+    }
+
+    /// Removes a kernel's profile (online drift demotion: the kernel goes
+    /// back to the conservative unprofiled path until re-admitted).
+    pub fn remove(&mut self, kernel_id: u32) -> Option<KernelProfile> {
+        self.by_id.remove(&kernel_id)
+    }
+
     /// Expected duration of a kernel; zero when unprofiled.
     pub fn duration(&self, kernel_id: u32) -> SimTime {
         self.get(kernel_id).map_or(SimTime::ZERO, |k| k.duration)

@@ -146,6 +146,47 @@ fn apollo_schedule(mean_rps: f64, horizon: SimTime, rng: &mut DetRng) -> Vec<Sim
     out
 }
 
+/// A mid-run workload drift: at sim time `at`, every kernel of the client's
+/// workload starts taking `factor ×` its nominal solo duration (changed
+/// tensor shapes, a model redeploy, thermal throttling). Copies are
+/// unaffected. Drift is applied at *submit* time — kernels already on the
+/// device keep their original duration — so the shift is sharp and
+/// deterministic.
+///
+/// This exists so the online-profiling drift experiments and tests don't
+/// hand-roll workload mutation: attach it to a client spec and the runtime
+/// scales durations as requests are routed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSpec {
+    /// Sim time at which the drift takes effect.
+    pub at: SimTime,
+    /// Multiplier on each kernel's solo duration from `at` onward
+    /// (e.g. `1.5` = 50% slower). Must be positive.
+    pub factor: f64,
+}
+
+impl DriftSpec {
+    /// A drift that makes kernels `factor ×` slower starting at `at`.
+    pub fn new(at: SimTime, factor: f64) -> Self {
+        assert!(factor > 0.0, "drift factor must be positive");
+        DriftSpec { at, factor }
+    }
+
+    /// True once the drift is in effect at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        now >= self.at
+    }
+
+    /// The duration scale in effect at `now` (1.0 before the switch).
+    pub fn scale_at(&self, now: SimTime) -> f64 {
+        if self.active_at(now) {
+            self.factor
+        } else {
+            1.0
+        }
+    }
+}
+
 /// The request rates of Table 3, in requests/second.
 #[derive(Debug, Clone, Copy)]
 pub struct PaperRates;
@@ -283,6 +324,21 @@ mod tests {
         assert_eq!(PaperRates::inf_inf_poisson(ModelKind::MobileNetV2), 65.0);
         assert_eq!(PaperRates::inf_train_poisson(ModelKind::Bert), 4.0);
         assert_eq!(PaperRates::inf_inf_uniform(ModelKind::Transformer), 20.0);
+    }
+
+    #[test]
+    fn drift_spec_switches_at_configured_time() {
+        let d = DriftSpec::new(SimTime::from_secs(2), 1.5);
+        assert!(!d.active_at(SimTime::from_secs(1)));
+        assert!(d.active_at(SimTime::from_secs(2)));
+        assert_eq!(d.scale_at(SimTime::from_secs(1)), 1.0);
+        assert_eq!(d.scale_at(SimTime::from_secs(3)), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "drift factor must be positive")]
+    fn drift_spec_rejects_nonpositive_factor() {
+        let _ = DriftSpec::new(SimTime::from_secs(1), 0.0);
     }
 
     #[test]

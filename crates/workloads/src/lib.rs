@@ -27,7 +27,7 @@ pub mod ops;
 pub mod registry;
 pub mod swap;
 
-pub use arrivals::{ArrivalProcess, PaperRates};
+pub use arrivals::{ArrivalProcess, DriftSpec, PaperRates};
 pub use model::{ModelKind, Phase, Workload, WorkloadKind};
 pub use ops::OpSpec;
 pub use registry::{inference_workload, training_workload, ALL_MODELS};

@@ -26,6 +26,11 @@ ORION_FAST=1 cargo test -q --test validate_oracle
 echo "==> chaos recovery (ORION_FAST=1, fault injection + supervisor, strict oracle)"
 ORION_FAST=1 cargo test -q --test chaos_recovery
 
+echo "==> online profiling (ORION_FAST=1, cold-start convergence + drift smoke, strict oracle, 1/4/7-thread determinism)"
+ORION_FAST=1 cargo test -q -p orion-core online
+ORION_FAST=1 cargo test -q -p orion-bench --test smoke smoke_online
+ORION_FAST=1 cargo test -q -p orion-bench --test determinism online_jsonl_is_identical_at_any_thread_count
+
 echo "==> golden trace digest (oracle + fault injection compiled in but disabled: must be byte-identical)"
 cargo test -q -p orion-gpu --test golden_trace --test error_paths
 
