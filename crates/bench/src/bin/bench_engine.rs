@@ -15,11 +15,11 @@
 //! {
 //!   "schema": "orion-bench-engine/v1",
 //!   "fast": false,
-//!   "events_per_sec": 3.1e6,          // peak ops/sec over engine configs
-//!   "wall_ms": 812.4,                 // total wall clock of all sections
+//!   "events_per_sec": 11.5e6,         // peak ops/sec over engine configs
+//!   "wall_ms": 343.0,                 // total wall clock of all sections
 //!   "engine": [                       // one row per (streams x ops) config
 //!     {"streams": 1, "ops": 1000, "iters": 20,
-//!      "events_per_sec": 3.1e6, "wall_ms": 6.4}
+//!      "events_per_sec": 7.0e6, "wall_ms": 2.9}
 //!   ],
 //!   "collocation": {                  // one fig6_7-style cell, Orion policy
 //!     "label": "resnet50+resnet50-train", "policy": "Orion",
@@ -34,7 +34,7 @@ use std::time::Instant;
 use orion_bench::exp::{be_training, hp_inference, ExpConfig};
 use orion_core::prelude::*;
 use orion_desim::time::SimTime;
-use orion_gpu::engine::{GpuEngine, OpKind};
+use orion_gpu::engine::GpuEngine;
 use orion_gpu::kernel::KernelBuilder;
 use orion_gpu::spec::GpuSpec;
 use orion_gpu::stream::StreamPriority;
@@ -44,19 +44,24 @@ use orion_workloads::model::ModelKind;
 
 /// Submits `n_ops` kernels round-robin over `n_streams` streams and advances
 /// until all complete. Returns the number of completions (== `n_ops`).
+///
+/// The kernel descriptor is built once and submitted by reference
+/// ([`GpuEngine::submit_kernel`]), so the timed region measures the engine,
+/// not the builder or `Arc` refcount traffic.
 fn submit_and_drain(n_ops: u64, n_streams: usize) -> Result<u64, Box<dyn Error>> {
     let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
     let streams: Vec<_> = (0..n_streams)
         .map(|_| e.create_stream(StreamPriority::DEFAULT))
         .collect();
+    e.reserve_ops(n_ops as usize);
+    let proto = KernelBuilder::new(0, "bench")
+        .grid_blocks(40)
+        .threads_per_block(256)
+        .solo_duration(SimTime::from_micros(50))
+        .utilization(0.5, 0.3)
+        .build();
     for i in 0..n_ops {
-        let k = KernelBuilder::new(i as u32, "bench")
-            .grid_blocks(40)
-            .threads_per_block(256)
-            .solo_duration(SimTime::from_micros(50))
-            .utilization(0.5, 0.3)
-            .build();
-        e.submit(streams[i as usize % n_streams], OpKind::Kernel(k))
+        e.submit_kernel(streams[i as usize % n_streams], &proto)
             .map_err(|e| format!("submitting bench kernel {i}/{n_ops}: {e}"))?;
     }
     e.advance_to(SimTime::from_secs(60));
@@ -137,14 +142,77 @@ fn collocation(cfg: &ExpConfig) -> Result<Value, Box<dyn Error>> {
     }))
 }
 
+/// Scaling gate (`ORION_BENCH_GATE=1`): the 16-stream cell must stay within
+/// 20% of the 4-stream cell, or the old evaluation cliff is back. Runs its
+/// own moderately sized cells so CI's fast mode still gets a low-noise
+/// measurement.
+fn scaling_gate() -> Result<(), Box<dyn Error>> {
+    let rows = [engine_config(3_000, 4, 7)?, engine_config(3_000, 16, 7)?];
+    let eps = |row: &Value| row["events_per_sec"].as_f64().unwrap_or(0.0);
+    let (eps4, eps16) = (eps(&rows[0]), eps(&rows[1]));
+    if eps16 < 0.8 * eps4 {
+        return Err(format!(
+            "perf gate: events/sec fell off a cliff from 4 to 16 streams: \
+             {eps4:.0} -> {eps16:.0} (more than 20% drop)"
+        )
+        .into());
+    }
+    eprintln!("[bench] perf gate ok: 4 streams {eps4:.0} ev/s, 16 streams {eps16:.0} ev/s");
+    Ok(())
+}
+
+/// Pins the glibc malloc thresholds by re-execing once with them set.
+///
+/// Each bench iteration allocates and frees multi-hundred-KB buffers (the op
+/// slab, the completion vector). With default thresholds glibc returns those
+/// to the OS on free — via `munmap` or heap trim, depending on allocation
+/// history — and every iteration then re-faults the pages, which measures the
+/// kernel's page allocator (~50-70ns/op of noise) instead of the engine.
+/// Keeping freed buffers in-process makes iterations reuse warm pages and
+/// makes runs reproducible. No-op when the caller already set the variables.
+#[cfg(target_os = "linux")]
+fn pin_malloc_thresholds() {
+    const VARS: [&str; 2] = ["MALLOC_TRIM_THRESHOLD_", "MALLOC_MMAP_THRESHOLD_"];
+    if VARS.iter().all(|v| std::env::var_os(v).is_some()) {
+        return;
+    }
+    use std::os::unix::process::CommandExt;
+    let Ok(exe) = std::env::current_exe() else {
+        return;
+    };
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args(std::env::args_os().skip(1));
+    for v in VARS {
+        cmd.env(v, "1073741824");
+    }
+    // exec only returns on failure; fall through and run untuned.
+    let _ = cmd.exec();
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_malloc_thresholds() {}
+
 fn main() -> Result<(), Box<dyn Error>> {
+    pin_malloc_thresholds();
     let cfg = ExpConfig::from_env();
     let iters: u32 = if cfg.fast { 3 } else { 20 };
     let configs: &[(u64, usize)] = if cfg.fast {
-        &[(200, 1), (200, 4)]
+        &[(200, 1), (200, 4), (200, 16)]
     } else {
-        &[(1_000, 1), (1_000, 4), (1_000, 16), (10_000, 4)]
+        &[
+            (1_000, 1),
+            (1_000, 4),
+            (1_000, 16),
+            (1_000, 64),
+            (1_000, 256),
+            (10_000, 4),
+            (100_000, 4),
+        ]
     };
+
+    if std::env::var("ORION_BENCH_GATE").is_ok_and(|v| v == "1") {
+        scaling_gate()?;
+    }
 
     let total = Instant::now();
     let engine: Vec<Value> = configs

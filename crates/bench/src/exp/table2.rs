@@ -4,6 +4,8 @@
 //! This is the calibration anchor for the interference model; see also
 //! `crates/gpu-sim/tests/table2_calibration.rs`.
 
+use std::sync::Arc;
+
 use orion_desim::time::SimTime;
 use orion_gpu::engine::{GpuEngine, OpKind};
 use orion_gpu::kernel::{KernelBuilder, KernelDesc};
@@ -29,7 +31,7 @@ pub struct Row {
 }
 
 /// Conv2d, batch 32: 1.35 ms solo, all 80 SMs, 89%/20% compute/memory.
-pub fn conv2d() -> KernelDesc {
+pub fn conv2d() -> Arc<KernelDesc> {
     KernelBuilder::new(0, "conv2d")
         .grid_blocks(160)
         .threads_per_block(1024)
@@ -40,7 +42,7 @@ pub fn conv2d() -> KernelDesc {
 }
 
 /// BN2d, batch 32: 0.93 ms solo, 40% of SMs, 14%/80% compute/memory.
-pub fn bn2d() -> KernelDesc {
+pub fn bn2d() -> Arc<KernelDesc> {
     KernelBuilder::new(1, "bn2d")
         .grid_blocks(64)
         .threads_per_block(1024)
@@ -50,7 +52,7 @@ pub fn bn2d() -> KernelDesc {
         .build()
 }
 
-fn makespan(kernels: &[(usize, KernelDesc)], n_streams: usize) -> SimTime {
+fn makespan(kernels: &[(usize, Arc<KernelDesc>)], n_streams: usize) -> SimTime {
     let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
     let streams: Vec<_> = (0..n_streams)
         .map(|_| e.create_stream(StreamPriority::DEFAULT))
@@ -62,7 +64,7 @@ fn makespan(kernels: &[(usize, KernelDesc)], n_streams: usize) -> SimTime {
     e.drain_completions().iter().map(|c| c.at).max().unwrap()
 }
 
-fn row(pair: &'static str, a: KernelDesc, b: KernelDesc, paper: f64) -> Row {
+fn row(pair: &'static str, a: Arc<KernelDesc>, b: Arc<KernelDesc>, paper: f64) -> Row {
     let seq = makespan(&[(0, a.clone()), (0, b.clone())], 1);
     let col = makespan(&[(0, a), (1, b)], 2);
     Row {
@@ -76,7 +78,7 @@ fn row(pair: &'static str, a: KernelDesc, b: KernelDesc, paper: f64) -> Row {
 
 /// Regenerates the three rows of Table 2.
 pub fn run(_cfg: &ExpConfig) -> Vec<Row> {
-    let pairs: Vec<(&'static str, KernelDesc, KernelDesc, f64)> = vec![
+    let pairs: Vec<(&'static str, Arc<KernelDesc>, Arc<KernelDesc>, f64)> = vec![
         ("Conv2d-Conv2d", conv2d(), conv2d(), 0.98),
         ("BN2d-BN2d", bn2d(), bn2d(), 1.08),
         ("Conv2d-BN2d", conv2d(), bn2d(), 1.41),

@@ -138,9 +138,10 @@ impl SchedCtx<'_> {
             .map_or(1.0, |d| d.scale_at(self.now));
         let kind = match &op.spec {
             OpSpec::Kernel(k) if drift_scale != 1.0 => {
-                let mut k = k.clone();
+                // Drifted kernels get a private, rescaled description.
+                let mut k = (**k).clone();
                 k.solo_duration = k.solo_duration.mul_f64(drift_scale);
-                OpKind::Kernel(k)
+                OpKind::Kernel(std::sync::Arc::new(k))
             }
             OpSpec::Kernel(k) => OpKind::Kernel(k.clone()),
             OpSpec::H2D { bytes, blocking } => OpKind::MemcpyH2D {

@@ -1,0 +1,75 @@
+//! Hot-path phase timer: isolates submit, dispatch, advance, and drain
+//! costs for the bench_engine workload so optimization work targets the
+//! real bottleneck. Run with `cargo run --release -p orion-gpu --example
+//! profile_hotpath`.
+
+use std::time::Instant;
+
+use orion_desim::time::SimTime;
+use orion_gpu::engine::{GpuEngine, OpKind};
+use orion_gpu::kernel::KernelBuilder;
+use orion_gpu::spec::GpuSpec;
+use orion_gpu::stream::StreamPriority;
+
+fn run(n_ops: u64, n_streams: usize, c: f64, m: f64, label: &str) {
+    let iters = 30;
+    let mut submit_ns = u128::MAX;
+    let mut advance_ns = u128::MAX;
+    for _ in 0..iters {
+        let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
+        let streams: Vec<_> = (0..n_streams)
+            .map(|_| e.create_stream(StreamPriority::DEFAULT))
+            .collect();
+        let proto = KernelBuilder::new(0, "bench")
+            .grid_blocks(40)
+            .threads_per_block(256)
+            .solo_duration(SimTime::from_micros(50))
+            .utilization(c, m)
+            .build();
+        let t0 = Instant::now();
+        for i in 0..n_ops {
+            e.submit(streams[i as usize % n_streams], OpKind::Kernel(proto.clone()))
+                .unwrap();
+        }
+        let t1 = Instant::now();
+        e.advance_to(SimTime::from_secs(60));
+        let t2 = Instant::now();
+        assert_eq!(e.drain_completions().len() as u64, n_ops);
+        submit_ns = submit_ns.min((t1 - t0).as_nanos());
+        advance_ns = advance_ns.min((t2 - t1).as_nanos());
+    }
+    let total = n_ops as u128;
+    println!(
+        "{label:28} streams={n_streams:3} ops={n_ops}: submit {:5} ns/op, advance {:5} ns/op, evals/op {:.2}",
+        submit_ns / total,
+        advance_ns / total,
+        {
+            // One more run to read counters.
+            let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
+            let streams: Vec<_> = (0..n_streams)
+                .map(|_| e.create_stream(StreamPriority::DEFAULT))
+                .collect();
+            let proto = KernelBuilder::new(0, "bench")
+                .grid_blocks(40)
+                .threads_per_block(256)
+                .solo_duration(SimTime::from_micros(50))
+                .utilization(c, m)
+                .build();
+            for i in 0..n_ops {
+                e.submit(streams[i as usize % n_streams], OpKind::Kernel(proto.clone()))
+                    .unwrap();
+            }
+            e.advance_to(SimTime::from_secs(60));
+            e.eval_count() as f64 / n_ops as f64
+        }
+    );
+}
+
+fn main() {
+    for &(ops, streams) in &[(10_000u64, 1usize), (10_000, 4), (10_000, 16), (10_000, 64), (100_000, 4)] {
+        run(ops, streams, 0.5, 0.3, "bench load (over-cap)");
+    }
+    for &(ops, streams) in &[(10_000u64, 4usize), (10_000, 16)] {
+        run(ops, streams, 0.02, 0.01, "light load (under-cap)");
+    }
+}

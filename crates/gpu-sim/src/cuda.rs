@@ -7,6 +7,8 @@
 //! blocking semantics (e.g. synchronous `cuda_memcpy`) are expressed through
 //! op metadata and enforced by the client layer that drives the simulation.
 
+use std::sync::Arc;
+
 use orion_desim::time::SimTime;
 
 use crate::engine::{EventId, GpuEngine, OpId, OpKind};
@@ -66,8 +68,16 @@ impl CudaContext {
     }
 
     /// `cudaLaunchKernel`.
-    pub fn launch_kernel(&mut self, stream: StreamId, k: KernelDesc) -> Result<OpId, GpuError> {
-        self.engine.submit(stream, OpKind::Kernel(k))
+    ///
+    /// Takes the kernel "function handle" (`Arc<KernelDesc>`, as produced by
+    /// [`crate::kernel::KernelBuilder::build`]) so repeated launches of the
+    /// same kernel share one description.
+    pub fn launch_kernel(
+        &mut self,
+        stream: StreamId,
+        k: impl Into<Arc<KernelDesc>>,
+    ) -> Result<OpId, GpuError> {
+        self.engine.submit_kernel(stream, &k.into())
     }
 
     /// `cudaMemcpyAsync`.

@@ -38,7 +38,7 @@ use orion_desim::time::SimTime;
 
 use crate::error::GpuError;
 use crate::fault::{FaultCategory, FaultInjector, FaultKind, FaultPlan};
-use crate::interference::{evaluate_into, EvalScratch, KernelLoad, ModelParams};
+use crate::interference::{IncrementalEval, KernelLoad, KernelRate, ModelParams, Refreshed};
 use crate::kernel::KernelDesc;
 use crate::memory::{AllocId, MemoryLedger};
 use crate::spec::GpuSpec;
@@ -64,7 +64,12 @@ pub struct EventId(pub u64);
 #[derive(Debug, Clone)]
 pub enum OpKind {
     /// A computation kernel.
-    Kernel(KernelDesc),
+    ///
+    /// Held behind an `Arc`: a submitted op carries an 8-byte handle to the
+    /// shared, immutable description rather than an inline copy, which keeps
+    /// the op slab (the hot path's dominant working set) small and makes a
+    /// re-submission of the same kernel a refcount bump.
+    Kernel(Arc<KernelDesc>),
     /// Host-to-device copy. `blocking` models `cudaMemcpy` (vs. `Async`).
     MemcpyH2D {
         /// Payload size in bytes.
@@ -108,6 +113,49 @@ impl OpKind {
             OpKind::EventRecord { .. } => "event_record",
         }
     }
+}
+
+/// Slab-resident form of [`OpKind`]: kernels are interned into the engine's
+/// descriptor table ([`DescSlot`]) and referenced by index. Every in-flight
+/// op that launched (a clone of) the same `Arc<KernelDesc>` shares one
+/// engine-owned `Arc`, so per-op submit/retire does no atomic refcount
+/// traffic — a clone/drop pair costs ~15ns, the single largest per-op cost
+/// on the throughput bench.
+#[derive(Debug, Clone, Copy)]
+enum OpPayload {
+    /// Index into `GpuEngine::descs`.
+    Kernel(u32),
+    /// Copy byte counts live in `OpState::remaining`, not here.
+    MemcpyH2D { blocking: bool },
+    MemcpyD2H { blocking: bool },
+    Malloc { bytes: u64 },
+    Free { alloc: AllocId },
+    EventRecord { event: EventId },
+}
+
+impl OpPayload {
+    fn label(&self) -> &'static str {
+        match self {
+            OpPayload::Kernel(_) => "kernel",
+            OpPayload::MemcpyH2D { .. } => "memcpy_h2d",
+            OpPayload::MemcpyD2H { .. } => "memcpy_d2h",
+            OpPayload::Malloc { .. } => "malloc",
+            OpPayload::Free { .. } => "free",
+            OpPayload::EventRecord { .. } => "event_record",
+        }
+    }
+}
+
+/// One interned kernel descriptor (see [`OpPayload::Kernel`]). `live` counts
+/// the in-flight ops referencing the slot with a plain (non-atomic) integer.
+/// A freed slot keeps its stale `Arc` until the slot is reused — bounded by
+/// the high-water mark of distinct in-flight descriptors — which also keeps
+/// the pointer-equality cache sound: no new descriptor can be allocated at a
+/// cached address while the engine still holds it.
+#[derive(Debug)]
+struct DescSlot {
+    desc: Arc<KernelDesc>,
+    live: u32,
 }
 
 /// Ground-truth submit/complete record emitted by the engine when its event
@@ -195,25 +243,79 @@ pub struct Completion {
     pub status: CompletionStatus,
 }
 
+/// `OpState::dispatched_at` value for an op still waiting in its stream
+/// queue. `SimTime::MAX` can never be a real dispatch time: an engine at
+/// `now == SimTime::MAX` could not advance further to finish anything.
+const UNDISPATCHED: SimTime = SimTime::MAX;
+
 #[derive(Debug, Clone)]
 struct OpState {
     stream: StreamId,
-    kind: OpKind,
+    kind: OpPayload,
     submitted_at: SimTime,
-    /// Remaining solo-execution work in nanoseconds (kernels) or remaining
-    /// bytes (copies).
+    /// Remaining solo-execution work in nanoseconds (queued kernels, up to
+    /// dispatch) or remaining bytes (copies). A *running* kernel's remaining
+    /// work lives in the dense `GpuEngine::kremaining` column instead — this
+    /// field is not updated while the kernel executes.
     remaining: f64,
-    /// Current progress rate (kernels: solo-sec per sec; copies: bytes/sec).
+    /// Current progress rate (copies only: bytes/sec). Running kernels keep
+    /// their rates in the evaluator's dense output column.
     rate: f64,
-    sm_granted: u32,
-    /// Occupancy-derived SM demand, computed once at dispatch (kernels only).
-    sm_needed: u32,
-    dispatch_seq: u64,
-    dispatched_at: Option<SimTime>,
+    /// Dispatch time, or [`UNDISPATCHED`] while queued. The sentinel (instead
+    /// of `Option<SimTime>`) keeps `OpState` at 64 bytes — one cache line per
+    /// slab slot.
+    dispatched_at: SimTime,
     /// Set whenever a rate refresh leaves the op below its solo rate.
     interfered: bool,
     /// Injected fault decided at submit time, if any.
     fault: Option<FaultKind>,
+    /// How this op's completion time is currently watched (kernels only).
+    watch: WatchKind,
+    /// Epoch of the live watch entry for this op; superseded or recycled
+    /// entries fail the epoch check and are discarded lazily.
+    watch_epoch: u64,
+}
+
+/// How a running kernel's completion time is tracked (see
+/// [`GpuEngine::earliest_completion`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WatchKind {
+    /// Not running, or not yet rated: no watch entry exists.
+    None,
+    /// Uncontended (rate exactly 1.0): an exact completion-time prediction
+    /// lives in the keyed min-heap. Valid because at unit rate the
+    /// remaining-work float arithmetic is drift-free (integer nanosecond
+    /// deltas subtract exactly below 2^52), so the prediction made at push
+    /// time equals what a fresh scan would compute at any later instant.
+    Heap,
+    /// Contended (rate < 1.0): predictions drift with every rate change, so
+    /// the kernel is re-scanned on demand from the dense rate/remaining
+    /// columns (no per-op watch entry exists).
+    Scan,
+}
+
+/// Keyed min-heap entry: predicted completion instant of a unit-rate kernel.
+/// Ordered by time (then id/epoch for determinism inside the heap; only the
+/// minimum is ever observed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct PredEntry {
+    at: SimTime,
+    id: u64,
+    epoch: u64,
+}
+
+/// What [`GpuEngine::dispatch_head`] did with a stream's head-of-queue.
+enum HeadOutcome {
+    /// Nothing dispatchable (empty queue, occupied slot, or a gate held).
+    None,
+    /// A kernel started running (the stream slot is now occupied).
+    Kernel,
+    /// A copy started running (the stream slot is now occupied).
+    Copy,
+    /// A sync op took the slot and requested a device-wide drain.
+    Sync,
+    /// An event record completed instantly (the slot stays free).
+    Event,
 }
 
 /// Time for a copy with `remaining` bytes at `rate` bytes/sec to finish,
@@ -263,6 +365,12 @@ pub struct GpuEngine {
     /// completion's op id can never be reused.
     retired_ops: Vec<u64>,
     running_kernels: Vec<u64>,
+    /// Remaining solo-work nanoseconds of each running kernel, parallel to
+    /// `running_kernels`. Kept dense (instead of on the op slab) so the
+    /// per-round integrate/complete/predict passes stream over a few
+    /// contiguous columns — the evaluator's `loads`/`rates` plus this one —
+    /// without chasing slab entries.
+    kremaining: Vec<f64>,
     running_copies: Vec<u64>,
     blocking_copies: usize,
     sync_requested: bool,
@@ -275,15 +383,36 @@ pub struct GpuEngine {
     now: SimTime,
     next_dispatch_seq: u64,
     rates_dirty: bool,
-    /// Scratch: interference-model inputs, parallel to `running_kernels`.
-    loads: Vec<KernelLoad>,
-    /// Scratch: interference-model working buffers and output rates.
-    eval: EvalScratch,
+    /// Copy membership changed since the last refresh (PCIe shares and
+    /// kernel rates are refreshed independently).
+    copies_dirty: bool,
+    /// Incremental interference evaluator; its loads mirror
+    /// `running_kernels` index-for-index.
+    inc: IncrementalEval,
+    /// Min-heap of exact completion predictions for unit-rate kernels
+    /// (entries invalidated lazily via per-op watch epochs).
+    pred_heap: std::collections::BinaryHeap<std::cmp::Reverse<PredEntry>>,
+    /// Monotonic source of watch epochs (0 is reserved for "no watch").
+    next_watch_epoch: u64,
     /// Scratch: ids collected by `complete_finished` / `apply_sync_ops`.
     scratch_ids: Vec<u64>,
+    /// Scratch: finished positions within `running_kernels`.
+    scratch_pos: Vec<u32>,
     /// Ground-truth submit/complete log for the validation oracle. `None`
     /// (the default) keeps the hot path to a single branch per op.
     event_log: Option<Vec<EngineEvent>>,
+    /// Interned kernel descriptors referenced by [`OpPayload::Kernel`]
+    /// indices; slots recycle through `free_descs` when their last
+    /// referencing op retires.
+    descs: Vec<DescSlot>,
+    /// Descriptor slots with `live == 0`, available for reuse.
+    free_descs: Vec<u32>,
+    /// Most recently interned slot. A pointer-equal resubmit reuses it and
+    /// skips [`KernelDesc::validate`]: the slot's `Arc` pins the refcount,
+    /// so the caller cannot mutate the cached allocation in place
+    /// (`Arc::get_mut` fails) and no new descriptor can appear at the same
+    /// address — pointer equality therefore implies value equality.
+    last_desc: Option<u32>,
     /// Fault injector, present only for a non-empty [`FaultPlan`]: the
     /// fault-free hot path pays one `None` branch per submit.
     fault: Option<FaultInjector>,
@@ -302,6 +431,7 @@ impl GpuEngine {
     /// utilization timeline (needed only for figure experiments).
     pub fn new(spec: GpuSpec, record_timeline: bool) -> Self {
         let memory = MemoryLedger::new(spec.memory_capacity);
+        let inc = IncrementalEval::new(ModelParams::from(&spec));
         GpuEngine {
             spec,
             streams: Vec::new(),
@@ -310,6 +440,7 @@ impl GpuEngine {
             free_ops: Vec::new(),
             retired_ops: Vec::new(),
             running_kernels: Vec::new(),
+            kremaining: Vec::new(),
             running_copies: Vec::new(),
             blocking_copies: 0,
             sync_requested: false,
@@ -321,10 +452,16 @@ impl GpuEngine {
             now: SimTime::ZERO,
             next_dispatch_seq: 0,
             rates_dirty: false,
-            loads: Vec::new(),
-            eval: EvalScratch::default(),
+            copies_dirty: false,
+            inc,
+            pred_heap: std::collections::BinaryHeap::new(),
+            next_watch_epoch: 0,
             scratch_ids: Vec::new(),
+            scratch_pos: Vec::new(),
             event_log: None,
+            descs: Vec::new(),
+            free_descs: Vec::new(),
+            last_desc: None,
             fault: None,
             device_faulted: false,
             device_fault_pending: false,
@@ -392,6 +529,17 @@ impl GpuEngine {
         id
     }
 
+    /// Pre-sizes the per-op bookkeeping (op slab, completion buffer, retired
+    /// list) for `additional` more submitted-but-undrained ops, so a client
+    /// that knows its burst size pays no reallocation copies on the submit
+    /// and completion paths. Purely an optimization hint — capacity, like
+    /// `Vec::reserve`, never affects behaviour.
+    pub fn reserve_ops(&mut self, additional: usize) {
+        self.ops.reserve(additional);
+        self.completions.reserve(additional);
+        self.retired_ops.reserve(additional);
+    }
+
     /// Creates an event object for `EventRecord` ops.
     pub fn create_event(&mut self) -> EventId {
         let id = EventId(self.events.len() as u64);
@@ -423,11 +571,94 @@ impl GpuEngine {
     /// The caller must have called [`GpuEngine::advance_to`] with the current
     /// simulated time first (debug-asserted).
     pub fn submit(&mut self, stream: StreamId, kind: OpKind) -> Result<OpId, GpuError> {
+        match kind {
+            OpKind::Kernel(k) => self.submit_kernel(stream, &k),
+            OpKind::MemcpyH2D { bytes, blocking } => {
+                self.submit_payload(stream, OpPayload::MemcpyH2D { blocking }, bytes as f64)
+            }
+            OpKind::MemcpyD2H { bytes, blocking } => {
+                self.submit_payload(stream, OpPayload::MemcpyD2H { blocking }, bytes as f64)
+            }
+            OpKind::Malloc { bytes } => {
+                self.submit_payload(stream, OpPayload::Malloc { bytes }, 0.0)
+            }
+            OpKind::Free { alloc } => self.submit_payload(stream, OpPayload::Free { alloc }, 0.0),
+            OpKind::EventRecord { event } => {
+                self.submit_payload(stream, OpPayload::EventRecord { event }, 0.0)
+            }
+        }
+    }
+
+    /// Submits a kernel launch by reference — the hot-path equivalent of
+    /// [`GpuEngine::submit`] with [`OpKind::Kernel`]. The descriptor is
+    /// interned (see [`DescSlot`]), so repeated launches of one shared
+    /// prototype clone no `Arc` and validate only once.
+    pub fn submit_kernel(&mut self, stream: StreamId, k: &Arc<KernelDesc>) -> Result<OpId, GpuError> {
         if self.device_faulted {
             return Err(GpuError::DeviceFault);
         }
-        if let OpKind::Kernel(k) = &kind {
-            k.validate()?;
+        let idx = self.intern_kernel(k)?;
+        if self.streams.get(stream.0 as usize).is_none() {
+            self.release_desc(idx);
+            return Err(GpuError::UnknownStream(stream.0));
+        }
+        let solo = self.descs[idx as usize].desc.solo_duration.as_nanos() as f64;
+        self.submit_payload(stream, OpPayload::Kernel(idx), solo)
+    }
+
+    /// Interns `k`, bumping the live count on a pointer-equal match with the
+    /// most recent slot or validating and storing a new slot otherwise.
+    fn intern_kernel(&mut self, k: &Arc<KernelDesc>) -> Result<u32, GpuError> {
+        if let Some(idx) = self.last_desc {
+            let slot = &mut self.descs[idx as usize];
+            if Arc::ptr_eq(&slot.desc, k) {
+                slot.live += 1;
+                return Ok(idx);
+            }
+        }
+        k.validate()?;
+        let slot = DescSlot {
+            desc: k.clone(),
+            live: 1,
+        };
+        let idx = match self.free_descs.pop() {
+            Some(i) => {
+                self.descs[i as usize] = slot;
+                i
+            }
+            None => {
+                self.descs.push(slot);
+                (self.descs.len() - 1) as u32
+            }
+        };
+        self.last_desc = Some(idx);
+        Ok(idx)
+    }
+
+    /// Drops one live reference to an interned descriptor slot.
+    fn release_desc(&mut self, idx: u32) {
+        let slot = &mut self.descs[idx as usize];
+        slot.live -= 1;
+        if slot.live == 0 {
+            self.free_descs.push(idx);
+            // The freed slot must not stay pointer-cached: a later intern
+            // would bump `live` on a slot already in the free list.
+            if self.last_desc == Some(idx) {
+                self.last_desc = None;
+            }
+        }
+    }
+
+    /// Common submit tail shared by every op kind. `remaining` is the solo
+    /// work (nanoseconds for kernels, bytes for copies, 0 otherwise).
+    fn submit_payload(
+        &mut self,
+        stream: StreamId,
+        kind: OpPayload,
+        mut remaining: f64,
+    ) -> Result<OpId, GpuError> {
+        if self.device_faulted {
+            return Err(GpuError::DeviceFault);
         }
         let st = self
             .streams
@@ -439,23 +670,20 @@ impl GpuEngine {
         let fault = match &mut self.fault {
             Some(inj) => {
                 let category = match &kind {
-                    OpKind::Kernel(_) => FaultCategory::Kernel {
+                    OpPayload::Kernel(_) => FaultCategory::Kernel {
                         best_effort: st.priority < StreamPriority::HIGH,
                     },
-                    OpKind::MemcpyH2D { .. } | OpKind::MemcpyD2H { .. } => FaultCategory::Copy,
-                    OpKind::Malloc { .. } => FaultCategory::Malloc,
-                    OpKind::Free { .. } | OpKind::EventRecord { .. } => FaultCategory::Other,
+                    OpPayload::MemcpyH2D { .. } | OpPayload::MemcpyD2H { .. } => {
+                        FaultCategory::Copy
+                    }
+                    OpPayload::Malloc { .. } => FaultCategory::Malloc,
+                    OpPayload::Free { .. } | OpPayload::EventRecord { .. } => FaultCategory::Other,
                 };
                 inj.decide(category)
             }
             None => None,
         };
-        let mut remaining = match &kind {
-            OpKind::Kernel(k) => k.solo_duration.as_nanos() as f64,
-            OpKind::MemcpyH2D { bytes, .. } | OpKind::MemcpyD2H { bytes, .. } => *bytes as f64,
-            _ => 0.0,
-        };
-        if fault == Some(FaultKind::Stall) && matches!(kind, OpKind::Kernel(_)) {
+        if fault == Some(FaultKind::Stall) && matches!(kind, OpPayload::Kernel(_)) {
             // A stalled kernel silently carries extra solo work; it still
             // completes normally unless a supervisor watchdog fires first.
             let stall = self.fault.as_ref().expect("stall implies injector").stall();
@@ -464,11 +692,12 @@ impl GpuEngine {
         let log_entry = self.event_log.is_some().then(|| {
             let blocking = matches!(
                 kind,
-                OpKind::MemcpyH2D { blocking: true, .. } | OpKind::MemcpyD2H { blocking: true, .. }
+                OpPayload::MemcpyH2D { blocking: true, .. }
+                    | OpPayload::MemcpyD2H { blocking: true, .. }
             );
             EngineEventKind::Submitted {
                 label: kind.label(),
-                is_kernel: matches!(kind, OpKind::Kernel(_)),
+                is_kernel: matches!(kind, OpPayload::Kernel(_)),
                 blocking,
             }
         });
@@ -478,15 +707,14 @@ impl GpuEngine {
             submitted_at: self.now,
             remaining,
             rate: 0.0,
-            sm_granted: 0,
-            sm_needed: 0,
-            dispatch_seq: 0,
-            dispatched_at: None,
+            dispatched_at: UNDISPATCHED,
             // A stalled kernel completes with status Ok but carries hidden
             // extra work; its measured duration must never be mistaken for
             // a clean solo sample.
             interfered: fault == Some(FaultKind::Stall),
             fault,
+            watch: WatchKind::None,
+            watch_epoch: 0,
         };
         let id = match self.free_ops.pop() {
             Some(slot) => {
@@ -509,7 +737,10 @@ impl GpuEngine {
                 kind,
             });
         }
-        self.try_dispatch();
+        // Only the submitted stream can have become dispatchable: every
+        // earlier mutation ended in a dispatch fixpoint, and dispatching
+        // never unblocks another stream. O(1) instead of O(streams).
+        self.try_dispatch_from(stream.0 as usize);
         Ok(OpId(id))
     }
 
@@ -568,7 +799,11 @@ impl GpuEngine {
     /// their ids become eligible for reuse by subsequent submissions.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         self.free_ops.append(&mut self.retired_ops);
-        std::mem::take(&mut self.completions)
+        // Pre-size the next batch to the size just drained: steady-state
+        // consumers drain similar batch sizes, and starting from capacity 0
+        // would re-pay the doubling reallocations on every cycle.
+        let next = Vec::with_capacity(self.completions.len());
+        std::mem::replace(&mut self.completions, next)
     }
 
     /// Enables the ground-truth submit/complete event log consumed by the
@@ -616,12 +851,17 @@ impl GpuEngine {
 
     /// Advances the device clock to `now`, executing work and recording
     /// completions along the way.
+    ///
+    /// One rate refresh per completion round: the loop-top refresh covers
+    /// both the previous round's dispatches and the current round's
+    /// predictions (predicted ETAs are always >= 1 ns, so nothing can
+    /// complete at `now` after a dispatch at `now` — the old trailing
+    /// re-check was dead code).
     pub fn advance_to(&mut self, now: SimTime) {
         debug_assert!(now >= self.now, "advance_to must not move backwards");
-        while self.now < now {
+        loop {
             self.refresh_rates();
-            let next = self.earliest_completion();
-            match next {
+            match self.earliest_completion() {
                 Some(t) if t <= now => {
                     self.integrate(t);
                     self.complete_finished(t);
@@ -633,14 +873,45 @@ impl GpuEngine {
                 }
             }
         }
-        // Handle zero-duration work (e.g. completions exactly at `now`).
+        // Ops dispatched in the final round still get their rates before
+        // returning, so externally observable per-op state (rates,
+        // interference flags) is identical to an eager refresh — e.g. a
+        // device reset arriving before the next wake sees correct flags.
         self.refresh_rates();
-        if let Some(t) = self.earliest_completion() {
-            if t <= now {
-                self.complete_finished(t);
-                self.try_dispatch();
-            }
-        }
+    }
+
+    /// Interference-model evaluations that did any work (incremental or
+    /// full) since engine creation. A refresh with no membership change and
+    /// no dirty kernel is skipped and not counted.
+    pub fn eval_count(&self) -> u64 {
+        self.inc.evals()
+    }
+
+    /// Evaluations that recomputed the whole running set (over-capacity
+    /// rationing or wholesale invalidation) — the expensive path the
+    /// incremental evaluator exists to avoid.
+    pub fn eval_full_count(&self) -> u64 {
+        self.inc.full_evals()
+    }
+
+    /// Over-capacity refreshes answered from the evaluator's steady-state
+    /// composition memo instead of a recompute (cached output provably
+    /// bitwise-identical; see `IncrementalEval::refresh`).
+    pub fn eval_memo_count(&self) -> u64 {
+        self.inc.memo_hits()
+    }
+
+    /// Introspection for the differential equivalence harness: the current
+    /// interference-model inputs, parallel to the running-kernel set. Valid
+    /// after any refresh point ([`GpuEngine::advance_to`] /
+    /// [`GpuEngine::next_event_time`]).
+    pub fn interference_loads(&self) -> &[KernelLoad] {
+        self.inc.loads()
+    }
+
+    /// The model outputs parallel to [`GpuEngine::interference_loads`].
+    pub fn interference_rates(&self) -> &[KernelRate] {
+        self.inc.rates()
     }
 
     // ---- internals ----
@@ -652,81 +923,142 @@ impl GpuEngine {
         self.ops[id as usize].as_ref().expect("live op")
     }
 
-    /// Earliest predicted completion among running kernels and copies, one
-    /// merged scan (rates must be fresh — call [`GpuEngine::refresh_rates`]
-    /// first). Ops with a zero rate are stalled and will be re-examined when
+    /// Earliest predicted completion among running kernels and copies
+    /// (rates must be fresh — call [`GpuEngine::refresh_rates`] first).
+    /// Ops with a zero rate are stalled and will be re-examined when
     /// another completion frees resources.
-    fn earliest_completion(&self) -> Option<SimTime> {
+    ///
+    /// Unit-rate kernels sit in `pred_heap` with *exact* push-time
+    /// predictions: at rate 1.0 the remaining work decreases by the exact
+    /// integer nanosecond count each `integrate` (an integer subtraction on
+    /// an f64 below 2^52 is exact), so `now + ceil(remaining)` computed at
+    /// push time equals the value a fresh scan would compute at any later
+    /// `now` before the op completes. Contended (rate != 1.0) kernels drift
+    /// relative to their push-time estimate and are re-predicted each call
+    /// by streaming over the dense rate/remaining columns — sequential
+    /// loads, no slab access. Stale heap entries (epoch mismatch after a
+    /// rate change, finish, or slot recycle) are popped lazily.
+    fn earliest_completion(&mut self) -> Option<SimTime> {
         let mut earliest: Option<SimTime> = None;
-        for &kid in &self.running_kernels {
-            let op = self.op(kid);
-            if op.rate > 0.0 {
-                let t = self.now + kernel_eta(op.remaining, op.rate);
+        let Self {
+            ops,
+            kremaining,
+            inc,
+            pred_heap,
+            now,
+            ..
+        } = self;
+        let now = *now;
+        // Contended kernels: dense scan (unit-rate ones are covered by the
+        // heap and skipped here).
+        let rates = inc.rates();
+        for (i, rem) in kremaining.iter().enumerate() {
+            let r = rates[i].rate;
+            if r != 1.0 && r > 0.0 {
+                let t = now + kernel_eta(*rem, r);
                 earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
             }
+        }
+        // Heap: the top live entry is the min over all unit-rate kernels.
+        while let Some(&std::cmp::Reverse(entry)) = pred_heap.peek() {
+            let live = ops[entry.id as usize]
+                .as_ref()
+                .is_some_and(|op| op.watch_epoch == entry.epoch);
+            if live {
+                earliest = Some(earliest.map_or(entry.at, |e: SimTime| e.min(entry.at)));
+                break;
+            }
+            pred_heap.pop();
         }
         for &cid in &self.running_copies {
             let op = self.op(cid);
             if op.rate > 0.0 {
-                let t = self.now + copy_eta(op.remaining, op.rate);
+                let t = now + copy_eta(op.remaining, op.rate);
                 earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
             }
         }
         earliest
     }
 
-    /// Recomputes kernel rates and copy bandwidth shares if dirty.
+    /// Recomputes kernel rates (incrementally) and copy bandwidth shares
+    /// if dirty. Only kernels the incremental evaluator actually touched
+    /// are copied back; everything else kept its rate bit-for-bit, so
+    /// skipping the copy-back is observationally identical to the old full
+    /// rewrite. Copy shares depend only on the copy count, so they refresh
+    /// on their own `copies_dirty` flag (kernel events leave them alone).
     fn refresh_rates(&mut self) {
-        if !self.rates_dirty {
-            return;
-        }
-        self.rates_dirty = false;
-
-        // Kernels: evaluate the interference model into scratch buffers.
-        let Self {
-            spec,
-            streams,
-            ops,
-            running_kernels,
-            running_copies,
-            loads,
-            eval,
-            ..
-        } = self;
-        loads.clear();
-        for &kid in running_kernels.iter() {
-            let op = ops[kid as usize].as_ref().expect("running op exists");
-            let OpKind::Kernel(k) = &op.kind else {
-                unreachable!("running_kernels holds only kernels");
-            };
-            loads.push(KernelLoad {
-                sm_needed: op.sm_needed,
-                sm_granted: op.sm_granted,
-                compute_demand: k.compute_util,
-                mem_demand: k.mem_util,
-                urgency: streams[op.stream.0 as usize].priority.urgency(),
-                seq: op.dispatch_seq,
-            });
-        }
-        evaluate_into(&ModelParams::from(&*spec), loads, eval);
-        for (&kid, r) in running_kernels.iter().zip(eval.rates.iter()) {
-            let op = ops[kid as usize].as_mut().expect("running op exists");
-            op.sm_granted = r.sm_granted;
-            op.rate = r.rate;
-            if r.rate < 1.0 - 1e-9 {
-                op.interfered = true;
+        if self.rates_dirty {
+            self.rates_dirty = false;
+            let refreshed = self.inc.refresh();
+            if refreshed != Refreshed::Unchanged {
+                let Self {
+                    ops,
+                    running_kernels,
+                    kremaining,
+                    inc,
+                    pred_heap,
+                    next_watch_epoch,
+                    now,
+                    ..
+                } = self;
+                let now = *now;
+                let rates = inc.rates();
+                let mut apply = |i: usize| {
+                    let kid = running_kernels[i];
+                    let r = rates[i];
+                    let op = ops[kid as usize].as_mut().expect("running op exists");
+                    if r.rate < 1.0 - 1e-9 {
+                        op.interfered = true;
+                    }
+                    // Completion-watch maintenance: unit-rate kernels carry
+                    // an exact push-time prediction in the heap; contended
+                    // ones drift and are re-predicted from the dense
+                    // columns on demand. Leaving the heap bumps the epoch,
+                    // which lazily invalidates the old entry.
+                    if r.rate == 1.0 {
+                        if op.watch != WatchKind::Heap || op.watch_epoch == 0 {
+                            *next_watch_epoch += 1;
+                            op.watch = WatchKind::Heap;
+                            op.watch_epoch = *next_watch_epoch;
+                            pred_heap.push(std::cmp::Reverse(PredEntry {
+                                at: now + kernel_eta(kremaining[i], 1.0),
+                                id: kid,
+                                epoch: op.watch_epoch,
+                            }));
+                        }
+                    } else if op.watch == WatchKind::Heap {
+                        *next_watch_epoch += 1;
+                        op.watch = WatchKind::Scan;
+                        op.watch_epoch = *next_watch_epoch;
+                    } else {
+                        op.watch = WatchKind::Scan;
+                    }
+                };
+                if refreshed == Refreshed::All {
+                    for i in 0..running_kernels.len() {
+                        apply(i);
+                    }
+                } else {
+                    for &i in inc.changed() {
+                        apply(i as usize);
+                    }
+                }
             }
         }
 
         // Copies: processor-share the PCIe link.
-        let n = running_copies.len();
-        if n > 0 {
-            let share = spec.pcie_bandwidth / n as f64;
-            for &cid in running_copies.iter() {
-                let op = ops[cid as usize].as_mut().expect("running copy exists");
-                op.rate = share;
-                if n > 1 {
-                    op.interfered = true;
+        if self.copies_dirty {
+            self.copies_dirty = false;
+            let n = self.running_copies.len();
+            if n > 0 {
+                let share = self.spec.pcie_bandwidth / n as f64;
+                for i in 0..n {
+                    let cid = self.running_copies[i];
+                    let op = self.ops[cid as usize].as_mut().expect("running copy exists");
+                    op.rate = share;
+                    if n > 1 {
+                        op.interfered = true;
+                    }
                 }
             }
         }
@@ -745,7 +1077,8 @@ impl GpuEngine {
         let Self {
             spec,
             ops,
-            running_kernels,
+            kremaining,
+            inc,
             running_copies,
             util,
             ..
@@ -753,14 +1086,19 @@ impl GpuEngine {
         let mut compute = 0.0;
         let mut mem_bw = 0.0;
         let mut sm_busy = 0u32;
-        for &kid in running_kernels.iter() {
-            let op = ops[kid as usize].as_ref().expect("running op");
-            let OpKind::Kernel(k) = &op.kind else {
-                unreachable!()
-            };
-            compute += op.rate * k.compute_util;
-            mem_bw += op.rate * k.mem_util;
-            sm_busy += op.sm_granted;
+        // Single pass over the dense columns: accumulate utilization and
+        // advance progress together. `loads` carries each kernel's solo
+        // demands and `rates` its current rate/grant — bitwise the values
+        // the old slab walk read from the per-op fields, in the same
+        // (dispatch) order, so the float sums are unchanged.
+        let loads = inc.loads();
+        let rates = inc.rates();
+        for (i, rem) in kremaining.iter_mut().enumerate() {
+            let rate = rates[i].rate;
+            compute += rate * loads[i].compute_demand;
+            mem_bw += rate * loads[i].mem_demand;
+            sm_busy += rates[i].sm_granted;
+            *rem -= rate * dt_ns;
         }
         util.add(
             now,
@@ -769,10 +1107,6 @@ impl GpuEngine {
             mem_bw.min(1.0),
             (sm_busy as f64 / spec.num_sms as f64).min(1.0),
         );
-        for &kid in running_kernels.iter() {
-            let op = ops[kid as usize].as_mut().expect("running op");
-            op.remaining -= op.rate * dt_ns;
-        }
         let dt_s = dur.as_secs_f64();
         for &cid in running_copies.iter() {
             let op = ops[cid as usize].as_mut().expect("running copy");
@@ -789,23 +1123,37 @@ impl GpuEngine {
 
         // One in-place pass per list: drop finished ids while collecting
         // them (in running order, which is dispatch order) into scratch.
+        // Positions are collected too so the incremental evaluator compacts
+        // its mirror of `running_kernels` identically.
         let mut finished = std::mem::take(&mut self.scratch_ids);
+        let mut positions = std::mem::take(&mut self.scratch_pos);
         finished.clear();
+        positions.clear();
         {
             let Self {
-                ops,
                 running_kernels,
+                kremaining,
                 ..
             } = self;
-            running_kernels.retain(|&kid| {
-                if ops[kid as usize].as_ref().expect("running op").remaining <= EPS {
-                    finished.push(kid);
-                    false
+            let n = running_kernels.len();
+            let mut w = 0usize;
+            for r in 0..n {
+                if kremaining[r] <= EPS {
+                    finished.push(running_kernels[r]);
+                    positions.push(r as u32);
                 } else {
-                    true
+                    running_kernels[w] = running_kernels[r];
+                    kremaining[w] = kremaining[r];
+                    w += 1;
                 }
-            });
+            }
+            running_kernels.truncate(w);
+            kremaining.truncate(w);
         }
+        if !positions.is_empty() {
+            self.inc.remove_sorted(&positions);
+        }
+        self.scratch_pos = positions;
         for &kid in &finished {
             self.finish_op(kid, at, None);
         }
@@ -826,10 +1174,14 @@ impl GpuEngine {
                 }
             });
         }
+        if !finished.is_empty() {
+            self.copies_dirty = true;
+        }
         for &cid in &finished {
             let blocking = matches!(
                 self.op(cid).kind,
-                OpKind::MemcpyH2D { blocking: true, .. } | OpKind::MemcpyD2H { blocking: true, .. }
+                OpPayload::MemcpyH2D { blocking: true, .. }
+                    | OpPayload::MemcpyD2H { blocking: true, .. }
             );
             if blocking {
                 self.blocking_copies -= 1;
@@ -856,6 +1208,7 @@ impl GpuEngine {
         let mut ids = std::mem::take(&mut self.scratch_ids);
         ids.clear();
         ids.append(&mut self.running_kernels);
+        self.kremaining.clear();
         ids.append(&mut self.running_copies);
         for st in &mut self.streams {
             if let Some(id) = st.inflight.take() {
@@ -873,6 +1226,11 @@ impl GpuEngine {
         self.blocking_copies = 0;
         self.sync_requested = false;
         self.rates_dirty = true;
+        self.copies_dirty = true;
+        // The evaluator mirrors `running_kernels`, which is now empty.
+        // Stale watch entries (heap + contended) die lazily on epoch/slab
+        // checks.
+        self.inc.clear();
         ids.clear();
         self.scratch_ids = ids;
     }
@@ -881,16 +1239,15 @@ impl GpuEngine {
     /// any), records the completion, frees its stream slot, and retires the
     /// slab slot (recycled after the next completion drain).
     fn finish_op(&mut self, op_id: u64, at: SimTime, alloc: Option<AllocId>) {
-        let status = match self.op(op_id).fault {
+        let fault = self.op(op_id).fault;
+        let status = match fault {
             Some(FaultKind::KernelFault | FaultKind::CopyFail | FaultKind::MallocFail) => {
                 CompletionStatus::Faulted
             }
             // A stall only stretches execution; the op itself succeeds.
             Some(FaultKind::Stall) | None => CompletionStatus::Ok,
         };
-        if status == CompletionStatus::Faulted
-            && matches!(self.op(op_id).fault, Some(FaultKind::KernelFault))
-        {
+        if matches!(fault, Some(FaultKind::KernelFault)) {
             // Sticky CUDA semantics: the abort applies after the current
             // completion pass (see `complete_finished`).
             self.device_fault_pending = true;
@@ -906,43 +1263,74 @@ impl GpuEngine {
         alloc: Option<AllocId>,
         status: CompletionStatus,
     ) {
-        let op = self.ops[op_id as usize]
-            .take()
-            .expect("finishing op exists");
-        let kind_label = op.kind.label();
-        if let Some(trace) = &mut self.trace {
-            let name = match &op.kind {
-                OpKind::Kernel(k) => Arc::clone(&k.name),
+        let Self {
+            ops,
+            streams,
+            completions,
+            trace,
+            event_log,
+            retired_ops,
+            rates_dirty,
+            descs,
+            free_descs,
+            last_desc,
+            ..
+        } = self;
+        let slot = &mut ops[op_id as usize];
+        let op = slot.as_ref().expect("finishing op exists");
+        let kind = op.kind;
+        let kind_label = kind.label();
+        let stream = op.stream;
+        let dispatched_at = (op.dispatched_at != UNDISPATCHED).then_some(op.dispatched_at);
+        let interfered = op.interfered;
+        if let Some(trace) = trace {
+            let name = match kind {
+                OpPayload::Kernel(idx) => Arc::clone(&descs[idx as usize].desc.name),
                 other => Arc::from(other.label()),
             };
             trace.spans.push(Span {
                 name,
-                stream: op.stream,
+                stream,
                 submitted: op.submitted_at,
-                dispatched: op.dispatched_at.unwrap_or(op.submitted_at),
+                dispatched: dispatched_at.unwrap_or(op.submitted_at),
                 completed: at,
                 kind: kind_label,
             });
         }
-        if let Some(st) = self.streams.get_mut(op.stream.0 as usize) {
+        if let OpPayload::Kernel(idx) = kind {
+            // Inline `release_desc` (the `Self` destructure holds the field
+            // borrows): drop the op's interned-descriptor reference.
+            let dslot = &mut descs[idx as usize];
+            dslot.live -= 1;
+            if dslot.live == 0 {
+                free_descs.push(idx);
+                if *last_desc == Some(idx) {
+                    *last_desc = None;
+                }
+            }
+        }
+        // Retire in place: the payload is plain data, so assigning `None`
+        // is a tag store — no drop glue, no whole-struct move.
+        *slot = None;
+        if let Some(st) = streams.get_mut(stream.0 as usize) {
             if st.inflight == Some(op_id) {
                 st.inflight = None;
             }
         }
-        self.completions.push(Completion {
+        completions.push(Completion {
             op: OpId(op_id),
-            stream: op.stream,
+            stream,
             at,
             alloc,
             kind: kind_label,
-            dispatched_at: op.dispatched_at,
-            interfered: op.interfered,
+            dispatched_at,
+            interfered,
             status,
         });
-        if let Some(log) = &mut self.event_log {
+        if let Some(log) = event_log {
             log.push(EngineEvent {
                 op: OpId(op_id),
-                stream: op.stream,
+                stream,
                 at,
                 kind: match status {
                     CompletionStatus::Ok => EngineEventKind::Completed,
@@ -951,29 +1339,133 @@ impl GpuEngine {
                 },
             });
         }
-        self.retired_ops.push(op_id);
-        self.rates_dirty = true;
+        retired_ops.push(op_id);
+        *rates_dirty = true;
     }
 
-    /// Pulls work from stream queues onto the device wherever permitted.
-    fn try_dispatch(&mut self) {
-        /// Head-of-queue classification copied out of the op so the dispatch
-        /// loop never clones an [`OpKind`] (a kernel clone would copy the
-        /// whole descriptor).
+    /// Examines one stream's head-of-queue and dispatches it if the current
+    /// gates permit. Shared by the full fixpoint loop
+    /// ([`GpuEngine::try_dispatch`]) and the single-stream submit fast path
+    /// ([`GpuEngine::try_dispatch_from`]). Returns what was dispatched (or
+    /// [`HeadOutcome::None`]) so callers know whether to keep going.
+    fn dispatch_head(&mut self, sid: usize) -> HeadOutcome {
+        /// Head-of-queue classification copied out of the op (the payload is
+        /// `Copy`; a kernel carries only its interned descriptor index).
         enum Head {
-            Kernel,
+            Kernel { desc: u32 },
             Copy { blocking: bool },
             Sync,
             Event { event: u64 },
         }
 
+        let st = &mut self.streams[sid];
+        if st.inflight.is_some() {
+            return HeadOutcome::None;
+        }
+        let Some(&head) = st.queue.front() else {
+            return HeadOutcome::None;
+        };
+        let head_kind = match self.op(head).kind {
+            OpPayload::Kernel(desc) => Head::Kernel { desc },
+            OpPayload::MemcpyH2D { blocking, .. } | OpPayload::MemcpyD2H { blocking, .. } => {
+                Head::Copy { blocking }
+            }
+            OpPayload::Malloc { .. } | OpPayload::Free { .. } => Head::Sync,
+            OpPayload::EventRecord { event } => Head::Event { event: event.0 },
+        };
+        match head_kind {
+            Head::Kernel { desc } => {
+                if self.blocking_copies > 0 || self.sync_requested {
+                    return HeadOutcome::None;
+                }
+                let st = &mut self.streams[sid];
+                st.queue.pop_front();
+                st.inflight = Some(head);
+                let seq = self.next_dispatch_seq;
+                self.next_dispatch_seq += 1;
+                let now = self.now;
+                let urgency = self.streams[sid].priority.urgency();
+                let load = {
+                    let k = &self.descs[desc as usize].desc;
+                    KernelLoad {
+                        sm_needed: k.sm_needed(&self.spec),
+                        sm_granted: 0,
+                        compute_demand: k.compute_util,
+                        mem_demand: k.mem_util,
+                        urgency,
+                        seq,
+                    }
+                };
+                let op = self.ops[head as usize].as_mut().expect("op exists");
+                op.dispatched_at = now;
+                let remaining = op.remaining;
+                self.running_kernels.push(head);
+                self.kremaining.push(remaining);
+                // Grants happen at the next refresh, in global (urgency,
+                // seq) order over all starved kernels — identical to a full
+                // evaluation of the post-dispatch set.
+                self.inc.add(load);
+                self.rates_dirty = true;
+                HeadOutcome::Kernel
+            }
+            Head::Copy { blocking } => {
+                if self.sync_requested {
+                    return HeadOutcome::None;
+                }
+                let st = &mut self.streams[sid];
+                st.queue.pop_front();
+                st.inflight = Some(head);
+                let now = self.now;
+                let op = self.ops[head as usize].as_mut().expect("op exists");
+                op.dispatched_at = now;
+                self.running_copies.push(head);
+                if blocking {
+                    self.blocking_copies += 1;
+                }
+                self.copies_dirty = true;
+                HeadOutcome::Copy
+            }
+            Head::Sync => {
+                // Take the slot and request drain; applied when idle.
+                let st = &mut self.streams[sid];
+                st.queue.pop_front();
+                st.inflight = Some(head);
+                self.sync_requested = true;
+                HeadOutcome::Sync
+            }
+            Head::Event { event } => {
+                // Zero-duration marker: completes instantly once all
+                // prior ops on the stream are done.
+                let st = &mut self.streams[sid];
+                st.queue.pop_front();
+                let idx = event as usize;
+                if idx >= self.events.len() {
+                    self.events.resize(idx + 1, false);
+                }
+                self.events[idx] = true;
+                let at = self.now;
+                self.finish_op(head, at, None);
+                HeadOutcome::Event
+            }
+        }
+    }
+
+    /// Pulls work from stream queues onto the device wherever permitted.
+    fn try_dispatch(&mut self) {
         // A faulted device dispatches nothing until it is reset.
         if self.device_faulted {
             return;
         }
 
         loop {
-            let mut dispatched_any = false;
+            // Only dispatches that can *enable* further dispatches force
+            // another pass: an event completes instantly (its stream's next
+            // head becomes a candidate) and a sync may drain and release
+            // every waiting sync op. A kernel or copy occupies its own
+            // stream slot and relaxes no gate, so a pass that dispatched
+            // only those needs no re-verification — the fixpoint is proven,
+            // not re-scanned.
+            let mut repass = false;
 
             // Device-wide sync: when requested and the device is drained,
             // apply all head-of-stream sync ops, then resume.
@@ -991,90 +1483,46 @@ impl GpuEngine {
             // `create_stream`, never inside dispatch.
             for oi in 0..self.dispatch_order.len() {
                 let sid = self.dispatch_order[oi] as usize;
-                let st = &mut self.streams[sid];
-                if st.inflight.is_some() {
-                    continue;
-                }
-                let Some(&head) = st.queue.front() else {
-                    continue;
-                };
-                let head_kind = match &self.op(head).kind {
-                    OpKind::Kernel(_) => Head::Kernel,
-                    OpKind::MemcpyH2D { blocking, .. } | OpKind::MemcpyD2H { blocking, .. } => {
-                        Head::Copy {
-                            blocking: *blocking,
-                        }
-                    }
-                    OpKind::Malloc { .. } | OpKind::Free { .. } => Head::Sync,
-                    OpKind::EventRecord { event } => Head::Event { event: event.0 },
-                };
-                match head_kind {
-                    Head::Kernel => {
-                        if self.blocking_copies > 0 || self.sync_requested {
-                            continue;
-                        }
-                        let st = &mut self.streams[sid];
-                        st.queue.pop_front();
-                        st.inflight = Some(head);
-                        let seq = self.next_dispatch_seq;
-                        self.next_dispatch_seq += 1;
-                        let now = self.now;
-                        let spec = &self.spec;
-                        let op = self.ops[head as usize].as_mut().expect("op exists");
-                        let OpKind::Kernel(k) = &op.kind else {
-                            unreachable!("head classified as kernel")
-                        };
-                        op.sm_needed = k.sm_needed(spec);
-                        op.dispatch_seq = seq;
-                        op.dispatched_at = Some(now);
-                        self.running_kernels.push(head);
-                        self.rates_dirty = true;
-                        dispatched_any = true;
-                    }
-                    Head::Copy { blocking } => {
-                        if self.sync_requested {
-                            continue;
-                        }
-                        let st = &mut self.streams[sid];
-                        st.queue.pop_front();
-                        st.inflight = Some(head);
-                        let now = self.now;
-                        let op = self.ops[head as usize].as_mut().expect("op exists");
-                        op.dispatched_at = Some(now);
-                        self.running_copies.push(head);
-                        if blocking {
-                            self.blocking_copies += 1;
-                        }
-                        self.rates_dirty = true;
-                        dispatched_any = true;
-                    }
-                    Head::Sync => {
-                        // Take the slot and request drain; applied when idle.
-                        let st = &mut self.streams[sid];
-                        st.queue.pop_front();
-                        st.inflight = Some(head);
-                        self.sync_requested = true;
-                        dispatched_any = true;
-                    }
-                    Head::Event { event } => {
-                        // Zero-duration marker: completes instantly once all
-                        // prior ops on the stream are done.
-                        let st = &mut self.streams[sid];
-                        st.queue.pop_front();
-                        let idx = event as usize;
-                        if idx >= self.events.len() {
-                            self.events.resize(idx + 1, false);
-                        }
-                        self.events[idx] = true;
-                        let at = self.now;
-                        self.finish_op(head, at, None);
-                        dispatched_any = true;
-                    }
+                match self.dispatch_head(sid) {
+                    HeadOutcome::None | HeadOutcome::Kernel | HeadOutcome::Copy => {}
+                    HeadOutcome::Event | HeadOutcome::Sync => repass = true,
                 }
             }
 
-            if !dispatched_any {
+            if !repass {
                 return;
+            }
+        }
+    }
+
+    /// Submit fast path: only stream `sid` gained a head, so only it can
+    /// have become dispatchable.
+    ///
+    /// Invariant this relies on: every engine mutation ends in a dispatch
+    /// fixpoint, so before this submit no stream had a dispatchable head,
+    /// and dispatching from `sid` never unblocks another stream (a kernel
+    /// or copy occupies `sid`'s slot; an event record completes with no
+    /// cross-stream effect; a sync drain on an idle device completes only
+    /// `sid`'s own sync op because `sync_requested == false` here implies
+    /// no other stream has one in flight). A pending device-wide sync
+    /// implies a busy device — the full loop dispatches nothing at all in
+    /// that state, so returning immediately matches it.
+    fn try_dispatch_from(&mut self, sid: usize) {
+        if self.device_faulted || self.sync_requested {
+            return;
+        }
+        loop {
+            match self.dispatch_head(sid) {
+                HeadOutcome::None | HeadOutcome::Kernel | HeadOutcome::Copy => return,
+                // The next head on this stream may now be dispatchable.
+                HeadOutcome::Event => {}
+                HeadOutcome::Sync => {
+                    if self.busy() {
+                        return;
+                    }
+                    self.apply_sync_ops();
+                    self.sync_requested = false;
+                }
             }
         }
     }
@@ -1090,7 +1538,7 @@ impl GpuEngine {
             if let Some(id) = st.inflight {
                 if matches!(
                     self.op(id).kind,
-                    OpKind::Malloc { .. } | OpKind::Free { .. }
+                    OpPayload::Malloc { .. } | OpPayload::Free { .. }
                 ) {
                     pending.push(id);
                 }
@@ -1102,9 +1550,9 @@ impl GpuEngine {
                 Malloc(u64),
                 Free(AllocId),
             }
-            let sync = match &self.op(op_id).kind {
-                OpKind::Malloc { bytes } => Sync::Malloc(*bytes),
-                OpKind::Free { alloc } => Sync::Free(*alloc),
+            let sync = match self.op(op_id).kind {
+                OpPayload::Malloc { bytes } => Sync::Malloc(bytes),
+                OpPayload::Free { alloc } => Sync::Free(alloc),
                 _ => unreachable!("apply_sync_ops only sees malloc/free"),
             };
             let alloc = match sync {
@@ -1139,7 +1587,7 @@ mod tests {
         GpuEngine::new(GpuSpec::v100_16gb(), true)
     }
 
-    fn kernel(id: u32, us: u64, sm: u32, c: f64, m: f64) -> KernelDesc {
+    fn kernel(id: u32, us: u64, sm: u32, c: f64, m: f64) -> Arc<KernelDesc> {
         // threads 1024 -> 2 blocks/SM, so grid = 2*sm blocks => sm_needed = sm.
         KernelBuilder::new(id, format!("k{id}"))
             .grid_blocks(2 * sm)

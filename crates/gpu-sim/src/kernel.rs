@@ -268,11 +268,26 @@ impl KernelBuilder {
 
     /// Finishes the builder.
     ///
+    /// Returns the description behind an `Arc`: kernel descriptions are
+    /// immutable once built and shared by every submission of the same
+    /// kernel, so op queues carry an 8-byte handle (one refcount bump per
+    /// submit) instead of a ~100-byte inline copy.
+    ///
     /// # Panics
     ///
     /// Panics if the resulting description fails [`KernelDesc::validate`];
     /// builders are for statically-known test/workload kernels.
-    pub fn build(self) -> KernelDesc {
+    pub fn build(self) -> Arc<KernelDesc> {
+        Arc::new(self.build_desc())
+    }
+
+    /// Finishes the builder into a bare (unshared) description, for callers
+    /// that need to tweak fields afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting description fails [`KernelDesc::validate`].
+    pub fn build_desc(self) -> KernelDesc {
         self.desc
             .validate()
             .unwrap_or_else(|e| panic!("invalid kernel from builder: {e}"));
@@ -384,7 +399,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_kernels() {
-        let mut k = KernelBuilder::new(0, "ok").build();
+        let mut k = KernelBuilder::new(0, "ok").build_desc();
         assert!(k.validate().is_ok());
         k.grid_blocks = 0;
         assert!(k.validate().is_err());
@@ -401,6 +416,6 @@ mod tests {
         let k = KernelBuilder::new(7, "conv").utilization(0.8, 0.2).build();
         let s = k.to_json().to_compact();
         let back = KernelDesc::from_json(&orion_json::parse(&s).unwrap()).unwrap();
-        assert_eq!(k, back);
+        assert_eq!(*k, back);
     }
 }

@@ -2,6 +2,8 @@
 //! surface, including the sticky [`GpuError::DeviceFault`] state machine
 //! (fault → every submit rejected → `reset_device` → submits accepted).
 
+use std::sync::Arc;
+
 use orion_desim::time::SimTime;
 use orion_gpu::engine::{CompletionStatus, EventId, GpuEngine, OpKind};
 use orion_gpu::error::GpuError;
@@ -15,7 +17,7 @@ fn engine() -> GpuEngine {
     GpuEngine::new(GpuSpec::v100_16gb(), true)
 }
 
-fn kernel(id: u32) -> KernelDesc {
+fn kernel(id: u32) -> Arc<KernelDesc> {
     KernelBuilder::new(id, format!("k{id}"))
         .grid_blocks(80)
         .threads_per_block(1024)

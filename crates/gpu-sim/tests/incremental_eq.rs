@@ -1,0 +1,445 @@
+//! Differential equivalence harness for the incremental interference
+//! evaluator.
+//!
+//! The engine's hot path maintains interference state with
+//! [`IncrementalEval`], which claims to be **bit-identical** to running the
+//! full [`evaluate_into`] from scratch on the same loads after every
+//! membership change. These tests attack that claim two ways:
+//!
+//! 1. **Direct churn** — seeded random add/remove/clear sequences against a
+//!    bare `IncrementalEval`, comparing rates, grants, and rationing factors
+//!    bit-for-bit against a fresh full evaluation after every refresh. A
+//!    mismatch is shrunk (greedy delta-debugging) to a minimal failing op
+//!    sequence before the panic, so the report is directly actionable.
+//! 2. **Engine churn** — seeded random workloads (kernels, PCIe copies,
+//!    faults, device resets, 1–64 streams) against a real [`GpuEngine`],
+//!    comparing the engine's incremental rates against a full evaluation of
+//!    its own load snapshot after every step.
+//!
+//! Plus the per-timestamp evaluation-dedup regression test for the engine's
+//! batched completion drain (`eval_count` / `eval_full_count`).
+
+use orion_desim::rng::{cell_seed, DetRng};
+use orion_desim::time::SimTime;
+use orion_gpu::engine::{GpuEngine, OpKind};
+use orion_gpu::fault::{FaultPlan, FaultRates};
+use orion_gpu::interference::{
+    evaluate_into, EvalScratch, IncrementalEval, KernelLoad, ModelParams,
+};
+use orion_gpu::kernel::KernelBuilder;
+use orion_gpu::spec::GpuSpec;
+use orion_gpu::stream::StreamPriority;
+
+/// One membership-churn step against the incremental evaluator.
+#[derive(Clone, Copy, Debug)]
+enum ChurnOp {
+    /// Add a kernel (seq is assigned monotonically at replay time).
+    Add {
+        sm_needed: u32,
+        compute: f64,
+        mem: f64,
+        urgency: i16,
+    },
+    /// Remove the load at `pick % len` (no-op when empty).
+    Remove { pick: u64 },
+    /// Remove every `(pick % 3 + 2)`-th load (no-op when empty).
+    RemoveBatch { pick: u64 },
+    /// Remove everything (device reset path).
+    Clear,
+}
+
+fn gen_ops(rng: &mut DetRng) -> Vec<ChurnOp> {
+    let len = 5 + rng.uniform_u64(55) as usize;
+    (0..len)
+        .map(|_| match rng.uniform_u64(100) {
+            // Adds dominate so the set actually grows; needs oversubscribe
+            // the 80-SM device and demands push past both capacity roofs.
+            0..=54 => ChurnOp::Add {
+                sm_needed: 1 + rng.uniform_u64(159) as u32,
+                compute: rng.next_f64(),
+                mem: rng.next_f64(),
+                urgency: rng.uniform_u64(64) as i16 - 32,
+            },
+            55..=84 => ChurnOp::Remove {
+                pick: rng.uniform_u64(1 << 32),
+            },
+            85..=95 => ChurnOp::RemoveBatch {
+                pick: rng.uniform_u64(1 << 32),
+            },
+            _ => ChurnOp::Clear,
+        })
+        .collect()
+}
+
+/// Compares the incremental state against a fresh full evaluation of the
+/// same loads. Bitwise: any ULP of drift is a failure.
+fn compare(params: &ModelParams, inc: &IncrementalEval, scratch: &mut EvalScratch) -> Option<String> {
+    evaluate_into(params, inc.loads(), scratch);
+    let got = inc.rates();
+    let want = &scratch.rates;
+    if got.len() != want.len() {
+        return Some(format!("rate count {} != full {}", got.len(), want.len()));
+    }
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        if g.sm_granted != w.sm_granted {
+            return Some(format!(
+                "kernel {i}: grant {} != full {}",
+                g.sm_granted, w.sm_granted
+            ));
+        }
+        for (field, gv, wv) in [
+            ("rate", g.rate, w.rate),
+            ("compute_used", g.compute_used, w.compute_used),
+            ("mem_used", g.mem_used, w.mem_used),
+        ] {
+            if gv.to_bits() != wv.to_bits() {
+                return Some(format!(
+                    "kernel {i}: {field} {gv:?} ({:#x}) != full {wv:?} ({:#x})",
+                    gv.to_bits(),
+                    wv.to_bits()
+                ));
+            }
+        }
+    }
+    let (full_cf, full_mf) = scratch.factors();
+    match inc.factors() {
+        Some((cf, mf)) => {
+            for (name, got_f, want_f) in [("compute", cf, full_cf), ("mem", mf, full_mf)] {
+                for (i, (g, w)) in got_f.iter().zip(want_f.iter()).enumerate() {
+                    if g.to_bits() != w.to_bits() {
+                        return Some(format!("kernel {i}: {name} factor {g:?} != full {w:?}"));
+                    }
+                }
+            }
+        }
+        // Under capacity the factors are not materialized: the full
+        // evaluator must agree they are all exactly 1.0.
+        None => {
+            for (name, want_f) in [("compute", full_cf), ("mem", full_mf)] {
+                if let Some((i, w)) = want_f.iter().enumerate().find(|(_, w)| **w != 1.0) {
+                    return Some(format!(
+                        "under-capacity claim wrong: full {name} factor[{i}] = {w:?}"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Replays `ops` from scratch; returns the first mismatch (step + detail).
+fn replay(params: &ModelParams, ops: &[ChurnOp]) -> Option<String> {
+    let mut inc = IncrementalEval::new(*params);
+    let mut scratch = EvalScratch::default();
+    let mut seq = 0u64;
+    let mut batch: Vec<u32> = Vec::new();
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            ChurnOp::Add {
+                sm_needed,
+                compute,
+                mem,
+                urgency,
+            } => {
+                inc.add(KernelLoad {
+                    sm_needed,
+                    sm_granted: 0,
+                    compute_demand: compute,
+                    mem_demand: mem,
+                    urgency,
+                    seq,
+                });
+                seq += 1;
+            }
+            ChurnOp::Remove { pick } => {
+                if !inc.is_empty() {
+                    inc.remove_sorted(&[(pick % inc.len() as u64) as u32]);
+                }
+            }
+            ChurnOp::RemoveBatch { pick } => {
+                if !inc.is_empty() {
+                    let stride = (pick % 3 + 2) as usize;
+                    batch.clear();
+                    batch.extend((0..inc.len()).step_by(stride).map(|i| i as u32));
+                    inc.remove_sorted(&batch);
+                }
+            }
+            ChurnOp::Clear => inc.clear(),
+        }
+        inc.refresh();
+        if let Some(msg) = compare(params, &inc, &mut scratch) {
+            return Some(format!("step {step} ({op:?}): {msg}"));
+        }
+    }
+    None
+}
+
+/// Greedy delta-debugging: drop ops one at a time while the replay still
+/// fails. Converges to a locally minimal failing sequence.
+fn shrink(params: &ModelParams, mut ops: Vec<ChurnOp>) -> Vec<ChurnOp> {
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < ops.len() {
+            let mut candidate = ops.clone();
+            candidate.remove(i);
+            if replay(params, &candidate).is_some() {
+                ops = candidate;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return ops;
+        }
+    }
+}
+
+fn run_churn_corpus(params: &ModelParams, tag: u64, cases: u64) {
+    for case in 0..cases {
+        let mut rng = DetRng::new(cell_seed(tag, case));
+        let ops = gen_ops(&mut rng);
+        if let Some(msg) = replay(params, &ops) {
+            let minimal = shrink(params, ops);
+            let repro = replay(params, &minimal).unwrap_or_default();
+            panic!(
+                "case {case}: {msg}\n\
+                 minimal failing sequence ({} ops): {minimal:#?}\n\
+                 minimal repro: {repro}",
+                minimal.len()
+            );
+        }
+    }
+}
+
+/// 128 seeded sequences on the V100 model: incremental rates, grants, and
+/// factors stay bit-identical to a fresh full evaluation after every
+/// membership change.
+#[test]
+fn incremental_matches_full_eval_under_churn() {
+    let params = ModelParams::from(&GpuSpec::v100_16gb());
+    run_churn_corpus(&params, 0xE1, 128);
+}
+
+/// Same corpus on a tiny 8-SM device: near-permanent starvation maximizes
+/// holder churn and interleave-alpha sensitivity.
+#[test]
+fn incremental_matches_full_eval_when_starved() {
+    let params = ModelParams {
+        num_sms: 8,
+        ..ModelParams::from(&GpuSpec::v100_16gb())
+    };
+    run_churn_corpus(&params, 0xE3, 64);
+}
+
+/// Forces a refresh (the engine refreshes lazily), then compares the
+/// engine's incremental rates against a full evaluation of its own load
+/// snapshot.
+fn check_engine(e: &mut GpuEngine, params: &ModelParams, scratch: &mut EvalScratch, ctx: &str) {
+    e.next_event_time();
+    evaluate_into(params, e.interference_loads(), scratch);
+    let got = e.interference_rates();
+    let want = &scratch.rates;
+    assert_eq!(got.len(), want.len(), "{ctx}: load count");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(g.sm_granted, w.sm_granted, "{ctx}: kernel {i} grant");
+        assert_eq!(
+            g.rate.to_bits(),
+            w.rate.to_bits(),
+            "{ctx}: kernel {i} rate {:?} != full {:?}",
+            g.rate,
+            w.rate
+        );
+        assert_eq!(
+            g.compute_used.to_bits(),
+            w.compute_used.to_bits(),
+            "{ctx}: kernel {i} compute_used"
+        );
+        assert_eq!(
+            g.mem_used.to_bits(),
+            w.mem_used.to_bits(),
+            "{ctx}: kernel {i} mem_used"
+        );
+    }
+}
+
+/// 48 seeded engine workloads over 1–64 streams with kernels, PCIe copies,
+/// fault injection, and device resets: after every submit/advance/reset the
+/// incremental state matches the full evaluator on the live kernel set.
+#[test]
+fn engine_rates_match_full_eval_under_churn() {
+    let params = ModelParams::from(&GpuSpec::v100_16gb());
+    for case in 0..48u64 {
+        let mut rng = DetRng::new(cell_seed(0xE2, case));
+        let n_streams = 1 + rng.uniform_u64(64) as usize;
+        let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
+        if case % 3 == 0 {
+            e.set_fault_plan(FaultPlan::seeded(
+                0xFA + case,
+                FaultRates {
+                    kernel_fault: 0.02,
+                    copy_fail: 0.05,
+                    malloc_fail: 0.02,
+                    ..FaultRates::default()
+                },
+            ));
+        }
+        let streams: Vec<_> = (0..n_streams)
+            .map(|i| {
+                e.create_stream(match i % 3 {
+                    0 => StreamPriority::HIGH,
+                    1 => StreamPriority::DEFAULT,
+                    _ => StreamPriority(1),
+                })
+            })
+            .collect();
+        let mut t = SimTime::ZERO;
+        for step in 0..220u32 {
+            let ctx = format!("case {case} step {step}");
+            match rng.uniform_u64(100) {
+                0..=54 => {
+                    let sm = 1 + rng.uniform_u64(100) as u32;
+                    let us = 5 + rng.uniform_u64(200);
+                    let k = KernelBuilder::new(step, format!("c{case}s{step}"))
+                        .grid_blocks(2 * sm)
+                        .threads_per_block(1024)
+                        .regs_per_thread(16)
+                        .solo_duration(SimTime::from_micros(us))
+                        .utilization(rng.next_f64(), rng.next_f64())
+                        .build();
+                    let s = streams[rng.uniform_u64(n_streams as u64) as usize];
+                    let _ = e.submit(s, OpKind::Kernel(k));
+                }
+                55..=69 => {
+                    let bytes = 1 << (10 + rng.uniform_u64(12));
+                    let blocking = rng.uniform_u64(4) == 0;
+                    let s = streams[rng.uniform_u64(n_streams as u64) as usize];
+                    let kind = if rng.uniform_u64(2) == 0 {
+                        OpKind::MemcpyH2D { bytes, blocking }
+                    } else {
+                        OpKind::MemcpyD2H { bytes, blocking }
+                    };
+                    let _ = e.submit(s, kind);
+                }
+                70..=92 => {
+                    t += SimTime::from_micros(1 + rng.uniform_u64(150));
+                    e.advance_to(t);
+                    e.drain_completions();
+                }
+                _ => {
+                    if e.device_faulted() || rng.uniform_u64(4) == 0 {
+                        e.reset_device();
+                        e.drain_completions();
+                    }
+                }
+            }
+            check_engine(&mut e, &params, &mut EvalScratch::default(), &ctx);
+        }
+        // Drain to idle and check the empty-set fixpoint too.
+        t += SimTime::from_secs(10);
+        e.advance_to(t);
+        if e.device_faulted() {
+            e.reset_device();
+        }
+        e.drain_completions();
+        check_engine(
+            &mut e,
+            &params,
+            &mut EvalScratch::default(),
+            &format!("case {case} drained"),
+        );
+    }
+}
+
+/// Regression test for the per-timestamp evaluation dedupe: a wave of
+/// same-instant completions must cost one evaluation, not one per
+/// completion — and under capacity no full (all-kernel) evaluation ever
+/// runs, at any stream count.
+#[test]
+fn same_timestamp_completions_evaluate_once() {
+    let mut evals_at = Vec::new();
+    for &n in &[4usize, 8, 32] {
+        let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
+        let streams: Vec<_> = (0..n)
+            .map(|_| e.create_stream(StreamPriority::DEFAULT))
+            .collect();
+        // n identical low-demand kernels: all dispatch at t=0 and all
+        // complete at the same instant, staying under both capacity roofs.
+        for (i, &s) in streams.iter().enumerate() {
+            let k = KernelBuilder::new(i as u32, format!("k{i}"))
+                .grid_blocks(4)
+                .threads_per_block(256)
+                .solo_duration(SimTime::from_micros(100))
+                .utilization(0.01, 0.01)
+                .build();
+            e.submit(s, OpKind::Kernel(k)).unwrap();
+        }
+        e.advance_to(SimTime::from_millis(1));
+        assert_eq!(e.drain_completions().len(), n);
+        // Under capacity the incremental evaluator never falls back to the
+        // full path, regardless of how many kernels run.
+        assert_eq!(e.eval_full_count(), 0, "streams={n}");
+        // One eval for the dispatch wave, one for the completion wave (plus
+        // at most one bookkeeping refresh) — NOT one per completion.
+        assert!(
+            e.eval_count() <= 4,
+            "streams={n}: {} evaluations for 2 timestamps",
+            e.eval_count()
+        );
+        evals_at.push(e.eval_count());
+    }
+    // Flat in the number of same-instant completions.
+    assert_eq!(evals_at[0], evals_at[2], "evals grew with stream count: {evals_at:?}");
+}
+
+/// Regression test for the steady-state composition memo: homogeneous
+/// over-capacity waves (each finished kernel replaced by an identical
+/// successor) must be answered from the memo, and — the bug this pins —
+/// every memo hit must restore the derived arrays, not just report the
+/// cached verdict. A memo that returns stale zero-rate placeholders stalls
+/// the simulation (kernels never progress) and diverges from the full
+/// evaluator; both symptoms are asserted against here.
+#[test]
+fn steady_state_memo_hits_restore_full_eval_output() {
+    let params = ModelParams::from(&GpuSpec::v100_16gb());
+    let mut scratch = EvalScratch::default();
+    let n_streams = 4usize;
+    let waves = 25u64;
+    let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
+    let streams: Vec<_> = (0..n_streams)
+        .map(|_| e.create_stream(StreamPriority::DEFAULT))
+        .collect();
+    // One shared prototype, submitted by reference: 4 x 40 SM-equivalents
+    // of demand on an 80-SM device keeps every wave over capacity, so each
+    // refresh takes the (memoizable) full path.
+    let proto = KernelBuilder::new(0, "memo")
+        .grid_blocks(40)
+        .threads_per_block(256)
+        .solo_duration(SimTime::from_micros(50))
+        .utilization(0.5, 0.3)
+        .build();
+    for i in 0..(waves * n_streams as u64) {
+        e.submit_kernel(streams[i as usize % n_streams], &proto)
+            .unwrap();
+    }
+    let mut t = SimTime::ZERO;
+    let mut checked_with_memo = 0u64;
+    while !e.fully_idle() {
+        t += SimTime::from_micros(75);
+        e.advance_to(t);
+        if e.eval_memo_count() > 0 && !e.interference_loads().is_empty() {
+            // The engine's post-refresh state must be bitwise the full
+            // evaluator's output even when the refresh was a memo hit.
+            check_engine(&mut e, &params, &mut scratch, &format!("wave at {t:?}"));
+            checked_with_memo += 1;
+        }
+    }
+    assert_eq!(e.drain_completions().len() as u64, waves * n_streams as u64);
+    assert!(
+        e.eval_memo_count() > waves / 2,
+        "homogeneous waves should hit the memo: {} hits over {waves} waves",
+        e.eval_memo_count()
+    );
+    assert!(checked_with_memo > 0, "memo-backed states were never checked");
+}

@@ -6,7 +6,9 @@
 use orion_desim::rng::{cell_seed, DetRng};
 use orion_desim::time::SimTime;
 use orion_gpu::engine::{GpuEngine, OpKind};
-use orion_gpu::interference::{allocate_sms, evaluate, KernelLoad, ModelParams};
+use orion_gpu::interference::{
+    allocate_sms, arbitrated_factors, evaluate, IncrementalEval, KernelLoad, ModelParams,
+};
 use orion_gpu::kernel::{classify_utilization, KernelBuilder, ResourceProfile};
 use orion_gpu::spec::GpuSpec;
 use orion_gpu::stream::StreamPriority;
@@ -148,6 +150,129 @@ fn kernels_complete_and_obey_bounds() {
         // interleaving slack.
         let upper = SimTime::from_micros(total).mul_f64(1.7) + SimTime::from_micros(1);
         assert!(makespan <= upper, "case {case}: makespan {makespan}, upper {upper}");
+    }
+}
+
+/// The incremental evaluator never over-grants: at every refresh point of a
+/// random add/remove churn the grant total stays within the device and each
+/// kernel's own need.
+#[test]
+fn incremental_grants_bounded_under_churn() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xB7, case));
+        let sms = 1 + rng.uniform_u64(199) as u32;
+        let params = ModelParams {
+            num_sms: sms,
+            ..ModelParams::from(&GpuSpec::v100_16gb())
+        };
+        let mut inc = IncrementalEval::new(params);
+        let mut seq = 0u64;
+        for step in 0..40 {
+            if inc.is_empty() || rng.uniform_u64(3) > 0 {
+                let mut l = gen_load(&mut rng);
+                l.seq = seq;
+                seq += 1;
+                inc.add(l);
+            } else {
+                inc.remove_sorted(&[rng.uniform_u64(inc.len() as u64) as u32]);
+            }
+            inc.refresh();
+            let total: u32 = inc.loads().iter().map(|l| l.sm_granted).sum();
+            assert!(total <= sms, "case {case} step {step}: {total} > {sms}");
+            for (l, r) in inc.loads().iter().zip(inc.rates()) {
+                assert!(l.sm_granted <= l.sm_needed, "case {case} step {step}");
+                assert_eq!(l.sm_granted, r.sm_granted, "case {case} step {step}");
+            }
+        }
+    }
+}
+
+/// Arbitrated rationing factors always land in (0, 1], including under
+/// heavy oversubscription.
+#[test]
+fn factors_in_unit_interval() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xB8, case));
+        let n = 1 + rng.uniform_u64(30) as usize;
+        let eff: Vec<f64> = (0..n).map(|_| rng.next_f64() * 2.0).collect();
+        let shares: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let total: f64 = eff.iter().sum();
+        let beta = rng.next_f64() * 2.0;
+        let arb = rng.next_f64();
+        for f in arbitrated_factors(total, beta, arb, &eff, &shares) {
+            assert!(
+                f > 0.0 && f <= 1.0,
+                "case {case}: factor {f} outside (0, 1] (total {total})"
+            );
+        }
+    }
+}
+
+/// Rates are monotonically non-increasing as co-runners are added one at a
+/// time (same roofline class throughout, so the interleave alpha of a
+/// starved kernel cannot flip upward when the dominant holder changes).
+#[test]
+fn rates_monotone_as_corunners_added() {
+    let p = ModelParams::from(&GpuSpec::v100_16gb());
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xB9, case));
+        let n = 2 + rng.uniform_u64(9) as usize;
+        let mut loads: Vec<KernelLoad> = Vec::new();
+        let mut prev: Vec<f64> = Vec::new();
+        for step in 0..n {
+            loads.push(KernelLoad {
+                sm_needed: 1 + rng.uniform_u64(119) as u32,
+                sm_granted: 0,
+                // All compute-bound: one resource class, one alpha.
+                compute_demand: 0.6 + 0.4 * rng.next_f64(),
+                mem_demand: 0.2 * rng.next_f64(),
+                urgency: 0,
+                seq: step as u64,
+            });
+            // Sticky grants: carry the grants forward like the engine does.
+            let rates = evaluate(&p, &loads);
+            for (l, r) in loads.iter_mut().zip(&rates) {
+                l.sm_granted = r.sm_granted;
+            }
+            for (i, old) in prev.iter().enumerate() {
+                assert!(
+                    rates[i].rate <= old + 1e-9,
+                    "case {case} step {step}: kernel {i} sped up {old} -> {}",
+                    rates[i].rate
+                );
+            }
+            prev = rates.iter().map(|r| r.rate).collect();
+        }
+    }
+}
+
+/// An idle-device evaluation yields the solo rate exactly: a lone kernel
+/// whose demand fits the device runs at bitwise 1.0, with its demands
+/// consumed verbatim.
+#[test]
+fn idle_device_solo_rates_exact() {
+    let p = ModelParams::from(&GpuSpec::v100_16gb());
+    for case in 0..CASES {
+        let mut rng = DetRng::new(cell_seed(0xBA, case));
+        let l = KernelLoad {
+            sm_needed: 1 + rng.uniform_u64(p.num_sms as u64) as u32,
+            sm_granted: 0,
+            compute_demand: rng.next_f64(),
+            mem_demand: rng.next_f64(),
+            urgency: rng.uniform_u64(5) as i16 - 2,
+            seq: 0,
+        };
+        let r = evaluate(&p, &[l])[0];
+        assert_eq!(r.rate.to_bits(), 1.0f64.to_bits(), "case {case}");
+        assert_eq!(r.sm_granted, l.sm_needed, "case {case}");
+        assert_eq!(r.compute_used.to_bits(), l.compute_demand.to_bits(), "case {case}");
+        assert_eq!(r.mem_used.to_bits(), l.mem_demand.to_bits(), "case {case}");
+
+        // The incremental evaluator agrees from a cold start.
+        let mut inc = IncrementalEval::new(p);
+        inc.add(KernelLoad { sm_granted: 0, ..l });
+        inc.refresh();
+        assert_eq!(inc.rates()[0].rate.to_bits(), 1.0f64.to_bits(), "case {case}");
     }
 }
 

@@ -7,6 +7,8 @@
 //!   BN2d+BN2d:     1.78 ms -> 1.65 ms (1.08x)
 //!   Conv2d+BN2d:   2.15 ms -> 1.52 ms (1.41x)
 
+use std::sync::Arc;
+
 use orion_desim::time::SimTime;
 use orion_gpu::engine::{GpuEngine, OpKind};
 use orion_gpu::kernel::{KernelBuilder, KernelDesc};
@@ -14,7 +16,7 @@ use orion_gpu::spec::GpuSpec;
 use orion_gpu::stream::StreamPriority;
 
 /// Conv2d with batch size 32: 1.35 ms solo, 100% of SMs, 89%/20% c/m util.
-fn conv2d() -> KernelDesc {
+fn conv2d() -> Arc<KernelDesc> {
     KernelBuilder::new(0, "conv2d")
         .grid_blocks(160) // 2 blocks/SM at 1024 threads -> 80 SMs
         .threads_per_block(1024)
@@ -25,7 +27,7 @@ fn conv2d() -> KernelDesc {
 }
 
 /// BN2d with batch size 32: 0.93 ms solo, 40% of SMs, 14%/80% c/m util.
-fn bn2d() -> KernelDesc {
+fn bn2d() -> Arc<KernelDesc> {
     KernelBuilder::new(1, "bn2d")
         .grid_blocks(64) // 2 blocks/SM -> 32 SMs (40% of 80)
         .threads_per_block(1024)
@@ -36,7 +38,7 @@ fn bn2d() -> KernelDesc {
 }
 
 /// Runs `a` then `b` on one stream; returns the makespan.
-fn sequential(a: KernelDesc, b: KernelDesc) -> SimTime {
+fn sequential(a: Arc<KernelDesc>, b: Arc<KernelDesc>) -> SimTime {
     let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
     let s = e.create_stream(StreamPriority::DEFAULT);
     e.submit(s, OpKind::Kernel(a)).unwrap();
@@ -46,7 +48,7 @@ fn sequential(a: KernelDesc, b: KernelDesc) -> SimTime {
 }
 
 /// Runs `a` and `b` concurrently on two streams; returns the makespan.
-fn collocated(a: KernelDesc, b: KernelDesc) -> SimTime {
+fn collocated(a: Arc<KernelDesc>, b: Arc<KernelDesc>) -> SimTime {
     let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
     let s1 = e.create_stream(StreamPriority::DEFAULT);
     let s2 = e.create_stream(StreamPriority::DEFAULT);
@@ -60,7 +62,7 @@ fn collocated(a: KernelDesc, b: KernelDesc) -> SimTime {
         .unwrap()
 }
 
-fn speedup(a: KernelDesc, b: KernelDesc) -> f64 {
+fn speedup(a: Arc<KernelDesc>, b: Arc<KernelDesc>) -> f64 {
     let seq = sequential(a.clone(), b.clone()).as_secs_f64();
     let col = collocated(a, b).as_secs_f64();
     seq / col

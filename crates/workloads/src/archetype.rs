@@ -6,6 +6,8 @@
 //! the paper's §3.1-§3.2 measurements) while the caller supplies duration and
 //! an index used for smooth deterministic variation within the band.
 
+use std::sync::Arc;
+
 use orion_desim::time::SimTime;
 use orion_gpu::kernel::{KernelBuilder, KernelDesc};
 
@@ -31,7 +33,7 @@ fn band(i: u32, lo: f64, hi: f64) -> f64 {
 ///
 /// `intensity` in `[0, 1]` shifts the utilization band (small batches sit
 /// lower; large batches saturate compute).
-pub fn conv(id: u32, dur: SimTime, sm: u32, intensity: f64) -> KernelDesc {
+pub fn conv(id: u32, dur: SimTime, sm: u32, intensity: f64) -> Arc<KernelDesc> {
     let c = lerp(0.45, 0.92, intensity) + 0.04 * wobble(id);
     let m = band(id.wrapping_add(13), 0.10, 0.30);
     KernelBuilder::new(id, format!("conv2d_fprop_{id}"))
@@ -45,7 +47,7 @@ pub fn conv(id: u32, dur: SimTime, sm: u32, intensity: f64) -> KernelDesc {
 }
 
 /// A dense GEMM (fully-connected / attention projection): compute-bound.
-pub fn gemm(id: u32, dur: SimTime, sm: u32, intensity: f64) -> KernelDesc {
+pub fn gemm(id: u32, dur: SimTime, sm: u32, intensity: f64) -> Arc<KernelDesc> {
     let c = lerp(0.50, 0.95, intensity) + 0.03 * wobble(id);
     let m = band(id.wrapping_add(7), 0.12, 0.32);
     KernelBuilder::new(id, format!("gemm_{id}"))
@@ -59,7 +61,7 @@ pub fn gemm(id: u32, dur: SimTime, sm: u32, intensity: f64) -> KernelDesc {
 }
 
 /// A batch-normalization kernel: memory-bound.
-pub fn batch_norm(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
+pub fn batch_norm(id: u32, dur: SimTime, sm: u32) -> Arc<KernelDesc> {
     let c = band(id, 0.06, 0.20);
     let m = band(id.wrapping_add(3), 0.62, 0.86);
     KernelBuilder::new(id, format!("batch_norm_{id}"))
@@ -72,7 +74,7 @@ pub fn batch_norm(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
 }
 
 /// An elementwise kernel (ReLU, residual add, dropout): memory-bound.
-pub fn elementwise(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
+pub fn elementwise(id: u32, dur: SimTime, sm: u32) -> Arc<KernelDesc> {
     let c = band(id, 0.04, 0.15);
     let m = band(id.wrapping_add(5), 0.60, 0.80);
     KernelBuilder::new(id, format!("elementwise_{id}"))
@@ -85,7 +87,7 @@ pub fn elementwise(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
 }
 
 /// A layer-norm / softmax kernel (NLP models): memory-bound.
-pub fn layer_norm(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
+pub fn layer_norm(id: u32, dur: SimTime, sm: u32) -> Arc<KernelDesc> {
     let c = band(id, 0.08, 0.22);
     let m = band(id.wrapping_add(11), 0.60, 0.82);
     KernelBuilder::new(id, format!("layer_norm_{id}"))
@@ -98,7 +100,7 @@ pub fn layer_norm(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
 }
 
 /// A pooling / small reduction kernel: below both 60% thresholds ("unknown").
-pub fn pooling(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
+pub fn pooling(id: u32, dur: SimTime, sm: u32) -> Arc<KernelDesc> {
     let c = band(id, 0.10, 0.35);
     let m = band(id.wrapping_add(9), 0.20, 0.50);
     KernelBuilder::new(id, format!("pooling_{id}"))
@@ -113,7 +115,7 @@ pub fn pooling(id: u32, dur: SimTime, sm: u32) -> KernelDesc {
 /// A kernel with caller-supplied utilization (used for calibrated "filler"
 /// kernels that tune a workload's average utilization to Table 1, and for
 /// special families like memory-bound LLM-decode GEMMs).
-pub fn custom(id: u32, prefix: &str, dur: SimTime, sm: u32, c: f64, m: f64) -> KernelDesc {
+pub fn custom(id: u32, prefix: &str, dur: SimTime, sm: u32, c: f64, m: f64) -> Arc<KernelDesc> {
     let c = (c + 0.02 * wobble(id)).clamp(0.01, 0.99);
     let m = (m + 0.02 * wobble(id.wrapping_add(23))).clamp(0.01, 0.99);
     KernelBuilder::new(id, format!("{prefix}_{id}"))
@@ -127,7 +129,7 @@ pub fn custom(id: u32, prefix: &str, dur: SimTime, sm: u32, c: f64, m: f64) -> K
 
 /// A tiny optimizer-update kernel (SGD/Adam step per tensor): very short and
 /// below both classification thresholds (the paper's "unknown" kernels).
-pub fn optimizer_update(id: u32, dur: SimTime) -> KernelDesc {
+pub fn optimizer_update(id: u32, dur: SimTime) -> Arc<KernelDesc> {
     let c = band(id, 0.03, 0.15);
     let m = band(id.wrapping_add(17), 0.10, 0.45);
     KernelBuilder::new(id, format!("optimizer_update_{id}"))

@@ -1,5 +1,7 @@
 //! Workload types: models, configurations, and the per-request op trace.
 
+use std::sync::Arc;
+
 use orion_desim::time::SimTime;
 use orion_gpu::kernel::{KernelDesc, ResourceProfile};
 
@@ -144,6 +146,8 @@ impl Workload {
         }
         for (_, op) in &mut w.ops {
             if let OpSpec::Kernel(k) = op {
+                // Descriptions are shared; rescale a private copy.
+                let k = Arc::make_mut(k);
                 k.solo_duration = k.solo_duration.div_f64(speedup);
             }
         }

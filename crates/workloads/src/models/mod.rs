@@ -14,6 +14,8 @@ pub mod resnet;
 pub mod transformer;
 
 use orion_desim::time::SimTime;
+use std::sync::Arc;
+
 use orion_gpu::kernel::KernelDesc;
 
 use crate::archetype;
@@ -51,7 +53,7 @@ impl TraceBuilder {
     }
 
     /// Pushes a kernel built by `f` from the next kernel id.
-    pub fn kernel(&mut self, f: impl FnOnce(u32) -> KernelDesc) -> &mut Self {
+    pub fn kernel(&mut self, f: impl FnOnce(u32) -> Arc<KernelDesc>) -> &mut Self {
         let id = self.next_id();
         let k = f(id);
         self.ops.push((self.phase, OpSpec::Kernel(k)));

@@ -1,5 +1,7 @@
 //! Operation specifications emitted by workload builders.
 
+use std::sync::Arc;
+
 use orion_gpu::kernel::KernelDesc;
 
 /// One GPU operation in a request/iteration, in submission order.
@@ -8,8 +10,9 @@ use orion_gpu::kernel::KernelDesc;
 /// CUDA runtime); the scheduler layer decides when each op reaches the device.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OpSpec {
-    /// A computation kernel.
-    Kernel(KernelDesc),
+    /// A computation kernel (shared, immutable description — see
+    /// [`orion_gpu::kernel::KernelBuilder::build`]).
+    Kernel(Arc<KernelDesc>),
     /// Host-to-device input copy.
     H2D {
         /// Payload bytes.
