@@ -9,17 +9,19 @@
 //! - `ORION_BENCH_OUT=<path>` — output path (default `BENCH_engine.json`
 //!   in the current directory, which `scripts/bench.sh` pins to repo root).
 //!
-//! Output schema (`orion-bench-engine/v1`):
+//! Output schema (`orion-bench-engine/v2`):
 //!
 //! ```json
 //! {
-//!   "schema": "orion-bench-engine/v1",
+//!   "schema": "orion-bench-engine/v2",
 //!   "fast": false,
 //!   "events_per_sec": 11.5e6,         // peak ops/sec over engine configs
 //!   "wall_ms": 343.0,                 // total wall clock of all sections
 //!   "engine": [                       // one row per (streams x ops) config
 //!     {"streams": 1, "ops": 1000, "iters": 20,
-//!      "events_per_sec": 7.0e6, "wall_ms": 2.9}
+//!      "events_per_sec": 7.0e6, "wall_ms": 2.9,
+//!      "eval_count": 12, "eval_full_count": 3, "eval_memo_count": 9,
+//!      "rate_class_peak": 1, "materialization_count": 0}
 //!   ],
 //!   "collocation": {                  // one fig6_7-style cell, Orion policy
 //!     "label": "resnet50+resnet50-train", "policy": "Orion",
@@ -42,13 +44,25 @@ use orion_json::{json, Value};
 use orion_workloads::arrivals::ArrivalProcess;
 use orion_workloads::model::ModelKind;
 
+/// Work-proportionality counters captured from one representative run of an
+/// engine config (evaluator activity plus the lazy-engine instrumentation).
+#[derive(Default, Clone, Copy)]
+struct RunCounters {
+    eval_count: u64,
+    eval_full_count: u64,
+    eval_memo_count: u64,
+    rate_class_peak: u32,
+    materialization_count: u64,
+}
+
 /// Submits `n_ops` kernels round-robin over `n_streams` streams and advances
-/// until all complete. Returns the number of completions (== `n_ops`).
+/// until all complete. Returns the number of completions (== `n_ops`) and the
+/// engine's work counters for the run.
 ///
 /// The kernel descriptor is built once and submitted by reference
 /// ([`GpuEngine::submit_kernel`]), so the timed region measures the engine,
 /// not the builder or `Arc` refcount traffic.
-fn submit_and_drain(n_ops: u64, n_streams: usize) -> Result<u64, Box<dyn Error>> {
+fn submit_and_drain(n_ops: u64, n_streams: usize) -> Result<(u64, RunCounters), Box<dyn Error>> {
     let mut e = GpuEngine::new(GpuSpec::v100_16gb(), false);
     let streams: Vec<_> = (0..n_streams)
         .map(|_| e.create_stream(StreamPriority::DEFAULT))
@@ -65,12 +79,20 @@ fn submit_and_drain(n_ops: u64, n_streams: usize) -> Result<u64, Box<dyn Error>>
             .map_err(|e| format!("submitting bench kernel {i}/{n_ops}: {e}"))?;
     }
     e.advance_to(SimTime::from_secs(60));
-    Ok(e.drain_completions().len() as u64)
+    let done = e.drain_completions().len() as u64;
+    let counters = RunCounters {
+        eval_count: e.eval_count(),
+        eval_full_count: e.eval_full_count(),
+        eval_memo_count: e.eval_memo_count(),
+        rate_class_peak: e.rate_class_peak(),
+        materialization_count: e.materialization_count(),
+    };
+    Ok((done, counters))
 }
 
 /// Times one engine config over `iters` timed iterations (plus one warmup).
 fn engine_config(n_ops: u64, n_streams: usize, iters: u32) -> Result<Value, Box<dyn Error>> {
-    let done = submit_and_drain(n_ops, n_streams)?; // warmup
+    let (done, counters) = submit_and_drain(n_ops, n_streams)?; // warmup
     if done != n_ops {
         return Err(format!(
             "engine dropped operations: {done}/{n_ops} completed (streams={n_streams})"
@@ -85,9 +107,14 @@ fn engine_config(n_ops: u64, n_streams: usize, iters: u32) -> Result<Value, Box<
     let total_ops = n_ops * iters as u64;
     let eps = total_ops as f64 / wall.as_secs_f64();
     eprintln!(
-        "[bench] engine streams={n_streams} ops={n_ops}: {:.0} events/sec ({:?}/iter)",
+        "[bench] engine streams={n_streams} ops={n_ops}: {:.0} events/sec ({:?}/iter, \
+         evals {}/{} full, classes<={}, materializations {})",
         eps,
-        wall / iters
+        wall / iters,
+        counters.eval_full_count,
+        counters.eval_count,
+        counters.rate_class_peak,
+        counters.materialization_count,
     );
     Ok(json!({
         "streams": n_streams as u64,
@@ -95,6 +122,11 @@ fn engine_config(n_ops: u64, n_streams: usize, iters: u32) -> Result<Value, Box<
         "iters": iters,
         "events_per_sec": eps,
         "wall_ms": wall.as_secs_f64() * 1e3,
+        "eval_count": counters.eval_count,
+        "eval_full_count": counters.eval_full_count,
+        "eval_memo_count": counters.eval_memo_count,
+        "rate_class_peak": counters.rate_class_peak as u64,
+        "materialization_count": counters.materialization_count,
     }))
 }
 
@@ -143,13 +175,25 @@ fn collocation(cfg: &ExpConfig) -> Result<Value, Box<dyn Error>> {
 }
 
 /// Scaling gate (`ORION_BENCH_GATE=1`): the 16-stream cell must stay within
-/// 20% of the 4-stream cell, or the old evaluation cliff is back. Runs its
-/// own moderately sized cells so CI's fast mode still gets a low-noise
-/// measurement.
+/// 20% of the 4-stream cell, and the 64-stream cell must hold at least half
+/// the 16-stream throughput — otherwise an evaluation or heap-scan cliff is
+/// back. Runs its own moderately sized cells so CI's fast mode still gets a
+/// low-noise measurement. Each cell is measured three times with the three
+/// cells *interleaved* (so a transient load spike on the host hits every
+/// cell, not just one), and the gate compares per-cell bests: a regression
+/// gate cares whether the engine *can* reach the throughput, and a
+/// best-of-N estimator is far less noisy than any single run on a shared
+/// machine.
 fn scaling_gate() -> Result<(), Box<dyn Error>> {
-    let rows = [engine_config(3_000, 4, 7)?, engine_config(3_000, 16, 7)?];
     let eps = |row: &Value| row["events_per_sec"].as_f64().unwrap_or(0.0);
-    let (eps4, eps16) = (eps(&rows[0]), eps(&rows[1]));
+    let mut best = [0.0f64; 3];
+    for _ in 0..3 {
+        for (slot, &streams) in [4usize, 16, 64].iter().enumerate() {
+            let row = engine_config(3_000, streams, 7)?;
+            best[slot] = best[slot].max(eps(&row));
+        }
+    }
+    let (eps4, eps16, eps64) = (best[0], best[1], best[2]);
     if eps16 < 0.8 * eps4 {
         return Err(format!(
             "perf gate: events/sec fell off a cliff from 4 to 16 streams: \
@@ -157,7 +201,23 @@ fn scaling_gate() -> Result<(), Box<dyn Error>> {
         )
         .into());
     }
-    eprintln!("[bench] perf gate ok: 4 streams {eps4:.0} ev/s, 16 streams {eps16:.0} ev/s");
+    // Bar placement: the pre-classes dense-scan engine measured a 64/16
+    // ratio of ~0.29 (the cliff this gate exists to catch); the lazy
+    // rate-class engine holds ~0.48-0.52 on the 1-core dev host (the
+    // 64-stream cell legitimately pays re-classing churn when SM rationing
+    // splits the cohort into granted/starved rate groups). 0.45 separates
+    // the two regimes with margin on both sides.
+    if eps64 < 0.45 * eps16 {
+        return Err(format!(
+            "perf gate: events/sec fell off a cliff from 16 to 64 streams: \
+             {eps16:.0} -> {eps64:.0} (more than 55% drop)"
+        )
+        .into());
+    }
+    eprintln!(
+        "[bench] perf gate ok: 4 streams {eps4:.0} ev/s, 16 streams {eps16:.0} ev/s, \
+         64 streams {eps64:.0} ev/s"
+    );
     Ok(())
 }
 
@@ -227,7 +287,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let wall_ms = total.elapsed().as_secs_f64() * 1e3;
 
     let out = json!({
-        "schema": "orion-bench-engine/v1",
+        "schema": "orion-bench-engine/v2",
         "fast": cfg.fast,
         "events_per_sec": peak,
         "wall_ms": wall_ms,

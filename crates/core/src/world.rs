@@ -233,6 +233,10 @@ struct CollocationWorld {
     /// The online profiler — armed only when [`RunConfig::online`] enables
     /// it, so profile-driven runs take zero new branches in the hot path.
     online: Option<OnlineState>,
+    /// Persistent completion buffer ping-ponged with the engine's through
+    /// [`GpuEngine::drain_completions_into`]: once both buffers have grown
+    /// to the peak batch size, steady-state drains allocate nothing.
+    completion_buf: Vec<Completion>,
 }
 
 impl CollocationWorld {
@@ -329,8 +333,10 @@ impl CollocationWorld {
     /// Advances the GPU and processes any completions that occurred.
     fn drain_gpu(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
         self.gpu.advance_to(now);
-        let completions = self.gpu.drain_completions();
+        let mut completions = std::mem::take(&mut self.completion_buf);
+        self.gpu.drain_completions_into(&mut completions);
         if completions.is_empty() {
+            self.completion_buf = completions;
             return;
         }
         let mut routed = Vec::with_capacity(completions.len());
@@ -434,6 +440,8 @@ impl CollocationWorld {
                 policy.on_request_shed(client, request_id);
             }
         });
+        // Hand the drained buffer back for the next ping-pong cycle.
+        self.completion_buf = completions;
     }
 
     /// Feeds one successful completion into the online profiler:
@@ -925,6 +933,7 @@ pub fn run_collocation(
         recovery_shed: Vec::new(),
         pending_culprit: None,
         online,
+        completion_buf: Vec::new(),
     };
 
     let mut sim = Simulation::new(world);

@@ -66,7 +66,7 @@ fn run(n_ops: u64, n_streams: usize, c: f64, m: f64, label: &str) {
 }
 
 fn main() {
-    for &(ops, streams) in &[(10_000u64, 1usize), (10_000, 4), (10_000, 16), (10_000, 64), (100_000, 4)] {
+    for &(ops, streams) in &[(10_000u64, 1usize), (10_000, 4), (10_000, 16), (10_000, 64), (10_000, 256), (100_000, 4)] {
         run(ops, streams, 0.5, 0.3, "bench load (over-cap)");
     }
     for &(ops, streams) in &[(10_000u64, 4usize), (10_000, 16)] {

@@ -44,7 +44,7 @@ use crate::memory::{AllocId, MemoryLedger};
 use crate::spec::GpuSpec;
 use crate::stream::{StreamId, StreamPriority, StreamState};
 use crate::trace::{ExecTrace, Span};
-use crate::util::{UtilAccumulator, UtilSummary};
+use crate::util::{UtilAccumulator, UtilSummary, UtilTotals};
 
 /// Identifier of a submitted operation.
 ///
@@ -255,7 +255,7 @@ struct OpState {
     submitted_at: SimTime,
     /// Remaining solo-execution work in nanoseconds (queued kernels, up to
     /// dispatch) or remaining bytes (copies). A *running* kernel's remaining
-    /// work lives in the dense `GpuEngine::kremaining` column instead — this
+    /// work lives in the dense `GpuEngine::kslots` column instead — this
     /// field is not updated while the kernel executes.
     remaining: f64,
     /// Current progress rate (copies only: bytes/sec). Running kernels keep
@@ -269,39 +269,181 @@ struct OpState {
     interfered: bool,
     /// Injected fault decided at submit time, if any.
     fault: Option<FaultKind>,
-    /// How this op's completion time is currently watched (kernels only).
-    watch: WatchKind,
-    /// Epoch of the live watch entry for this op; superseded or recycled
+    /// Epoch of the op's live rate-class heap entry; superseded or recycled
     /// entries fail the epoch check and are discarded lazily.
     watch_epoch: u64,
 }
 
-/// How a running kernel's completion time is tracked (see
-/// [`GpuEngine::earliest_completion`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WatchKind {
-    /// Not running, or not yet rated: no watch entry exists.
-    None,
-    /// Uncontended (rate exactly 1.0): an exact completion-time prediction
-    /// lives in the keyed min-heap. Valid because at unit rate the
-    /// remaining-work float arithmetic is drift-free (integer nanosecond
-    /// deltas subtract exactly below 2^52), so the prediction made at push
-    /// time equals what a fresh scan would compute at any later instant.
-    Heap,
-    /// Contended (rate < 1.0): predictions drift with every rate change, so
-    /// the kernel is re-scanned on demand from the dense rate/remaining
-    /// columns (no per-op watch entry exists).
-    Scan,
+/// `KSlot::class` value for a running kernel that belongs to no rate class
+/// (its current rate is exactly 0.0: stalled, making no progress, invisible
+/// to completion prediction until a rate change re-classes it).
+const NO_CLASS: u32 = u32::MAX;
+
+/// Per running-kernel lazy-progress state, parallel to
+/// `GpuEngine::running_kernels`. One struct (not three parallel columns) so
+/// the per-completion compact pass shifts a single contiguous array.
+#[derive(Debug, Clone, Copy)]
+struct KSlot {
+    /// Remaining solo-work nanoseconds *as of* the class virtual time
+    /// recorded in `sjoin` (for classless kernels: the literal remainder).
+    rem: f64,
+    /// Class virtual time at join / last materialization; the current
+    /// remainder materializes as `rem - (class.s - sjoin)`.
+    sjoin: f64,
+    /// Rate-class slab index, or [`NO_CLASS`].
+    class: u32,
 }
 
-/// Keyed min-heap entry: predicted completion instant of a unit-rate kernel.
-/// Ordered by time (then id/epoch for determinism inside the heap; only the
-/// minimum is ever observed).
+/// Min-heap entry of a rate class: the member's *completion key*
+/// `S_c(join) + remaining(join)` — the class virtual time at which the
+/// member's work runs out. `key_bits` stores the key's f64 bit pattern;
+/// keys are non-negative finite, so the integer bit order equals the
+/// numeric order (and `id`/`epoch` only break exact ties deterministically).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct PredEntry {
-    at: SimTime,
+struct ClassEntry {
+    key_bits: u64,
     id: u64,
     epoch: u64,
+}
+
+/// Hand-rolled binary min-heap of [`ClassEntry`], replacing
+/// `std::collections::BinaryHeap` for one hot-path reason: `BinaryHeap::pop`
+/// sifts the displaced leaf *to the bottom* unconditionally (optimal for
+/// random keys — fewer comparisons on average), which walks the full tree
+/// height even when every key is equal. The engine's dominant contended
+/// pattern is exactly that degenerate case: a batch of same-rate kernels
+/// dispatched at one instant all share one completion key, and the classic
+/// early-exit sift-down below pops them in O(1) comparisons each instead of
+/// O(log n). Order among equal keys is irrelevant to observable behavior:
+/// equal keys materialize to equal remaining work (`key - s`), stamping is
+/// order-independent, and completion order comes from the position-ordered
+/// compact pass, never from pop order.
+#[derive(Debug, Default)]
+struct MinHeap {
+    v: Vec<ClassEntry>,
+}
+
+impl MinHeap {
+    fn new() -> Self {
+        Self { v: Vec::new() }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.v.clear();
+    }
+
+    fn peek(&self) -> Option<&ClassEntry> {
+        self.v.first()
+    }
+
+    fn push(&mut self, e: ClassEntry) {
+        self.v.push(e);
+        let mut i = self.v.len() - 1;
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if self.v[p] <= self.v[i] {
+                break;
+            }
+            self.v.swap(i, p);
+            i = p;
+        }
+    }
+
+    fn pop(&mut self) -> Option<ClassEntry> {
+        let n = self.v.len();
+        if n == 0 {
+            return None;
+        }
+        self.v.swap(0, n - 1);
+        let top = self.v.pop();
+        let n = self.v.len();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < n && self.v[r] < self.v[l] { r } else { l };
+            if self.v[i] <= self.v[c] {
+                break;
+            }
+            self.v.swap(i, c);
+            i = c;
+        }
+        top
+    }
+}
+
+/// A cohort of running kernels currently progressing at one common rate
+/// (bitwise), carrying the lazily-integrated *virtual time*
+/// `s = ∫ rate dt` since the class was created. A member's remaining work
+/// is materialized on demand as `KSlot::rem - (s - KSlot::sjoin)`; within the
+/// class, completion order is join-key order, so one heap peek per class
+/// replaces the dense per-kernel ETA scan.
+///
+/// Classes are *cohorts*, not rate buckets: when the evaluator changes the
+/// rate of every member at once to one common value (the dominant
+/// steady-state pattern — e.g. all starved kernels slow down together when
+/// a new kernel dispatches), the class *moves wholesale*: only `rate`
+/// swaps, `s` and the heap stay, and no member is touched.
+#[derive(Debug)]
+struct RateClass {
+    /// Common progress rate of every member (solo-sec per sec).
+    rate: f64,
+    /// Accumulated service since class creation: `s += rate * dt` per
+    /// integrate. At unit rate this is an exact integer-nanosecond count
+    /// (f64 sums of integers below 2^53 are exact), which keeps unit-rate
+    /// completion predictions bitwise equal to the eager per-event scan.
+    s: f64,
+    /// Live member count (the heap may additionally hold stale entries).
+    members: u32,
+    /// True while allocated; dead classes sit on the free list.
+    alive: bool,
+    /// Min-heap of member completion keys (stale entries dropped lazily by
+    /// the per-op epoch check).
+    heap: MinHeap,
+    /// Per-refresh scratch for the wholesale-move decision: how many
+    /// members changed rate this refresh, the first mover's new rate, and
+    /// whether all movers agree on it.
+    delta_count: u32,
+    cand_bits: u64,
+    cand_uniform: bool,
+    /// The class was wholesale-moved in the current delta pass.
+    moved: bool,
+    /// Cached completion prediction for the heap-top entry, **unit-rate
+    /// classes only**: at rate 1.0 the predicted wall-clock instant is
+    /// invariant while the top entry stays put (virtual time and wall time
+    /// advance in lockstep and the arithmetic is exact integers), so
+    /// `earliest_completion` reuses it instead of re-deriving an f64
+    /// division + ceil per event. Identified by the top entry's
+    /// (key, epoch); `pred_epoch == 0` matches no live entry (invalid).
+    pred_at: SimTime,
+    pred_key: u64,
+    pred_epoch: u64,
+}
+
+impl RateClass {
+    fn new(rate: f64) -> Self {
+        RateClass {
+            rate,
+            s: 0.0,
+            members: 0,
+            alive: true,
+            heap: MinHeap::new(),
+            delta_count: 0,
+            cand_bits: 0,
+            cand_uniform: false,
+            moved: false,
+            pred_at: SimTime::ZERO,
+            pred_key: 0,
+            pred_epoch: 0,
+        }
+    }
 }
 
 /// What [`GpuEngine::dispatch_head`] did with a stream's head-of-queue.
@@ -365,12 +507,13 @@ pub struct GpuEngine {
     /// completion's op id can never be reused.
     retired_ops: Vec<u64>,
     running_kernels: Vec<u64>,
-    /// Remaining solo-work nanoseconds of each running kernel, parallel to
-    /// `running_kernels`. Kept dense (instead of on the op slab) so the
-    /// per-round integrate/complete/predict passes stream over a few
-    /// contiguous columns — the evaluator's `loads`/`rates` plus this one —
-    /// without chasing slab entries.
-    kremaining: Vec<f64>,
+    /// Lazy-progress state of each running kernel (remaining work at join,
+    /// join-time virtual time, class index), parallel to `running_kernels`.
+    /// Kept dense (instead of on the op slab) so the per-round
+    /// stamp/compact/predict passes stream over contiguous memory — the
+    /// evaluator's `loads`/`rates` plus this one — without chasing slab
+    /// entries.
+    kslots: Vec<KSlot>,
     running_copies: Vec<u64>,
     blocking_copies: usize,
     sync_requested: bool,
@@ -389,11 +532,59 @@ pub struct GpuEngine {
     /// Incremental interference evaluator; its loads mirror
     /// `running_kernels` index-for-index.
     inc: IncrementalEval,
-    /// Min-heap of exact completion predictions for unit-rate kernels
-    /// (entries invalidated lazily via per-op watch epochs).
-    pred_heap: std::collections::BinaryHeap<std::cmp::Reverse<PredEntry>>,
-    /// Monotonic source of watch epochs (0 is reserved for "no watch").
+    /// Rate-class slab: cohorts of running kernels progressing at one common
+    /// rate, each carrying a lazily-integrated virtual time. Slots recycle
+    /// through `free_classes` when their last member leaves.
+    classes: Vec<RateClass>,
+    /// Dead `classes` slots available for reuse.
+    free_classes: Vec<u32>,
+    /// An emptied *unit-rate* class kept alive for immediate reuse instead
+    /// of being freed: the dominant steady-state event is "a unit-rate
+    /// kernel completes, the same stream's next kernel dispatches", which
+    /// would otherwise free and re-create the class every event. Reuse is
+    /// exact: a unit class's virtual time is an integer nanosecond count,
+    /// so joining at `s = S0` and materializing `rem - (s - S0)` is bitwise
+    /// the fresh-class result. Evicted (freed for real) when another class
+    /// empties while this one is still parked and unclaimed.
+    parked_class: Option<u32>,
+    /// Number of currently alive classes.
+    live_class_count: u32,
+    /// High-water mark of `live_class_count` (bench/introspection).
+    class_peak: u32,
+    /// Scratch: class indices touched by the current rate-delta pass.
+    touched_classes: Vec<u32>,
+    /// Scratch: copy of the evaluator's rate-delta positions (taken before
+    /// mutating class state, to end the borrow of `self.inc`).
+    delta_scratch: Vec<u32>,
+    /// Op id → current position in `running_kernels` (stale for non-running
+    /// ops; only read for ids known to be running).
+    pos_of: Vec<u32>,
+    /// Cached device-wide utilization totals over the current rate set;
+    /// recomputed only when a refresh changes rates.
+    totals: UtilTotals,
+    /// Scratch: not-yet-finished heap entries popped during the completion
+    /// stamp pass, re-pushed after the pop loop (immediate re-push would
+    /// re-pop forever).
+    scratch_entries: Vec<ClassEntry>,
+    /// Streams that had an op finish in the last `complete_finished` pass —
+    /// the only streams whose heads can newly dispatch, barring gates.
+    completed_streams: Vec<u32>,
+    /// A cross-stream dispatch gate may have opened in the last completion
+    /// pass (a blocking copy drained, a sync resolved, an abort): fall back
+    /// to the full dispatch sweep instead of the completed-streams fast path.
+    gate_released: bool,
+    /// Monotonic source of class-entry epochs (0 reserved for "no entry").
     next_watch_epoch: u64,
+    /// Stream id → rank in `dispatch_order` (inverse permutation), so the
+    /// completion-driven dispatch fast path can visit candidate streams in
+    /// exactly the full sweep's order.
+    stream_rank: Vec<u32>,
+    /// Times a kernel's remaining work was materialized out of its class
+    /// (bench counter).
+    materializations: u64,
+    /// Times `drain_completions_into` had to grow the caller's buffer
+    /// (debug counter: steady-state drains should never allocate).
+    drain_reallocs: u64,
     /// Scratch: ids collected by `complete_finished` / `apply_sync_ops`.
     scratch_ids: Vec<u64>,
     /// Scratch: finished positions within `running_kernels`.
@@ -440,7 +631,7 @@ impl GpuEngine {
             free_ops: Vec::new(),
             retired_ops: Vec::new(),
             running_kernels: Vec::new(),
-            kremaining: Vec::new(),
+            kslots: Vec::new(),
             running_copies: Vec::new(),
             blocking_copies: 0,
             sync_requested: false,
@@ -454,8 +645,22 @@ impl GpuEngine {
             rates_dirty: false,
             copies_dirty: false,
             inc,
-            pred_heap: std::collections::BinaryHeap::new(),
+            classes: Vec::new(),
+            free_classes: Vec::new(),
+            parked_class: None,
+            live_class_count: 0,
+            class_peak: 0,
+            touched_classes: Vec::new(),
+            delta_scratch: Vec::new(),
+            pos_of: Vec::new(),
+            totals: UtilTotals::default(),
+            scratch_entries: Vec::new(),
+            completed_streams: Vec::new(),
+            gate_released: false,
             next_watch_epoch: 0,
+            stream_rank: Vec::new(),
+            materializations: 0,
+            drain_reallocs: 0,
             scratch_ids: Vec::new(),
             scratch_pos: Vec::new(),
             event_log: None,
@@ -526,6 +731,12 @@ impl GpuEngine {
                 sid,
             )
         });
+        // Inverse permutation, so completion-driven dispatch can sort its
+        // candidate streams into exactly the full sweep's visit order.
+        self.stream_rank.resize(self.streams.len(), 0);
+        for (rank, &sid) in self.dispatch_order.iter().enumerate() {
+            self.stream_rank[sid as usize] = rank as u32;
+        }
         id
     }
 
@@ -713,7 +924,6 @@ impl GpuEngine {
             // a clean solo sample.
             interfered: fault == Some(FaultKind::Stall),
             fault,
-            watch: WatchKind::None,
             watch_epoch: 0,
         };
         let id = match self.free_ops.pop() {
@@ -806,6 +1016,23 @@ impl GpuEngine {
         std::mem::replace(&mut self.completions, next)
     }
 
+    /// Allocation-free variant of [`GpuEngine::drain_completions`]: swaps
+    /// the engine's completion buffer with `out` (cleared first), so a
+    /// caller that hands the same buffer back every drain recycles two
+    /// buffers indefinitely — steady-state drains allocate nothing on
+    /// either side, where the by-value drain re-paid one fresh allocation
+    /// per cycle. [`GpuEngine::drain_realloc_count`] counts the drains
+    /// where the handed-back buffer was too small to hold a batch of the
+    /// size just produced (i.e. the next fill may still have to grow it).
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        self.free_ops.append(&mut self.retired_ops);
+        out.clear();
+        if out.capacity() < self.completions.len() {
+            self.drain_reallocs += 1;
+        }
+        std::mem::swap(out, &mut self.completions);
+    }
+
     /// Enables the ground-truth submit/complete event log consumed by the
     /// validation oracle. Off by default; when off the only cost is one
     /// branch per submit and per completion.
@@ -865,7 +1092,7 @@ impl GpuEngine {
                 Some(t) if t <= now => {
                     self.integrate(t);
                     self.complete_finished(t);
-                    self.try_dispatch();
+                    self.dispatch_after_completions();
                 }
                 _ => {
                     self.integrate(now);
@@ -901,6 +1128,80 @@ impl GpuEngine {
         self.inc.memo_hits()
     }
 
+    /// Number of currently alive rate classes (distinct concurrent rates).
+    pub fn rate_class_count(&self) -> u32 {
+        self.live_class_count
+    }
+
+    /// High-water mark of [`GpuEngine::rate_class_count`].
+    pub fn rate_class_peak(&self) -> u32 {
+        self.class_peak
+    }
+
+    /// Times a running kernel's remaining work was materialized out of its
+    /// class's virtual time (rate changes and completion checks).
+    pub fn materialization_count(&self) -> u64 {
+        self.materializations
+    }
+
+    /// Drains where the buffer handed to
+    /// [`GpuEngine::drain_completions_into`] was smaller than the batch
+    /// just produced. Zero in steady state: two ping-ponged buffers stop
+    /// growing once both have seen the peak batch size.
+    pub fn drain_realloc_count(&self) -> u64 {
+        self.drain_reallocs
+    }
+
+    /// Op ids of the currently running kernels, in running (dispatch)
+    /// order — parallel to [`GpuEngine::materialized_remaining`] and
+    /// [`GpuEngine::interference_rates`].
+    pub fn running_kernel_ids(&self) -> &[u64] {
+        &self.running_kernels
+    }
+
+    /// Force-materializes every running kernel's remaining solo-work
+    /// nanoseconds (in running order) without disturbing the lazy state —
+    /// the "external reader" materialization point. O(running);
+    /// introspection for tests and oracles, not the hot path.
+    pub fn materialized_remaining(&self) -> Vec<f64> {
+        self.kslots
+            .iter()
+            .map(|k| {
+                if k.class == NO_CLASS {
+                    k.rem
+                } else {
+                    let c = &self.classes[k.class as usize];
+                    k.rem - (c.s - k.sjoin)
+                }
+            })
+            .collect()
+    }
+
+    /// Per running kernel (in running order): the rate of the class it
+    /// belongs to, or 0.0 while stalled/classless. Introspection for the
+    /// class-partition property tests.
+    pub fn kernel_class_rates(&self) -> Vec<f64> {
+        self.kslots
+            .iter()
+            .map(|k| {
+                if k.class == NO_CLASS {
+                    0.0
+                } else {
+                    self.classes[k.class as usize].rate
+                }
+            })
+            .collect()
+    }
+
+    /// Alive rate classes as `(rate, member_count)`, in slab order.
+    pub fn rate_classes(&self) -> Vec<(f64, u32)> {
+        self.classes
+            .iter()
+            .filter(|c| c.alive)
+            .map(|c| (c.rate, c.members))
+            .collect()
+    }
+
     /// Introspection for the differential equivalence harness: the current
     /// interference-model inputs, parallel to the running-kernel set. Valid
     /// after any refresh point ([`GpuEngine::advance_to`] /
@@ -928,47 +1229,67 @@ impl GpuEngine {
     /// Ops with a zero rate are stalled and will be re-examined when
     /// another completion frees resources.
     ///
-    /// Unit-rate kernels sit in `pred_heap` with *exact* push-time
-    /// predictions: at rate 1.0 the remaining work decreases by the exact
-    /// integer nanosecond count each `integrate` (an integer subtraction on
-    /// an f64 below 2^52 is exact), so `now + ceil(remaining)` computed at
-    /// push time equals the value a fresh scan would compute at any later
-    /// `now` before the op completes. Contended (rate != 1.0) kernels drift
-    /// relative to their push-time estimate and are re-predicted each call
-    /// by streaming over the dense rate/remaining columns — sequential
-    /// loads, no slab access. Stale heap entries (epoch mismatch after a
-    /// rate change, finish, or slot recycle) are popped lazily.
+    /// Within a rate class, completion order is join-key order (`S_c(join) +
+    /// remaining(join)`): every member progresses at the common rate, so the
+    /// smallest key runs out of virtual time first. One heap peek per class
+    /// — popping entries gone stale via the per-op epoch check — therefore
+    /// replaces the old dense per-kernel ETA scan, and the peeked member's
+    /// remaining work is materialized on the spot as
+    /// `KSlot::rem - (S_c - S_c(join))`.
+    ///
+    /// Unit-rate classes stay *exact*: `S_c` is a sum of integer nanosecond
+    /// deltas (exact in f64 below 2^53), subtracting an exact integer from
+    /// the join-time remaining is exact (the magnitude shrinks), and
+    /// `ceil(x - n) = ceil(x) - n`, so the predicted instant is bitwise the
+    /// one an eager per-event decrement would produce.
     fn earliest_completion(&mut self) -> Option<SimTime> {
         let mut earliest: Option<SimTime> = None;
         let Self {
             ops,
-            kremaining,
-            inc,
-            pred_heap,
+            kslots,
+            pos_of,
+            classes,
             now,
             ..
         } = self;
         let now = *now;
-        // Contended kernels: dense scan (unit-rate ones are covered by the
-        // heap and skipped here).
-        let rates = inc.rates();
-        for (i, rem) in kremaining.iter().enumerate() {
-            let r = rates[i].rate;
-            if r != 1.0 && r > 0.0 {
-                let t = now + kernel_eta(*rem, r);
-                earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
+        for c in classes.iter_mut() {
+            if c.members == 0 || c.rate <= 0.0 {
+                continue;
             }
-        }
-        // Heap: the top live entry is the min over all unit-rate kernels.
-        while let Some(&std::cmp::Reverse(entry)) = pred_heap.peek() {
-            let live = ops[entry.id as usize]
-                .as_ref()
-                .is_some_and(|op| op.watch_epoch == entry.epoch);
-            if live {
-                earliest = Some(earliest.map_or(entry.at, |e: SimTime| e.min(entry.at)));
+            while let Some(&entry) = c.heap.peek() {
+                let live = ops[entry.id as usize]
+                    .as_ref()
+                    .is_some_and(|op| op.watch_epoch == entry.epoch);
+                if !live {
+                    c.heap.pop();
+                    continue;
+                }
+                // Unit-rate classes: the prediction for a fixed top entry is
+                // wall-clock invariant (exact integer arithmetic; `s` and
+                // `now` advance in lockstep), so reuse the cached instant
+                // and skip the division. Contended classes re-derive it —
+                // their rounding drifts with the evaluation point, and the
+                // drift is part of the pinned behaviour.
+                if c.rate.to_bits() == 1.0f64.to_bits()
+                    && entry.key_bits == c.pred_key
+                    && entry.epoch == c.pred_epoch
+                {
+                    let t = c.pred_at;
+                    earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
+                    break;
+                }
+                let k = &kslots[pos_of[entry.id as usize] as usize];
+                let rem = k.rem - (c.s - k.sjoin);
+                let t = now + kernel_eta(rem, c.rate);
+                if c.rate.to_bits() == 1.0f64.to_bits() {
+                    c.pred_key = entry.key_bits;
+                    c.pred_epoch = entry.epoch;
+                    c.pred_at = t;
+                }
+                earliest = Some(earliest.map_or(t, |e: SimTime| e.min(t)));
                 break;
             }
-            pred_heap.pop();
         }
         for &cid in &self.running_copies {
             let op = self.op(cid);
@@ -991,58 +1312,8 @@ impl GpuEngine {
             self.rates_dirty = false;
             let refreshed = self.inc.refresh();
             if refreshed != Refreshed::Unchanged {
-                let Self {
-                    ops,
-                    running_kernels,
-                    kremaining,
-                    inc,
-                    pred_heap,
-                    next_watch_epoch,
-                    now,
-                    ..
-                } = self;
-                let now = *now;
-                let rates = inc.rates();
-                let mut apply = |i: usize| {
-                    let kid = running_kernels[i];
-                    let r = rates[i];
-                    let op = ops[kid as usize].as_mut().expect("running op exists");
-                    if r.rate < 1.0 - 1e-9 {
-                        op.interfered = true;
-                    }
-                    // Completion-watch maintenance: unit-rate kernels carry
-                    // an exact push-time prediction in the heap; contended
-                    // ones drift and are re-predicted from the dense
-                    // columns on demand. Leaving the heap bumps the epoch,
-                    // which lazily invalidates the old entry.
-                    if r.rate == 1.0 {
-                        if op.watch != WatchKind::Heap || op.watch_epoch == 0 {
-                            *next_watch_epoch += 1;
-                            op.watch = WatchKind::Heap;
-                            op.watch_epoch = *next_watch_epoch;
-                            pred_heap.push(std::cmp::Reverse(PredEntry {
-                                at: now + kernel_eta(kremaining[i], 1.0),
-                                id: kid,
-                                epoch: op.watch_epoch,
-                            }));
-                        }
-                    } else if op.watch == WatchKind::Heap {
-                        *next_watch_epoch += 1;
-                        op.watch = WatchKind::Scan;
-                        op.watch_epoch = *next_watch_epoch;
-                    } else {
-                        op.watch = WatchKind::Scan;
-                    }
-                };
-                if refreshed == Refreshed::All {
-                    for i in 0..running_kernels.len() {
-                        apply(i);
-                    }
-                } else {
-                    for &i in inc.changed() {
-                        apply(i as usize);
-                    }
-                }
+                self.apply_rate_delta();
+                self.totals = UtilTotals::recompute(self.inc.rates());
             }
         }
 
@@ -1064,8 +1335,217 @@ impl GpuEngine {
         }
     }
 
+    /// Applies the evaluator's rate-change feed ([`IncrementalEval::rate_delta`])
+    /// to the class structure, O(changed positions + touched classes).
+    ///
+    /// Two passes over the delta. Pass 1 tallies, per touched class, how
+    /// many members changed rate and whether they all agree on one new
+    /// value. A class where *every* member moved to one agreed rate is
+    /// moved **wholesale**: only `rate` swaps; `s`, the heap, and the
+    /// join keys stay valid (relative completion order within the cohort is
+    /// rate-independent). This is the dominant steady-state pattern — a
+    /// co-running cohort slows down or speeds up together when a kernel
+    /// dispatches or completes — and is what makes re-classing O(changes)
+    /// instead of O(members). Pass 2 re-classes the remaining movers
+    /// individually: leave the old class (materializing remaining work
+    /// exactly at its current virtual time), join the class matching the
+    /// new rate (created on demand; rate 0.0 means *stalled* and classless —
+    /// no progress accrues, so there is nothing to integrate).
+    fn apply_rate_delta(&mut self) {
+        self.delta_scratch.clear();
+        self.delta_scratch.extend_from_slice(self.inc.rate_delta());
+        if self.delta_scratch.is_empty() {
+            return;
+        }
+        // Pass 1: per-class tallies for the wholesale-move decision.
+        self.touched_classes.clear();
+        for i in 0..self.delta_scratch.len() {
+            let pos = self.delta_scratch[i] as usize;
+            let ci = self.kslots[pos].class;
+            if ci == NO_CLASS {
+                continue;
+            }
+            let bits = self.inc.rates()[pos].rate.to_bits();
+            let c = &mut self.classes[ci as usize];
+            if c.delta_count == 0 {
+                self.touched_classes.push(ci);
+                c.cand_bits = bits;
+                c.cand_uniform = true;
+            } else if c.cand_bits != bits {
+                c.cand_uniform = false;
+            }
+            c.delta_count += 1;
+        }
+        for &ci in &self.touched_classes {
+            let c = &mut self.classes[ci as usize];
+            if c.cand_uniform && c.delta_count == c.members {
+                c.rate = f64::from_bits(c.cand_bits);
+                c.moved = true;
+                // The wall-clock mapping of virtual time changed; a later
+                // move back to rate 1.0 must not resurrect the old cache.
+                c.pred_epoch = 0;
+            }
+        }
+        // Pass 2: re-class movers whose class did not move with them.
+        for i in 0..self.delta_scratch.len() {
+            let pos = self.delta_scratch[i] as usize;
+            let r = self.inc.rates()[pos].rate;
+            if r < 1.0 - 1e-9 {
+                let kid = self.running_kernels[pos];
+                let op = self.ops[kid as usize].as_mut().expect("running op exists");
+                op.interfered = true;
+            }
+            let ci = self.kslots[pos].class;
+            if ci != NO_CLASS {
+                let c = &self.classes[ci as usize];
+                if c.moved || c.rate.to_bits() == r.to_bits() {
+                    continue; // moved wholesale with its cohort
+                }
+                self.class_leave(pos);
+            }
+            if r > 0.0 {
+                self.class_join(pos, r);
+            }
+        }
+        // Reset the per-refresh scratch on every touched class. Freed slots
+        // reused by pass-2 joins were re-initialized with zeroed tallies, so
+        // re-zeroing them here is idempotent.
+        for i in 0..self.touched_classes.len() {
+            let c = &mut self.classes[self.touched_classes[i] as usize];
+            c.delta_count = 0;
+            c.moved = false;
+        }
+        self.touched_classes.clear();
+    }
+
+    /// Removes the kernel at running-position `pos` from its class,
+    /// materializing its remaining work exactly at the class's current
+    /// virtual time and invalidating its heap entry (epoch 0 matches no
+    /// live entry; the stale one dies lazily).
+    fn class_leave(&mut self, pos: usize) {
+        let k = &mut self.kslots[pos];
+        let ci = k.class as usize;
+        let c = &mut self.classes[ci];
+        k.rem -= c.s - k.sjoin;
+        k.sjoin = 0.0;
+        k.class = NO_CLASS;
+        self.materializations += 1;
+        let kid = self.running_kernels[pos];
+        let op = self.ops[kid as usize].as_mut().expect("running op exists");
+        op.watch_epoch = 0;
+        c.members -= 1;
+        if c.members == 0 {
+            self.class_emptied(ci as u32);
+        }
+    }
+
+    /// A class's last member just left: park it (unit-rate classes, kept
+    /// alive for the next dispatch to reuse) or free its slot. Parking is
+    /// restricted to unit-rate classes because only there is reuse bitwise
+    /// equal to a fresh class (integer virtual time; see `parked_class`).
+    fn class_emptied(&mut self, ci: u32) {
+        debug_assert_eq!(self.classes[ci as usize].members, 0);
+        if self.classes[ci as usize].rate.to_bits() == 1.0f64.to_bits() {
+            if let Some(old) = self.parked_class.replace(ci) {
+                if old != ci && self.classes[old as usize].members == 0 {
+                    let oc = &mut self.classes[old as usize];
+                    oc.alive = false;
+                    oc.heap.clear();
+                    self.free_classes.push(old);
+                    self.live_class_count -= 1;
+                }
+            }
+        } else {
+            let c = &mut self.classes[ci as usize];
+            c.alive = false;
+            c.heap.clear();
+            self.free_classes.push(ci);
+            self.live_class_count -= 1;
+        }
+    }
+
+    /// Adds the kernel at running-position `pos` (whose `KSlot::rem` is
+    /// materialized) to the class running at `rate`, creating one on demand.
+    fn class_join(&mut self, pos: usize, rate: f64) {
+        let ci = self.class_for_rate(rate);
+        let kid = self.running_kernels[pos];
+        self.next_watch_epoch += 1;
+        let epoch = self.next_watch_epoch;
+        let op = self.ops[kid as usize].as_mut().expect("running op exists");
+        op.watch_epoch = epoch;
+        let c = &mut self.classes[ci as usize];
+        c.members += 1;
+        let k = &mut self.kslots[pos];
+        k.class = ci;
+        k.sjoin = c.s;
+        let key = c.s + k.rem;
+        c.heap.push(ClassEntry {
+            key_bits: key.to_bits(),
+            id: kid,
+            epoch,
+        });
+    }
+
+    /// The alive class whose rate equals `rate` bitwise, allocated on
+    /// demand (recycling dead slots, heap capacity included). Linear scan:
+    /// the live class count is the number of *distinct* concurrent rates,
+    /// which collapses to a handful under the sticky-grant evaluator; the
+    /// degenerate all-rates-distinct case degrades to the old O(running)
+    /// behaviour, never worse (see DESIGN.md §14).
+    fn class_for_rate(&mut self, rate: f64) -> u32 {
+        let bits = rate.to_bits();
+        // Unit-rate exactness guard: a kernel joining at rate 1.0 must land
+        // on a class whose virtual time is an exact integer (it advances by
+        // integer nanoseconds from there), or its materializations pick up
+        // the class's fractional residue. A unit class *can* carry a
+        // fraction — a wholesale move from a contended rate keeps `s` — so
+        // such classes are skipped and a parallel integer-based unit class
+        // is created instead (classes are cohorts, not unique rate buckets).
+        let unit = bits == 1.0f64.to_bits();
+        for (i, c) in self.classes.iter().enumerate() {
+            if c.alive && c.rate.to_bits() == bits && (!unit || c.s == c.s.trunc()) {
+                if self.parked_class == Some(i as u32) {
+                    // Claimed: no longer eligible for parked eviction.
+                    self.parked_class = None;
+                }
+                return i as u32;
+            }
+        }
+        let ci = match self.free_classes.pop() {
+            Some(ci) => {
+                let c = &mut self.classes[ci as usize];
+                debug_assert!(!c.alive && c.heap.is_empty());
+                c.rate = rate;
+                c.s = 0.0;
+                c.members = 0;
+                c.alive = true;
+                c.delta_count = 0;
+                c.cand_bits = 0;
+                c.cand_uniform = false;
+                c.moved = false;
+                c.pred_epoch = 0;
+                ci
+            }
+            None => {
+                self.classes.push(RateClass::new(rate));
+                (self.classes.len() - 1) as u32
+            }
+        };
+        self.live_class_count += 1;
+        self.class_peak = self.class_peak.max(self.live_class_count);
+        ci
+    }
+
     /// Integrates utilization and progress from `self.now` to `to`
     /// (rates must be fresh and constant over the interval).
+    ///
+    /// O(live classes + copies), not O(running kernels): per-kernel progress
+    /// is folded into each class's virtual time (`s += rate * dt`, one
+    /// accumulation per class) and materialized back into `KSlot::rem` only
+    /// at rate changes, completion, or external reads; utilization comes
+    /// from the cached [`UtilTotals`], which every refresh that changed a
+    /// rate rebuilt (refresh always precedes integrate in the advance loop,
+    /// so the cache is never stale here).
     fn integrate(&mut self, to: SimTime) {
         let dur = to - self.now;
         if dur.is_zero() {
@@ -1074,40 +1554,22 @@ impl GpuEngine {
         }
         let dt_ns = dur.as_nanos() as f64;
         let now = self.now;
-        let Self {
-            spec,
-            ops,
-            kremaining,
-            inc,
-            running_copies,
-            util,
-            ..
-        } = self;
-        let mut compute = 0.0;
-        let mut mem_bw = 0.0;
-        let mut sm_busy = 0u32;
-        // Single pass over the dense columns: accumulate utilization and
-        // advance progress together. `loads` carries each kernel's solo
-        // demands and `rates` its current rate/grant — bitwise the values
-        // the old slab walk read from the per-op fields, in the same
-        // (dispatch) order, so the float sums are unchanged.
-        let loads = inc.loads();
-        let rates = inc.rates();
-        for (i, rem) in kremaining.iter_mut().enumerate() {
-            let rate = rates[i].rate;
-            compute += rate * loads[i].compute_demand;
-            mem_bw += rate * loads[i].mem_demand;
-            sm_busy += rates[i].sm_granted;
-            *rem -= rate * dt_ns;
+        for c in self.classes.iter_mut() {
+            if c.members > 0 {
+                c.s += c.rate * dt_ns;
+            }
         }
-        util.add(
+        self.util.add(
             now,
             dur,
-            compute.min(1.0),
-            mem_bw.min(1.0),
-            (sm_busy as f64 / spec.num_sms as f64).min(1.0),
+            self.totals.compute.min(1.0),
+            self.totals.mem_bw.min(1.0),
+            (self.totals.sm_busy as f64 / self.spec.num_sms as f64).min(1.0),
         );
         let dt_s = dur.as_secs_f64();
+        let Self {
+            ops, running_copies, ..
+        } = self;
         for &cid in running_copies.iter() {
             let op = ops[cid as usize].as_mut().expect("running copy");
             op.remaining -= op.rate * dt_s;
@@ -1120,11 +1582,69 @@ impl GpuEngine {
         const EPS: f64 = 0.5; // half a nanosecond of work / half a byte
 
         self.now = self.now.max(at);
+        self.completed_streams.clear();
+        self.gate_released = false;
+
+        // Stamp pass: instead of scanning every running kernel's remaining
+        // work, pop each class heap down to the completion frontier. A
+        // member is *possibly* finished when its completion key is within
+        // the class virtual time plus EPS; the small extra tolerance covers
+        // the single rounding the key absorbed at push time, and the exact
+        // materialization below makes the final call — popped-but-unfinished
+        // entries are re-pushed intact (deferred via scratch so the loop
+        // cannot re-pop them). Finished members get their exact remaining
+        // work stamped back into `KSlot::rem`, which the compact pass below
+        // then collects with the same `<= EPS` test as before.
+        {
+            let Self {
+                ops,
+                kslots,
+                pos_of,
+                classes,
+                scratch_entries,
+                materializations,
+                ..
+            } = self;
+            for c in classes.iter_mut() {
+                if c.members == 0 {
+                    continue;
+                }
+                let thresh = c.s + EPS + ((c.s + EPS) * 1e-12 + 1e-6);
+                debug_assert!(scratch_entries.is_empty());
+                while let Some(&entry) = c.heap.peek() {
+                    if f64::from_bits(entry.key_bits) > thresh {
+                        break;
+                    }
+                    c.heap.pop();
+                    let live = ops[entry.id as usize]
+                        .as_ref()
+                        .is_some_and(|op| op.watch_epoch == entry.epoch);
+                    if !live {
+                        continue;
+                    }
+                    let k = &mut kslots[pos_of[entry.id as usize] as usize];
+                    let rem = k.rem - (c.s - k.sjoin);
+                    *materializations += 1;
+                    if rem <= EPS {
+                        k.rem = rem;
+                        k.sjoin = c.s;
+                    } else {
+                        scratch_entries.push(entry);
+                    }
+                }
+                for e in scratch_entries.drain(..) {
+                    c.heap.push(e);
+                }
+            }
+        }
 
         // One in-place pass per list: drop finished ids while collecting
         // them (in running order, which is dispatch order) into scratch.
         // Positions are collected too so the incremental evaluator compacts
-        // its mirror of `running_kernels` identically.
+        // its mirror of `running_kernels` identically. Survivors' positions
+        // shift left, so `pos_of` is rewritten for them; finished members
+        // leave their class here (their heap entries were popped by the
+        // stamp pass, and the retired slab slot kills any stragglers).
         let mut finished = std::mem::take(&mut self.scratch_ids);
         let mut positions = std::mem::take(&mut self.scratch_pos);
         finished.clear();
@@ -1132,29 +1652,63 @@ impl GpuEngine {
         {
             let Self {
                 running_kernels,
-                kremaining,
+                kslots,
+                pos_of,
+                classes,
+                free_classes,
+                parked_class,
+                live_class_count,
                 ..
             } = self;
             let n = running_kernels.len();
             let mut w = 0usize;
             for r in 0..n {
-                if kremaining[r] <= EPS {
+                if kslots[r].rem <= EPS {
                     finished.push(running_kernels[r]);
                     positions.push(r as u32);
+                    let ci = kslots[r].class;
+                    if ci != NO_CLASS {
+                        classes[ci as usize].members -= 1;
+                        if classes[ci as usize].members == 0 {
+                            // Park-or-free (inline `class_emptied`: the
+                            // destructured borrows preclude a method call).
+                            if classes[ci as usize].rate.to_bits() == 1.0f64.to_bits() {
+                                if let Some(old) = parked_class.replace(ci) {
+                                    if old != ci && classes[old as usize].members == 0 {
+                                        let oc = &mut classes[old as usize];
+                                        oc.alive = false;
+                                        oc.heap.clear();
+                                        free_classes.push(old);
+                                        *live_class_count -= 1;
+                                    }
+                                }
+                            } else {
+                                let c = &mut classes[ci as usize];
+                                c.alive = false;
+                                c.heap.clear();
+                                free_classes.push(ci);
+                                *live_class_count -= 1;
+                            }
+                        }
+                    }
                 } else {
-                    running_kernels[w] = running_kernels[r];
-                    kremaining[w] = kremaining[r];
+                    if w != r {
+                        running_kernels[w] = running_kernels[r];
+                        kslots[w] = kslots[r];
+                        pos_of[running_kernels[w] as usize] = w as u32;
+                    }
                     w += 1;
                 }
             }
             running_kernels.truncate(w);
-            kremaining.truncate(w);
+            kslots.truncate(w);
         }
         if !positions.is_empty() {
             self.inc.remove_sorted(&positions);
         }
         self.scratch_pos = positions;
         for &kid in &finished {
+            self.completed_streams.push(self.op(kid).stream.0);
             self.finish_op(kid, at, None);
         }
 
@@ -1185,7 +1739,13 @@ impl GpuEngine {
             );
             if blocking {
                 self.blocking_copies -= 1;
+                if self.blocking_copies == 0 {
+                    // The device-wide kernel-dispatch gate just opened:
+                    // streams beyond the completed set may now dispatch.
+                    self.gate_released = true;
+                }
             }
+            self.completed_streams.push(self.op(cid).stream.0);
             self.finish_op(cid, at, None);
         }
         self.scratch_ids = finished;
@@ -1208,7 +1768,16 @@ impl GpuEngine {
         let mut ids = std::mem::take(&mut self.scratch_ids);
         ids.clear();
         ids.append(&mut self.running_kernels);
-        self.kremaining.clear();
+        self.kslots.clear();
+        self.classes.clear();
+        self.free_classes.clear();
+        self.parked_class = None;
+        self.touched_classes.clear();
+        self.live_class_count = 0;
+        self.completed_streams.clear();
+        // Conservative: the wholesale reset may have opened any gate, so
+        // the next completion-driven dispatch takes the full sweep.
+        self.gate_released = true;
         ids.append(&mut self.running_copies);
         for st in &mut self.streams {
             if let Some(id) = st.inflight.take() {
@@ -1400,7 +1969,19 @@ impl GpuEngine {
                 op.dispatched_at = now;
                 let remaining = op.remaining;
                 self.running_kernels.push(head);
-                self.kremaining.push(remaining);
+                // Classless until the first refresh rates it (the evaluator
+                // seeds new kernels at rate 0.0, so the first real rate
+                // always lands in the rate-change feed).
+                self.kslots.push(KSlot {
+                    rem: remaining,
+                    sjoin: 0.0,
+                    class: NO_CLASS,
+                });
+                let pos = (self.running_kernels.len() - 1) as u32;
+                if self.pos_of.len() <= head as usize {
+                    self.pos_of.resize(head as usize + 1, 0);
+                }
+                self.pos_of[head as usize] = pos;
                 // Grants happen at the next refresh, in global (urgency,
                 // seq) order over all starved kernels — identical to a full
                 // evaluation of the post-dispatch set.
@@ -1447,6 +2028,53 @@ impl GpuEngine {
                 self.finish_op(head, at, None);
                 HeadOutcome::Event
             }
+        }
+    }
+
+    /// Dispatch after a completion round, O(completed streams) in the
+    /// common case instead of O(all streams).
+    ///
+    /// Fast path: when no cross-stream gate changed, only streams that had
+    /// an op finish can have gained a dispatchable head (every prior
+    /// mutation ended in a dispatch fixpoint), so only those are visited —
+    /// in the full sweep's (priority desc, creation) order via
+    /// `stream_rank`, so dispatch decisions and sequence numbers are
+    /// identical to the full sweep's. Anything cross-stream — a blocking
+    /// copy draining the dispatch gate, a pending device-wide sync, or a
+    /// candidate head that turns out to be an event/sync op (which can
+    /// unblock other streams) — falls back to the full fixpoint sweep.
+    fn dispatch_after_completions(&mut self) {
+        if self.device_faulted {
+            self.completed_streams.clear();
+            self.gate_released = false;
+            return;
+        }
+        if self.gate_released || self.sync_requested {
+            self.completed_streams.clear();
+            self.gate_released = false;
+            self.try_dispatch();
+            return;
+        }
+        let mut cands = std::mem::take(&mut self.completed_streams);
+        let ranks = &self.stream_rank;
+        cands.sort_unstable_by_key(|&sid| ranks[sid as usize]);
+        cands.dedup();
+        // Mirror of the full sweep's first pass restricted to candidates:
+        // an event/sync head can enable further dispatches, so it marks a
+        // fallback repass but does NOT cut the pass short — remaining
+        // candidates must dispatch first to keep sequence numbers (and thus
+        // sticky-grant order) identical to the full sweep's.
+        let mut fallback = false;
+        for &sid in &cands {
+            match self.dispatch_head(sid as usize) {
+                HeadOutcome::None | HeadOutcome::Kernel | HeadOutcome::Copy => {}
+                HeadOutcome::Event | HeadOutcome::Sync => fallback = true,
+            }
+        }
+        cands.clear();
+        self.completed_streams = cands;
+        if fallback {
+            self.try_dispatch();
         }
     }
 
@@ -1596,6 +2224,41 @@ mod tests {
             .solo_duration(SimTime::from_micros(us))
             .utilization(c, m)
             .build()
+    }
+
+    #[test]
+    fn steady_state_drain_allocates_nothing() {
+        let mut e = engine();
+        let streams: Vec<_> = (0..4)
+            .map(|_| e.create_stream(StreamPriority::DEFAULT))
+            .collect();
+        let mut buf = Vec::new();
+        let mut t = SimTime::ZERO;
+        let mut after_warmup = 0;
+        for wave in 0..40 {
+            for (i, &s) in streams.iter().enumerate() {
+                e.submit(s, OpKind::Kernel(kernel(i as u32, 50, 10, 0.2, 0.2)))
+                    .unwrap();
+            }
+            t += SimTime::from_millis(1);
+            e.advance_to(t);
+            e.drain_completions_into(&mut buf);
+            assert_eq!(buf.len(), streams.len(), "wave {wave}");
+            if wave == 1 {
+                // Both ping-ponged buffers have now seen a full batch.
+                after_warmup = e.drain_realloc_count();
+            }
+        }
+        assert!(
+            e.drain_realloc_count() <= 2,
+            "warmup took {} reallocs for a constant batch size",
+            e.drain_realloc_count()
+        );
+        assert_eq!(
+            e.drain_realloc_count(),
+            after_warmup,
+            "steady-state drains still reallocating"
+        );
     }
 
     #[test]

@@ -444,8 +444,13 @@ pub struct IncrementalEval {
     rates: Vec<KernelRate>,
     /// SMs not granted to anyone: `num_sms - sum(sm_granted)`, exactly.
     free: u32,
-    /// Kernels with `sm_granted < sm_needed`.
-    starved: u32,
+    /// Indices of kernels with `sm_granted < sm_needed`, kept sorted by the
+    /// full allocator's (urgency desc, seq) key at all times. The refresh-
+    /// time top-up walks this list from the front instead of rebuilding and
+    /// sorting the starved set on every refresh — membership changes are
+    /// O(log s) inserts (adds) and order-preserving remaps (removals), so
+    /// steady-state refreshes pay O(granted) instead of O(s log s).
+    starved_order: Vec<u32>,
     /// Dominant SM-holder profile as of the last refresh that consulted it.
     holder: Option<ResourceProfile>,
     /// A grant changed since `holder` was last recomputed.
@@ -454,6 +459,15 @@ pub struct IncrementalEval {
     dirty: Vec<u32>,
     /// Indices recomputed by the last refresh (valid after `Dirty`).
     changed: Vec<u32>,
+    /// Indices whose output `rate` changed *bitwise* during the last
+    /// refresh (valid after any refresh that did work; no duplicates —
+    /// every output position is written at most once with a bit compare).
+    /// This is the engine's rate-class change feed: positions absent from
+    /// it kept their rate bit-for-bit. A newly added kernel whose first
+    /// computed rate is exactly `0.0` (possible only with a zero interleave
+    /// alpha) does not appear — it matches its zero-rate placeholder and
+    /// stays invisible, which is correct: it makes no progress.
+    rate_delta: Vec<u32>,
     /// Recompute everything at the next refresh (supersedes `dirty`).
     all_dirty: bool,
     /// Membership changed since the last refresh (totals must be re-checked
@@ -468,7 +482,6 @@ pub struct IncrementalEval {
     compute_factors: Vec<f64>,
     mem_factors: Vec<f64>,
     weights: Vec<f64>,
-    topup_order: Vec<u32>,
     /// Snapshot of `loads` at the end of the last over-capacity (full-path)
     /// refresh. When the post-top-up composition matches it field-for-field
     /// (ignoring `seq`), the derived values recorded alongside it
@@ -506,11 +519,12 @@ impl IncrementalEval {
             eff_c: Vec::new(),
             eff_m: Vec::new(),
             rates: Vec::new(),
-            starved: 0,
+            starved_order: Vec::new(),
             holder: None,
             holder_dirty: false,
             dirty: Vec::new(),
             changed: Vec::new(),
+            rate_delta: Vec::new(),
             all_dirty: false,
             membership_changed: false,
             was_over: false,
@@ -519,7 +533,6 @@ impl IncrementalEval {
             compute_factors: Vec::new(),
             mem_factors: Vec::new(),
             weights: Vec::new(),
-            topup_order: Vec::new(),
             memo_sig: Vec::new(),
             memo_mult: Vec::new(),
             memo_eff_c: Vec::new(),
@@ -563,6 +576,16 @@ impl IncrementalEval {
     /// after a refresh returned [`Refreshed::Dirty`]; may contain duplicates.
     pub fn changed(&self) -> &[u32] {
         &self.changed
+    }
+
+    /// Positions whose output `rate` changed bitwise during the last
+    /// refresh (duplicate-free). Meaningful only directly after a refresh
+    /// that returned anything but [`Refreshed::Unchanged`]: membership
+    /// compaction ([`IncrementalEval::remove_sorted`]) shifts positions
+    /// without emitting deltas, so the list must be consumed before the
+    /// next membership change.
+    pub fn rate_delta(&self) -> &[u32] {
+        &self.rate_delta
     }
 
     /// The rationing factors of the last refresh, when it took the
@@ -627,9 +650,7 @@ impl IncrementalEval {
         if load.sm_granted > 0 {
             self.holder_dirty = true;
         }
-        if load.sm_granted < load.sm_needed {
-            self.starved += 1;
-        }
+        let starved = load.sm_granted < load.sm_needed;
         let i = self.loads.len();
         self.profiles.push(load.profile());
         self.mult.push(0.0);
@@ -642,10 +663,33 @@ impl IncrementalEval {
             mem_used: 0.0,
         });
         self.loads.push(load);
+        if starved {
+            self.starved_insert(i as u32);
+        }
         if !self.all_dirty {
             self.dirty.push(i as u32);
         }
         i
+    }
+
+    /// Inserts `i` into `starved_order` at its (urgency desc, seq) position.
+    /// The common case — the engine adds kernels in dispatch order, so the
+    /// new key is the largest — is an O(1) append; out-of-order keys pay a
+    /// binary search plus shift. Equal keys (possible only for direct users
+    /// that reuse `seq`) land after their equals, matching a stable sort.
+    fn starved_insert(&mut self, i: u32) {
+        let loads = &self.loads;
+        let key_of = |j: u32| {
+            let l = &loads[j as usize];
+            (std::cmp::Reverse(l.urgency), l.seq)
+        };
+        let key = key_of(i);
+        if self.starved_order.last().is_none_or(|&j| key_of(j) <= key) {
+            self.starved_order.push(i);
+            return;
+        }
+        let at = self.starved_order.partition_point(|&j| key_of(j) <= key);
+        self.starved_order.insert(at, i);
     }
 
     /// Removes the loads at `positions` (ascending, unique, in range) and
@@ -672,7 +716,7 @@ impl IncrementalEval {
                     self.holder_dirty = true;
                 }
             }
-            self.starved = 0;
+            self.starved_order.clear();
             self.loads.clear();
             self.profiles.clear();
             self.mult.clear();
@@ -690,9 +734,6 @@ impl IncrementalEval {
                 if l.sm_granted > 0 {
                     self.holder_dirty = true;
                 }
-                if l.sm_granted < l.sm_needed {
-                    self.starved -= 1;
-                }
                 pi += 1;
                 continue;
             }
@@ -707,6 +748,17 @@ impl IncrementalEval {
             write += 1;
         }
         debug_assert_eq!(pi, positions.len(), "positions ascending and in range");
+        // Remap the starved order through the compaction: removed entries
+        // drop out, survivors shift down by the number of removed positions
+        // below them (`Err(k)` from the binary search is exactly that
+        // count). Keys are unchanged, so relative order is preserved.
+        self.starved_order.retain_mut(|j| match positions.binary_search(j) {
+            Ok(_) => false,
+            Err(k) => {
+                *j -= k as u32;
+                true
+            }
+        });
         self.loads.truncate(write);
         self.profiles.truncate(write);
         self.mult.truncate(write);
@@ -725,10 +777,11 @@ impl IncrementalEval {
         self.eff_m.clear();
         self.rates.clear();
         self.free = self.params.num_sms;
-        self.starved = 0;
+        self.starved_order.clear();
         self.holder = None;
         self.holder_dirty = false;
         self.dirty.clear();
+        self.rate_delta.clear();
         self.all_dirty = false;
         self.memo_valid = false;
     }
@@ -744,6 +797,7 @@ impl IncrementalEval {
         }
         self.membership_changed = false;
         self.evals += 1;
+        self.rate_delta.clear();
         let n = self.loads.len();
         if n == 0 {
             self.dirty.clear();
@@ -757,39 +811,34 @@ impl IncrementalEval {
         }
 
         // 0. Grant top-up: the greedy allocator restricted to starved
-        //    kernels, in the full allocator's (urgency desc, seq) order.
-        //    Restores the grant invariant (free == 0 or starved == 0).
-        if self.free > 0 && self.starved > 0 {
-            self.topup_order.clear();
-            for (i, l) in self.loads.iter().enumerate() {
-                if l.sm_granted < l.sm_needed {
-                    self.topup_order.push(i as u32);
-                }
-            }
-            let loads = &self.loads;
-            self.topup_order.sort_unstable_by_key(|&i| {
-                let l = &loads[i as usize];
-                (std::cmp::Reverse(l.urgency), l.seq)
-            });
-            for ti in 0..self.topup_order.len() {
+        //    kernels, walking the incrementally maintained (urgency desc,
+        //    seq) order — the exact visit order the full allocator's sort
+        //    would produce. Restores the grant invariant (free == 0 or no
+        //    kernel starved). Every visited kernel takes at least one SM,
+        //    so fully granted kernels form a prefix that is drained from
+        //    the list; a partial grant exhausts `free` and stops the walk.
+        if self.free > 0 && !self.starved_order.is_empty() {
+            let mut filled = 0usize;
+            for ti in 0..self.starved_order.len() {
                 if self.free == 0 {
                     break;
                 }
-                let i = self.topup_order[ti] as usize;
+                let i = self.starved_order[ti] as usize;
                 let l = &mut self.loads[i];
                 let take = (l.sm_needed - l.sm_granted).min(self.free);
                 l.sm_granted += take;
                 self.free -= take;
-                if take > 0 {
-                    if l.sm_granted == l.sm_needed {
-                        self.starved -= 1;
-                    }
-                    self.holder_dirty = true;
-                    if !self.all_dirty {
-                        self.dirty.push(i as u32);
-                    }
+                self.holder_dirty = true;
+                if !self.all_dirty {
+                    self.dirty.push(i as u32);
+                }
+                if l.sm_granted == l.sm_needed {
+                    filled = ti + 1;
+                } else {
+                    break;
                 }
             }
+            self.starved_order.drain(..filled);
         }
 
         // Steady-state memo: over-capacity churn often replaces finished
@@ -819,7 +868,11 @@ impl IncrementalEval {
                 self.mult[i] = self.memo_mult[i];
                 self.eff_c[i] = self.memo_eff_c[i];
                 self.eff_m[i] = self.memo_eff_m[i];
-                self.rates[i] = self.memo_rates[i];
+                let new = self.memo_rates[i];
+                if self.rates[i].rate.to_bits() != new.rate.to_bits() {
+                    self.rate_delta.push(i as u32);
+                }
+                self.rates[i] = new;
             }
             self.holder_dirty = false;
             self.all_dirty = false;
@@ -834,7 +887,7 @@ impl IncrementalEval {
         // 1. Dominant-holder profile: consulted only by starved kernels, so
         //    it is recomputed lazily. A profile change flips the interleave
         //    alpha of every starved kernel — mark them all dirty.
-        if self.starved > 0 && self.holder_dirty {
+        if !self.starved_order.is_empty() && self.holder_dirty {
             self.holder_dirty = false;
             let mut best: Option<(u32, std::cmp::Reverse<u64>)> = None;
             let mut best_profile = None;
@@ -851,10 +904,11 @@ impl IncrementalEval {
             if best_profile != self.holder {
                 self.holder = best_profile;
                 if !self.all_dirty {
-                    for (i, l) in self.loads.iter().enumerate() {
-                        if l.sm_granted < l.sm_needed {
-                            self.dirty.push(i as u32);
-                        }
+                    // Every starved kernel interleaves against the holder:
+                    // its alpha just flipped, so its multiplier is stale.
+                    for oi in 0..self.starved_order.len() {
+                        let i = self.starved_order[oi];
+                        self.dirty.push(i);
                     }
                 }
             }
@@ -904,24 +958,38 @@ impl IncrementalEval {
                 &mut self.weights,
                 &mut self.mem_factors,
             );
-            let rates = &mut self.rates;
-            rates.clear();
-            rates.extend(self.loads.iter().enumerate().map(|(i, l)| {
-                let f = self.mult[i];
-                let mut rate = f;
-                if l.compute_demand > 0.0 {
-                    rate = rate.min(f * self.compute_factors[i]);
+            // In-place rewrite (the arrays are always parallel) with a bit
+            // compare per position, feeding the `rate_delta` change list.
+            {
+                let Self {
+                    loads,
+                    mult,
+                    compute_factors,
+                    mem_factors,
+                    rates,
+                    rate_delta,
+                    ..
+                } = self;
+                for (i, l) in loads.iter().enumerate() {
+                    let f = mult[i];
+                    let mut rate = f;
+                    if l.compute_demand > 0.0 {
+                        rate = rate.min(f * compute_factors[i]);
+                    }
+                    if l.mem_demand > 0.0 {
+                        rate = rate.min(f * mem_factors[i]);
+                    }
+                    if rates[i].rate.to_bits() != rate.to_bits() {
+                        rate_delta.push(i as u32);
+                    }
+                    rates[i] = KernelRate {
+                        sm_granted: l.sm_granted,
+                        rate,
+                        compute_used: rate * l.compute_demand,
+                        mem_used: rate * l.mem_demand,
+                    };
                 }
-                if l.mem_demand > 0.0 {
-                    rate = rate.min(f * self.mem_factors[i]);
-                }
-                KernelRate {
-                    sm_granted: l.sm_granted,
-                    rate,
-                    compute_used: rate * l.compute_demand,
-                    mem_used: rate * l.mem_demand,
-                }
-            }));
+            }
             self.factors_valid = true;
             // Record the memo snapshot alongside the outputs it certifies.
             if self.seq_monotone {
@@ -987,8 +1055,13 @@ impl IncrementalEval {
     /// exactly 1.0, `evaluate_into`'s `min(f, f * 1.0)` is bitwise `f`, and
     /// `rate * demand` equals the cached `demand * mult` (IEEE
     /// multiplication is commutative), so the cached arrays are the output.
+    /// A bitwise rate change lands in `rate_delta`; dirty-list duplicates
+    /// are deduplicated automatically (the second write compares equal).
     fn write_under_rate(&mut self, i: usize) {
         let l = self.loads[i];
+        if self.rates[i].rate.to_bits() != self.mult[i].to_bits() {
+            self.rate_delta.push(i as u32);
+        }
         self.rates[i] = KernelRate {
             sm_granted: l.sm_granted,
             rate: self.mult[i],

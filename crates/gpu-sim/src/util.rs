@@ -8,6 +8,43 @@
 use orion_desim::time::SimTime;
 use orion_json::{json, FromJson, JsonError, ToJson, Value};
 
+use crate::interference::KernelRate;
+
+/// Cached device-wide utilization totals over the current rate set, so the
+/// per-event integrate step does O(1) work instead of re-summing every
+/// running kernel.
+///
+/// Recomputed (in rate-array position order) only when a rate refresh
+/// actually changed something. Exactness: `compute_used`/`mem_used` are
+/// bitwise the `rate * demand` products the eager per-event loop multiplied
+/// (under capacity, `demand * mult` equals `mult * demand` — IEEE
+/// multiplication is commutative; over capacity the evaluator stores the
+/// product itself), and the position order matches the eager summation
+/// order, so the f64 sums — and the utilization timeline built from them —
+/// are bit-identical to the old O(running) integrate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UtilTotals {
+    /// Total compute throughput consumed (fraction of device peak, unclamped).
+    pub compute: f64,
+    /// Total memory bandwidth consumed (fraction of device peak, unclamped).
+    pub mem_bw: f64,
+    /// Total SMs granted across running kernels.
+    pub sm_busy: u32,
+}
+
+impl UtilTotals {
+    /// Sums the consumed-resource columns of `rates` in position order.
+    pub fn recompute(rates: &[KernelRate]) -> Self {
+        let mut t = UtilTotals::default();
+        for r in rates {
+            t.compute += r.compute_used;
+            t.mem_bw += r.mem_used;
+            t.sm_busy += r.sm_granted;
+        }
+        t
+    }
+}
+
 /// One sample of the utilization timeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UtilSample {

@@ -299,3 +299,172 @@ fn solo_time_exact() {
         assert_eq!(done[0].at, SimTime::from_micros(us), "case {case}");
     }
 }
+
+// ---- lazy rate-class invariants (PR 7) ----
+
+/// Drives a seeded mixed workload (kernels, copies, advances, resets) and
+/// invokes `check` after every step with the engine refreshed.
+fn drive_classes(tag: u64, case: u64, mut check: impl FnMut(&mut GpuEngine, &str)) {
+    let mut rng = DetRng::new(cell_seed(tag, case));
+    let n_streams = 1 + rng.uniform_u64(48) as usize;
+    let mut e = GpuEngine::new(GpuSpec::v100_16gb(), true);
+    let streams: Vec<_> = (0..n_streams)
+        .map(|i| {
+            e.create_stream(match i % 3 {
+                0 => StreamPriority::HIGH,
+                1 => StreamPriority::DEFAULT,
+                _ => StreamPriority(1),
+            })
+        })
+        .collect();
+    let mut t = SimTime::ZERO;
+    for step in 0..140u32 {
+        match rng.uniform_u64(100) {
+            0..=49 => {
+                let sm = 1 + rng.uniform_u64(100) as u32;
+                let k = KernelBuilder::new(step, format!("p{step}"))
+                    .grid_blocks(2 * sm)
+                    .threads_per_block(1024)
+                    .regs_per_thread(16)
+                    .solo_duration(SimTime::from_micros(5 + rng.uniform_u64(200)))
+                    .utilization(rng.next_f64(), rng.next_f64())
+                    .build();
+                let s = streams[rng.uniform_u64(n_streams as u64) as usize];
+                let _ = e.submit(s, OpKind::Kernel(k));
+            }
+            50..=59 => {
+                let s = streams[rng.uniform_u64(n_streams as u64) as usize];
+                let _ = e.submit(
+                    s,
+                    OpKind::MemcpyH2D {
+                        bytes: 1 << (10 + rng.uniform_u64(12)),
+                        blocking: rng.uniform_u64(4) == 0,
+                    },
+                );
+            }
+            60..=94 => {
+                t += SimTime::from_micros(1 + rng.uniform_u64(150));
+                e.advance_to(t);
+                e.drain_completions();
+            }
+            _ => {
+                e.reset_device();
+                e.drain_completions();
+            }
+        }
+        e.next_event_time(); // force a refresh so class state is current
+        check(&mut e, &format!("case {case} step {step}"));
+    }
+}
+
+/// Materialized remaining work is non-negative and, per kernel, monotonically
+/// non-increasing across every observation point. Both claims are exact (no
+/// tolerance): class virtual time only grows, f64 subtraction is monotone,
+/// and each leave/join rebase materializes at the current virtual time.
+#[test]
+fn materialized_remaining_nonnegative_and_monotone() {
+    use std::collections::HashMap;
+    for case in 0..CASES {
+        let mut last: HashMap<u64, f64> = HashMap::new();
+        drive_classes(0xBB, case, |e, ctx| {
+            let ids = e.running_kernel_ids().to_vec();
+            let rem = e.materialized_remaining();
+            last.retain(|id, _| ids.contains(id));
+            for (i, &id) in ids.iter().enumerate() {
+                assert!(
+                    rem[i] >= 0.0,
+                    "{ctx}: op {id} materialized remaining {} < 0",
+                    rem[i]
+                );
+                if let Some(&prev) = last.get(&id) {
+                    assert!(
+                        rem[i] <= prev,
+                        "{ctx}: op {id} remaining grew: {prev} -> {}",
+                        rem[i]
+                    );
+                }
+                last.insert(id, rem[i]);
+            }
+        });
+    }
+}
+
+/// Utilization never exceeds 1.0 in any component — neither in the running
+/// summary nor in any recorded timeline sample — under the cached-totals
+/// integrate path.
+#[test]
+fn utilization_components_bounded() {
+    for case in 0..CASES {
+        drive_classes(0xBC, case, |e, ctx| {
+            let s = e.util_summary();
+            for (name, v) in [
+                ("compute", s.compute),
+                ("mem_bw", s.mem_bw),
+                ("sm_busy", s.sm_busy),
+            ] {
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&v),
+                    "{ctx}: summary {name} = {v}"
+                );
+            }
+            if let Some(tl) = e.util().timeline() {
+                for (i, smp) in tl.iter().enumerate() {
+                    for (name, v) in [
+                        ("compute", smp.compute),
+                        ("mem_bw", smp.mem_bw),
+                        ("sm_busy", smp.sm_busy),
+                    ] {
+                        assert!(
+                            (0.0..=1.0 + 1e-9).contains(&v),
+                            "{ctx}: timeline[{i}] {name} = {v}"
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Rate classes partition the running set exactly: every running kernel with
+/// a positive rate belongs to exactly one alive class whose rate equals its
+/// evaluator rate bit-for-bit; zero-rate (stalled) kernels are classless; and
+/// alive member counts sum to the number of classed kernels.
+#[test]
+fn rate_classes_partition_running_set() {
+    for case in 0..CASES {
+        drive_classes(0xBD, case, |e, ctx| {
+            let rates = e.interference_rates().to_vec();
+            let class_rates = e.kernel_class_rates();
+            assert_eq!(rates.len(), class_rates.len(), "{ctx}: column length");
+            let mut classed = 0u32;
+            for (i, r) in rates.iter().enumerate() {
+                if r.rate > 0.0 {
+                    classed += 1;
+                    assert_eq!(
+                        class_rates[i].to_bits(),
+                        r.rate.to_bits(),
+                        "{ctx}: kernel {i} class rate {:?} != evaluator rate {:?}",
+                        class_rates[i],
+                        r.rate
+                    );
+                } else {
+                    assert_eq!(
+                        class_rates[i], 0.0,
+                        "{ctx}: stalled kernel {i} still classed at {:?}",
+                        class_rates[i]
+                    );
+                }
+            }
+            let members: u32 = e.rate_classes().iter().map(|&(_, m)| m).sum();
+            assert_eq!(
+                members, classed,
+                "{ctx}: class member counts don't partition the running set"
+            );
+            assert_eq!(
+                e.rate_class_count() as usize,
+                e.rate_classes().len(),
+                "{ctx}: live class count mismatch"
+            );
+        });
+    }
+}
