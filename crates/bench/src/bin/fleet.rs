@@ -1,0 +1,6 @@
+//! Regenerates the fleet-scale cluster simulation grid (churn + placement).
+use orion_bench::exp::fleet::{print, run};
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    print(&run(&cfg));
+}

@@ -400,6 +400,31 @@ pub fn maybe_write_jsonl(outcomes: &mut [CellOutcome]) {
     }
 }
 
+/// Appends pre-built JSON lines to the `ORION_JSONL` path, if set. The fleet
+/// grid uses this for its `fleet` block rows — per-fleet aggregates that do
+/// not fit the per-cell [`CellOutcome`] schema. Emitted only when a fleet
+/// grid actually ran, so non-fleet JSONL streams are unchanged byte-for-byte.
+pub fn maybe_append_jsonl_values(values: &[Value]) {
+    if let Ok(path) = std::env::var("ORION_JSONL") {
+        if path.is_empty() || values.is_empty() {
+            return;
+        }
+        let result = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| {
+                for v in values {
+                    writeln!(f, "{}", v.to_compact())?;
+                }
+                Ok(())
+            });
+        if let Err(e) = result {
+            eprintln!("[runner] failed to write ORION_JSONL={path}: {e}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

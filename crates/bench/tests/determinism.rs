@@ -3,7 +3,11 @@
 //! cell's RNG seed is a pure function of `(base_seed, seed_cell)` — never
 //! of scheduling order.
 
+use std::fmt::Write as _;
+
+use orion_bench::exp::{fleet, ExpConfig};
 use orion_bench::runner::{Runner, Scenario};
+use orion_core::cluster::{dedicated_refs_serial, FleetConfig, FleetJob, FleetSim, FleetTrace};
 use orion_core::prelude::*;
 use orion_desim::time::SimTime;
 use orion_workloads::arrivals::ArrivalProcess;
@@ -145,6 +149,147 @@ fn pinned_seed_cells_share_arrival_draws() {
     let pinned = Runner::new(2).run_scenarios(pinned);
     assert!(pinned.iter().all(|o| o.seed == pinned[0].seed));
     assert!(unpinned.windows(2).all(|w| w[0].seed != w[1].seed));
+}
+
+/// One small churn fleet in the most feedback-heavy mode (online learning +
+/// migration) replayed end-to-end, serialized to the `fleet` JSONL line.
+/// Learned profile tables, re-placement, and migrations all feed back into
+/// the control plane, so any scheduling-order leak shows up in the digest.
+fn fleet_line(threads: usize) -> String {
+    let cfg = ExpConfig::fast();
+    let dims = (6, 24, 3);
+    let trace = fleet::fleet_trace(&cfg, dims);
+    let fcfg = fleet::fleet_config(&cfg, dims, PolicyKind::orion_default(), true, true);
+    let runner = Runner::new(threads).with_progress(false);
+    let report = fleet::run_fleet_on(&runner, trace, fcfg);
+    fleet::fleet_json(
+        &cfg,
+        &fleet::Cell {
+            mode: "churn-replay",
+            report,
+        },
+    )
+    .to_compact()
+}
+
+#[test]
+fn fleet_churn_replay_is_identical_at_any_thread_count() {
+    let a = fleet_line(1);
+    let b = fleet_line(4);
+    let c = fleet_line(7);
+    assert!(a.contains("\"fleet\":"), "fleet block missing from JSONL line");
+    assert_eq!(a, b, "1-thread vs 4-thread fleet replay differs");
+    assert_eq!(b, c, "4-thread vs 7-thread fleet replay differs");
+}
+
+/// A trace whose specs are identical within each priority class: every
+/// complementarity score the placer compares is an exact tie, so placement
+/// is decided purely by the documented tie-breaks (lowest GPU index, lowest
+/// job id). Staggered arrivals and early departures exercise the packer's
+/// churn path; the equal scores make any unstable ordering visible.
+fn tie_trace(epoch: SimTime, horizon: SimTime) -> FleetTrace {
+    let hp = || {
+        ClientSpec::high_priority(
+            inference_workload(ModelKind::ResNet50),
+            ArrivalProcess::Poisson { rps: 30.0 },
+        )
+    };
+    let be = || {
+        ClientSpec::best_effort(
+            training_workload(ModelKind::MobileNetV2),
+            ArrivalProcess::ClosedLoop,
+        )
+    };
+    let jobs = (0..10)
+        .map(|i| FleetJob {
+            client: if i % 2 == 0 { hp() } else { be() },
+            arrive: if i < 6 {
+                SimTime::from_secs(0)
+            } else {
+                epoch + SimTime::from_millis(1)
+            },
+            depart: if i < 2 { epoch * 2 } else { horizon },
+        })
+        .collect();
+    FleetTrace { jobs }
+}
+
+/// Runs the tie-heavy fleet and records every epoch's placement — which job
+/// ids sit on which GPU — plus the migration count and per-job digest.
+fn placement_log(threads: usize) -> String {
+    let epoch = SimTime::from_millis(500);
+    let mut fcfg = FleetConfig::new(5, 3);
+    fcfg.epoch = epoch;
+    fcfg.online = true;
+    fcfg.migration = true;
+    // Every HP trails its dedicated throughput under collocation, so a
+    // threshold of 2.0 makes migration fire every epoch it legally can —
+    // the tie-broken victim choice is replayed under contention.
+    fcfg.migrate_threshold = 2.0;
+    let trace = tie_trace(epoch, fcfg.horizon());
+    let dedicated = dedicated_refs_serial(&trace, &fcfg).expect("dedicated references run");
+    let runner = Runner::new(threads).with_progress(false);
+    let mut sim = FleetSim::new(trace, fcfg, dedicated).expect("fleet init");
+    let mut log = String::new();
+    while let Some(specs) = sim.next_epoch() {
+        for s in &specs {
+            let _ = write!(log, "e{}g{}{:?};", s.epoch, s.gpu, s.jobs);
+        }
+        let results = runner.map(specs, |_, s| {
+            let r = s.run();
+            (s, r)
+        });
+        sim.absorb(results);
+    }
+    let report = sim.into_report();
+    let _ = write!(log, "m{}d{:016x}", report.migrations, report.jobs_digest());
+    log
+}
+
+#[test]
+fn placement_ties_resolve_identically_at_any_thread_count() {
+    let a = placement_log(1);
+    let b = placement_log(4);
+    let c = placement_log(7);
+    assert_eq!(a, b, "1-thread vs 4-thread tie placements differ");
+    assert_eq!(b, c, "4-thread vs 7-thread tie placements differ");
+    assert!(a.contains("e1"), "fleet never reached epoch 1");
+    // The feedback path under test actually fired, or ties were never
+    // re-broken after the initial packing.
+    assert!(
+        !a.contains("m0d"),
+        "no migrations fired; the tie-heavy feedback path went untested"
+    );
+}
+
+/// Fleet-scale arm: the full 128-GPU / 1000-job churn grid, byte-identical
+/// at 1/4/7 threads. Debug builds take minutes per replay, so this runs
+/// `--ignored` in release from `scripts/ci.sh`.
+#[test]
+#[ignore = "fleet-scale: run with --release --ignored (scripts/ci.sh fleet stage)"]
+fn fleet_full_scale_is_identical_at_any_thread_count() {
+    let cfg = ExpConfig::full();
+    let dims = fleet::fleet_dims(&cfg);
+    assert!(dims.0 >= 128 && dims.1 >= 1000, "full grid is fleet-scale");
+    let line = |threads: usize| {
+        let runner = Runner::new(threads).with_progress(false);
+        let trace = fleet::fleet_trace(&cfg, dims);
+        let fcfg = fleet::fleet_config(&cfg, dims, PolicyKind::orion_default(), false, false);
+        let report = fleet::run_fleet_on(&runner, trace, fcfg);
+        fleet::fleet_json(
+            &cfg,
+            &fleet::Cell {
+                mode: "full-scale",
+                report,
+            },
+        )
+        .to_compact()
+    };
+    let a = line(1);
+    let b = line(4);
+    let c = line(7);
+    assert_eq!(a, b, "1-thread vs 4-thread full-scale fleet differs");
+    assert_eq!(b, c, "4-thread vs 7-thread full-scale fleet differs");
 }
 
 #[test]

@@ -206,6 +206,33 @@ fn smoke_online() {
 }
 
 #[test]
+fn smoke_fleet() {
+    let cfg = fast();
+    let cells = exp::fleet::run(&cfg);
+    assert_eq!(cells.len(), 3, "fleet grid covers the three control-plane modes");
+    let (gpus, jobs, _) = exp::fleet::fleet_dims(&cfg);
+    for c in &cells {
+        let r = &c.report;
+        assert_eq!(r.jobs.len(), jobs, "{}: report misses jobs", c.mode);
+        assert_eq!(r.episode_errors, 0, "{}: episodes failed", c.mode);
+        assert!(r.peak_gpus_used >= 1 && r.peak_gpus_used <= gpus);
+        assert!(
+            r.jobs.iter().any(|j| j.completed > 0),
+            "{}: fleet did no work",
+            c.mode
+        );
+        assert!((0.0..=1.0).contains(&r.slo_attainment));
+        assert!(r.hp_p99.as_millis_f64() > 0.0, "{}: no HP latency samples", c.mode);
+    }
+    // The same trace under different policies must actually differ.
+    assert_ne!(
+        cells[0].report.jobs_digest(),
+        cells[2].report.jobs_digest(),
+        "orion and mps fleets produced identical per-job outcomes"
+    );
+}
+
+#[test]
 fn smoke_table1() {
     let rows = exp::table1::run(&fast());
     assert!(!rows.is_empty());

@@ -2,19 +2,119 @@
 //!
 //! Orion is a per-GPU scheduler; the paper's discussion proposes a cluster
 //! manager that uses the offline compute/memory profiles to place jobs with
-//! complementary demands on the same GPU. This module closes the loop:
-//! [`run_cluster`] takes a set of jobs and a GPU count, places them with the
-//! profile-driven matcher from [`crate::placement`], runs every GPU's
-//! collocation under a policy, and reports per-job and cluster-level
-//! results. Each GPU runs its own independent simulation (the paper runs a
-//! separate Orion instance per device, §5).
+//! complementary demands on the same GPU. This module closes the loop at two
+//! scales:
+//!
+//! - [`run_cluster`] / [`run_cluster_packed`]: a *static* cluster — a fixed
+//!   job set packed onto a fixed GPU budget, each device simulated once.
+//! - [`FleetSim`]: a *fleet* — hundreds of GPUs and thousands of jobs driven
+//!   by an open-loop arrival/departure trace ([`FleetTrace`]), with a
+//!   control-plane event loop: a job arrives → it is placed on the best
+//!   complementary GPU with capacity (or queues); a job departs → its slot
+//!   is freed; optionally, when a GPU's learned profiles say a pairing
+//!   soured, the worst-matched best-effort resident migrates elsewhere.
+//!
+//! The fleet runs in fixed-length *epochs*. Arrivals, departures, placement,
+//! and migration are applied at epoch boundaries; within an epoch every
+//! occupied GPU is an independent collocation episode (the paper runs a
+//! separate Orion instance per device, §5), so a batch of episodes can be
+//! sharded across the deterministic runner in `orion-bench`. Engine state
+//! resets at epoch boundaries — a deliberate simplification that buys
+//! embarrassingly-parallel epochs; latency/throughput statistics aggregate
+//! across a job's resident epochs. Episode seeds are splitmix-derived from
+//! `(base seed, gpu, epoch)`, so fleet results are a pure function of the
+//! trace and configuration: byte-identical at any thread count.
 
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use orion_desim::rng::{cell_seed, DetRng};
+use orion_desim::time::SimTime;
 use orion_gpu::error::GpuError;
+use orion_metrics::LatencyRecorder;
+use orion_profiler::{profile_workload, ProfileTable};
+use orion_workloads::arrivals::{ArrivalProcess, PaperRates};
+use orion_workloads::models::llm::llm_decode_step;
+use orion_workloads::registry::{inference_workload, training_workload};
+use orion_workloads::ModelKind;
 
 use crate::client::{ClientPriority, ClientSpec};
-use crate::placement::place_jobs;
+use crate::online::OnlineConfig;
+use crate::placement::{
+    demand_complementarity, demand_from_profiles, demand_vector, pack_jobs, FleetPlacer, PackJob,
+};
 use crate::policy::PolicyKind;
-use crate::world::{run_collocation, run_dedicated, RunConfig};
+use crate::world::{run_collocation, run_collocation_with_profiles, run_dedicated, RunConfig,
+    RunResult};
+
+/// Cluster-level failures. The per-GPU engine's [`GpuError`] variants encode
+/// device conditions (allocations, streams, kernels); exhausting the *GPU
+/// budget* or failing a *reference run* are control-plane conditions and get
+/// their own variants instead of being smuggled through device error fields.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The placement needs more devices than the cluster has.
+    InsufficientGpus {
+        /// GPUs the packing requires.
+        needed: usize,
+        /// GPUs available.
+        available: usize,
+    },
+    /// A job's footprint exceeds a single device's memory: it cannot be
+    /// placed anywhere, not even alone.
+    JobTooLarge {
+        /// Index of the offending job in submission order.
+        job: usize,
+        /// The job's memory footprint in bytes.
+        footprint: u64,
+        /// A single device's capacity in bytes.
+        gpu_memory: u64,
+    },
+    /// A job's dedicated-baseline reference run failed; its normalized
+    /// throughput would be meaningless (reported instead of a silent 0.0).
+    BaselineFailed {
+        /// Index of the offending job in submission order.
+        job: usize,
+        /// The underlying device error.
+        source: GpuError,
+    },
+    /// A placed collocation failed to run.
+    Gpu(GpuError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InsufficientGpus { needed, available } => {
+                write!(f, "placement needs {needed} GPUs but only {available} available")
+            }
+            ClusterError::JobTooLarge { job, footprint, gpu_memory } => write!(
+                f,
+                "job {job} footprint {footprint} B exceeds device memory {gpu_memory} B"
+            ),
+            ClusterError::BaselineFailed { job, source } => {
+                write!(f, "dedicated baseline for job {job} failed: {source}")
+            }
+            ClusterError::Gpu(e) => write!(f, "collocation run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::BaselineFailed { source, .. } | ClusterError::Gpu(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for ClusterError {
+    fn from(e: GpuError) -> Self {
+        ClusterError::Gpu(e)
+    }
+}
 
 /// A job submitted to the cluster.
 #[derive(Debug, Clone)]
@@ -52,56 +152,97 @@ pub struct ClusterResult {
 }
 
 /// Places `jobs` onto at most `max_gpus` devices with the profile-driven
-/// matcher and runs every device's collocation under `policy`.
+/// matcher and runs every device's collocation under `policy`. Legacy
+/// pairwise mode: at most two jobs share a GPU (see [`run_cluster_packed`]
+/// for k-way packing).
 ///
-/// Jobs are paired by complementarity; pairs beyond the GPU budget and
-/// unpaired jobs run alone, newest-first, one per remaining GPU.
+/// Jobs are packed by complementarity in submission-index order
+/// (high-priority jobs first); leftover jobs run alone, in ascending index
+/// order, one per remaining GPU.
 ///
 /// # Errors
 ///
-/// Returns an error when more GPUs would be needed than `max_gpus`, or when
-/// a placed pair unexpectedly fails to run.
+/// - [`ClusterError::JobTooLarge`] when a job cannot fit on a device alone.
+/// - [`ClusterError::InsufficientGpus`] when the packing needs more devices
+///   than `max_gpus`.
+/// - [`ClusterError::BaselineFailed`] when a job's dedicated reference run
+///   fails (its normalization would otherwise silently read 0.0).
+/// - [`ClusterError::Gpu`] when a placed collocation fails to run.
 pub fn run_cluster(
     jobs: &[ClusterJob],
     max_gpus: usize,
     policy: &PolicyKind,
     cfg: &RunConfig,
-) -> Result<ClusterResult, GpuError> {
-    let workloads: Vec<_> = jobs.iter().map(|j| j.client.workload.clone()).collect();
-    let placement = place_jobs(&workloads, cfg.spec.memory_capacity);
-    let needed = placement.pairs.len() + placement.singles.len();
+) -> Result<ClusterResult, ClusterError> {
+    run_cluster_packed(jobs, max_gpus, 2, policy, cfg)
+}
+
+/// [`run_cluster`] with k-way packing: a GPU hosts at most one high-priority
+/// job plus best-effort jobs up to `max_jobs_per_gpu` total, subject to the
+/// memory ledger.
+///
+/// # Errors
+///
+/// Same as [`run_cluster`].
+pub fn run_cluster_packed(
+    jobs: &[ClusterJob],
+    max_gpus: usize,
+    max_jobs_per_gpu: usize,
+    policy: &PolicyKind,
+    cfg: &RunConfig,
+) -> Result<ClusterResult, ClusterError> {
+    let pack: Vec<PackJob> = jobs
+        .iter()
+        .map(|j| PackJob {
+            mem: j.client.workload.memory_footprint,
+            demand: demand_vector(&j.client.workload),
+            hp: j.client.priority == ClientPriority::HighPriority,
+        })
+        .collect();
+    let packing = pack_jobs(&pack, cfg.spec.memory_capacity, max_jobs_per_gpu);
+    if let Some(&job) = packing.oversized.first() {
+        return Err(ClusterError::JobTooLarge {
+            job,
+            footprint: jobs[job].client.workload.memory_footprint,
+            gpu_memory: cfg.spec.memory_capacity,
+        });
+    }
+    let needed = packing.groups.len();
     if needed > max_gpus {
-        return Err(GpuError::OutOfMemory {
-            requested: needed as u64,
-            available: max_gpus as u64,
+        return Err(ClusterError::InsufficientGpus {
+            needed,
+            available: max_gpus,
         });
     }
 
-    let mut results = Vec::new();
-    let mut gpu = 0usize;
-
-    // Dedicated reference throughput per job (for normalization).
-    let dedicated: Vec<f64> = jobs
+    // Dedicated reference throughput per job (for normalization). A failed
+    // reference is an error, not a silent `normalized: 0.0`.
+    let dedicated = jobs
         .iter()
-        .map(|j| {
+        .enumerate()
+        .map(|(i, j)| {
             run_dedicated(j.client.clone(), cfg)
                 .map(|r| r.clients[0].throughput)
-                .unwrap_or(0.0)
+                .map_err(|source| ClusterError::BaselineFailed { job: i, source })
         })
-        .collect();
+        .collect::<Result<Vec<f64>, ClusterError>>()?;
 
-    for &(a, b) in &placement.pairs {
-        // The first job of the pair is treated as the GPU's high-priority
-        // client (the placement layer can encode real priorities by
-        // submitting jobs with ClientPriority set; we respect them).
-        let mut ca = jobs[a].client.clone();
-        let mut cb = jobs[b].client.clone();
-        if ca.priority == cb.priority {
-            ca.priority = ClientPriority::HighPriority;
-            cb.priority = ClientPriority::BestEffort;
+    let mut results = Vec::new();
+    for (gpu, group) in packing.groups.iter().enumerate() {
+        let mut specs: Vec<ClientSpec> = group.iter().map(|&j| jobs[j].client.clone()).collect();
+        // A group of equal priorities promotes its first job to the GPU's
+        // high-priority client (submitters can encode real priorities by
+        // setting ClientPriority; we respect them — the packer guarantees
+        // at most one HP job per group).
+        if specs.len() > 1 && !specs.iter().any(|s| s.priority == ClientPriority::HighPriority) {
+            specs[0].priority = ClientPriority::HighPriority;
         }
-        let mut r = run_collocation(policy.clone(), vec![ca, cb], cfg)?;
-        for (slot, job) in [(0usize, a), (1, b)] {
+        let mut r = if specs.len() == 1 {
+            run_dedicated(specs.pop().expect("one spec"), cfg)?
+        } else {
+            run_collocation(policy.clone(), specs, cfg)?
+        };
+        for (slot, &job) in group.iter().enumerate() {
             let c = &mut r.clients[slot];
             results.push(JobResult {
                 job,
@@ -116,29 +257,825 @@ pub fn run_cluster(
                 },
             });
         }
-        gpu += 1;
-    }
-    for &a in &placement.singles {
-        let mut r = run_dedicated(jobs[a].client.clone(), cfg)?;
-        let c = &mut r.clients[0];
-        results.push(JobResult {
-            job: a,
-            gpu,
-            label: c.label.clone(),
-            throughput: c.throughput,
-            p99_ms: c.latency.p99().as_millis_f64(),
-            normalized: 1.0,
-        });
-        gpu += 1;
     }
 
     results.sort_by_key(|r| r.job);
     let total_normalized = results.iter().map(|r| r.normalized).sum();
     Ok(ClusterResult {
         jobs: results,
-        gpus_used: gpu,
+        gpus_used: needed,
         total_normalized,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-scale simulation: arrival/departure churn over hundreds of GPUs.
+// ---------------------------------------------------------------------------
+
+/// Domain-separation tag for the trace synthesizer's per-job seeds.
+const FLEET_TRACE_TAG: u64 = 0xf1ee_0000_0000_0001;
+/// Domain-separation tag for dedicated-reference run seeds.
+const FLEET_DED_TAG: u64 = 0xf1ee_0000_0000_0002;
+/// Domain-separation tag for per-(gpu, epoch) episode seeds.
+const FLEET_EPISODE_TAG: u64 = 0xf1ee_0000_0000_0003;
+
+/// One job in a fleet trace: a client plus its lifetime.
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    /// The client (workload + arrivals + priority).
+    pub client: ClientSpec,
+    /// Submission time.
+    pub arrive: SimTime,
+    /// Completion/cancellation time (open interval end: the job is gone at
+    /// and after this instant).
+    pub depart: SimTime,
+}
+
+/// An open-loop arrival/departure trace driving a fleet.
+#[derive(Debug, Clone, Default)]
+pub struct FleetTrace {
+    /// Jobs in submission order (ids are indices into this vector).
+    pub jobs: Vec<FleetJob>,
+}
+
+/// Knobs for [`FleetTrace::synthesize`].
+#[derive(Debug, Clone)]
+pub struct FleetTraceConfig {
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Trace horizon: arrivals and departures land in `[0, horizon]`.
+    pub horizon: SimTime,
+    /// Fraction of jobs that are high-priority inference services.
+    pub hp_fraction: f64,
+    /// Mean of the exponential job lifetime.
+    pub mean_lifetime: SimTime,
+    /// Lifetime floor (avoids zero-epoch jobs dominating the trace).
+    pub min_lifetime: SimTime,
+    /// Arrivals land uniformly in `[0, horizon * arrival_window]`.
+    pub arrival_window: f64,
+    /// Trace seed (independent of the run seeds).
+    pub seed: u64,
+}
+
+impl FleetTraceConfig {
+    /// A trace of `jobs` jobs over `horizon` with the default mix: 40%
+    /// high-priority inference (Poisson at the paper's Table-3 rates), 60%
+    /// best-effort training/decode, lifetimes exponential around a third of
+    /// the horizon.
+    pub fn new(jobs: usize, horizon: SimTime) -> Self {
+        FleetTraceConfig {
+            jobs,
+            horizon,
+            hp_fraction: 0.4,
+            mean_lifetime: horizon.mul_f64(1.0 / 3.0),
+            min_lifetime: horizon.mul_f64(0.125),
+            arrival_window: 0.6,
+            seed: 42,
+        }
+    }
+}
+
+/// High-priority service models sampled by the synthesizer.
+const HP_MODELS: [ModelKind; 4] = [
+    ModelKind::ResNet50,
+    ModelKind::MobileNetV2,
+    ModelKind::Bert,
+    ModelKind::ResNet101,
+];
+
+impl FleetTrace {
+    /// Synthesizes an open-loop churn trace. Every job is derived from its
+    /// own splitmix cell of `(seed, job index)`, so the trace is a pure
+    /// function of the config — independent of thread count or wall clock.
+    pub fn synthesize(cfg: &FleetTraceConfig) -> FleetTrace {
+        let base = cell_seed(cfg.seed, FLEET_TRACE_TAG);
+        let jobs = (0..cfg.jobs)
+            .map(|i| {
+                let mut rng = DetRng::new(cell_seed(base, i as u64));
+                let hp = rng.next_f64() < cfg.hp_fraction;
+                let client = if hp {
+                    let model = HP_MODELS[rng.uniform_u64(HP_MODELS.len() as u64) as usize];
+                    ClientSpec::high_priority(
+                        inference_workload(model),
+                        ArrivalProcess::Poisson {
+                            rps: PaperRates::inf_train_poisson(model),
+                        },
+                    )
+                } else {
+                    match rng.uniform_u64(3) {
+                        0 => ClientSpec::best_effort(
+                            training_workload(ModelKind::ResNet50),
+                            ArrivalProcess::ClosedLoop,
+                        ),
+                        1 => ClientSpec::best_effort(
+                            training_workload(ModelKind::MobileNetV2),
+                            ArrivalProcess::ClosedLoop,
+                        ),
+                        _ => ClientSpec::best_effort(llm_decode_step(), ArrivalProcess::ClosedLoop),
+                    }
+                };
+                let arrive = cfg.horizon.mul_f64(cfg.arrival_window * rng.next_f64());
+                let mean = cfg.mean_lifetime.as_secs_f64().max(1e-9);
+                let mut life = SimTime::from_secs_f64(rng.exponential(1.0 / mean));
+                if life < cfg.min_lifetime {
+                    life = cfg.min_lifetime;
+                }
+                let depart = (arrive + life).min(cfg.horizon);
+                FleetJob {
+                    client,
+                    arrive,
+                    depart,
+                }
+            })
+            .collect();
+        FleetTrace { jobs }
+    }
+
+    /// Peak number of concurrently-live jobs in the raw trace: the size a
+    /// dedicated (one GPU per job) fleet would need.
+    pub fn peak_concurrent(&self) -> usize {
+        let mut events: Vec<(SimTime, i64)> = Vec::with_capacity(self.jobs.len() * 2);
+        for j in &self.jobs {
+            if j.depart > j.arrive {
+                events.push((j.arrive, 1));
+                events.push((j.depart, -1));
+            }
+        }
+        // Departures apply before arrivals at the same instant.
+        events.sort_by_key(|&(t, d)| (t, d));
+        let mut live = 0i64;
+        let mut peak = 0i64;
+        for (_, d) in events {
+            live += d;
+            peak = peak.max(live);
+        }
+        peak.max(0) as usize
+    }
+}
+
+/// Fleet control-plane configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of identical GPUs in the fleet.
+    pub gpus: usize,
+    /// Epoch length: the control plane acts at multiples of this.
+    pub epoch: SimTime,
+    /// Number of epochs to simulate.
+    pub epochs: usize,
+    /// Scheduling policy on every GPU.
+    pub policy: PolicyKind,
+    /// Per-episode run template. `horizon`/`warmup`/`seed`/`online` are
+    /// overridden per (gpu, epoch); `spec` sets the device and the memory
+    /// ledger the placer packs against.
+    pub rc: RunConfig,
+    /// Packing cap: jobs per GPU (one high-priority plus best-effort).
+    pub max_jobs_per_gpu: usize,
+    /// Learn profiles online (cold start + admission ladder) and feed
+    /// re-placement from the learned tables; offline tables otherwise.
+    pub online: bool,
+    /// Migrate the worst-matched best-effort resident off a GPU whose
+    /// high-priority job underperformed its threshold last epoch.
+    pub migration: bool,
+    /// Migration trigger: HP normalized throughput below this.
+    pub migrate_threshold: f64,
+    /// HP job SLO: aggregated p99 within this factor of dedicated p99.
+    pub slo_latency_factor: f64,
+    /// BE job SLO: normalized throughput at least this.
+    pub slo_tput_factor: f64,
+}
+
+impl FleetConfig {
+    /// A fleet of `gpus` V100s over `epochs` one-second epochs with the
+    /// default control-plane tuning (offline profiles, no migration).
+    pub fn new(gpus: usize, epochs: usize) -> Self {
+        let mut rc = RunConfig::paper_default();
+        rc.validate = crate::validate::ValidateMode::Off;
+        FleetConfig {
+            gpus,
+            epoch: SimTime::from_secs(1),
+            epochs,
+            policy: PolicyKind::orion_default(),
+            rc,
+            max_jobs_per_gpu: 3,
+            online: false,
+            migration: false,
+            migrate_threshold: 0.55,
+            slo_latency_factor: 2.0,
+            slo_tput_factor: 0.25,
+        }
+    }
+
+    /// The trace horizon implied by the epoch grid.
+    pub fn horizon(&self) -> SimTime {
+        self.epoch * self.epochs as u64
+    }
+
+    fn episode_rc(&self, gpu: usize, epoch: usize) -> RunConfig {
+        let mut rc = self.rc.clone();
+        rc.horizon = self.epoch;
+        rc.warmup = self.epoch / 5;
+        rc.seed = cell_seed(
+            cell_seed(cell_seed(self.rc.seed, FLEET_EPISODE_TAG), gpu as u64),
+            epoch as u64,
+        );
+        rc.online = if self.online {
+            OnlineConfig::learning()
+        } else {
+            OnlineConfig::disabled()
+        };
+        rc
+    }
+}
+
+/// Dedicated-GPU reference for one workload label: the normalization and
+/// SLO anchor for every job running that workload.
+#[derive(Debug, Clone, Copy)]
+pub struct DedicatedRef {
+    /// Requests/iterations per second alone on a device.
+    pub throughput: f64,
+    /// p99 latency alone on a device.
+    pub p99: SimTime,
+}
+
+/// The dedicated reference runs a fleet needs: one per distinct workload
+/// label, sorted by label, each with its own derived seed. Both the serial
+/// driver and the sharded bench driver map [`run_dedicated`] over exactly
+/// this list, so their reference values are identical.
+pub fn dedicated_ref_inputs(
+    trace: &FleetTrace,
+    cfg: &FleetConfig,
+) -> Vec<(String, ClientSpec, RunConfig)> {
+    let mut by_label: BTreeMap<String, ClientSpec> = BTreeMap::new();
+    for j in &trace.jobs {
+        by_label
+            .entry(j.client.workload.label())
+            .or_insert_with(|| j.client.clone());
+    }
+    by_label
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, client))| {
+            let mut rc = cfg.rc.clone();
+            rc.horizon = cfg.epoch;
+            rc.warmup = cfg.epoch / 5;
+            rc.seed = cell_seed(cell_seed(cfg.rc.seed, FLEET_DED_TAG), i as u64);
+            rc.online = OnlineConfig::disabled();
+            (label, client, rc)
+        })
+        .collect()
+}
+
+/// Runs the dedicated references serially (the bench driver shards the same
+/// inputs across the runner instead).
+///
+/// # Errors
+///
+/// [`ClusterError::BaselineFailed`] when a reference run fails.
+pub fn dedicated_refs_serial(
+    trace: &FleetTrace,
+    cfg: &FleetConfig,
+) -> Result<BTreeMap<String, DedicatedRef>, ClusterError> {
+    let mut refs = BTreeMap::new();
+    for (i, (label, client, rc)) in dedicated_ref_inputs(trace, cfg).into_iter().enumerate() {
+        let mut r = run_dedicated(client, &rc)
+            .map_err(|source| ClusterError::BaselineFailed { job: i, source })?;
+        refs.insert(
+            label,
+            DedicatedRef {
+                throughput: r.clients[0].throughput,
+                p99: r.clients[0].latency.p99(),
+            },
+        );
+    }
+    Ok(refs)
+}
+
+/// One (gpu, epoch) collocation episode: everything needed to run it on any
+/// worker thread. Produced by [`FleetSim::next_epoch`]; results go back via
+/// [`FleetSim::absorb`].
+#[derive(Debug, Clone)]
+pub struct EpisodeSpec {
+    /// Fleet GPU index.
+    pub gpu: usize,
+    /// Epoch index.
+    pub epoch: usize,
+    /// Resident job ids, in placement order (parallel to `clients`).
+    pub jobs: Vec<usize>,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Client specs, parallel to `jobs`.
+    pub clients: Vec<ClientSpec>,
+    /// Pre-built profile tables, parallel to `jobs` (offline memoized or
+    /// online carried-over).
+    pub profiles: Vec<Option<ProfileTable>>,
+    /// Fully-derived run config (horizon = epoch, per-episode seed).
+    pub rc: RunConfig,
+}
+
+impl EpisodeSpec {
+    /// Runs the episode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying [`run_collocation`] error.
+    pub fn run(&self) -> Result<RunResult, GpuError> {
+        run_collocation_with_profiles(
+            self.policy.clone(),
+            self.clients.clone(),
+            self.profiles.clone(),
+            &self.rc,
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct JobStats {
+    latency: LatencyRecorder,
+    completed: u64,
+    resident_epochs: u64,
+    moves: u64,
+    ever_placed: bool,
+}
+
+/// The fleet control plane: a pull-driven state machine. Call
+/// [`FleetSim::next_epoch`] for the next batch of independent episodes, run
+/// them (serially or sharded across the bench runner — results must come
+/// back in the same order they were handed out, which `Runner::map`
+/// guarantees), feed them to [`FleetSim::absorb`], repeat until
+/// `next_epoch` returns `None`, then take [`FleetSim::into_report`].
+#[derive(Debug)]
+pub struct FleetSim {
+    cfg: FleetConfig,
+    trace: FleetTrace,
+    dedicated: BTreeMap<String, DedicatedRef>,
+    offline_tables: BTreeMap<String, ProfileTable>,
+    placer: FleetPlacer,
+    epoch: usize,
+    /// Job ids sorted by (arrive, id); `next_arrival` indexes into it.
+    arrivals_order: Vec<usize>,
+    next_arrival: usize,
+    /// FIFO of arrived-but-unplaced job ids.
+    pending: Vec<usize>,
+    stats: Vec<JobStats>,
+    /// Online-learned table per job, carried across epochs.
+    learned: Vec<Option<ProfileTable>>,
+    /// Last epoch's measured normalized throughput of each HP job.
+    last_hp_norm: Vec<Option<f64>>,
+    migrations: u64,
+    episode_errors: u64,
+    oversized_rejected: u64,
+    peak_gpus_used: usize,
+}
+
+impl FleetSim {
+    /// Builds the control plane over `trace`. Offline mode profiles each
+    /// distinct workload once up front (memoized per label); online mode
+    /// starts every job cold and learns.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Gpu`] when offline profiling of a workload fails.
+    pub fn new(
+        trace: FleetTrace,
+        cfg: FleetConfig,
+        dedicated: BTreeMap<String, DedicatedRef>,
+    ) -> Result<FleetSim, ClusterError> {
+        let mut offline_tables = BTreeMap::new();
+        if !cfg.online {
+            for j in &trace.jobs {
+                if let Entry::Vacant(e) = offline_tables.entry(j.client.workload.label()) {
+                    let table = profile_workload(&j.client.workload, &cfg.rc.spec)
+                        .map_err(ClusterError::Gpu)?
+                        .table();
+                    e.insert(table);
+                }
+            }
+        }
+        let n = trace.jobs.len();
+        let mut arrivals_order: Vec<usize> = (0..n).collect();
+        arrivals_order.sort_by_key(|&i| (trace.jobs[i].arrive, i));
+        let placer = FleetPlacer::new(cfg.gpus, cfg.rc.spec.memory_capacity, cfg.max_jobs_per_gpu);
+        let mut stats = Vec::with_capacity(n);
+        stats.resize_with(n, JobStats::default);
+        Ok(FleetSim {
+            cfg,
+            trace,
+            dedicated,
+            offline_tables,
+            placer,
+            epoch: 0,
+            arrivals_order,
+            next_arrival: 0,
+            pending: Vec::new(),
+            stats,
+            learned: vec![None; n],
+            last_hp_norm: vec![None; n],
+            migrations: 0,
+            episode_errors: 0,
+            oversized_rejected: 0,
+            peak_gpus_used: 0,
+        })
+    }
+
+    fn pack_job(&self, id: usize) -> PackJob {
+        let spec = &self.trace.jobs[id].client;
+        // Re-placement demand: the online-learned table when it has entries,
+        // the static workload vector otherwise (cold start / offline mode).
+        let demand = self
+            .learned[id]
+            .as_ref()
+            .and_then(demand_from_profiles)
+            .unwrap_or_else(|| demand_vector(&spec.workload));
+        PackJob {
+            mem: spec.workload.memory_footprint,
+            demand,
+            hp: spec.priority == ClientPriority::HighPriority,
+        }
+    }
+
+    /// Migrates the worst-matched best-effort resident off every GPU whose
+    /// high-priority job ran below `migrate_threshold` of dedicated last
+    /// epoch (at most one move per GPU per epoch).
+    fn migrate(&mut self) {
+        for gpu in 0..self.cfg.gpus {
+            let residents = self.placer.residents(gpu).to_vec();
+            if residents.len() < 2 {
+                continue;
+            }
+            let Some(hp) = self.placer.hp_of(gpu) else {
+                continue;
+            };
+            let Some(norm) = self.last_hp_norm[hp] else {
+                continue;
+            };
+            if norm >= self.cfg.migrate_threshold {
+                continue;
+            }
+            let hp_demand = self.placer.job(hp).expect("hp resident").demand;
+            let mut victim: Option<(f64, usize)> = None;
+            for &r in residents.iter().filter(|&&r| r != hp) {
+                let score =
+                    demand_complementarity(hp_demand, self.placer.job(r).expect("resident").demand);
+                // Strictly-less keeps the lowest job id on ties.
+                if victim.is_none_or(|(s, _)| score < s) {
+                    victim = Some((score, r));
+                }
+            }
+            let Some((_, victim)) = victim else { continue };
+            let job = *self.placer.job(victim).expect("victim resident");
+            self.placer.remove(victim);
+            if self.placer.try_place(victim, job, Some(gpu)).is_some() {
+                self.migrations += 1;
+                self.stats[victim].moves += 1;
+                // Give the relieved pairing a fresh epoch before re-judging.
+                self.last_hp_norm[hp] = None;
+            } else {
+                // Nowhere better: stay put.
+                self.placer.force_place(victim, job, gpu);
+            }
+        }
+    }
+
+    /// Advances the control plane one epoch: applies migration, departures,
+    /// arrivals, and placement, then returns the epoch's episodes (one per
+    /// occupied GPU; possibly empty early in the trace). Returns `None`
+    /// after the last epoch.
+    pub fn next_epoch(&mut self) -> Option<Vec<EpisodeSpec>> {
+        if self.epoch >= self.cfg.epochs {
+            return None;
+        }
+        let epoch = self.epoch;
+        let now = self.cfg.epoch * epoch as u64;
+
+        if self.cfg.migration && epoch > 0 {
+            self.migrate();
+        }
+
+        // Departures: resident jobs whose lifetime ended by this boundary
+        // free their slots; pending jobs that expired unplaced are dropped.
+        let departed: Vec<usize> = (0..self.trace.jobs.len())
+            .filter(|&id| self.placer.gpu_of(id).is_some() && self.trace.jobs[id].depart <= now)
+            .collect();
+        for id in departed {
+            self.placer.remove(id);
+        }
+        let trace = &self.trace;
+        self.pending.retain(|&id| trace.jobs[id].depart > now);
+
+        // Arrivals: everything with arrive <= now joins the FIFO queue.
+        while self.next_arrival < self.arrivals_order.len() {
+            let id = self.arrivals_order[self.next_arrival];
+            if self.trace.jobs[id].arrive > now {
+                break;
+            }
+            self.next_arrival += 1;
+            if self.trace.jobs[id].client.workload.memory_footprint
+                > self.cfg.rc.spec.memory_capacity
+            {
+                // Cannot fit on any device, ever: reject at admission.
+                self.oversized_rejected += 1;
+                continue;
+            }
+            if self.trace.jobs[id].depart > now {
+                self.pending.push(id);
+            }
+        }
+
+        // Placement: drain the queue in FIFO order; jobs that do not fit
+        // anywhere right now stay queued (capacity may free up later).
+        let mut still_pending = Vec::new();
+        for id in std::mem::take(&mut self.pending) {
+            let job = self.pack_job(id);
+            if self.placer.try_place(id, job, None).is_some() {
+                self.stats[id].ever_placed = true;
+            } else {
+                still_pending.push(id);
+            }
+        }
+        self.pending = still_pending;
+        self.peak_gpus_used = self.peak_gpus_used.max(self.placer.used_gpus());
+
+        let mut episodes = Vec::new();
+        for gpu in 0..self.cfg.gpus {
+            let jobs = self.placer.residents(gpu).to_vec();
+            if jobs.is_empty() {
+                continue;
+            }
+            let clients: Vec<ClientSpec> = jobs
+                .iter()
+                .map(|&id| self.trace.jobs[id].client.clone())
+                .collect();
+            let profiles: Vec<Option<ProfileTable>> = jobs
+                .iter()
+                .map(|&id| {
+                    if self.cfg.online {
+                        // Cold start on an empty table; the admission ladder
+                        // fills it and `absorb` carries it forward.
+                        Some(self.learned[id].clone().unwrap_or_default())
+                    } else {
+                        let label = self.trace.jobs[id].client.workload.label();
+                        Some(self.offline_tables[&label].clone())
+                    }
+                })
+                .collect();
+            episodes.push(EpisodeSpec {
+                gpu,
+                epoch,
+                jobs,
+                policy: self.cfg.policy.clone(),
+                clients,
+                profiles,
+                rc: self.cfg.episode_rc(gpu, epoch),
+            });
+        }
+        self.epoch += 1;
+        Some(episodes)
+    }
+
+    /// Folds an epoch's episode results back into the control plane:
+    /// per-job statistics, learned profile tables (online mode), and the
+    /// per-GPU health signals migration reads.
+    pub fn absorb(&mut self, results: Vec<(EpisodeSpec, Result<RunResult, GpuError>)>) {
+        for (spec, res) in results {
+            let r = match res {
+                Ok(r) => r,
+                Err(_) => {
+                    self.episode_errors += 1;
+                    continue;
+                }
+            };
+            let window = r.window.as_secs_f64();
+            for (slot, &job) in spec.jobs.iter().enumerate() {
+                let c = &r.clients[slot];
+                let st = &mut self.stats[job];
+                st.resident_epochs += 1;
+                st.completed += c.completed;
+                for &s in c.latency.samples() {
+                    st.latency.record(s);
+                }
+                if self.trace.jobs[job].client.priority == ClientPriority::HighPriority {
+                    let label = self.trace.jobs[job].client.workload.label();
+                    let ded = self.dedicated.get(&label).map_or(0.0, |d| d.throughput);
+                    let tput = if window > 0.0 { c.completed as f64 / window } else { 0.0 };
+                    self.last_hp_norm[job] = Some(if ded > 0.0 { tput / ded } else { 0.0 });
+                }
+            }
+            if let Some(tables) = r.learned {
+                for (slot, &job) in spec.jobs.iter().enumerate() {
+                    let table = &tables[slot];
+                    if !table.is_empty() {
+                        if let Some(d) = demand_from_profiles(table) {
+                            self.placer.update_demand(job, d);
+                        }
+                        self.learned[job] = Some(table.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Final fleet-level report.
+    pub fn into_report(self) -> FleetReport {
+        let FleetSim {
+            cfg,
+            trace,
+            dedicated,
+            stats,
+            migrations,
+            episode_errors,
+            oversized_rejected,
+            peak_gpus_used,
+            ..
+        } = self;
+        let window = (cfg.epoch - cfg.epoch / 5).as_secs_f64();
+        let mut jobs = Vec::with_capacity(stats.len());
+        let mut hp_latency = LatencyRecorder::new();
+        for (id, mut st) in stats.into_iter().enumerate() {
+            let spec = &trace.jobs[id].client;
+            let hp = spec.priority == ClientPriority::HighPriority;
+            let label = spec.workload.label();
+            let dref = dedicated.get(&label).copied().unwrap_or(DedicatedRef {
+                throughput: 0.0,
+                p99: SimTime::ZERO,
+            });
+            let secs = st.resident_epochs as f64 * window;
+            let throughput = if secs > 0.0 { st.completed as f64 / secs } else { 0.0 };
+            let normalized = if dref.throughput > 0.0 {
+                throughput / dref.throughput
+            } else {
+                0.0
+            };
+            let p99 = st.latency.p99();
+            if hp {
+                for &s in st.latency.samples() {
+                    hp_latency.record(s);
+                }
+            }
+            // Jobs that never ran an epoch miss their SLO by definition.
+            let slo_met = st.resident_epochs > 0
+                && if hp {
+                    st.completed > 0 && p99 <= dref.p99.mul_f64(cfg.slo_latency_factor)
+                } else {
+                    normalized >= cfg.slo_tput_factor
+                };
+            jobs.push(FleetJobResult {
+                job: id,
+                label,
+                hp,
+                resident_epochs: st.resident_epochs,
+                completed: st.completed,
+                throughput,
+                normalized,
+                p99,
+                slo_met,
+                moves: st.moves,
+                ever_placed: st.ever_placed,
+            });
+        }
+        let hp_jobs = jobs.iter().filter(|j| j.hp).count();
+        let be_jobs = jobs.len() - hp_jobs;
+        let hp_met = jobs.iter().filter(|j| j.hp && j.slo_met).count();
+        let be_met = jobs.iter().filter(|j| !j.hp && j.slo_met).count();
+        let never_placed = jobs.iter().filter(|j| !j.ever_placed).count();
+        let dedicated_gpus_needed = trace.peak_concurrent();
+        FleetReport {
+            gpus: cfg.gpus,
+            epochs: cfg.epochs,
+            epoch: cfg.epoch,
+            peak_gpus_used,
+            dedicated_gpus_needed,
+            gpus_saved: dedicated_gpus_needed as i64 - peak_gpus_used as i64,
+            hp_p99: hp_latency.p99(),
+            hp_slo_attainment: if hp_jobs > 0 { hp_met as f64 / hp_jobs as f64 } else { 1.0 },
+            be_slo_attainment: if be_jobs > 0 { be_met as f64 / be_jobs as f64 } else { 1.0 },
+            slo_attainment: if jobs.is_empty() {
+                1.0
+            } else {
+                (hp_met + be_met) as f64 / jobs.len() as f64
+            },
+            migrations,
+            episode_errors,
+            oversized_rejected,
+            never_placed,
+            jobs,
+        }
+    }
+}
+
+/// Per-job outcome across all its resident epochs.
+#[derive(Debug, Clone)]
+pub struct FleetJobResult {
+    /// Job id (index into the trace).
+    pub job: usize,
+    /// Workload label.
+    pub label: String,
+    /// High-priority job.
+    pub hp: bool,
+    /// Epochs the job was resident on some GPU.
+    pub resident_epochs: u64,
+    /// Requests/iterations completed across all resident epochs.
+    pub completed: u64,
+    /// Requests per resident-second.
+    pub throughput: f64,
+    /// Throughput relative to a dedicated GPU.
+    pub normalized: f64,
+    /// p99 latency across all resident epochs.
+    pub p99: SimTime,
+    /// SLO attainment: HP jobs by p99 vs dedicated, BE jobs by normalized
+    /// throughput; never-resident jobs count as missed.
+    pub slo_met: bool,
+    /// Migration count.
+    pub moves: u64,
+    /// The job was placed at least once.
+    pub ever_placed: bool,
+}
+
+/// Fleet-level outcome.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Fleet size (GPUs available).
+    pub gpus: usize,
+    /// Epochs simulated.
+    pub epochs: usize,
+    /// Epoch length.
+    pub epoch: SimTime,
+    /// Most GPUs occupied at any epoch boundary.
+    pub peak_gpus_used: usize,
+    /// Peak concurrently-live jobs in the raw trace: the size of the
+    /// dedicated (one GPU per job) fleet this run replaces.
+    pub dedicated_gpus_needed: usize,
+    /// `dedicated_gpus_needed - peak_gpus_used` (negative if sharing lost).
+    pub gpus_saved: i64,
+    /// Fleet-wide p99 across every HP request.
+    pub hp_p99: SimTime,
+    /// Fraction of HP jobs meeting their latency SLO.
+    pub hp_slo_attainment: f64,
+    /// Fraction of BE jobs meeting their throughput SLO.
+    pub be_slo_attainment: f64,
+    /// Fraction of all jobs meeting their SLO.
+    pub slo_attainment: f64,
+    /// Successful migrations.
+    pub migrations: u64,
+    /// Episodes that returned an error (excluded from statistics).
+    pub episode_errors: u64,
+    /// Jobs rejected at admission because they exceed device memory.
+    pub oversized_rejected: u64,
+    /// Jobs that were never placed before departing.
+    pub never_placed: usize,
+    /// Per-job results, in job-id order.
+    pub jobs: Vec<FleetJobResult>,
+}
+
+impl FleetReport {
+    /// FNV-1a digest over every per-job outcome — a compact determinism
+    /// fingerprint: two runs of the same trace/config must agree on it
+    /// regardless of thread count.
+    pub fn jobs_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for j in &self.jobs {
+            eat(&(j.job as u64).to_le_bytes());
+            eat(&[j.hp as u8, j.slo_met as u8, j.ever_placed as u8]);
+            eat(&j.resident_epochs.to_le_bytes());
+            eat(&j.completed.to_le_bytes());
+            eat(&j.throughput.to_bits().to_le_bytes());
+            eat(&j.normalized.to_bits().to_le_bytes());
+            eat(&j.p99.as_nanos().to_le_bytes());
+            eat(&j.moves.to_le_bytes());
+        }
+        eat(&(self.peak_gpus_used as u64).to_le_bytes());
+        eat(&self.gpus_saved.to_le_bytes());
+        eat(&self.migrations.to_le_bytes());
+        h
+    }
+}
+
+/// Runs a fleet end-to-end on the current thread (the bench driver shards
+/// episode batches across the runner instead; both produce identical
+/// reports).
+///
+/// # Errors
+///
+/// Propagates [`FleetSim::new`] and dedicated-reference failures.
+pub fn run_fleet_serial(trace: FleetTrace, cfg: FleetConfig) -> Result<FleetReport, ClusterError> {
+    let dedicated = dedicated_refs_serial(&trace, &cfg)?;
+    let mut sim = FleetSim::new(trace, cfg, dedicated)?;
+    while let Some(specs) = sim.next_epoch() {
+        let results = specs
+            .into_iter()
+            .map(|s| {
+                let r = s.run();
+                (s, r)
+            })
+            .collect();
+        sim.absorb(results);
+    }
+    Ok(sim.into_report())
 }
 
 #[cfg(test)]
@@ -183,13 +1120,79 @@ mod tests {
     }
 
     #[test]
-    fn too_few_gpus_is_an_error() {
+    fn too_few_gpus_is_a_cluster_error() {
         let jobs = vec![
             job(inference_workload(ModelKind::Bert)),
             job(llm_decode_step()),
             job(inference_workload(ModelKind::ResNet50)),
         ];
-        assert!(run_cluster(&jobs, 1, &PolicyKind::orion_default(), &quick()).is_err());
+        // Regression (bug 1): this used to surface as GpuError::OutOfMemory
+        // with job counts stuffed into the byte fields; it must be the
+        // dedicated control-plane variant with real GPU counts.
+        match run_cluster(&jobs, 1, &PolicyKind::orion_default(), &quick()) {
+            Err(ClusterError::InsufficientGpus { needed, available }) => {
+                assert_eq!(needed, 2);
+                assert_eq!(available, 1);
+            }
+            other => panic!("expected InsufficientGpus, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_job_is_rejected_not_placed() {
+        // Regression (bug 3): a job larger than device memory used to be
+        // "placed alone" on a GPU it cannot fit; now it is an explicit error.
+        let mut cfg = quick();
+        cfg.spec.memory_capacity = 8 * (1 << 30);
+        let jobs = vec![
+            job(orion_workloads::registry::training_workload(ModelKind::Transformer)), // 8.5 GiB
+            job(inference_workload(ModelKind::ResNet50)),
+        ];
+        match run_cluster(&jobs, 2, &PolicyKind::orion_default(), &cfg) {
+            Err(ClusterError::JobTooLarge { job, footprint, gpu_memory }) => {
+                assert_eq!(job, 0);
+                assert!(footprint > gpu_memory);
+            }
+            other => panic!("expected JobTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_baseline_is_reported_not_zeroed() {
+        // Regression (bug 2): a job whose dedicated reference run fails used
+        // to silently report normalized 0.0; it must now surface as
+        // BaselineFailed. An invalid kernel (zero grid) fails profiling and
+        // the dedicated run alike.
+        use orion_desim::time::SimTime;
+        use orion_gpu::kernel::KernelDesc;
+        use orion_workloads::model::Workload;
+        use orion_workloads::OpSpec;
+
+        let bad_kernel = KernelDesc {
+            kernel_id: 9000,
+            name: "bad".into(),
+            grid_blocks: 0, // invalid: fails validation
+            threads_per_block: 256,
+            regs_per_thread: 32,
+            shmem_per_block: 0,
+            solo_duration: SimTime::from_micros(50),
+            compute_util: 0.5,
+            mem_util: 0.5,
+        };
+        let bad = Workload {
+            model: ModelKind::ResNet50,
+            kind: orion_workloads::model::WorkloadKind::Inference { batch: 1 },
+            ops: vec![(
+                orion_workloads::model::Phase::Forward,
+                OpSpec::Kernel(std::sync::Arc::new(bad_kernel)),
+            )],
+            memory_footprint: 1 << 30,
+        };
+        let jobs = vec![job(bad)];
+        match run_cluster(&jobs, 1, &PolicyKind::orion_default(), &quick()) {
+            Err(ClusterError::BaselineFailed { job, .. }) => assert_eq!(job, 0),
+            other => panic!("expected BaselineFailed, got {other:?}"),
+        }
     }
 
     #[test]
@@ -198,5 +1201,102 @@ mod tests {
         let r = run_cluster(&jobs, 1, &PolicyKind::orion_default(), &quick()).unwrap();
         assert_eq!(r.gpus_used, 1);
         assert!((r.jobs[0].normalized - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packed_cluster_hosts_more_jobs_per_gpu() {
+        let jobs = vec![
+            job(inference_workload(ModelKind::Bert)),
+            job(llm_decode_step()),
+            job(inference_workload(ModelKind::ResNet50)),
+        ];
+        // Pairwise packing needs two GPUs; 3-way packing fits on one.
+        let r = run_cluster_packed(&jobs, 1, 3, &PolicyKind::orion_default(), &quick()).unwrap();
+        assert_eq!(r.gpus_used, 1);
+        assert_eq!(r.jobs.len(), 3);
+    }
+
+    fn tiny_fleet_cfg() -> FleetConfig {
+        let mut cfg = FleetConfig::new(4, 3);
+        cfg.epoch = SimTime::from_secs(1);
+        cfg.rc.seed = 7;
+        cfg
+    }
+
+    fn tiny_trace(cfg: &FleetConfig) -> FleetTrace {
+        let mut tc = FleetTraceConfig::new(8, cfg.horizon());
+        tc.seed = 11;
+        FleetTrace::synthesize(&tc)
+    }
+
+    #[test]
+    fn trace_synthesis_is_deterministic_and_bounded() {
+        let cfg = tiny_fleet_cfg();
+        let a = tiny_trace(&cfg);
+        let b = tiny_trace(&cfg);
+        assert_eq!(a.jobs.len(), 8);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.arrive, y.arrive);
+            assert_eq!(x.depart, y.depart);
+            assert_eq!(x.client.workload.label(), y.client.workload.label());
+            assert!(x.arrive <= x.depart);
+            assert!(x.depart <= cfg.horizon());
+        }
+        assert!(a.peak_concurrent() >= 1);
+    }
+
+    #[test]
+    fn fleet_serial_run_reports_jobs() {
+        let cfg = tiny_fleet_cfg();
+        let trace = tiny_trace(&cfg);
+        let r = run_fleet_serial(trace, cfg).unwrap();
+        assert_eq!(r.jobs.len(), 8);
+        assert_eq!(r.episode_errors, 0);
+        assert!(r.peak_gpus_used >= 1 && r.peak_gpus_used <= 4);
+        // At least one job must have run and completed work.
+        assert!(r.jobs.iter().any(|j| j.completed > 0));
+        // Digest is stable across identical runs.
+        let cfg2 = tiny_fleet_cfg();
+        let r2 = run_fleet_serial(tiny_trace(&cfg2), cfg2).unwrap();
+        assert_eq!(r.jobs_digest(), r2.jobs_digest());
+    }
+
+    #[test]
+    fn fleet_online_learns_and_can_migrate() {
+        let mut cfg = tiny_fleet_cfg();
+        cfg.online = true;
+        cfg.migration = true;
+        // An aggressive threshold so the migration path actually exercises.
+        cfg.migrate_threshold = 2.0;
+        let trace = tiny_trace(&cfg);
+        let r = run_fleet_serial(trace, cfg).unwrap();
+        assert_eq!(r.episode_errors, 0);
+        assert!(r.jobs.iter().any(|j| j.completed > 0));
+    }
+
+    #[test]
+    fn fleet_departures_free_capacity() {
+        // Two GPUs, jobs sized so the second wave only fits after the first
+        // departs.
+        let mut cfg = FleetConfig::new(1, 4);
+        cfg.max_jobs_per_gpu = 1;
+        cfg.rc.seed = 3;
+        let mk = |arrive: u64, depart: u64| FleetJob {
+            client: ClientSpec::best_effort(
+                inference_workload(ModelKind::ResNet50),
+                ArrivalProcess::ClosedLoop,
+            ),
+            arrive: SimTime::from_secs(arrive),
+            depart: SimTime::from_secs(depart),
+        };
+        let trace = FleetTrace {
+            jobs: vec![mk(0, 2), mk(0, 4)],
+        };
+        let r = run_fleet_serial(trace, cfg).unwrap();
+        // Job 0 runs epochs 0-1; job 1 queues, then runs epochs 2-3.
+        assert_eq!(r.jobs[0].resident_epochs, 2);
+        assert_eq!(r.jobs[1].resident_epochs, 2);
+        assert_eq!(r.peak_gpus_used, 1);
+        assert_eq!(r.never_placed, 0);
     }
 }

@@ -21,8 +21,13 @@
 //!   drift detection, and adaptive `DUR_THRESHOLD` tuning, for runs that
 //!   start with no offline profiles (DESIGN.md §12);
 //! * [`tuning`] — the `SM_THRESHOLD` binary-search auto-tuner (§5.1.1);
-//! * [`placement`] — a profile-driven cluster placement heuristic
-//!   (§7 "cluster manager co-design" extension);
+//! * [`placement`] — profile-driven cluster placement: the greedy pair
+//!   matcher and the k-way [`placement::FleetPlacer`] (§7 "cluster manager
+//!   co-design" extension);
+//! * [`cluster`] — multi-GPU simulation: static clusters ([`cluster::run_cluster`])
+//!   and the fleet control plane ([`cluster::FleetSim`]) driving hundreds of
+//!   GPUs through arrival/departure churn with optional online re-placement
+//!   and migration;
 //! * [`runtime`] — a real multi-threaded interception front-end (per-client
 //!   software queues) used to measure kernel-launch interception overhead
 //!   (§6.5).
@@ -64,13 +69,19 @@ pub mod world;
 /// Convenience re-exports for experiment code.
 pub mod prelude {
     pub use crate::client::{ClientPriority, ClientSpec};
+    pub use crate::cluster::{
+        ClusterError, ClusterJob, ClusterResult, DedicatedRef, EpisodeSpec, FleetConfig,
+        FleetJob, FleetReport, FleetSim, FleetTrace, FleetTraceConfig,
+    };
     pub use crate::online::{OnlineConfig, OnlineReport};
     pub use crate::policy::{OrionConfig, PolicyKind};
     pub use crate::supervisor::{
         ClientFault, ClientFaultKind, FaultConfig, RobustnessReport, SupervisorConfig,
     };
     pub use crate::validate::{ValidateMode, ValidationReport};
-    pub use crate::world::{run_collocation, ClientResult, RunConfig, RunResult};
+    pub use crate::world::{
+        run_collocation, run_collocation_with_profiles, ClientResult, RunConfig, RunResult,
+    };
     pub use orion_gpu::fault::{FaultKind, FaultRates, FaultTarget};
 }
 

@@ -2,10 +2,23 @@
 //!
 //! Given a set of jobs with offline profiles, the cluster manager can place
 //! jobs with *complementary* compute/memory profiles on the same GPU to
-//! maximize utilization and minimize interference. This module implements a
-//! greedy matcher over a complementarity score: pairs whose time-weighted
-//! compute and memory demands overlap least score highest.
+//! maximize utilization and minimize interference. This module implements
+//! two matchers over a complementarity score:
+//!
+//! - [`place_jobs`]: the original greedy *pair* matcher (one edge list,
+//!   descending score), kept for the small-cluster [`crate::cluster::run_cluster`]
+//!   path and the examples.
+//! - [`FleetPlacer`] / [`pack_jobs`]: an incremental *k-way* packer — a GPU
+//!   hosts at most one high-priority job plus N best-effort jobs subject to
+//!   the memory ledger — used by the fleet control plane
+//!   ([`crate::cluster::FleetSim`]) where jobs arrive and depart over time.
+//!
+//! All tie-breaks are explicit (score, then lowest job/GPU index) so
+//! placement is a pure function of its inputs: the fleet determinism tests
+//! replay the same trace at 1/4/7 runner threads and require byte-identical
+//! output.
 
+use orion_profiler::ProfileTable;
 use orion_workloads::model::Workload;
 
 /// Time-weighted average (compute, memory) demand of a workload's kernels.
@@ -26,13 +39,43 @@ pub fn demand_vector(w: &Workload) -> (f64, f64) {
     }
 }
 
-/// Complementarity of two jobs: high when one is compute-leaning and the
-/// other memory-leaning, low when both press the same resource.
+/// Time-weighted (compute, memory) demand out of a *learned* profile table
+/// (PR 5 online profiling), for re-placement decisions that should reflect
+/// measured behavior rather than the static workload description.
+///
+/// Returns `None` when the table has no kernel entries (cold start), so the
+/// caller can fall back to [`demand_vector`]. Iterates kernels in id order:
+/// `ProfileTable` is hash-backed and its raw iteration order must never leak
+/// into placement decisions.
+pub fn demand_from_profiles(table: &ProfileTable) -> Option<(f64, f64)> {
+    let ids = table.sorted_ids();
+    if ids.is_empty() {
+        return None;
+    }
+    let mut c = 0.0;
+    let mut m = 0.0;
+    let mut t = 0.0;
+    for id in ids {
+        let k = table.get(id).expect("id came from the table");
+        let d = k.duration.as_secs_f64();
+        c += d * k.compute_util;
+        m += d * k.mem_util;
+        t += d;
+    }
+    if t <= 0.0 {
+        None
+    } else {
+        Some((c / t, m / t))
+    }
+}
+
+/// Complementarity of two demand vectors: high when one is compute-leaning
+/// and the other memory-leaning, low when both press the same resource.
 ///
 /// Score = 1 - (overlap of normalized demand directions); in `[0, 1]`.
-pub fn complementarity(a: &Workload, b: &Workload) -> f64 {
-    let (ca, ma) = demand_vector(a);
-    let (cb, mb) = demand_vector(b);
+pub fn demand_complementarity(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (ca, ma) = a;
+    let (cb, mb) = b;
     let na = (ca * ca + ma * ma).sqrt();
     let nb = (cb * cb + mb * mb).sqrt();
     if na <= 0.0 || nb <= 0.0 {
@@ -43,19 +86,31 @@ pub fn complementarity(a: &Workload, b: &Workload) -> f64 {
     1.0 - cos
 }
 
+/// [`demand_complementarity`] over two workloads' static demand vectors.
+pub fn complementarity(a: &Workload, b: &Workload) -> f64 {
+    demand_complementarity(demand_vector(a), demand_vector(b))
+}
+
 /// A pairing of job indices onto GPUs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     /// Pairs of job indices sharing a GPU.
     pub pairs: Vec<(usize, usize)>,
-    /// Jobs placed alone (odd one out).
+    /// Jobs placed alone (odd one out), in index order.
     pub singles: Vec<usize>,
+    /// Jobs whose footprint exceeds `gpu_memory` on their own: they cannot
+    /// be placed at all, not even alone, and the caller must reject them.
+    pub oversized: Vec<usize>,
     /// Sum of pair complementarity scores.
     pub total_score: f64,
 }
 
 /// Greedily pairs jobs across GPUs by descending complementarity, subject to
 /// the pair fitting in `gpu_memory` bytes.
+///
+/// Jobs that do not fit on a device even alone land in
+/// [`Placement::oversized`], never in `singles`. Equal-score edges resolve
+/// by lowest `(i, j)` so the placement is deterministic.
 pub fn place_jobs(jobs: &[Workload], gpu_memory: u64) -> Placement {
     let n = jobs.len();
     let mut edges: Vec<(f64, usize, usize)> = Vec::new();
@@ -66,7 +121,13 @@ pub fn place_jobs(jobs: &[Workload], gpu_memory: u64) -> Placement {
             }
         }
     }
-    edges.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Descending score; ties resolve by lowest (i, j) pair so the result is
+    // independent of how the edge list happened to be built.
+    edges.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+    });
 
     let mut used = vec![false; n];
     let mut pairs = Vec::new();
@@ -79,12 +140,251 @@ pub fn place_jobs(jobs: &[Workload], gpu_memory: u64) -> Placement {
             total_score += score;
         }
     }
-    let singles = (0..n).filter(|&i| !used[i]).collect();
+    let mut singles = Vec::new();
+    let mut oversized = Vec::new();
+    for i in 0..n {
+        if used[i] {
+            continue;
+        }
+        if jobs[i].memory_footprint > gpu_memory {
+            oversized.push(i);
+        } else {
+            singles.push(i);
+        }
+    }
     Placement {
         pairs,
         singles,
+        oversized,
         total_score,
     }
+}
+
+/// Placement-relevant summary of one job for the k-way packer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackJob {
+    /// Memory footprint in bytes (charged against the GPU ledger).
+    pub mem: u64,
+    /// (compute, memory) demand vector used for complementarity scoring.
+    pub demand: (f64, f64),
+    /// High-priority job: at most one per GPU.
+    pub hp: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct GpuSlot {
+    free_mem: u64,
+    residents: Vec<usize>,
+    hp: Option<usize>,
+}
+
+/// Incremental k-way packer over a fixed fleet of identical GPUs.
+///
+/// Invariants per GPU: at most `max_jobs` residents, at most one
+/// high-priority resident, and the sum of resident footprints fits in
+/// `gpu_memory`. Candidate GPUs are scored by mean complementarity between
+/// the incoming job's demand vector and the residents' demand vectors;
+/// occupied GPUs are preferred over empty ones (pack first, spread only when
+/// forced), ties resolve to the lowest GPU index.
+#[derive(Debug, Clone)]
+pub struct FleetPlacer {
+    gpu_memory: u64,
+    max_jobs: usize,
+    gpus: Vec<GpuSlot>,
+    /// Job id -> (gpu, job summary) for current residents.
+    placed: std::collections::BTreeMap<usize, (usize, PackJob)>,
+}
+
+impl FleetPlacer {
+    /// A placer over `gpus` empty devices of `gpu_memory` bytes each,
+    /// hosting at most `max_jobs_per_gpu` jobs per device.
+    pub fn new(gpus: usize, gpu_memory: u64, max_jobs_per_gpu: usize) -> Self {
+        FleetPlacer {
+            gpu_memory,
+            max_jobs: max_jobs_per_gpu.max(1),
+            gpus: vec![
+                GpuSlot {
+                    free_mem: gpu_memory,
+                    residents: Vec::new(),
+                    hp: None,
+                };
+                gpus
+            ],
+            placed: std::collections::BTreeMap::new(),
+        }
+    }
+
+    fn fits(&self, slot: &GpuSlot, job: &PackJob) -> bool {
+        slot.free_mem >= job.mem
+            && slot.residents.len() < self.max_jobs
+            && !(job.hp && slot.hp.is_some())
+    }
+
+    /// Mean complementarity of `demand` against a GPU's residents
+    /// (1.0 for an empty GPU).
+    pub fn score_against(&self, gpu: usize, demand: (f64, f64)) -> f64 {
+        let slot = &self.gpus[gpu];
+        if slot.residents.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = slot
+            .residents
+            .iter()
+            .map(|r| demand_complementarity(demand, self.placed[r].1.demand))
+            .sum();
+        sum / slot.residents.len() as f64
+    }
+
+    /// Places job `id` on the best complementary GPU with capacity, skipping
+    /// GPU `exclude` if given. Occupied GPUs win over empty ones; among
+    /// occupied candidates the highest mean complementarity wins, ties to
+    /// the lowest GPU index. Returns the chosen GPU, or `None` when no GPU
+    /// can host the job right now.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is already placed.
+    pub fn try_place(&mut self, id: usize, job: PackJob, exclude: Option<usize>) -> Option<usize> {
+        assert!(!self.placed.contains_key(&id), "job {id} already placed");
+        if job.mem > self.gpu_memory {
+            return None;
+        }
+        let mut best_occupied: Option<(f64, usize)> = None;
+        let mut first_empty: Option<usize> = None;
+        for (g, slot) in self.gpus.iter().enumerate() {
+            if Some(g) == exclude || !self.fits(slot, &job) {
+                continue;
+            }
+            if slot.residents.is_empty() {
+                if first_empty.is_none() {
+                    first_empty = Some(g);
+                }
+            } else {
+                let score = self.score_against(g, job.demand);
+                // Strictly-greater keeps the lowest index on ties.
+                if best_occupied.is_none_or(|(s, _)| score > s) {
+                    best_occupied = Some((score, g));
+                }
+            }
+        }
+        let gpu = best_occupied.map(|(_, g)| g).or(first_empty)?;
+        self.force_place(id, job, gpu);
+        Some(gpu)
+    }
+
+    /// Places job `id` on a specific GPU (used to undo a tentative removal).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job does not fit or `id` is already placed.
+    pub fn force_place(&mut self, id: usize, job: PackJob, gpu: usize) {
+        assert!(!self.placed.contains_key(&id), "job {id} already placed");
+        let slot = &mut self.gpus[gpu];
+        assert!(
+            slot.free_mem >= job.mem
+                && slot.residents.len() < self.max_jobs
+                && !(job.hp && slot.hp.is_some()),
+            "job {id} does not fit on gpu {gpu}"
+        );
+        slot.free_mem -= job.mem;
+        slot.residents.push(id);
+        if job.hp {
+            slot.hp = Some(id);
+        }
+        self.placed.insert(id, (gpu, job));
+    }
+
+    /// Removes job `id`, freeing its slot. Returns the GPU it was on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` is not placed.
+    pub fn remove(&mut self, id: usize) -> usize {
+        let (gpu, job) = self.placed.remove(&id).expect("job not placed");
+        let slot = &mut self.gpus[gpu];
+        slot.free_mem += job.mem;
+        slot.residents.retain(|&r| r != id);
+        if slot.hp == Some(id) {
+            slot.hp = None;
+        }
+        gpu
+    }
+
+    /// Replaces the demand vector used to score job `id` in future
+    /// placements (fed by the online-learned profile tables).
+    pub fn update_demand(&mut self, id: usize, demand: (f64, f64)) {
+        if let Some(entry) = self.placed.get_mut(&id) {
+            entry.1.demand = demand;
+        }
+    }
+
+    /// The GPU hosting job `id`, if placed.
+    pub fn gpu_of(&self, id: usize) -> Option<usize> {
+        self.placed.get(&id).map(|&(g, _)| g)
+    }
+
+    /// The stored job summary for a resident.
+    pub fn job(&self, id: usize) -> Option<&PackJob> {
+        self.placed.get(&id).map(|(_, j)| j)
+    }
+
+    /// Resident job ids on a GPU, in placement order.
+    pub fn residents(&self, gpu: usize) -> &[usize] {
+        &self.gpus[gpu].residents
+    }
+
+    /// The high-priority resident of a GPU, if any.
+    pub fn hp_of(&self, gpu: usize) -> Option<usize> {
+        self.gpus[gpu].hp
+    }
+
+    /// Number of GPUs with at least one resident.
+    pub fn used_gpus(&self) -> usize {
+        self.gpus.iter().filter(|g| !g.residents.is_empty()).count()
+    }
+
+    /// Number of GPUs in the fleet.
+    pub fn gpus(&self) -> usize {
+        self.gpus.len()
+    }
+}
+
+/// A k-way packing of a static job set onto as few GPUs as possible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packing {
+    /// Per-GPU groups of job indices (GPUs in use order, residents in
+    /// placement order; a group's first high-priority job, if any, is the
+    /// GPU's HP client).
+    pub groups: Vec<Vec<usize>>,
+    /// Jobs whose footprint exceeds `gpu_memory`: not placed anywhere.
+    pub oversized: Vec<usize>,
+}
+
+/// Packs a static job set with the incremental [`FleetPlacer`]: high-priority
+/// jobs first (so the one-HP-per-GPU rule spreads them across devices), then
+/// best-effort jobs, each in submission-index order.
+pub fn pack_jobs(jobs: &[PackJob], gpu_memory: u64, max_jobs_per_gpu: usize) -> Packing {
+    let mut placer = FleetPlacer::new(jobs.len(), gpu_memory, max_jobs_per_gpu);
+    let mut oversized = Vec::new();
+    let hp_first = (0..jobs.len())
+        .filter(|&i| jobs[i].hp)
+        .chain((0..jobs.len()).filter(|&i| !jobs[i].hp));
+    for i in hp_first {
+        if jobs[i].mem > gpu_memory {
+            oversized.push(i);
+            continue;
+        }
+        let placed = placer.try_place(i, jobs[i], None);
+        debug_assert!(placed.is_some(), "one GPU per job always suffices");
+    }
+    oversized.sort_unstable();
+    let groups = placer
+        .gpus
+        .iter()
+        .filter(|g| !g.residents.is_empty())
+        .map(|g| g.residents.clone())
+        .collect();
+    Packing { groups, oversized }
 }
 
 #[cfg(test)]
@@ -112,6 +412,21 @@ mod tests {
     }
 
     #[test]
+    fn profile_demand_matches_static_demand() {
+        let bert = inference_workload(ModelKind::Bert);
+        let table = orion_profiler::profile_workload(&bert, &orion_gpu::spec::GpuSpec::v100_16gb())
+            .unwrap()
+            .table();
+        let (c, m) = demand_from_profiles(&table).expect("profiled table has kernels");
+        let (cs, ms) = demand_vector(&bert);
+        // Offline profiling measures the same solo durations the static
+        // vector integrates, so the two must agree closely.
+        assert!((c - cs).abs() < 0.05, "compute {c} vs {cs}");
+        assert!((m - ms).abs() < 0.05, "memory {m} vs {ms}");
+        assert!(demand_from_profiles(&ProfileTable::default()).is_none());
+    }
+
+    #[test]
     fn placement_pairs_all_when_they_fit() {
         let jobs = vec![
             inference_workload(ModelKind::Bert),
@@ -122,20 +437,25 @@ mod tests {
         let p = place_jobs(&jobs, 16 * (1 << 30));
         assert_eq!(p.pairs.len(), 2);
         assert!(p.singles.is_empty());
+        assert!(p.oversized.is_empty());
         // BERT (compute) pairs with the LLM decode (memory).
         assert!(p.pairs.contains(&(0, 1)) || p.pairs.contains(&(1, 0)));
     }
 
     #[test]
     fn placement_respects_memory() {
-        // Two large training jobs that cannot share a 8 GiB device.
+        // Two large training jobs that cannot share a 8 GiB device — and the
+        // transformer (8.5 GiB) cannot even fit *alone*, so it must be
+        // rejected rather than placed on a device it cannot fit
+        // (regression: pre-fix code returned singles == [0, 1]).
         let jobs = vec![
             training_workload(ModelKind::Transformer), // 8.5 GiB
             training_workload(ModelKind::MobileNetV2), // 6.9 GiB
         ];
         let p = place_jobs(&jobs, 8 * (1 << 30));
         assert!(p.pairs.is_empty());
-        assert_eq!(p.singles, vec![0, 1]);
+        assert_eq!(p.singles, vec![1]);
+        assert_eq!(p.oversized, vec![0]);
     }
 
     #[test]
@@ -148,5 +468,106 @@ mod tests {
         let p = place_jobs(&jobs, 16 * (1 << 30));
         assert_eq!(p.pairs.len(), 1);
         assert_eq!(p.singles.len(), 1);
+        assert!(p.oversized.is_empty());
+    }
+
+    #[test]
+    fn equal_score_ties_resolve_by_lowest_index() {
+        // Four identical workloads: every edge has the same score. The
+        // greedy matcher must deterministically pick (0,1) then (2,3).
+        let jobs = vec![
+            inference_workload(ModelKind::ResNet50),
+            inference_workload(ModelKind::ResNet50),
+            inference_workload(ModelKind::ResNet50),
+            inference_workload(ModelKind::ResNet50),
+        ];
+        let p = place_jobs(&jobs, 16 * (1 << 30));
+        assert_eq!(p.pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn packer_respects_hp_and_memory_invariants() {
+        let gib = 1u64 << 30;
+        let hp = |mem| PackJob {
+            mem,
+            demand: (0.8, 0.2),
+            hp: true,
+        };
+        let be = |mem, demand| PackJob {
+            mem,
+            demand,
+            hp: false,
+        };
+        let jobs = vec![
+            hp(2 * gib),
+            hp(2 * gib),
+            be(6 * gib, (0.1, 0.9)),
+            be(6 * gib, (0.1, 0.9)),
+            be(5 * gib, (0.7, 0.3)),
+        ];
+        let p = pack_jobs(&jobs, 16 * gib, 3);
+        // The two HP jobs must land on different GPUs.
+        let gpu_of = |id: usize| {
+            p.groups
+                .iter()
+                .position(|g| g.contains(&id))
+                .expect("placed")
+        };
+        assert_ne!(gpu_of(0), gpu_of(1));
+        for g in &p.groups {
+            assert!(g.len() <= 3);
+            let mem: u64 = g.iter().map(|&i| jobs[i].mem).sum();
+            assert!(mem <= 16 * gib);
+            assert!(g.iter().filter(|&&i| jobs[i].hp).count() <= 1);
+        }
+        assert!(p.oversized.is_empty());
+    }
+
+    #[test]
+    fn packer_rejects_oversized_jobs() {
+        let gib = 1u64 << 30;
+        let jobs = vec![
+            PackJob {
+                mem: 20 * gib,
+                demand: (0.5, 0.5),
+                hp: false,
+            },
+            PackJob {
+                mem: 2 * gib,
+                demand: (0.5, 0.5),
+                hp: false,
+            },
+        ];
+        let p = pack_jobs(&jobs, 16 * gib, 4);
+        assert_eq!(p.oversized, vec![0]);
+        assert_eq!(p.groups, vec![vec![1]]);
+    }
+
+    #[test]
+    fn placer_churn_round_trip() {
+        let gib = 1u64 << 30;
+        let mut placer = FleetPlacer::new(2, 16 * gib, 4);
+        let job = |hp| PackJob {
+            mem: 4 * gib,
+            demand: (0.6, 0.4),
+            hp,
+        };
+        let g0 = placer.try_place(10, job(true), None).unwrap();
+        assert_eq!(g0, 0);
+        // Second HP job cannot share GPU 0.
+        let g1 = placer.try_place(11, job(true), None).unwrap();
+        assert_eq!(g1, 1);
+        // BE job packs onto the first occupied GPU (tie on score).
+        let g2 = placer.try_place(12, job(false), None).unwrap();
+        assert_eq!(g2, 0);
+        assert_eq!(placer.used_gpus(), 2);
+        assert_eq!(placer.remove(10), 0);
+        assert_eq!(placer.hp_of(0), None);
+        // Freed HP slot is reusable.
+        assert_eq!(placer.try_place(13, job(true), None), Some(0));
+        // Excluding every GPU with room leaves the job unplaced.
+        let mut full = FleetPlacer::new(1, 16 * gib, 1);
+        full.force_place(0, job(false), 0);
+        assert_eq!(full.try_place(1, job(false), None), None);
     }
 }

@@ -154,6 +154,11 @@ pub struct RunResult {
     pub robustness: RobustnessReport,
     /// Online-profiler summary (when [`RunConfig::online`] enabled it).
     pub online: Option<OnlineReport>,
+    /// Per-client profile tables as of the horizon (only populated when
+    /// online profiling ran): offline entries plus everything the admission
+    /// ladder learned. The fleet control plane carries these across epochs
+    /// so re-placement is fed by learned profiles, not offline tables only.
+    pub learned: Option<Vec<orion_profiler::ProfileTable>>,
 }
 
 impl RunResult {
@@ -845,6 +850,33 @@ pub fn run_collocation(
     clients: Vec<ClientSpec>,
     cfg: &RunConfig,
 ) -> Result<RunResult, GpuError> {
+    let n = clients.len();
+    run_collocation_with_profiles(policy, clients, vec![None; n], cfg)
+}
+
+/// [`run_collocation`] with pre-built profile tables: `profiles[i] = Some(t)`
+/// skips the offline profiling phase for client `i` and uses `t` verbatim
+/// (the fleet control plane memoizes offline tables per workload and carries
+/// online-learned tables across epochs); `None` keeps the per-run behavior.
+///
+/// # Errors
+///
+/// Same as [`run_collocation`].
+///
+/// # Panics
+///
+/// Panics when `profiles.len() != clients.len()`.
+pub fn run_collocation_with_profiles(
+    policy: PolicyKind,
+    clients: Vec<ClientSpec>,
+    profiles: Vec<Option<orion_profiler::ProfileTable>>,
+    cfg: &RunConfig,
+) -> Result<RunResult, GpuError> {
+    assert_eq!(
+        profiles.len(),
+        clients.len(),
+        "one profile slot per client"
+    );
     let mut gpu = GpuEngine::new(cfg.spec.clone(), cfg.record_timeline);
     if cfg.record_trace {
         gpu.enable_trace();
@@ -868,11 +900,11 @@ pub fn run_collocation(
     // marked `unprofiled` skips the phase and gets an empty table, so every
     // kernel lookup misses and the scheduler degrades conservatively.
     let mut states = Vec::with_capacity(clients.len());
-    for spec in clients {
-        let profile = if spec.unprofiled {
-            orion_profiler::ProfileTable::default()
-        } else {
-            profile_workload(&spec.workload, &cfg.spec)?.table()
+    for (spec, pre) in clients.into_iter().zip(profiles) {
+        let profile = match pre {
+            Some(table) => table,
+            None if spec.unprofiled => orion_profiler::ProfileTable::default(),
+            None => profile_workload(&spec.workload, &cfg.spec)?.table(),
         };
         gpu.alloc_immediate(spec.workload.memory_footprint)?;
         states.push(ClientState::new(spec, profile));
@@ -1031,6 +1063,11 @@ pub fn run_collocation(
         Vec::new()
     };
 
+    let learned = cfg
+        .online
+        .enabled
+        .then(|| world.clients.iter().map(|c| c.profile.clone()).collect());
+
     Ok(RunResult {
         policy: policy_name,
         clients,
@@ -1041,6 +1078,7 @@ pub fn run_collocation(
         validation,
         robustness,
         online,
+        learned,
     })
 }
 

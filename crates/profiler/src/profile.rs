@@ -195,6 +195,15 @@ impl ProfileTable {
     pub fn max_sm_needed(&self) -> u32 {
         self.by_id.values().map(|k| k.sm_needed).max().unwrap_or(0)
     }
+
+    /// Kernel ids present in the table, sorted ascending. The backing map is
+    /// hash-ordered; any caller folding over entries (e.g. placement demand
+    /// vectors) must iterate in this order so results are deterministic.
+    pub fn sorted_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.by_id.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
 }
 
 #[cfg(test)]

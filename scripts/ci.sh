@@ -31,6 +31,13 @@ ORION_FAST=1 cargo test -q -p orion-core online
 ORION_FAST=1 cargo test -q -p orion-bench --test smoke smoke_online
 ORION_FAST=1 cargo test -q -p orion-bench --test determinism online_jsonl_is_identical_at_any_thread_count
 
+echo "==> fleet control plane (ORION_FAST=1 smoke grid; churn + tie determinism at 1/4/7 threads)"
+ORION_FAST=1 cargo test -q -p orion-bench --test smoke smoke_fleet
+ORION_FAST=1 cargo test -q -p orion-bench --test determinism -- fleet_churn_replay placement_ties
+
+echo "==> fleet scale (release, 128 GPUs / 1000 jobs with churn, byte-identical at 1/4/7 threads)"
+cargo test -q --release -p orion-bench --test determinism fleet_full_scale -- --ignored
+
 echo "==> golden trace digest (oracle + fault injection compiled in but disabled: must be byte-identical)"
 cargo test -q -p orion-gpu --test golden_trace --test error_paths
 
