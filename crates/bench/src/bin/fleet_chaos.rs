@@ -1,0 +1,6 @@
+//! Regenerates the fleet chaos grid (failure domains + degraded capacity).
+use orion_bench::exp::fleet_chaos::{print, run};
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    print(&run(&cfg));
+}

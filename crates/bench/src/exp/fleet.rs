@@ -26,8 +26,8 @@
 use std::collections::BTreeMap;
 
 use orion_core::cluster::{
-    dedicated_ref_inputs, DedicatedRef, FleetConfig, FleetReport, FleetSim, FleetTrace,
-    FleetTraceConfig,
+    dedicated_ref_inputs, ClusterError, DedicatedRef, FleetConfig, FleetReport, FleetSim,
+    FleetTrace, FleetTraceConfig,
 };
 use orion_core::policy::PolicyKind;
 use orion_core::world::run_dedicated;
@@ -99,24 +99,33 @@ pub fn fleet_config(
 /// input-order results keep the control plane's state evolution — and thus
 /// the report — byte-identical at any thread count.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when a dedicated reference run or offline profiling fails (the
-/// synthesized trace only contains registry workloads, which always fit).
-pub fn run_fleet_on(runner: &Runner, trace: FleetTrace, fcfg: FleetConfig) -> FleetReport {
+/// [`ClusterError::BaselineFailed`] when a dedicated reference run fails and
+/// [`ClusterError::Gpu`] when offline profiling fails — `BaselineFailed`-
+/// style context instead of a mid-fleet panic. (Failed *episodes* are
+/// absorbed into [`FleetReport::episode_errors`], not returned here.)
+pub fn run_fleet_on(
+    runner: &Runner,
+    trace: FleetTrace,
+    fcfg: FleetConfig,
+) -> Result<FleetReport, ClusterError> {
     let inputs = dedicated_ref_inputs(&trace, &fcfg);
-    let refs: Vec<(String, DedicatedRef)> = runner.map(inputs, |_, (label, client, rc)| {
-        let mut r = run_dedicated(client, &rc).expect("dedicated reference fits alone");
-        (
+    let refs = runner.map(inputs, |_, (label, client, rc)| {
+        (label, run_dedicated(client, &rc))
+    });
+    let mut dedicated: BTreeMap<String, DedicatedRef> = BTreeMap::new();
+    for (i, (label, res)) in refs.into_iter().enumerate() {
+        let mut r = res.map_err(|source| ClusterError::BaselineFailed { job: i, source })?;
+        dedicated.insert(
             label,
             DedicatedRef {
                 throughput: r.clients[0].throughput,
                 p99: r.clients[0].latency.p99(),
             },
-        )
-    });
-    let dedicated: BTreeMap<String, DedicatedRef> = refs.into_iter().collect();
-    let mut sim = FleetSim::new(trace, fcfg, dedicated).expect("offline profiling succeeds");
+        );
+    }
+    let mut sim = FleetSim::new(trace, fcfg, dedicated)?;
     while let Some(specs) = sim.next_epoch() {
         let results = runner.map(specs, |_, s| {
             let r = s.run();
@@ -124,34 +133,83 @@ pub fn run_fleet_on(runner: &Runner, trace: FleetTrace, fcfg: FleetConfig) -> Fl
         });
         sim.absorb(results);
     }
-    sim.into_report()
+    Ok(sim.into_report())
+}
+
+/// The `robustness` sub-block for a fleet report, or `None` when nothing
+/// fault-related happened. Fault-free runs emit no block at all, keeping
+/// their JSONL byte-identical to pre-fault-plan builds.
+pub fn robustness_json(r: &FleetReport) -> Option<Value> {
+    let ro = &r.robustness;
+    // `unknown_kernel_ops` counts conservatively-scheduled cold-start ops —
+    // routine in online mode, not a fault signal. It must not trigger the
+    // block on its own or fault-free online fleets would change their JSONL.
+    let episodes_faulted = {
+        let mut e = ro.episodes.clone();
+        e.unknown_kernel_ops = 0;
+        e.any()
+    };
+    let fleet_faulted = {
+        let mut f = ro.clone();
+        f.episodes = Default::default();
+        f.any()
+    };
+    if !episodes_faulted && !fleet_faulted && r.episode_failures.is_empty() {
+        return None;
+    }
+    let ep = &ro.episodes;
+    Some(json!({
+        "chaos_episodes": ro.chaos_episodes,
+        "gpus_dead": ro.gpus_dead,
+        "quarantines": ro.quarantines,
+        "reinstated": ro.reinstated,
+        "evacuations": ro.evacuations,
+        "evacuations_recovered": ro.evacuations_recovered,
+        "max_epochs_to_recovery": ro.max_epochs_to_recovery,
+        "be_preempted": ro.be_preempted,
+        "be_lost": ro.be_lost,
+        "hp_rejected": ro.hp_rejected,
+        "availability": ro.availability,
+        "episode_device_faults": ep.device_faults,
+        "episode_device_resets": ep.device_resets,
+        "episode_retries": ep.retries,
+        "episode_shed_requests": ep.shed_requests,
+        "episode_failures": r.episode_failures.len() as u64,
+    }))
 }
 
 /// The `fleet` JSONL block for one cell: fleet aggregates plus the FNV-1a
-/// per-job digest (the compact determinism fingerprint).
+/// per-job digest (the compact determinism fingerprint). A `robustness`
+/// sub-block is appended only when fault machinery actually fired.
 pub fn fleet_json(cfg: &ExpConfig, cell: &Cell) -> Value {
     let r = &cell.report;
+    let mut fleet = json!({
+        "mode": cell.mode,
+        "gpus": r.gpus as u64,
+        "epochs": r.epochs as u64,
+        "epoch_ms": r.epoch.as_millis_f64(),
+        "jobs": r.jobs.len() as u64,
+        "peak_gpus_used": r.peak_gpus_used as u64,
+        "dedicated_gpus_needed": r.dedicated_gpus_needed as u64,
+        "gpus_saved": r.gpus_saved,
+        "hp_p99_ms": r.hp_p99.as_millis_f64(),
+        "hp_slo_attainment": r.hp_slo_attainment,
+        "be_slo_attainment": r.be_slo_attainment,
+        "slo_attainment": r.slo_attainment,
+        "migrations": r.migrations,
+        "episode_errors": r.episode_errors,
+        "oversized_rejected": r.oversized_rejected,
+        "never_placed": r.never_placed as u64,
+        "jobs_digest": format!("{:016x}", r.jobs_digest()),
+    });
+    if let Some(ro) = robustness_json(r) {
+        if let Value::Object(map) = &mut fleet {
+            map.push(("robustness".to_string(), ro));
+        }
+    }
     json!({
         "seed": cfg.seed,
-        "fleet": json!({
-            "mode": cell.mode,
-            "gpus": r.gpus as u64,
-            "epochs": r.epochs as u64,
-            "epoch_ms": r.epoch.as_millis_f64(),
-            "jobs": r.jobs.len() as u64,
-            "peak_gpus_used": r.peak_gpus_used as u64,
-            "dedicated_gpus_needed": r.dedicated_gpus_needed as u64,
-            "gpus_saved": r.gpus_saved,
-            "hp_p99_ms": r.hp_p99.as_millis_f64(),
-            "hp_slo_attainment": r.hp_slo_attainment,
-            "be_slo_attainment": r.be_slo_attainment,
-            "slo_attainment": r.slo_attainment,
-            "migrations": r.migrations,
-            "episode_errors": r.episode_errors,
-            "oversized_rejected": r.oversized_rejected,
-            "never_placed": r.never_placed as u64,
-            "jobs_digest": format!("{:016x}", r.jobs_digest()),
-        }),
+        "fleet": fleet,
     })
 }
 
@@ -172,10 +230,9 @@ pub fn run(cfg: &ExpConfig) -> Vec<Cell> {
             if runner.progress_enabled() {
                 eprintln!("[fleet] {mode}: {} GPUs, {} jobs, {} epochs", dims.0, dims.1, dims.2);
             }
-            Cell {
-                mode,
-                report: run_fleet_on(&runner, trace, fcfg),
-            }
+            let report = run_fleet_on(&runner, trace, fcfg)
+                .unwrap_or_else(|e| panic!("fleet cell {mode} failed: {e}"));
+            Cell { mode, report }
         })
         .collect();
     let lines: Vec<Value> = cells.iter().map(|c| fleet_json(cfg, c)).collect();

@@ -1,0 +1,179 @@
+//! Fleet chaos grid: the fleet control plane under GPU failure injection.
+//!
+//! Not a figure from the paper — this grid closes the loop between PR 4's
+//! single-GPU fault machinery and the fleet control plane: a
+//! `FleetFaultPlan` deterministically marks GPUs transiently faulted or
+//! permanently dead at epoch boundaries, sticky in-episode faults come from
+//! the existing `gpu-sim` injector, and `FleetSim` triages the outcomes —
+//! HP-first evacuation, exponential-backoff quarantine with probationary
+//! return, shed-BE-first degraded-capacity operation.
+//!
+//! Cells share one synthesized churn trace and differ only in the fault
+//! plan:
+//!
+//! * `fault-free` — no plan armed. Must construct none of the fault
+//!   machinery and reproduce the exact `jobs_digest` of the plain fleet
+//!   grid's `orion-offline` cell.
+//! * `chaos-lite` — half the transient/dead rates of `chaos`.
+//! * `chaos` — the headline rates: the grid the acceptance bar reads
+//!   (HP attainment under chaos ≥ 0.9× fault-free while BE is shed first).
+//!
+//! With `ORION_JSONL` set, each cell appends one line carrying a
+//! `fleet_chaos` block: the `fleet` aggregates plus the robustness roll-up
+//! and the HP-attainment-vs-fault-free ratio. Chaos cells replay
+//! byte-identically at any thread count (chaos arm of the determinism
+//! test).
+
+use orion_core::cluster::{FleetFaultPlan, FleetReport};
+use orion_core::policy::PolicyKind;
+use orion_gpu::fault::FaultRates;
+use orion_json::{json, Value};
+
+use crate::exp::fleet::{fleet_config, fleet_dims, fleet_trace, robustness_json, run_fleet_on};
+use crate::exp::ExpConfig;
+use crate::runner::{maybe_append_jsonl_values, Runner};
+use crate::table::{f2, TextTable};
+
+/// One chaos cell: a fault plan (or none) over the shared trace.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Cell label: `fault-free`, `chaos-lite`, `chaos`.
+    pub mode: &'static str,
+    /// The fleet-level report.
+    pub report: FleetReport,
+    /// HP SLO attainment of this cell over the fault-free cell's.
+    pub hp_vs_fault_free: f64,
+}
+
+/// The headline chaos plan for the grid. Fast mode compresses the rates so
+/// a 8-GPU x 3-epoch debug run still exercises death, quarantine, and
+/// evacuation; full mode uses fleet-realistic per-epoch rates.
+pub fn chaos_plan(cfg: &ExpConfig) -> FleetFaultPlan {
+    let mut plan = FleetFaultPlan::new(cfg.seed);
+    if cfg.fast {
+        plan.transient_rate = 0.25;
+        plan.dead_rate = 0.10;
+        plan.episode_rates = FaultRates {
+            kernel_fault: 0.05,
+            ..FaultRates::default()
+        };
+    }
+    plan
+}
+
+/// `chaos_plan` at half the transient/dead rates (the `chaos-lite` cell).
+pub fn lite_plan(cfg: &ExpConfig) -> FleetFaultPlan {
+    let mut plan = chaos_plan(cfg);
+    plan.transient_rate /= 2.0;
+    plan.dead_rate /= 2.0;
+    plan
+}
+
+/// The `fleet_chaos` JSONL block for one cell.
+pub fn chaos_json(cfg: &ExpConfig, cell: &Cell) -> Value {
+    let r = &cell.report;
+    let mut block = json!({
+        "mode": cell.mode,
+        "gpus": r.gpus as u64,
+        "epochs": r.epochs as u64,
+        "jobs": r.jobs.len() as u64,
+        "hp_slo_attainment": r.hp_slo_attainment,
+        "be_slo_attainment": r.be_slo_attainment,
+        "slo_attainment": r.slo_attainment,
+        "hp_vs_fault_free": cell.hp_vs_fault_free,
+        "episode_errors": r.episode_errors,
+        "never_placed": r.never_placed as u64,
+        "jobs_digest": format!("{:016x}", r.jobs_digest()),
+    });
+    if let Some(ro) = robustness_json(r) {
+        if let Value::Object(map) = &mut block {
+            map.push(("robustness".to_string(), ro));
+        }
+    }
+    json!({
+        "seed": cfg.seed,
+        "fleet_chaos": block,
+    })
+}
+
+/// Runs the chaos grid: fault-free baseline plus two chaos rates over one
+/// shared trace, all under the Orion policy with offline profiles.
+pub fn run(cfg: &ExpConfig) -> Vec<Cell> {
+    let dims = fleet_dims(cfg);
+    let runner = Runner::from_env().with_progress(false);
+    let plans: Vec<(&'static str, Option<FleetFaultPlan>)> = vec![
+        ("fault-free", None),
+        ("chaos-lite", Some(lite_plan(cfg))),
+        ("chaos", Some(chaos_plan(cfg))),
+    ];
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut fault_free_hp = 1.0;
+    for (mode, plan) in plans {
+        let trace = fleet_trace(cfg, dims);
+        let mut fcfg = fleet_config(cfg, dims, PolicyKind::orion_default(), false, false);
+        fcfg.faults = plan;
+        if runner.progress_enabled() {
+            eprintln!(
+                "[fleet-chaos] {mode}: {} GPUs, {} jobs, {} epochs",
+                dims.0, dims.1, dims.2
+            );
+        }
+        let report = run_fleet_on(&runner, trace, fcfg)
+            .unwrap_or_else(|e| panic!("fleet-chaos cell {mode} failed: {e}"));
+        if mode == "fault-free" {
+            fault_free_hp = report.hp_slo_attainment;
+        }
+        let hp_vs_fault_free = if fault_free_hp > 0.0 {
+            report.hp_slo_attainment / fault_free_hp
+        } else {
+            1.0
+        };
+        cells.push(Cell {
+            mode,
+            report,
+            hp_vs_fault_free,
+        });
+    }
+    let lines: Vec<Value> = cells.iter().map(|c| chaos_json(cfg, c)).collect();
+    maybe_append_jsonl_values(&lines);
+    cells
+}
+
+/// Prints the chaos grid.
+pub fn print(cells: &[Cell]) {
+    println!("# Fleet chaos: GPU failure domains, HP-first evacuation, degraded capacity");
+    println!("# (hp-vs-ff = HP SLO attainment relative to the fault-free cell)");
+    let mut t = TextTable::new(vec![
+        "mode",
+        "hp-slo%",
+        "be-slo%",
+        "hp-vs-ff",
+        "dead",
+        "quarantines",
+        "evacuations",
+        "recovered",
+        "max-recovery",
+        "be-shed",
+        "hp-rejected",
+        "avail%",
+    ]);
+    for c in cells {
+        let r = &c.report;
+        let ro = &r.robustness;
+        t.row(vec![
+            c.mode.to_string(),
+            f2(100.0 * r.hp_slo_attainment),
+            f2(100.0 * r.be_slo_attainment),
+            f2(c.hp_vs_fault_free),
+            ro.gpus_dead.to_string(),
+            ro.quarantines.to_string(),
+            ro.evacuations.to_string(),
+            ro.evacuations_recovered.to_string(),
+            ro.max_epochs_to_recovery.to_string(),
+            (ro.be_preempted + ro.be_lost).to_string(),
+            ro.hp_rejected.to_string(),
+            f2(100.0 * if c.mode == "fault-free" { 1.0 } else { ro.availability }),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -21,6 +21,7 @@ pub mod fig4;
 pub mod fig6_7;
 pub mod fig8_9;
 pub mod fleet;
+pub mod fleet_chaos;
 pub mod makespan;
 pub mod online;
 pub mod overhead;

@@ -5,9 +5,12 @@
 
 use std::fmt::Write as _;
 
-use orion_bench::exp::{fleet, ExpConfig};
+use orion_bench::exp::{fleet, fleet_chaos, ExpConfig};
 use orion_bench::runner::{Runner, Scenario};
-use orion_core::cluster::{dedicated_refs_serial, FleetConfig, FleetJob, FleetSim, FleetTrace};
+use orion_core::cluster::{
+    dedicated_refs_serial, FleetConfig, FleetFaultPlan, FleetJob, FleetReport, FleetSim,
+    FleetTrace,
+};
 use orion_core::prelude::*;
 use orion_desim::time::SimTime;
 use orion_workloads::arrivals::ArrivalProcess;
@@ -161,7 +164,7 @@ fn fleet_line(threads: usize) -> String {
     let trace = fleet::fleet_trace(&cfg, dims);
     let fcfg = fleet::fleet_config(&cfg, dims, PolicyKind::orion_default(), true, true);
     let runner = Runner::new(threads).with_progress(false);
-    let report = fleet::run_fleet_on(&runner, trace, fcfg);
+    let report = fleet::run_fleet_on(&runner, trace, fcfg).expect("fleet runs");
     fleet::fleet_json(
         &cfg,
         &fleet::Cell {
@@ -180,6 +183,67 @@ fn fleet_churn_replay_is_identical_at_any_thread_count() {
     assert!(a.contains("\"fleet\":"), "fleet block missing from JSONL line");
     assert_eq!(a, b, "1-thread vs 4-thread fleet replay differs");
     assert_eq!(b, c, "4-thread vs 7-thread fleet replay differs");
+}
+
+/// Chaos arm of the fleet replay: the same small churn fleet with the fleet
+/// fault plan armed. GPU fate rolls are pure functions of
+/// `(plan seed, gpu, epoch)` and triage consumes episode results in input
+/// order, so every quarantine, evacuation, and shed decision — and the
+/// robustness block they produce — must be thread-count independent.
+fn fleet_chaos_line(threads: usize) -> String {
+    let cfg = ExpConfig::fast();
+    let dims = (6, 24, 3);
+    let trace = fleet::fleet_trace(&cfg, dims);
+    let mut fcfg = fleet::fleet_config(&cfg, dims, PolicyKind::orion_default(), false, false);
+    fcfg.faults = Some(fleet_chaos::chaos_plan(&cfg));
+    let runner = Runner::new(threads).with_progress(false);
+    let report = fleet::run_fleet_on(&runner, trace, fcfg).expect("chaos fleet runs");
+    fleet::fleet_json(
+        &cfg,
+        &fleet::Cell {
+            mode: "chaos-replay",
+            report,
+        },
+    )
+    .to_compact()
+}
+
+#[test]
+fn fleet_chaos_replay_is_identical_at_any_thread_count() {
+    let a = fleet_chaos_line(1);
+    let b = fleet_chaos_line(4);
+    let c = fleet_chaos_line(7);
+    // The plan actually fired somewhere, or this test proves nothing.
+    assert!(
+        a.contains("\"robustness\":"),
+        "chaos fleet fired no fault machinery; raise the plan rates"
+    );
+    assert_eq!(a, b, "1-thread vs 4-thread chaos fleet replay differs");
+    assert_eq!(b, c, "4-thread vs 7-thread chaos fleet replay differs");
+}
+
+/// Golden fault-free digests: the fast-mode fleet grid's per-job digests,
+/// pinned. A drift here means fault-free control-plane behaviour changed —
+/// including fault machinery accidentally constructed with no plan armed —
+/// which breaks the replay contract with previously recorded JSONL.
+#[test]
+fn fleet_fault_free_digests_are_pinned() {
+    let cells = fleet::run(&ExpConfig::fast());
+    let golden: [(&str, u64); 3] = [
+        ("orion-offline", 0x65d9_a2a2_ae55_7b68),
+        ("orion-online+mig", 0xfa60_1521_0906_35f9),
+        ("mps", 0xc26f_4ef2_8ff8_0975),
+    ];
+    assert_eq!(cells.len(), golden.len());
+    for (c, (mode, want)) in cells.iter().zip(golden) {
+        assert_eq!(c.mode, mode);
+        assert_eq!(
+            c.report.jobs_digest(),
+            want,
+            "{mode}: fault-free digest drifted to {:016x}",
+            c.report.jobs_digest()
+        );
+    }
 }
 
 /// A trace whose specs are identical within each priority class: every
@@ -275,7 +339,7 @@ fn fleet_full_scale_is_identical_at_any_thread_count() {
         let runner = Runner::new(threads).with_progress(false);
         let trace = fleet::fleet_trace(&cfg, dims);
         let fcfg = fleet::fleet_config(&cfg, dims, PolicyKind::orion_default(), false, false);
-        let report = fleet::run_fleet_on(&runner, trace, fcfg);
+        let report = fleet::run_fleet_on(&runner, trace, fcfg).expect("fleet runs");
         fleet::fleet_json(
             &cfg,
             &fleet::Cell {
@@ -290,6 +354,65 @@ fn fleet_full_scale_is_identical_at_any_thread_count() {
     let c = line(7);
     assert_eq!(a, b, "1-thread vs 4-thread full-scale fleet differs");
     assert_eq!(b, c, "4-thread vs 7-thread full-scale fleet differs");
+}
+
+/// Fleet-scale chaos arm: the full 128-GPU / 1000-job grid under the
+/// headline fault plan, replayed at 1/4/7 threads, checked against the
+/// acceptance bar — HP SLO attainment under chaos stays within 0.9x of
+/// fault-free while degraded capacity sheds best-effort jobs first, and
+/// every recovered evacuee re-places within the horizon. Runs `--ignored`
+/// in release from `scripts/ci.sh`.
+#[test]
+#[ignore = "fleet-scale: run with --release --ignored (scripts/ci.sh fleet stage)"]
+fn fleet_chaos_full_scale_replays_and_meets_slo_bar() {
+    let cfg = ExpConfig::full();
+    let dims = fleet::fleet_dims(&cfg);
+    assert!(dims.0 >= 128 && dims.1 >= 1000, "full grid is fleet-scale");
+    let run = |threads: usize, plan: Option<FleetFaultPlan>| -> FleetReport {
+        let runner = Runner::new(threads).with_progress(false);
+        let trace = fleet::fleet_trace(&cfg, dims);
+        let mut fcfg = fleet::fleet_config(&cfg, dims, PolicyKind::orion_default(), false, false);
+        fcfg.faults = plan;
+        fleet::run_fleet_on(&runner, trace, fcfg).expect("fleet runs")
+    };
+    let line = |report: FleetReport| {
+        fleet::fleet_json(
+            &cfg,
+            &fleet::Cell {
+                mode: "chaos-full",
+                report,
+            },
+        )
+        .to_compact()
+    };
+    let fault_free = run(1, None);
+    let chaos = run(1, Some(fleet_chaos::chaos_plan(&cfg)));
+    let b = line(run(4, Some(fleet_chaos::chaos_plan(&cfg))));
+    let c = line(run(7, Some(fleet_chaos::chaos_plan(&cfg))));
+    let ro = chaos.robustness.clone();
+    let a = line(chaos.clone());
+    assert_eq!(a, b, "1-thread vs 4-thread full-scale chaos differs");
+    assert_eq!(b, c, "4-thread vs 7-thread full-scale chaos differs");
+    // The plan fired at fleet scale: GPUs died and jobs were evacuated.
+    assert!(ro.gpus_dead > 0, "no GPU died over {} gpu-epochs", dims.0 * dims.2);
+    assert!(ro.evacuations > 0, "GPUs died but nothing was evacuated");
+    assert!(ro.availability > 0.0 && ro.availability < 1.0);
+    // Acceptance bar: HP attainment within 0.9x of fault-free; anything
+    // shed under degraded capacity is best-effort.
+    assert!(
+        chaos.hp_slo_attainment >= 0.9 * fault_free.hp_slo_attainment,
+        "HP SLO under chaos {:.3} vs fault-free {:.3}",
+        chaos.hp_slo_attainment,
+        fault_free.hp_slo_attainment
+    );
+    assert_eq!(ro.hp_rejected, 0, "HP jobs shed while BE capacity remained");
+    assert!(chaos.jobs.iter().all(|j| !(j.lost && j.hp)));
+    // Recovered evacuees re-placed within a bounded number of epochs.
+    assert!(
+        (ro.max_epochs_to_recovery as usize) < chaos.epochs,
+        "evacuees took {} epochs to recover",
+        ro.max_epochs_to_recovery
+    );
 }
 
 #[test]

@@ -249,3 +249,42 @@ fn smoke_table4() {
     let rows = exp::table4::run(&fast());
     assert!(!rows.is_empty());
 }
+
+#[test]
+fn smoke_fleet_chaos() {
+    let cfg = fast();
+    let cells = exp::fleet_chaos::run(&cfg);
+    assert_eq!(cells.len(), 3, "chaos grid covers fault-free, chaos-lite, chaos");
+    let ff = &cells[0];
+    assert_eq!(ff.mode, "fault-free");
+    // No plan armed: the fleet-level fault machinery must never have fired.
+    let fro = &ff.report.robustness;
+    assert_eq!(fro.chaos_episodes, 0, "fault-free cell armed episode faults");
+    assert_eq!(fro.gpus_dead + fro.quarantines + fro.evacuations, 0);
+    assert!(ff.report.episode_failures.is_empty());
+    assert!(ff.report.jobs.iter().all(|j| j.evacuations == 0 && !j.lost));
+
+    let chaos = &cells[2];
+    assert_eq!(chaos.mode, "chaos");
+    let ro = &chaos.report.robustness;
+    assert!(
+        ro.chaos_episodes > 0 || ro.gpus_dead > 0,
+        "chaos plan never fired; raise the fast-mode rates"
+    );
+    assert!(ro.evacuations > 0, "chaos killed GPUs but nothing was evacuated");
+    assert!(
+        ro.availability > 0.0 && ro.availability < 1.0,
+        "chaos availability {} should show lost capacity",
+        ro.availability
+    );
+    // Degraded capacity: HP attainment holds (the acceptance bar) and any
+    // shed job is best-effort -- HP leaves only via explicit rejection.
+    assert!(
+        chaos.hp_vs_fault_free >= 0.9,
+        "HP SLO attainment under chaos fell to {:.2}x fault-free",
+        chaos.hp_vs_fault_free
+    );
+    assert!(chaos.report.jobs.iter().all(|j| !(j.lost && j.hp)));
+    // Evacuees that recovered did so within the horizon.
+    assert!((ro.max_epochs_to_recovery as usize) < chaos.report.epochs);
+}

@@ -45,8 +45,10 @@ use crate::placement::{
     demand_complementarity, demand_from_profiles, demand_vector, pack_jobs, FleetPlacer, PackJob,
 };
 use crate::policy::PolicyKind;
+use crate::supervisor::{FaultConfig, RobustnessReport, SupervisorConfig};
 use crate::world::{run_collocation, run_collocation_with_profiles, run_dedicated, RunConfig,
     RunResult};
+use orion_gpu::fault::{unit_roll, FaultRates};
 
 /// Cluster-level failures. The per-GPU engine's [`GpuError`] variants encode
 /// device conditions (allocations, streams, kernels); exhausting the *GPU
@@ -81,6 +83,19 @@ pub enum ClusterError {
     },
     /// A placed collocation failed to run.
     Gpu(GpuError),
+    /// Degraded-capacity rejection: the job exhausted its evacuation retry
+    /// budget while the fleet was short on healthy devices, and was shed by
+    /// the control plane. High-priority jobs are only ever dropped through
+    /// this explicit, reported path — never a panic or a masked
+    /// `OutOfMemory`.
+    CapacityExhausted {
+        /// Job id (index into the fleet trace).
+        job: usize,
+        /// Epoch at which the job was shed.
+        epoch: usize,
+        /// Healthy (placement-accepting) GPUs at that moment.
+        live_gpus: usize,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -97,6 +112,11 @@ impl fmt::Display for ClusterError {
                 write!(f, "dedicated baseline for job {job} failed: {source}")
             }
             ClusterError::Gpu(e) => write!(f, "collocation run failed: {e}"),
+            ClusterError::CapacityExhausted { job, epoch, live_gpus } => write!(
+                f,
+                "job {job} shed at epoch {epoch}: evacuation budget exhausted \
+                 with {live_gpus} live GPUs"
+            ),
         }
     }
 }
@@ -238,7 +258,7 @@ pub fn run_cluster_packed(
             specs[0].priority = ClientPriority::HighPriority;
         }
         let mut r = if specs.len() == 1 {
-            run_dedicated(specs.pop().expect("one spec"), cfg)?
+            run_dedicated(specs.remove(0), cfg)?
         } else {
             run_collocation(policy.clone(), specs, cfg)?
         };
@@ -278,6 +298,96 @@ const FLEET_TRACE_TAG: u64 = 0xf1ee_0000_0000_0001;
 const FLEET_DED_TAG: u64 = 0xf1ee_0000_0000_0002;
 /// Domain-separation tag for per-(gpu, epoch) episode seeds.
 const FLEET_EPISODE_TAG: u64 = 0xf1ee_0000_0000_0003;
+/// Domain-separation tag for per-(gpu, epoch) device-fate rolls.
+const FLEET_FAULT_TAG: u64 = 0xf1ee_0000_0000_0004;
+
+/// What the fault plan decrees for one `(gpu, epoch)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuFate {
+    /// Device operates normally this epoch.
+    Healthy,
+    /// Device-fault injection is armed for this epoch's episode: kernels on
+    /// this GPU roll against [`FleetFaultPlan::episode_rates`] (the existing
+    /// `gpu-sim` sticky-fault machinery), and the control plane will triage
+    /// the outcome.
+    Transient,
+    /// Device dies at this epoch boundary and never returns. Residents are
+    /// evacuated; fleet capacity shrinks.
+    Dead,
+}
+
+/// Deterministic fleet-level fault injection: a pure function from
+/// `(plan seed, gpu, epoch)` to a [`GpuFate`], mirroring how
+/// [`FleetTrace::synthesize`] derives per-job cells. Fate rolls share the
+/// splitmix construction the in-episode injector uses ([`unit_roll`]), so a
+/// chaos fleet run is as replayable as a fault-free one: byte-identical at
+/// any thread count.
+#[derive(Debug, Clone)]
+pub struct FleetFaultPlan {
+    /// Plan seed (independent of trace and run seeds).
+    pub seed: u64,
+    /// P(transient fault epoch) per (alive gpu, epoch) cell.
+    pub transient_rate: f64,
+    /// P(permanent death) per (alive gpu, epoch) cell, rolled before
+    /// `transient_rate` on the same draw (mutually exclusive).
+    pub dead_rate: f64,
+    /// In-episode device-fault rates armed on transient-fated GPUs.
+    pub episode_rates: FaultRates,
+    /// Supervisor tuning for chaos episodes (retry/backoff inside the
+    /// episode; see [`crate::supervisor`]).
+    pub supervisor: SupervisorConfig,
+    /// Evacuations a single job survives before the control plane sheds it
+    /// (the fleet-level retry budget).
+    pub max_evacuations: u32,
+    /// Cap on a flapping GPU's quarantine length, in epochs (the backoff
+    /// doubles per strike up to this).
+    pub quarantine_max_epochs: u64,
+    /// Clean episodes a reinstated GPU must serve on probation before its
+    /// strike count decays.
+    pub probation_epochs: u64,
+}
+
+impl FleetFaultPlan {
+    /// A plan with moderate chaos: ~2% of (gpu, epoch) cells transiently
+    /// faulted, ~0.5% permanently dead, sticky kernel faults likely within
+    /// a faulted episode, and a 4-evacuation job budget.
+    pub fn new(seed: u64) -> Self {
+        FleetFaultPlan {
+            seed,
+            transient_rate: 0.02,
+            dead_rate: 0.005,
+            episode_rates: FaultRates {
+                kernel_fault: 0.02,
+                ..FaultRates::default()
+            },
+            supervisor: SupervisorConfig::default(),
+            max_evacuations: 4,
+            quarantine_max_epochs: 4,
+            probation_epochs: 2,
+        }
+    }
+
+    /// The fate of one `(gpu, epoch)` cell — a pure function of the plan.
+    pub fn fate(&self, gpu: usize, epoch: usize) -> GpuFate {
+        let lane = cell_seed(cell_seed(self.seed, FLEET_FAULT_TAG), gpu as u64);
+        let u = unit_roll(lane, epoch as u64);
+        if u < self.dead_rate {
+            GpuFate::Dead
+        } else if u < self.dead_rate + self.transient_rate {
+            GpuFate::Transient
+        } else {
+            GpuFate::Healthy
+        }
+    }
+
+    /// The [`FaultConfig`] armed on a transient-fated episode.
+    pub fn episode_faults(&self) -> FaultConfig {
+        let mut fc = FaultConfig::none();
+        fc.rates = self.episode_rates;
+        fc.supervisor = self.supervisor.clone();
+        fc
+    }
+}
 
 /// One job in a fleet trace: a client plus its lifetime.
 #[derive(Debug, Clone)]
@@ -442,6 +552,10 @@ pub struct FleetConfig {
     pub slo_latency_factor: f64,
     /// BE job SLO: normalized throughput at least this.
     pub slo_tput_factor: f64,
+    /// Fleet-level fault injection. `None` (the default) keeps the fleet
+    /// fault-free: no health state machine is constructed, no fate rolls
+    /// happen, and the run is byte-identical to pre-fault-plan builds.
+    pub faults: Option<FleetFaultPlan>,
 }
 
 impl FleetConfig {
@@ -462,6 +576,7 @@ impl FleetConfig {
             migrate_threshold: 0.55,
             slo_latency_factor: 2.0,
             slo_tput_factor: 0.25,
+            faults: None,
         }
     }
 
@@ -597,6 +712,107 @@ struct JobStats {
     ever_placed: bool,
 }
 
+/// Per-GPU health in the fleet failure domain (see DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GpuHealth {
+    /// In service, full trust.
+    Healthy,
+    /// Offline until the named epoch boundary (exponential backoff in
+    /// strikes); comes back on probation.
+    Quarantined { until: usize },
+    /// Back in service, but `clean_left` more clean episodes are needed
+    /// before a strike decays. A fault during probation escalates.
+    Probation { clean_left: u64 },
+    /// Permanently out; capacity shrank.
+    Dead,
+}
+
+/// Fleet-level fault state: only constructed when [`FleetConfig::faults`]
+/// is set, so fault-free fleets take zero new branches through placement.
+#[derive(Debug)]
+struct FleetHealth {
+    plan: FleetFaultPlan,
+    /// Per-GPU health state.
+    gpu: Vec<GpuHealth>,
+    /// Per-GPU fault strikes, driving exponential quarantine backoff.
+    strikes: Vec<u32>,
+    /// Jobs evacuated off failed devices awaiting HP-first re-placement.
+    evacuees: Vec<usize>,
+    /// Epoch of each job's outstanding evacuation (for epochs-to-recovery).
+    evacuated_at: Vec<Option<usize>>,
+    /// Evacuations each job has survived (the fleet retry budget).
+    evac_count: Vec<u32>,
+    /// Jobs shed by the control plane (budget exhausted).
+    lost: Vec<bool>,
+}
+
+/// One control-plane job rejection under degraded capacity, with its
+/// [`ClusterError::CapacityExhausted`] context preformatted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetRejection {
+    /// Job id (index into the trace).
+    pub job: usize,
+    /// The job was high-priority.
+    pub hp: bool,
+    /// Epoch at which it was shed.
+    pub epoch: usize,
+    /// Human-readable `ClusterError` context.
+    pub reason: String,
+}
+
+/// Fleet-level fault-and-recovery roll-up. For a fault-free fleet run every
+/// field stays at its default ([`FleetRobustnessReport::any`] is false) and
+/// the bench JSONL omits the block entirely, keeping fault-free output
+/// byte-identical.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetRobustnessReport {
+    /// Sum of every episode's in-run [`RobustnessReport`] counters. This is
+    /// populated for *any* faulted episode — including episode-level fault
+    /// configs with no fleet plan — so per-GPU recovery work is never
+    /// dropped at the fleet boundary.
+    pub episodes: RobustnessReport,
+    /// Episodes handed out with device-fault injection armed.
+    pub chaos_episodes: u64,
+    /// GPUs that died permanently.
+    pub gpus_dead: u64,
+    /// Quarantine events (a GPU can contribute several).
+    pub quarantines: u64,
+    /// Quarantined GPUs returned to service on probation.
+    pub reinstated: u64,
+    /// Job evacuations off dead/faulted devices.
+    pub evacuations: u64,
+    /// Evacuations that found a new home.
+    pub evacuations_recovered: u64,
+    /// Worst epochs-from-evacuation-to-re-placement over all recoveries
+    /// (0 = re-placed at the very next boundary).
+    pub max_epochs_to_recovery: u64,
+    /// Best-effort residents preempted to make room for a high-priority job
+    /// under degraded capacity (shed-BE-first; preempted jobs requeue).
+    pub be_preempted: u64,
+    /// Best-effort jobs shed outright (evacuation budget exhausted).
+    pub be_lost: u64,
+    /// High-priority jobs shed — only via explicit
+    /// [`ClusterError::CapacityExhausted`] reporting, never a panic.
+    pub hp_rejected: u64,
+    /// Mean fraction of the fleet accepting placements across epoch
+    /// boundaries (1.0 = no capacity ever lost).
+    pub availability: f64,
+    /// Shed-job details, capped at [`MAX_FLEET_REJECTIONS`].
+    pub rejections: Vec<FleetRejection>,
+}
+
+impl FleetRobustnessReport {
+    /// True when anything fault-related happened at the fleet level.
+    pub fn any(&self) -> bool {
+        *self != FleetRobustnessReport::default()
+    }
+}
+
+/// Cap on stored [`FleetRejection`] records (counters keep exact totals).
+pub const MAX_FLEET_REJECTIONS: usize = 64;
+/// Cap on stored episode-failure context strings.
+const MAX_EPISODE_FAILURES: usize = 16;
+
 /// The fleet control plane: a pull-driven state machine. Call
 /// [`FleetSim::next_epoch`] for the next batch of independent episodes, run
 /// them (serially or sharded across the bench runner — results must come
@@ -625,6 +841,15 @@ pub struct FleetSim {
     episode_errors: u64,
     oversized_rejected: u64,
     peak_gpus_used: usize,
+    /// Fleet fault state; `None` when no fault plan is configured.
+    health: Option<FleetHealth>,
+    /// Fleet-level robustness roll-up (all defaults when fault-free).
+    robust: FleetRobustnessReport,
+    /// Formatted context of failed episodes (capped).
+    episode_failures: Vec<String>,
+    /// Sum over epoch boundaries of placement-accepting GPUs (availability
+    /// numerator; only accumulated when a fault plan is armed).
+    live_gpu_epochs: u64,
 }
 
 impl FleetSim {
@@ -657,6 +882,15 @@ impl FleetSim {
         let placer = FleetPlacer::new(cfg.gpus, cfg.rc.spec.memory_capacity, cfg.max_jobs_per_gpu);
         let mut stats = Vec::with_capacity(n);
         stats.resize_with(n, JobStats::default);
+        let health = cfg.faults.clone().map(|plan| FleetHealth {
+            plan,
+            gpu: vec![GpuHealth::Healthy; cfg.gpus],
+            strikes: vec![0; cfg.gpus],
+            evacuees: Vec::new(),
+            evacuated_at: vec![None; n],
+            evac_count: vec![0; n],
+            lost: vec![false; n],
+        });
         Ok(FleetSim {
             cfg,
             trace,
@@ -674,7 +908,184 @@ impl FleetSim {
             episode_errors: 0,
             oversized_rejected: 0,
             peak_gpus_used: 0,
+            health,
+            robust: FleetRobustnessReport::default(),
+            episode_failures: Vec::new(),
+            live_gpu_epochs: 0,
         })
+    }
+
+    /// Records one evacuation of job `id` at `epoch`: within budget the job
+    /// joins the HP-first re-placement queue; past it the job is shed — the
+    /// only path that ever drops a job, and it reports
+    /// [`ClusterError::CapacityExhausted`] context instead of panicking.
+    fn evacuate_job(&mut self, id: usize, epoch: usize) {
+        let hp = self.trace.jobs[id].client.priority == ClientPriority::HighPriority;
+        let live_gpus = self.placer.live_gpus();
+        let Some(h) = self.health.as_mut() else { return };
+        if h.lost[id] {
+            return;
+        }
+        h.evac_count[id] = h.evac_count[id].saturating_add(1);
+        self.robust.evacuations += 1;
+        if h.evac_count[id] > h.plan.max_evacuations {
+            h.lost[id] = true;
+            h.evacuated_at[id] = None;
+            let reason = ClusterError::CapacityExhausted {
+                job: id,
+                epoch,
+                live_gpus,
+            }
+            .to_string();
+            if hp {
+                self.robust.hp_rejected += 1;
+            } else {
+                self.robust.be_lost += 1;
+            }
+            if self.robust.rejections.len() < MAX_FLEET_REJECTIONS {
+                self.robust.rejections.push(FleetRejection {
+                    job: id,
+                    hp,
+                    epoch,
+                    reason,
+                });
+            }
+        } else {
+            h.evacuated_at[id] = Some(epoch);
+            h.evacuees.push(id);
+        }
+    }
+
+    /// Quarantines GPU `g` after a faulted episode (or marks probation
+    /// progress impossible): strike, exponential-backoff offline window,
+    /// evacuate residents.
+    fn quarantine_gpu(&mut self, g: usize) {
+        let epoch = self.epoch;
+        {
+            let Some(h) = self.health.as_mut() else { return };
+            if matches!(h.gpu[g], GpuHealth::Dead | GpuHealth::Quarantined { .. }) {
+                return;
+            }
+            h.strikes[g] = h.strikes[g].saturating_add(1);
+            let level = h.strikes[g].saturating_sub(1).min(31);
+            let span = (1u64 << level).clamp(1, h.plan.quarantine_max_epochs.max(1));
+            h.gpu[g] = GpuHealth::Quarantined {
+                until: epoch.saturating_add(span as usize),
+            };
+        }
+        self.robust.quarantines += 1;
+        self.placer.set_offline(g, true);
+        for id in self.placer.residents(g).to_vec() {
+            self.placer.remove(id);
+            self.evacuate_job(id, epoch);
+        }
+    }
+
+    /// Credits GPU `g` with a clean episode: probation progresses and
+    /// eventually decays a strike.
+    fn probation_progress(&mut self, g: usize) {
+        let Some(h) = self.health.as_mut() else { return };
+        if let GpuHealth::Probation { clean_left } = h.gpu[g] {
+            if clean_left <= 1 {
+                h.gpu[g] = GpuHealth::Healthy;
+                h.strikes[g] = h.strikes[g].saturating_sub(1);
+            } else {
+                h.gpu[g] = GpuHealth::Probation {
+                    clean_left: clean_left - 1,
+                };
+            }
+        }
+    }
+
+    /// Epoch-boundary health pass: quarantine expiry (probationary return),
+    /// then a fate roll per alive GPU — `Dead` shrinks capacity and
+    /// evacuates residents; `Transient` arms device-fault injection for this
+    /// epoch's episode. Returns the transient-fated GPU set.
+    fn health_boundary(&mut self, epoch: usize) -> Vec<bool> {
+        let mut transient = vec![false; self.cfg.gpus];
+        if self.health.is_none() {
+            return transient;
+        }
+        for (g, fated_transient) in transient.iter_mut().enumerate() {
+            if let Some(h) = self.health.as_mut() {
+                if let GpuHealth::Quarantined { until } = h.gpu[g] {
+                    if until <= epoch {
+                        h.gpu[g] = GpuHealth::Probation {
+                            clean_left: h.plan.probation_epochs.max(1),
+                        };
+                        self.placer.set_offline(g, false);
+                        self.robust.reinstated += 1;
+                    }
+                }
+            }
+            let fate = {
+                let h = self.health.as_ref().expect("health checked above");
+                match h.gpu[g] {
+                    GpuHealth::Dead | GpuHealth::Quarantined { .. } => continue,
+                    GpuHealth::Healthy | GpuHealth::Probation { .. } => h.plan.fate(g, epoch),
+                }
+            };
+            match fate {
+                GpuFate::Healthy => {}
+                GpuFate::Transient => *fated_transient = true,
+                GpuFate::Dead => {
+                    if let Some(h) = self.health.as_mut() {
+                        h.gpu[g] = GpuHealth::Dead;
+                    }
+                    self.robust.gpus_dead += 1;
+                    self.placer.set_offline(g, true);
+                    for id in self.placer.residents(g).to_vec() {
+                        self.placer.remove(id);
+                        self.evacuate_job(id, epoch);
+                    }
+                }
+            }
+        }
+        self.live_gpu_epochs += self.placer.live_gpus() as u64;
+        transient
+    }
+
+    /// Deterministic shed-BE-first preemption: finds the lowest-index live
+    /// GPU where evicting a single best-effort resident (lowest job id that
+    /// frees enough memory) lets high-priority `job` fit, performs the swap,
+    /// and returns `(gpu, victim)`. The victim must be requeued by the
+    /// caller.
+    fn preempt_be_for(&mut self, id: usize, job: PackJob) -> Option<(usize, usize)> {
+        for g in 0..self.cfg.gpus {
+            if self.placer.is_offline(g) || self.placer.hp_of(g).is_some() {
+                continue;
+            }
+            let free = self.placer.free_mem(g);
+            let mut victim: Option<usize> = None;
+            for &r in self.placer.residents(g) {
+                let rjob = self.placer.job(r).copied();
+                let Some(rjob) = rjob else { continue };
+                if rjob.hp {
+                    continue;
+                }
+                if free + rjob.mem >= job.mem && victim.is_none_or(|v| r < v) {
+                    victim = Some(r);
+                }
+            }
+            let Some(victim) = victim else { continue };
+            self.placer.remove(victim);
+            self.placer.force_place(id, job, g);
+            self.robust.be_preempted += 1;
+            return Some((g, victim));
+        }
+        None
+    }
+
+    /// Marks an outstanding evacuation of `id` as recovered at `epoch`.
+    fn note_recovery(&mut self, id: usize, epoch: usize) {
+        let Some(h) = self.health.as_mut() else { return };
+        if let Some(at) = h.evacuated_at[id].take() {
+            self.robust.evacuations_recovered += 1;
+            self.robust.max_epochs_to_recovery = self
+                .robust
+                .max_epochs_to_recovery
+                .max(epoch.saturating_sub(at) as u64);
+        }
     }
 
     fn pack_job(&self, id: usize) -> PackJob {
@@ -711,18 +1122,24 @@ impl FleetSim {
             if norm >= self.cfg.migrate_threshold {
                 continue;
             }
-            let hp_demand = self.placer.job(hp).expect("hp resident").demand;
+            // `hp`/`r` come from the resident lists, so the lookups should
+            // always hit; skip the GPU instead of panicking if they don't.
+            let Some(hp_demand) = self.placer.job(hp).map(|j| j.demand) else {
+                continue;
+            };
             let mut victim: Option<(f64, usize)> = None;
             for &r in residents.iter().filter(|&&r| r != hp) {
-                let score =
-                    demand_complementarity(hp_demand, self.placer.job(r).expect("resident").demand);
+                let Some(rj) = self.placer.job(r) else { continue };
+                let score = demand_complementarity(hp_demand, rj.demand);
                 // Strictly-less keeps the lowest job id on ties.
                 if victim.is_none_or(|(s, _)| score < s) {
                     victim = Some((score, r));
                 }
             }
             let Some((_, victim)) = victim else { continue };
-            let job = *self.placer.job(victim).expect("victim resident");
+            let Some(job) = self.placer.job(victim).copied() else {
+                continue;
+            };
             self.placer.remove(victim);
             if self.placer.try_place(victim, job, Some(gpu)).is_some() {
                 self.migrations += 1;
@@ -746,6 +1163,10 @@ impl FleetSim {
         }
         let epoch = self.epoch;
         let now = self.cfg.epoch * epoch as u64;
+
+        // Fleet fault plan: quarantine expiry, death rolls, transient arming.
+        // A no-op returning all-healthy when no plan is configured.
+        let transient = self.health_boundary(epoch);
 
         if self.cfg.migration && epoch > 0 {
             self.migrate();
@@ -781,6 +1202,44 @@ impl FleetSim {
             }
         }
 
+        // Evacuees re-place ahead of the FIFO queue, high-priority first
+        // (then id order), carrying their learned demand vectors. An HP
+        // evacuee that fits nowhere may preempt a best-effort resident
+        // (shed-BE-first degraded operation); one that still fits nowhere
+        // waits at the front of the line for the next boundary. Fault-free
+        // fleets never have evacuees, so this pass is a no-op there.
+        let mut evacuees: Vec<usize> = match self.health.as_mut() {
+            Some(h) => std::mem::take(&mut h.evacuees),
+            None => Vec::new(),
+        };
+        if !evacuees.is_empty() {
+            evacuees.retain(|&id| self.trace.jobs[id].depart > now);
+            evacuees.sort_by_key(|&id| {
+                (
+                    self.trace.jobs[id].client.priority != ClientPriority::HighPriority,
+                    id,
+                )
+            });
+            for id in evacuees {
+                let job = self.pack_job(id);
+                if self.placer.try_place(id, job, None).is_some() {
+                    self.stats[id].ever_placed = true;
+                    self.note_recovery(id, epoch);
+                } else if job.hp {
+                    if let Some((_, victim)) = self.preempt_be_for(id, job) {
+                        self.stats[id].ever_placed = true;
+                        self.note_recovery(id, epoch);
+                        self.pending.push(victim);
+                    } else if let Some(h) = self.health.as_mut() {
+                        h.evacuees.push(id);
+                    }
+                } else {
+                    // Displaced best-effort jobs queue behind everyone.
+                    self.pending.push(id);
+                }
+            }
+        }
+
         // Placement: drain the queue in FIFO order; jobs that do not fit
         // anywhere right now stay queued (capacity may free up later).
         let mut still_pending = Vec::new();
@@ -788,6 +1247,15 @@ impl FleetSim {
             let job = self.pack_job(id);
             if self.placer.try_place(id, job, None).is_some() {
                 self.stats[id].ever_placed = true;
+                self.note_recovery(id, epoch);
+            } else if job.hp && self.health.is_some() {
+                if let Some((_, victim)) = self.preempt_be_for(id, job) {
+                    self.stats[id].ever_placed = true;
+                    self.note_recovery(id, epoch);
+                    still_pending.push(victim);
+                } else {
+                    still_pending.push(id);
+                }
             } else {
                 still_pending.push(id);
             }
@@ -796,7 +1264,7 @@ impl FleetSim {
         self.peak_gpus_used = self.peak_gpus_used.max(self.placer.used_gpus());
 
         let mut episodes = Vec::new();
-        for gpu in 0..self.cfg.gpus {
+        for (gpu, &fated_transient) in transient.iter().enumerate() {
             let jobs = self.placer.residents(gpu).to_vec();
             if jobs.is_empty() {
                 continue;
@@ -813,11 +1281,24 @@ impl FleetSim {
                         // fills it and `absorb` carries it forward.
                         Some(self.learned[id].clone().unwrap_or_default())
                     } else {
+                        // Tables were memoized per label in `new`; fall back
+                        // to an empty table (conservative scheduling) rather
+                        // than panicking on a miss.
                         let label = self.trace.jobs[id].client.workload.label();
-                        Some(self.offline_tables[&label].clone())
+                        Some(self.offline_tables.get(&label).cloned().unwrap_or_default())
                     }
                 })
                 .collect();
+            let mut rc = self.cfg.episode_rc(gpu, epoch);
+            if fated_transient {
+                if let Some(h) = &self.health {
+                    // Sticky in-episode faults come from the existing
+                    // gpu-sim injector; the per-episode seed already keys
+                    // the fault plan, so chaos replays byte-identically.
+                    rc.faults = h.plan.episode_faults();
+                    self.robust.chaos_episodes += 1;
+                }
+            }
             episodes.push(EpisodeSpec {
                 gpu,
                 epoch,
@@ -825,7 +1306,7 @@ impl FleetSim {
                 policy: self.cfg.policy.clone(),
                 clients,
                 profiles,
-                rc: self.cfg.episode_rc(gpu, epoch),
+                rc,
             });
         }
         self.epoch += 1;
@@ -839,14 +1320,37 @@ impl FleetSim {
         for (spec, res) in results {
             let r = match res {
                 Ok(r) => r,
-                Err(_) => {
+                Err(e) => {
+                    // A failed episode surfaces with ClusterError context
+                    // (capped), counts as a device strike, and its residents
+                    // are evacuated — never a panic.
                     self.episode_errors += 1;
+                    if self.episode_failures.len() < MAX_EPISODE_FAILURES {
+                        self.episode_failures.push(format!(
+                            "gpu {} epoch {}: {}",
+                            spec.gpu,
+                            spec.epoch,
+                            ClusterError::Gpu(e)
+                        ));
+                    }
+                    self.quarantine_gpu(spec.gpu);
                     continue;
                 }
             };
+            // Satellite fix (PR 9): per-episode robustness counters used to
+            // be dropped at the fleet boundary; they now roll up regardless
+            // of whether a fleet fault plan is armed. Fault-free episodes
+            // contribute all-zero counters, so the fault-free report (and
+            // its digest, which excludes robustness) is unchanged.
+            self.robust.episodes.merge(&r.robustness);
             let window = r.window.as_secs_f64();
             for (slot, &job) in spec.jobs.iter().enumerate() {
-                let c = &r.clients[slot];
+                let Some(c) = r.clients.get(slot) else {
+                    // Episode/client mismatch should be impossible; surface
+                    // it as an episode error rather than panicking mid-fleet.
+                    self.episode_errors += 1;
+                    continue;
+                };
                 let st = &mut self.stats[job];
                 st.resident_epochs += 1;
                 st.completed += c.completed;
@@ -860,15 +1364,25 @@ impl FleetSim {
                     self.last_hp_norm[job] = Some(if ded > 0.0 { tput / ded } else { 0.0 });
                 }
             }
-            if let Some(tables) = r.learned {
+            if let Some(tables) = &r.learned {
                 for (slot, &job) in spec.jobs.iter().enumerate() {
-                    let table = &tables[slot];
+                    let Some(table) = tables.get(slot) else { continue };
                     if !table.is_empty() {
                         if let Some(d) = demand_from_profiles(table) {
                             self.placer.update_demand(job, d);
                         }
                         self.learned[job] = Some(table.clone());
                     }
+                }
+            }
+            // Health triage: an episode that left the device sticky-faulted
+            // (or needed any sticky-fault recovery mid-run) strikes the GPU;
+            // a clean episode progresses probation. No-ops without a plan.
+            if self.health.is_some() {
+                if r.ended_faulted || r.robustness.device_faults > 0 {
+                    self.quarantine_gpu(spec.gpu);
+                } else {
+                    self.probation_progress(spec.gpu);
                 }
             }
         }
@@ -885,8 +1399,27 @@ impl FleetSim {
             episode_errors,
             oversized_rejected,
             peak_gpus_used,
+            health,
+            mut robust,
+            episode_failures,
+            live_gpu_epochs,
             ..
         } = self;
+        let n = trace.jobs.len();
+        let (evac_count, lost) = match health {
+            Some(h) => {
+                // Availability is only meaningful with a fault plan armed;
+                // fault-free reports keep the all-default robustness block.
+                let cells = (cfg.gpus * cfg.epochs) as f64;
+                robust.availability = if cells > 0.0 {
+                    live_gpu_epochs as f64 / cells
+                } else {
+                    1.0
+                };
+                (h.evac_count, h.lost)
+            }
+            None => (vec![0; n], vec![false; n]),
+        };
         let window = (cfg.epoch - cfg.epoch / 5).as_secs_f64();
         let mut jobs = Vec::with_capacity(stats.len());
         let mut hp_latency = LatencyRecorder::new();
@@ -911,8 +1444,10 @@ impl FleetSim {
                     hp_latency.record(s);
                 }
             }
-            // Jobs that never ran an epoch miss their SLO by definition.
+            // Jobs that never ran an epoch miss their SLO by definition, as
+            // do jobs the control plane shed under degraded capacity.
             let slo_met = st.resident_epochs > 0
+                && !lost[id]
                 && if hp {
                     st.completed > 0 && p99 <= dref.p99.mul_f64(cfg.slo_latency_factor)
                 } else {
@@ -930,6 +1465,8 @@ impl FleetSim {
                 slo_met,
                 moves: st.moves,
                 ever_placed: st.ever_placed,
+                evacuations: u64::from(evac_count[id]),
+                lost: lost[id],
             });
         }
         let hp_jobs = jobs.iter().filter(|j| j.hp).count();
@@ -957,6 +1494,8 @@ impl FleetSim {
             episode_errors,
             oversized_rejected,
             never_placed,
+            robustness: robust,
+            episode_failures,
             jobs,
         }
     }
@@ -988,6 +1527,11 @@ pub struct FleetJobResult {
     pub moves: u64,
     /// The job was placed at least once.
     pub ever_placed: bool,
+    /// Times the job was evacuated off a dead/faulted GPU (0 fault-free).
+    pub evacuations: u64,
+    /// The control plane shed this job (evacuation budget exhausted); its
+    /// SLO counts as missed. Never true without a fleet fault plan.
+    pub lost: bool,
 }
 
 /// Fleet-level outcome.
@@ -1022,6 +1566,11 @@ pub struct FleetReport {
     pub oversized_rejected: u64,
     /// Jobs that were never placed before departing.
     pub never_placed: usize,
+    /// Fleet-level fault-and-recovery roll-up (all defaults fault-free).
+    pub robustness: FleetRobustnessReport,
+    /// Formatted context of failed episodes, capped at
+    /// `MAX_EPISODE_FAILURES` entries (`episode_errors` keeps the total).
+    pub episode_failures: Vec<String>,
     /// Per-job results, in job-id order.
     pub jobs: Vec<FleetJobResult>,
 }
@@ -1272,6 +1821,119 @@ mod tests {
         let r = run_fleet_serial(trace, cfg).unwrap();
         assert_eq!(r.episode_errors, 0);
         assert!(r.jobs.iter().any(|j| j.completed > 0));
+    }
+
+    #[test]
+    fn fleet_fate_rolls_are_pure_and_mixed() {
+        let plan = FleetFaultPlan {
+            transient_rate: 0.3,
+            dead_rate: 0.1,
+            ..FleetFaultPlan::new(5)
+        };
+        let mut dead = 0;
+        let mut transient = 0;
+        for gpu in 0..64 {
+            for epoch in 0..8 {
+                let fate = plan.fate(gpu, epoch);
+                assert_eq!(fate, plan.fate(gpu, epoch), "fate must be pure");
+                match fate {
+                    GpuFate::Dead => dead += 1,
+                    GpuFate::Transient => transient += 1,
+                    GpuFate::Healthy => {}
+                }
+            }
+        }
+        // 512 cells at 10%/30%: both outcomes must actually occur, and
+        // healthy must dominate.
+        assert!(dead > 0 && transient > 0);
+        assert!(dead + transient < 512 / 2);
+        // A different seed decides different cells.
+        let other = FleetFaultPlan {
+            transient_rate: 0.3,
+            dead_rate: 0.1,
+            ..FleetFaultPlan::new(6)
+        };
+        assert!(
+            (0..64).any(|g| (0..8).any(|e| plan.fate(g, e) != other.fate(g, e))),
+            "seed must matter"
+        );
+    }
+
+    /// Satellite regression (PR 9): per-episode robustness counters used to
+    /// be dropped at the fleet boundary. Arm episode-level faults with NO
+    /// fleet fault plan and require the counters to surface in the report.
+    #[test]
+    fn episode_robustness_rolls_up_without_fleet_plan() {
+        let mut cfg = tiny_fleet_cfg();
+        cfg.rc.faults = FaultConfig::none().with_rates(orion_gpu::fault::FaultRates {
+            kernel_fault: 0.05,
+            ..Default::default()
+        });
+        let trace = tiny_trace(&cfg);
+        let r = run_fleet_serial(trace, cfg).unwrap();
+        assert!(
+            r.robustness.episodes.any(),
+            "episode fault counters must reach the fleet report"
+        );
+        assert!(r.robustness.episodes.device_faults > 0);
+        // No fleet plan: none of the fleet-level machinery may fire.
+        assert_eq!(r.robustness.gpus_dead, 0);
+        assert_eq!(r.robustness.evacuations, 0);
+        assert_eq!(r.robustness.quarantines, 0);
+        assert!(r.jobs.iter().all(|j| !j.lost && j.evacuations == 0));
+    }
+
+    #[test]
+    fn fleet_chaos_evacuates_recovers_and_replays() {
+        let mut cfg = tiny_fleet_cfg();
+        cfg.epochs = 6;
+        // Aggressive plan so 4 GPUs x 6 epochs reliably exercise death,
+        // quarantine, and evacuation.
+        cfg.faults = Some(FleetFaultPlan {
+            transient_rate: 0.35,
+            dead_rate: 0.15,
+            episode_rates: orion_gpu::fault::FaultRates {
+                kernel_fault: 0.05,
+                ..Default::default()
+            },
+            ..FleetFaultPlan::new(13)
+        });
+        let trace = tiny_trace(&cfg);
+        let r = run_fleet_serial(trace, cfg.clone()).unwrap();
+        let ro = &r.robustness;
+        assert!(ro.any(), "chaos run must report robustness");
+        assert!(ro.chaos_episodes > 0 || ro.gpus_dead > 0, "chaos must fire");
+        assert!(ro.evacuations > 0, "failed devices must evacuate residents");
+        assert!(ro.availability > 0.0 && ro.availability < 1.0);
+        assert_eq!(
+            r.jobs.iter().map(|j| j.evacuations).sum::<u64>(),
+            ro.evacuations,
+            "per-job evacuation counts must sum to the fleet counter"
+        );
+        assert!(
+            ro.max_epochs_to_recovery <= cfg.epochs as u64,
+            "recovery must be bounded"
+        );
+        // Shed jobs (if any) are SLO misses with CapacityExhausted context.
+        for rej in &ro.rejections {
+            assert!(rej.reason.contains("evacuation budget exhausted"));
+            assert!(r.jobs[rej.job].lost);
+            assert!(!r.jobs[rej.job].slo_met);
+        }
+        // Chaos replays byte-identically: same trace + config, same digest
+        // and same robustness roll-up.
+        let r2 = run_fleet_serial(tiny_trace(&cfg), cfg).unwrap();
+        assert_eq!(r.jobs_digest(), r2.jobs_digest());
+        assert_eq!(*ro, r2.robustness);
+    }
+
+    #[test]
+    fn fleet_fault_free_has_default_robustness() {
+        let cfg = tiny_fleet_cfg();
+        let r = run_fleet_serial(tiny_trace(&cfg), cfg).unwrap();
+        assert!(!r.robustness.any(), "fault-free must construct nothing");
+        assert!(r.episode_failures.is_empty());
+        assert!(r.jobs.iter().all(|j| !j.lost && j.evacuations == 0));
     }
 
     #[test]

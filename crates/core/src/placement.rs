@@ -55,8 +55,9 @@ pub fn demand_from_profiles(table: &ProfileTable) -> Option<(f64, f64)> {
     let mut c = 0.0;
     let mut m = 0.0;
     let mut t = 0.0;
-    for id in ids {
-        let k = table.get(id).expect("id came from the table");
+    // `sorted_ids` and `get` come from the same table, so every lookup
+    // should hit; tolerate a miss anyway rather than panicking mid-fleet.
+    for k in ids.into_iter().filter_map(|id| table.get(id)) {
         let d = k.duration.as_secs_f64();
         c += d * k.compute_util;
         m += d * k.mem_util;
@@ -176,6 +177,9 @@ struct GpuSlot {
     free_mem: u64,
     residents: Vec<usize>,
     hp: Option<usize>,
+    /// Offline (dead or quarantined) GPUs accept no placements. Residents
+    /// are evacuated by the fleet control plane, not by the placer.
+    offline: bool,
 }
 
 /// Incremental k-way packer over a fixed fleet of identical GPUs.
@@ -207,6 +211,7 @@ impl FleetPlacer {
                     free_mem: gpu_memory,
                     residents: Vec::new(),
                     hp: None,
+                    offline: false,
                 };
                 gpus
             ],
@@ -215,7 +220,8 @@ impl FleetPlacer {
     }
 
     fn fits(&self, slot: &GpuSlot, job: &PackJob) -> bool {
-        slot.free_mem >= job.mem
+        !slot.offline
+            && slot.free_mem >= job.mem
             && slot.residents.len() < self.max_jobs
             && !(job.hp && slot.hp.is_some())
     }
@@ -281,7 +287,8 @@ impl FleetPlacer {
         assert!(!self.placed.contains_key(&id), "job {id} already placed");
         let slot = &mut self.gpus[gpu];
         assert!(
-            slot.free_mem >= job.mem
+            !slot.offline
+                && slot.free_mem >= job.mem
                 && slot.residents.len() < self.max_jobs
                 && !(job.hp && slot.hp.is_some()),
             "job {id} does not fit on gpu {gpu}"
@@ -346,6 +353,28 @@ impl FleetPlacer {
     /// Number of GPUs in the fleet.
     pub fn gpus(&self) -> usize {
         self.gpus.len()
+    }
+
+    /// Marks a GPU offline (dead or quarantined) or back online. Offline
+    /// GPUs accept no placements; existing residents stay until the fleet
+    /// control plane evacuates them with [`FleetPlacer::remove`].
+    pub fn set_offline(&mut self, gpu: usize, offline: bool) {
+        self.gpus[gpu].offline = offline;
+    }
+
+    /// True when the GPU is currently offline.
+    pub fn is_offline(&self, gpu: usize) -> bool {
+        self.gpus[gpu].offline
+    }
+
+    /// Number of GPUs currently accepting placements.
+    pub fn live_gpus(&self) -> usize {
+        self.gpus.iter().filter(|g| !g.offline).count()
+    }
+
+    /// Free memory on a GPU, in bytes.
+    pub fn free_mem(&self, gpu: usize) -> u64 {
+        self.gpus[gpu].free_mem
     }
 }
 
@@ -569,5 +598,33 @@ mod tests {
         let mut full = FleetPlacer::new(1, 16 * gib, 1);
         full.force_place(0, job(false), 0);
         assert_eq!(full.try_place(1, job(false), None), None);
+    }
+
+    #[test]
+    fn offline_gpus_accept_no_placements() {
+        let gib = 1u64 << 30;
+        let job = PackJob {
+            mem: 4 * gib,
+            demand: (0.6, 0.4),
+            hp: false,
+        };
+        let mut placer = FleetPlacer::new(2, 16 * gib, 4);
+        placer.set_offline(0, true);
+        assert!(placer.is_offline(0));
+        assert_eq!(placer.live_gpus(), 1);
+        // The packer must route around the offline device.
+        assert_eq!(placer.try_place(0, job, None), Some(1));
+        placer.set_offline(1, true);
+        assert_eq!(placer.live_gpus(), 0);
+        assert_eq!(placer.try_place(1, job, None), None);
+        // Residents on a newly-offline GPU remain until evacuated, and the
+        // ledger round-trips through remove().
+        assert_eq!(placer.residents(1), &[0]);
+        assert_eq!(placer.free_mem(1), 12 * gib);
+        assert_eq!(placer.remove(0), 1);
+        assert_eq!(placer.free_mem(1), 16 * gib);
+        // Back online, placements resume.
+        placer.set_offline(1, false);
+        assert_eq!(placer.try_place(2, job, None), Some(1));
     }
 }

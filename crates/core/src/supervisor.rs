@@ -181,6 +181,26 @@ impl RobustnessReport {
     pub fn any(&self) -> bool {
         *self != RobustnessReport::default()
     }
+
+    /// Field-wise accumulation: folds another run's counters into this one.
+    /// The fleet control plane rolls every episode's report up into a single
+    /// fleet-level [`RobustnessReport`] with this.
+    pub fn merge(&mut self, other: &RobustnessReport) {
+        self.device_faults += other.device_faults;
+        self.device_resets += other.device_resets;
+        self.op_faults += other.op_faults;
+        self.ops_aborted += other.ops_aborted;
+        self.resubmitted_ops += other.resubmitted_ops;
+        self.retries += other.retries;
+        self.quarantines += other.quarantines;
+        self.readmissions += other.readmissions;
+        self.shed_requests += other.shed_requests;
+        self.client_crashes += other.client_crashes;
+        self.client_hangs += other.client_hangs;
+        self.slow_polls += other.slow_polls;
+        self.watchdog_stalls += other.watchdog_stalls;
+        self.unknown_kernel_ops += other.unknown_kernel_ops;
+    }
 }
 
 /// Mutable supervisor state inside a running world: per-client quarantine
@@ -287,6 +307,104 @@ mod tests {
         assert!(!r.any());
         r.unknown_kernel_ops = 1;
         assert!(r.any());
+    }
+
+    #[test]
+    fn report_merge_accumulates_every_counter() {
+        let mut a = RobustnessReport::default();
+        let b = RobustnessReport {
+            device_faults: 1,
+            device_resets: 2,
+            op_faults: 3,
+            ops_aborted: 4,
+            resubmitted_ops: 5,
+            retries: 6,
+            quarantines: 7,
+            readmissions: 8,
+            shed_requests: 9,
+            client_crashes: 10,
+            client_hangs: 11,
+            slow_polls: 12,
+            watchdog_stalls: 13,
+            unknown_kernel_ops: 14,
+        };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.device_faults, 2);
+        assert_eq!(a.unknown_kernel_ops, 28);
+        assert_eq!(a.shed_requests, 18);
+        let mut zero = RobustnessReport::default();
+        zero.merge(&RobustnessReport::default());
+        assert!(!zero.any(), "merging zeros stays zero");
+    }
+
+    /// Property (randomized over base/max/strike count): the backoff sequence
+    /// is monotone non-decreasing, never exceeds `backoff_max`, and never
+    /// panics on overflow — even at strike counts far past the doubling range
+    /// (SimTime multiplication saturates, and the shift exponent is clamped).
+    #[test]
+    fn prop_backoff_monotone_capped_no_overflow() {
+        use orion_desim::rng::{cell_seed, DetRng};
+        for case in 0..64u64 {
+            let mut rng = DetRng::new(cell_seed(0xBAC0FF, case));
+            // Bases up to ~18 s and occasionally enormous (near-saturating)
+            // values; max always >= base.
+            let base_ns = 1 + rng.uniform_u64(18_000_000_000);
+            let base = if case % 7 == 0 {
+                SimTime::from_secs(u64::MAX / 2_000_000_000) // ~9e9 s: forces saturation
+            } else {
+                SimTime::from_nanos(base_ns)
+            };
+            let max = base * (1 + rng.uniform_u64(1 << 12));
+            let cfg = SupervisorConfig {
+                backoff_base: base,
+                backoff_max: max,
+                ..SupervisorConfig::default()
+            };
+            let mut s = Supervisor::new(cfg, 1);
+            let strikes = 40 + rng.uniform_u64(200);
+            let mut prev = SimTime::ZERO;
+            for i in 0..strikes {
+                let d = s.next_backoff(0);
+                assert!(d >= prev, "case {case}: strike {i} shrank {prev:?} -> {d:?}");
+                assert!(d <= max, "case {case}: strike {i} exceeded cap");
+                assert!(d >= base.min(max), "case {case}: below base");
+                prev = d;
+            }
+            // Far past the doubling range the cap must have been reached.
+            assert_eq!(prev, max, "case {case}: cap never reached");
+        }
+    }
+
+    /// Property (randomized over budget): `try_retry` grants exactly
+    /// `max_retries` rounds per request, then refuses forever, and the report
+    /// counts exactly the granted rounds.
+    #[test]
+    fn prop_retry_budget_exhausts_exactly_at_bound() {
+        use orion_desim::rng::{cell_seed, DetRng};
+        for case in 0..64u64 {
+            let mut rng = DetRng::new(cell_seed(0x2E72, case));
+            let budget = rng.uniform_u64(12) as u32;
+            let cfg = SupervisorConfig {
+                max_retries: budget,
+                ..SupervisorConfig::default()
+            };
+            let mut s = Supervisor::new(cfg, 2);
+            let request = rng.uniform_u64(1 << 40);
+            let mut granted = 0u64;
+            for _ in 0..(budget as u64 + 5) {
+                if s.try_retry(1, request) {
+                    granted += 1;
+                }
+            }
+            assert_eq!(granted, budget as u64, "case {case}: wrong budget");
+            assert!(!s.try_retry(1, request), "case {case}: budget leaked");
+            assert_eq!(s.report.retries, granted, "case {case}: report drifted");
+            // Forgetting the request restores the full budget.
+            s.forget_request(1, request);
+            let regranted = (0..budget).filter(|_| s.try_retry(1, request)).count() as u32;
+            assert_eq!(regranted, budget, "case {case}: forget did not reset");
+        }
     }
 
     #[test]

@@ -152,6 +152,11 @@ pub struct RunResult {
     pub validation: Option<ValidationReport>,
     /// Fault-and-recovery accounting (all zeros for a fault-free run).
     pub robustness: RobustnessReport,
+    /// True when the device was still sticky-faulted at the horizon (the
+    /// run *ended* in a faulted state, as opposed to faults that were
+    /// recovered mid-run). The fleet control plane treats such a device as
+    /// unhealthy when triaging episode outcomes.
+    pub ended_faulted: bool,
     /// Online-profiler summary (when [`RunConfig::online`] enabled it).
     pub online: Option<OnlineReport>,
     /// Per-client profile tables as of the horizon (only populated when
@@ -1077,6 +1082,7 @@ pub fn run_collocation_with_profiles(
         window,
         validation,
         robustness,
+        ended_faulted: world.gpu.device_faulted(),
         online,
         learned,
     })

@@ -132,11 +132,21 @@ impl FaultPlan {
     }
 }
 
-/// Uniform draw in `[0, 1)` for one submit ordinal: a double application of
-/// splitmix64 (via [`cell_seed`]) keyed on `(seed, ordinal)`, mapped to the
-/// unit interval with the standard 53-bit mantissa trick.
+/// Uniform draw in `[0, 1)` for one cell of a fault schedule: a double
+/// application of splitmix64 (via [`cell_seed`]) keyed on `(seed, cell)`,
+/// mapped to the unit interval with the standard 53-bit mantissa trick.
+///
+/// Public so higher-level fault planes (the fleet's per-`(gpu, epoch)`
+/// failure rolls in `orion-core`) draw from the *same* keyed-uniform
+/// construction as the per-ordinal device rolls, keeping every chaos
+/// decision in the system a pure function of `(seed, cell index)`.
+pub fn unit_roll(seed: u64, cell: u64) -> f64 {
+    (cell_seed(seed, cell) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Internal alias: the per-submit-ordinal draw.
 fn roll(seed: u64, ordinal: u64) -> f64 {
-    (cell_seed(seed, ordinal) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    unit_roll(seed, ordinal)
 }
 
 /// Operation category for a fault decision, as seen by the injector.

@@ -35,8 +35,12 @@ echo "==> fleet control plane (ORION_FAST=1 smoke grid; churn + tie determinism 
 ORION_FAST=1 cargo test -q -p orion-bench --test smoke smoke_fleet
 ORION_FAST=1 cargo test -q -p orion-bench --test determinism -- fleet_churn_replay placement_ties
 
-echo "==> fleet scale (release, 128 GPUs / 1000 jobs with churn, byte-identical at 1/4/7 threads)"
-cargo test -q --release -p orion-bench --test determinism fleet_full_scale -- --ignored
+echo "==> fleet chaos (ORION_FAST=1: failure-domain smoke; chaos replay at 1/4/7 threads; fault-free golden digests pinned)"
+ORION_FAST=1 cargo test -q -p orion-bench --test smoke smoke_fleet_chaos
+ORION_FAST=1 cargo test -q -p orion-bench --test determinism -- fleet_chaos_replay fleet_fault_free_digests
+
+echo "==> fleet scale (release, 128 GPUs / 1000 jobs with churn + chaos arm, byte-identical at 1/4/7 threads)"
+cargo test -q --release -p orion-bench --test determinism full_scale -- --ignored
 
 echo "==> golden trace digest (oracle + fault injection compiled in but disabled: must be byte-identical)"
 cargo test -q -p orion-gpu --test golden_trace --test error_paths
