@@ -1,0 +1,6 @@
+//! Regenerates the LLM continuous-batching serving grid.
+use orion_bench::exp::llm_serving::{print, run};
+fn main() {
+    let cfg = orion_bench::exp::ExpConfig::from_env();
+    print(&mut run(&cfg));
+}

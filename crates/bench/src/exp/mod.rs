@@ -22,6 +22,7 @@ pub mod fig6_7;
 pub mod fig8_9;
 pub mod fleet;
 pub mod fleet_chaos;
+pub mod llm_serving;
 pub mod makespan;
 pub mod online;
 pub mod overhead;

@@ -5,7 +5,7 @@
 
 use std::fmt::Write as _;
 
-use orion_bench::exp::{fleet, fleet_chaos, ExpConfig};
+use orion_bench::exp::{fleet, fleet_chaos, llm_serving, ExpConfig};
 use orion_bench::runner::{Runner, Scenario};
 use orion_core::cluster::{
     dedicated_refs_serial, FleetConfig, FleetFaultPlan, FleetJob, FleetReport, FleetSim,
@@ -220,6 +220,36 @@ fn fleet_chaos_replay_is_identical_at_any_thread_count() {
     );
     assert_eq!(a, b, "1-thread vs 4-thread chaos fleet replay differs");
     assert_eq!(b, c, "4-thread vs 7-thread chaos fleet replay differs");
+}
+
+/// Serving arm: the fast llm_serving grid — six cells fanned across the
+/// runner, each a full continuous-batching DES with admission, eviction,
+/// and (in three cells) a collocated best-effort trainer — serialized to
+/// its JSONL lines. Every cell is a pure function of its config and seed,
+/// so the lines must be byte-identical at any thread count.
+fn llm_serving_lines(threads: usize) -> String {
+    let cfg = ExpConfig::fast();
+    let runner = Runner::new(threads).with_progress(false);
+    let mut cells =
+        llm_serving::run_llm_serving_on(&runner, &cfg).expect("serving grid runs");
+    cells
+        .iter_mut()
+        .map(|c| llm_serving::llm_serving_json(&cfg, c).to_compact())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn llm_serving_grid_is_identical_at_any_thread_count() {
+    let a = llm_serving_lines(1);
+    let b = llm_serving_lines(4);
+    let c = llm_serving_lines(7);
+    assert!(
+        a.contains("\"llm_serving\":"),
+        "llm_serving block missing from JSONL lines"
+    );
+    assert_eq!(a, b, "1-thread vs 4-thread serving grids differ");
+    assert_eq!(b, c, "4-thread vs 7-thread serving grids differ");
 }
 
 /// Golden fault-free digests: the fast-mode fleet grid's per-job digests,

@@ -288,3 +288,184 @@ fn smoke_fleet_chaos() {
     // Evacuees that recovered did so within the horizon.
     assert!((ro.max_epochs_to_recovery as usize) < chaos.report.epochs);
 }
+
+#[test]
+fn smoke_llm_serving() {
+    let mut cells = exp::llm_serving::run(&fast());
+    assert_eq!(cells.len(), 6, "serving grid covers the six cells");
+    let slo = orion_core::serving::SloConfig::interactive().per_token;
+
+    // Every cell did real serving work with sane bookkeeping.
+    for c in &mut cells {
+        let r = &mut c.report;
+        assert!(r.arrived > 0 && r.admitted > 0, "{}: no traffic", c.name);
+        assert!(r.completed > 0, "{}: nothing completed", c.name);
+        assert!(r.tokens_generated > 0 && r.tokens_per_sec > 0.0, "{}", c.name);
+        assert!(!r.ttft.is_empty() && !r.per_token.is_empty(), "{}", c.name);
+        // Ledger safety: the high-water mark never exceeds capacity and the
+        // KV peak stays inside the post-static budget.
+        assert!(r.ledger_high_water <= r.ledger_capacity, "{}", c.name);
+        assert!(r.kv_peak_bytes <= r.kv_budget_bytes, "{}", c.name);
+        // Request-flow invariants: every completion is a batch leave, no
+        // cell completes more than it admits, and terminal outcomes never
+        // outnumber arrivals.
+        assert_eq!(r.leaves, r.completed, "{}: leave/completion mismatch", c.name);
+        assert!(r.joins >= r.leaves, "{}: more leaves than joins", c.name);
+        assert!(r.completed <= r.admitted, "{}", c.name);
+        assert!(
+            r.completed + r.shed_queue + r.shed_oversized + r.dropped_evicted <= r.arrived,
+            "{}: terminal outcomes exceed arrivals",
+            c.name
+        );
+    }
+
+    // Continuous batching is observable: >= 2x tokens/sec over batch-1
+    // serial decode at <= 1.5x per-token p99, with mid-batch churn.
+    assert_eq!(cells[0].name, "serial");
+    let serial = &mut cells[0].report;
+    assert_eq!(serial.peak_batch, 1);
+    assert_eq!(serial.joins_mid + serial.leaves_mid, 0);
+    let (serial_tps, serial_p99) = (serial.tokens_per_sec, serial.per_token.p99());
+    assert_eq!(cells[1].name, "batched");
+    let batched = &mut cells[1].report;
+    assert!(
+        batched.tokens_per_sec >= 2.0 * serial_tps,
+        "batched {:.1} tok/s < 2x serial {:.1}",
+        batched.tokens_per_sec,
+        serial_tps
+    );
+    assert!(
+        batched.per_token.p99().as_nanos() as f64 <= 1.5 * serial_p99.as_nanos() as f64,
+        "batched per-token p99 {:?} > 1.5x serial {:?}",
+        batched.per_token.p99(),
+        serial_p99
+    );
+    assert!(batched.peak_batch >= 2, "batched cell never batched");
+    assert!(
+        batched.joins_mid > 0 && batched.leaves_mid > 0,
+        "no mid-batch joins/leaves"
+    );
+
+    // Orion-vs-baseline story: Orion holds the per-token SLO while
+    // sustaining the best SLO-compliant best-effort throughput (temporal
+    // starves the trainer; MPS is ungated and has no latency guarantee).
+    assert_eq!(cells[2].name, "orion");
+    let orion = &mut cells[2].report;
+    assert!(
+        orion.per_token.p99() <= slo,
+        "orion per-token p99 {:?} violates the {:?} SLO",
+        orion.per_token.p99(),
+        slo
+    );
+    let orion_be = orion.be_completed;
+    assert!(orion_be > 0, "orion starved the best-effort trainer");
+    let (orion_p99, orion_tps) = (orion.per_token.p99(), orion.tokens_per_sec);
+    assert_eq!(cells[3].name, "mps");
+    let mps = &mut cells[3].report;
+    let (mps_p99, mps_tps) = (mps.per_token.p99(), mps.tokens_per_sec);
+    assert_eq!(cells[4].name, "temporal");
+    let temporal_be = cells[4].report.be_completed;
+    assert!(
+        orion_be > temporal_be,
+        "orion BE {} does not beat temporal BE {}",
+        orion_be,
+        temporal_be
+    );
+    // Against ungated MPS, Orion strictly dominates the serving side:
+    // lower per-token tail AND higher token throughput. (The full-grid
+    // story — MPS pushed past the SLO — is asserted by the release-stage
+    // `llm_serving_full_grid_story` test; fast horizons are too short to
+    // pin MPS's tail above 30 ms reliably.)
+    assert!(
+        orion_p99 < mps_p99,
+        "orion per-token p99 {:?} not below MPS {:?}",
+        orion_p99,
+        mps_p99
+    );
+    assert!(
+        orion_tps > mps_tps,
+        "orion tok/s {:.1} not above MPS {:.1}",
+        orion_tps,
+        mps_tps
+    );
+
+    // KV pressure is real: the constrained cell gates/evicts, with zero
+    // ledger oversubscription (checked for every cell above).
+    let constrained = &cells[5].report;
+    assert_eq!(cells[5].name, "constrained");
+    assert!(
+        constrained.deferred_kv > 0,
+        "constrained cell never hit the KV watermark"
+    );
+    assert!(
+        constrained.evictions > 0,
+        "constrained cell never evicted under pressure"
+    );
+}
+
+/// Full-horizon acceptance story for the serving grid (release CI stage;
+/// `cargo test --release -- --ignored llm_serving_full_grid_story`).
+///
+/// At paper-default load MPS is pushed past the per-token SLO, so Orion's
+/// best-effort throughput is the best *SLO-compliant* one: temporal's is
+/// zero and MPS's doesn't count.
+#[test]
+#[ignore = "full-horizon grid (~minutes); run in the release CI stage"]
+fn llm_serving_full_grid_story() {
+    let mut cells = exp::llm_serving::run(&ExpConfig::full());
+    let slo = orion_core::serving::SloConfig::interactive().per_token;
+
+    assert_eq!(cells[0].name, "serial");
+    let serial = &mut cells[0].report;
+    let (serial_tps, serial_p99) = (serial.tokens_per_sec, serial.per_token.p99());
+    assert_eq!(cells[1].name, "batched");
+    let batched = &mut cells[1].report;
+    assert!(
+        batched.tokens_per_sec >= 2.0 * serial_tps,
+        "batched {:.1} tok/s < 2x serial {:.1}",
+        batched.tokens_per_sec,
+        serial_tps
+    );
+    assert!(
+        batched.per_token.p99().as_nanos() as f64 <= 1.5 * serial_p99.as_nanos() as f64,
+        "batched per-token p99 {:?} > 1.5x serial {:?}",
+        batched.per_token.p99(),
+        serial_p99
+    );
+    assert!(batched.joins_mid > 0 && batched.leaves_mid > 0);
+
+    assert_eq!(cells[2].name, "orion");
+    let orion = &mut cells[2].report;
+    assert!(
+        orion.per_token.p99() <= slo,
+        "orion per-token p99 {:?} violates the {:?} SLO",
+        orion.per_token.p99(),
+        slo
+    );
+    let orion_be = orion.be_completed;
+    assert!(orion_be > 0, "orion starved the best-effort trainer");
+    assert_eq!(cells[3].name, "mps");
+    let mps = &mut cells[3].report;
+    // MPS either blows the SLO under full load (its BE lead is not
+    // SLO-compliant) or Orion matches its best-effort throughput outright.
+    assert!(
+        mps.per_token.p99() > slo || orion_be >= mps.be_completed,
+        "MPS met the SLO ({:?}) while beating orion on BE ({} vs {})",
+        mps.per_token.p99(),
+        mps.be_completed,
+        orion_be
+    );
+    assert_eq!(cells[4].name, "temporal");
+    let temporal_be = cells[4].report.be_completed;
+    assert!(
+        orion_be > temporal_be,
+        "orion BE {} does not beat temporal BE {}",
+        orion_be,
+        temporal_be
+    );
+
+    let constrained = &cells[5].report;
+    assert_eq!(cells[5].name, "constrained");
+    assert!(constrained.deferred_kv > 0 && constrained.evictions > 0);
+    assert!(constrained.ledger_high_water <= constrained.ledger_capacity);
+}

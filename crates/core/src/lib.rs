@@ -61,6 +61,7 @@ pub mod online;
 pub mod placement;
 pub mod policy;
 pub mod runtime;
+pub mod serving;
 pub mod supervisor;
 pub mod tuning;
 pub mod validate;
@@ -75,6 +76,10 @@ pub mod prelude {
     };
     pub use crate::online::{OnlineConfig, OnlineReport};
     pub use crate::policy::{OrionConfig, PolicyKind};
+    pub use crate::serving::{
+        run_serving, AdmissionConfig, ServingConfig, ServingError, ServingPolicy, ServingReport,
+        SloConfig,
+    };
     pub use crate::supervisor::{
         ClientFault, ClientFaultKind, FaultConfig, RobustnessReport, SupervisorConfig,
     };

@@ -1,0 +1,462 @@
+//! LLM continuous-batching serving subsystem (DESIGN.md §17).
+//!
+//! The paper's §7 discussion flags LLM token generation as the ideal Orion
+//! collocation candidate: memory-bound decode underutilizes SMs. This module
+//! closes the gap between that observation and the grids by running an
+//! open-loop request stream through a real serving state machine:
+//!
+//! - Each request is **prefilled** (one compute-bound, prompt-length-scaled
+//!   pass, `llm_prefill`) and then joins a **running decode batch**: every
+//!   decode step produces one token for every member
+//!   (`llm_batched_decode_step`), and requests join and leave the batch at
+//!   token boundaries — continuous batching in the Orca/vLLM sense.
+//! - Each request's **KV cache is a live allocation** in the gpu-sim
+//!   [`MemoryLedger`](orion_gpu::memory::MemoryLedger): allocated at
+//!   admission (prompt tokens), grown one token per decode step, freed at
+//!   completion or eviction. Memory pressure is therefore real: the ledger
+//!   refuses oversubscription and the serving loop must evict.
+//! - An **SLO-aware admission controller** gates new prefills on projected
+//!   KV headroom (watermark over the post-static budget) and per-token
+//!   deadline risk (predicted step time at `batch+1` against the per-token
+//!   SLO), sheds queue-stale and oversized requests, and evicts by priority
+//!   (batch-class before interactive, youngest first) when growth hits the
+//!   ledger wall.
+//! - A **serving-aware policy gate** ([`ServingPolicy`]) decides when a
+//!   collocated best-effort training client's ops reach the device:
+//!   `Temporal` waits for serving idleness, `Mps` submits eagerly, and
+//!   `Orion` admits complement-profile kernels under an outstanding-duration
+//!   budget while same-profile/unknown kernels get a small per-step duty
+//!   quota — the serving adaptation of the paper's Listing 1.
+//!
+//! The subsystem is opt-in: nothing here runs unless `run_serving` is
+//! called, so every existing grid and pinned digest is untouched.
+
+mod admission;
+mod request;
+mod world;
+
+pub use admission::AdmissionConfig;
+pub use request::{generate_requests, RequestSpec};
+
+use orion_desim::time::SimTime;
+use orion_gpu::error::GpuError;
+use orion_gpu::spec::GpuSpec;
+use orion_gpu::util::UtilSummary;
+use orion_metrics::LatencyRecorder;
+
+use crate::client::ClientSpec;
+
+/// Latency objectives of the serving system.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Target time-to-first-token. Queued requests are shed once their wait
+    /// exceeds [`AdmissionConfig::max_queue_wait`] (reported against this).
+    pub ttft: SimTime,
+    /// Per-token (decode-step service time) objective; the admission
+    /// controller's deadline-risk gate refuses joins whose predicted step
+    /// time would exceed `slo_margin × per_token`.
+    pub per_token: SimTime,
+}
+
+impl SloConfig {
+    /// Interactive-serving defaults: 300 ms TTFT, 30 ms per token.
+    pub fn interactive() -> Self {
+        SloConfig {
+            ttft: SimTime::from_millis(300),
+            per_token: SimTime::from_millis(30),
+        }
+    }
+}
+
+/// How a collocated best-effort client's ops are gated against the serving
+/// stream (the serving analogue of the collocation `PolicyKind`).
+#[derive(Debug, Clone)]
+pub enum ServingPolicy {
+    /// Best-effort ops are submitted only while no serving step is in
+    /// flight (hard temporal sharing; at serving saturation BE starves).
+    Temporal,
+    /// Best-effort ops are submitted as soon as the client emits them
+    /// (spatial sharing with no interference awareness).
+    Mps,
+    /// Phase-aware Orion gate. During a decode step (memory-bound
+    /// bottleneck) compute-bound BE kernels are admitted while their
+    /// outstanding duration stays under `complement_budget`; during prefill
+    /// the complement is memory-bound. Same-profile and unknown kernels are
+    /// restricted to an `offpeak_duty` fraction of each step's predicted
+    /// duration, so the device's memory system is overcommitted only a
+    /// bounded slice of every step.
+    Orion {
+        /// Outstanding-duration cap for complement-profile BE kernels.
+        complement_budget: SimTime,
+        /// Fraction of each serving step usable by same-profile/unknown
+        /// BE kernels.
+        offpeak_duty: f64,
+    },
+}
+
+impl ServingPolicy {
+    /// The default Orion serving gate, tuned so the default collocation
+    /// grid holds the per-token SLO with ~1.5 ms of p99 headroom while the
+    /// best-effort client keeps ≈75% of its ungated (MPS) throughput.
+    pub fn orion_default() -> Self {
+        ServingPolicy::Orion {
+            complement_budget: SimTime::from_millis(10),
+            offpeak_duty: 0.35,
+        }
+    }
+
+    /// Short label for tables and JSONL.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServingPolicy::Temporal => "temporal",
+            ServingPolicy::Mps => "mps",
+            ServingPolicy::Orion { .. } => "orion",
+        }
+    }
+}
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// Device to serve on.
+    pub spec: GpuSpec,
+    /// Simulated duration.
+    pub horizon: SimTime,
+    /// Leading window excluded from statistics.
+    pub warmup: SimTime,
+    /// Seed for arrivals and request shapes.
+    pub seed: u64,
+    /// Open-loop Poisson request rate.
+    pub rps: f64,
+    /// Inclusive uniform range of prompt lengths (tokens).
+    pub prompt_tokens: (u32, u32),
+    /// Inclusive uniform range of output lengths (tokens).
+    pub output_tokens: (u32, u32),
+    /// Fraction of requests in the interactive (higher-priority) class;
+    /// the rest are batch-class and are evicted first under pressure.
+    pub interactive_fraction: f64,
+    /// Hard cap on concurrent requests (running + prefilling).
+    pub max_batch: u32,
+    /// Latency objectives.
+    pub slo: SloConfig,
+    /// Admission/eviction tuning.
+    pub admission: AdmissionConfig,
+    /// Best-effort gating policy.
+    pub policy: ServingPolicy,
+    /// Collocated best-effort training client, if any.
+    pub be: Option<ClientSpec>,
+}
+
+impl ServingConfig {
+    /// Baseline serving configuration on a V100: 12 s horizon, 2 s warmup,
+    /// interactive SLOs, no collocation.
+    pub fn paper_default() -> Self {
+        ServingConfig {
+            spec: GpuSpec::v100_16gb(),
+            horizon: SimTime::from_secs(12),
+            warmup: SimTime::from_secs(2),
+            seed: 42,
+            rps: 1.8,
+            prompt_tokens: (64, 320),
+            output_tokens: (32, 160),
+            interactive_fraction: 0.7,
+            max_batch: 8,
+            slo: SloConfig::interactive(),
+            admission: AdmissionConfig::default(),
+            policy: ServingPolicy::orion_default(),
+            be: None,
+        }
+    }
+
+    /// Abbreviated configuration for tests/`ORION_FAST`: 4 s horizon with a
+    /// denser stream of shorter requests so batching, gating, and eviction
+    /// all fire within the window. The batch cap is one notch tighter than
+    /// the full config because shorter contexts shrink the serial baseline's
+    /// step time, which would otherwise let the batched-vs-serial per-token
+    /// ratio creep past the documented 1.5x bound.
+    pub fn quick_test() -> Self {
+        ServingConfig {
+            horizon: SimTime::from_secs(4),
+            warmup: SimTime::from_millis(800),
+            rps: 3.0,
+            prompt_tokens: (48, 192),
+            output_tokens: (24, 96),
+            max_batch: 6,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the gating policy.
+    pub fn with_policy(mut self, policy: ServingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a collocated best-effort client.
+    pub fn with_be(mut self, be: ClientSpec) -> Self {
+        self.be = Some(be);
+        self
+    }
+
+    fn validate(&self) -> Result<(), ServingError> {
+        if !(self.rps.is_finite() && self.rps > 0.0) {
+            return Err(ServingError::InvalidConfig("rps must be positive and finite"));
+        }
+        if self.max_batch == 0 {
+            return Err(ServingError::InvalidConfig("max_batch must be at least 1"));
+        }
+        if self.horizon <= self.warmup {
+            return Err(ServingError::InvalidConfig("horizon must exceed warmup"));
+        }
+        if self.prompt_tokens.0 == 0 || self.prompt_tokens.0 > self.prompt_tokens.1 {
+            return Err(ServingError::InvalidConfig("prompt token range is empty"));
+        }
+        if self.output_tokens.0 == 0 || self.output_tokens.0 > self.output_tokens.1 {
+            return Err(ServingError::InvalidConfig("output token range is empty"));
+        }
+        if !(0.0..=1.0).contains(&self.interactive_fraction) {
+            return Err(ServingError::InvalidConfig("interactive_fraction outside [0, 1]"));
+        }
+        self.admission.validate()?;
+        if let ServingPolicy::Orion { offpeak_duty, .. } = self.policy {
+            if !(0.0..=1.0).contains(&offpeak_duty) {
+                return Err(ServingError::InvalidConfig("offpeak_duty outside [0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Typed failures of the serving subsystem. Admission and eviction never
+/// panic: impossible configurations surface here, and per-request pressure
+/// is handled by shed/evict counters instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServingError {
+    /// A configuration parameter is out of range.
+    InvalidConfig(&'static str),
+    /// The model weights (plus any collocated client's footprint) do not fit
+    /// on the device, so the system cannot start.
+    ModelDoesNotFit {
+        /// Static bytes required before any KV cache.
+        needed: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+    /// The post-static KV budget cannot hold even the smallest possible
+    /// request, so no request could ever be admitted.
+    KvExhausted {
+        /// Bytes the smallest request needs (prompt + first token).
+        needed: u64,
+        /// KV bytes actually available.
+        available: u64,
+    },
+    /// The underlying device simulation failed.
+    Gpu(GpuError),
+}
+
+impl std::fmt::Display for ServingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServingError::InvalidConfig(what) => write!(f, "invalid serving config: {what}"),
+            ServingError::ModelDoesNotFit { needed, capacity } => write!(
+                f,
+                "model state ({needed} B) does not fit device capacity ({capacity} B)"
+            ),
+            ServingError::KvExhausted { needed, available } => write!(
+                f,
+                "KV budget exhausted: smallest request needs {needed} B, {available} B available"
+            ),
+            ServingError::Gpu(e) => write!(f, "gpu error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+impl From<GpuError> for ServingError {
+    fn from(e: GpuError) -> Self {
+        ServingError::Gpu(e)
+    }
+}
+
+/// Outcome of a serving run. Latency statistics exclude the warmup window.
+#[derive(Debug)]
+pub struct ServingReport {
+    /// Gating policy label.
+    pub policy: &'static str,
+    /// Requests that arrived within the horizon.
+    pub arrived: u64,
+    /// Requests admitted (KV allocated, prefill scheduled) at least once.
+    pub admitted: u64,
+    /// Requests that produced their full output.
+    pub completed: u64,
+    /// Requests shed because their queue wait exceeded the admission cap.
+    pub shed_queue: u64,
+    /// Requests shed because their minimal KV footprint exceeds the budget.
+    pub shed_oversized: u64,
+    /// Requests dropped after exhausting their eviction/retry budget.
+    pub dropped_evicted: u64,
+    /// KV evictions performed under memory pressure.
+    pub evictions: u64,
+    /// Admission deferrals: projected KV above the watermark.
+    pub deferred_kv: u64,
+    /// Admission deferrals: predicted step time above the SLO margin.
+    pub deferred_slo: u64,
+    /// Admission deferrals: batch already at `max_batch`.
+    pub deferred_batch: u64,
+    /// Requests that joined the decode batch.
+    pub joins: u64,
+    /// Joins that happened while other requests were already decoding.
+    pub joins_mid: u64,
+    /// Requests that left the batch on completion.
+    pub leaves: u64,
+    /// Leaves that happened while other requests kept decoding.
+    pub leaves_mid: u64,
+    /// Decode steps executed.
+    pub decode_steps: u64,
+    /// Prefill passes executed.
+    pub prefill_steps: u64,
+    /// Largest decode batch observed.
+    pub peak_batch: u32,
+    /// Mean decode batch size over all decode steps.
+    pub mean_batch: f64,
+    /// Tokens generated within the measurement window.
+    pub tokens_generated: u64,
+    /// Tokens per second over the measurement window.
+    pub tokens_per_sec: f64,
+    /// Time to first token (arrival → end of prefill).
+    pub ttft: LatencyRecorder,
+    /// Decode-step service time per generated token. This isolates GPU
+    /// interference: scheduling gaps (a prefill inserted between steps)
+    /// land in `itl` and TTFT instead.
+    pub per_token: LatencyRecorder,
+    /// Inter-token gap as a reader would see it (includes prefill
+    /// insertions between a request's tokens).
+    pub itl: LatencyRecorder,
+    /// End-to-end request latency (arrival → last token).
+    pub e2e: LatencyRecorder,
+    /// Peak KV bytes live at once.
+    pub kv_peak_bytes: u64,
+    /// KV budget (device capacity minus static allocations).
+    pub kv_budget_bytes: u64,
+    /// Ledger high-water mark (static + KV) — never exceeds capacity.
+    pub ledger_high_water: u64,
+    /// Device capacity.
+    pub ledger_capacity: u64,
+    /// Best-effort iterations completed in the window.
+    pub be_completed: u64,
+    /// Best-effort iterations per second over the window.
+    pub be_tput: f64,
+    /// Device utilization averages.
+    pub utilization: UtilSummary,
+    /// Measurement window length.
+    pub window: SimTime,
+}
+
+/// Runs one serving experiment.
+///
+/// # Errors
+///
+/// [`ServingError::InvalidConfig`] for out-of-range parameters,
+/// [`ServingError::ModelDoesNotFit`] when weights + collocated footprints
+/// exceed device capacity, [`ServingError::KvExhausted`] when the KV budget
+/// cannot hold even the smallest request, and [`ServingError::Gpu`] for
+/// device-simulation failures.
+pub fn run_serving(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
+    cfg.validate()?;
+    world::run(cfg)
+}
+
+// The bench runner fans serving cells across threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<ServingConfig>();
+    assert_sync::<ServingConfig>();
+    assert_send::<ServingReport>();
+    assert_send::<ServingError>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_config_variants_are_exact() {
+        let mut cfg = ServingConfig::quick_test();
+        cfg.rps = 0.0;
+        assert!(matches!(
+            run_serving(&cfg),
+            Err(ServingError::InvalidConfig("rps must be positive and finite"))
+        ));
+
+        let mut cfg = ServingConfig::quick_test();
+        cfg.max_batch = 0;
+        assert!(matches!(
+            run_serving(&cfg),
+            Err(ServingError::InvalidConfig("max_batch must be at least 1"))
+        ));
+
+        let mut cfg = ServingConfig::quick_test();
+        cfg.warmup = cfg.horizon;
+        assert!(matches!(
+            run_serving(&cfg),
+            Err(ServingError::InvalidConfig("horizon must exceed warmup"))
+        ));
+
+        let mut cfg = ServingConfig::quick_test();
+        cfg.prompt_tokens = (0, 8);
+        assert!(matches!(
+            run_serving(&cfg),
+            Err(ServingError::InvalidConfig("prompt token range is empty"))
+        ));
+    }
+
+    #[test]
+    fn model_does_not_fit_is_exact() {
+        let mut cfg = ServingConfig::quick_test();
+        cfg.spec.memory_capacity = 1 << 30; // 1 GiB < 6.75 GiB of weights
+        match run_serving(&cfg) {
+            Err(ServingError::ModelDoesNotFit { needed, capacity }) => {
+                assert_eq!(capacity, 1 << 30);
+                assert!(needed > capacity);
+            }
+            other => panic!("expected ModelDoesNotFit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kv_exhausted_is_exact() {
+        use orion_workloads::models::llm::{kv_cache_bytes, llm_weight_bytes};
+        let mut cfg = ServingConfig::quick_test();
+        // Weights fit with a sliver of KV headroom too small for the
+        // smallest admissible request (prompt_min + 1 tokens).
+        cfg.spec.memory_capacity =
+            llm_weight_bytes() + kv_cache_bytes(cfg.prompt_tokens.0 + 1) - 1;
+        match run_serving(&cfg) {
+            Err(ServingError::KvExhausted { needed, available }) => {
+                assert_eq!(needed, kv_cache_bytes(cfg.prompt_tokens.0 + 1));
+                assert_eq!(available, needed - 1);
+            }
+            other => panic!("expected KvExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gpu_error_conversion_and_display() {
+        let e: ServingError = GpuError::UnknownAllocation(7).into();
+        assert!(matches!(e, ServingError::Gpu(GpuError::UnknownAllocation(7))));
+        assert!(e.to_string().contains("gpu error"));
+        let e = ServingError::KvExhausted {
+            needed: 10,
+            available: 3,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,904 @@
+//! The serving event loop: a continuous-batching state machine over the
+//! gpu-sim device, with KV-cache memory pressure and a policy-gated
+//! best-effort client.
+//!
+//! One serving **step** is in flight at a time: either a prefill pass for
+//! one admitted request or a batched decode step for every running request.
+//! At each step boundary the admission controller runs, completed requests
+//! leave, and newly prefilled requests join — continuous batching. The
+//! collocated best-effort client's ops are gated per [`ServingPolicy`] and
+//! run on a lower-priority stream, so the engine's interference model (SM
+//! partitioning, memory-bandwidth contention) shapes both sides.
+
+use std::collections::{HashMap, VecDeque};
+
+use orion_desim::prelude::*;
+use orion_gpu::engine::{Completion, GpuEngine, OpKind};
+use orion_gpu::error::GpuError;
+use orion_gpu::kernel::ResourceProfile;
+use orion_gpu::stream::{StreamId, StreamPriority};
+use orion_metrics::LatencyRecorder;
+use orion_profiler::profile_workload;
+use orion_workloads::models::llm::{
+    kv_cache_bytes, llm_batched_decode_step, llm_prefill, llm_weight_bytes,
+    LLM_KV_BYTES_PER_TOKEN,
+};
+use orion_workloads::{OpSpec, Workload};
+
+use super::admission::{choose_victim, ctx_bucket, StepTimePredictor};
+use super::request::{generate_requests, ReqState, Request};
+use super::{ServingConfig, ServingError, ServingPolicy, ServingReport};
+use crate::client::ClientState;
+
+/// Events driving the serving world.
+enum Ev {
+    /// A serving request arrives (index into the request table).
+    Arrival { idx: usize },
+    /// The best-effort client's launch thread emits its next op.
+    BePush,
+    /// The best-effort client's next closed-loop iteration may start.
+    BeStart,
+    /// The device has something to report at this time.
+    GpuWake { token: u64 },
+}
+
+/// What the in-flight serving step is doing.
+enum StepKind {
+    /// Prefill pass for one admitted request.
+    Prefill { req: usize },
+    /// Batched decode step over a snapshot of the running batch.
+    Decode { members: Vec<usize> },
+}
+
+/// The serving step currently occupying the high-priority stream.
+struct StepInFlight {
+    kind: StepKind,
+    started: SimTime,
+    /// Predicted solo duration (the offpeak duty quota's denominator).
+    est: SimTime,
+}
+
+/// How a best-effort kernel was admitted (what to refund on completion).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum GateClass {
+    /// No step in flight / MPS / non-kernel op: no budget charged.
+    Free,
+    /// Complement-profile kernel under the outstanding-duration budget.
+    Complement,
+    /// Same-profile or unknown kernel under the per-step duty quota.
+    Offpeak,
+}
+
+/// Completion routing for submitted ops.
+enum Route {
+    /// Part of the in-flight serving step.
+    Serve,
+    /// A best-effort client op.
+    Be {
+        request_id: u64,
+        op_seq: u32,
+        last_of_request: bool,
+        class: GateClass,
+        expected: SimTime,
+    },
+}
+
+/// The collocated best-effort client.
+struct BeState {
+    client: ClientState,
+    launch_cost: SimTime,
+}
+
+/// Counters accumulated during the run (splatted into [`ServingReport`]).
+#[derive(Default)]
+struct Tally {
+    admitted: u64,
+    completed: u64,
+    shed_queue: u64,
+    shed_oversized: u64,
+    dropped_evicted: u64,
+    evictions: u64,
+    deferred_kv: u64,
+    deferred_slo: u64,
+    deferred_batch: u64,
+    joins: u64,
+    joins_mid: u64,
+    leaves: u64,
+    leaves_mid: u64,
+    decode_steps: u64,
+    prefill_steps: u64,
+    peak_batch: u32,
+    batch_sum: u64,
+    tokens_warm: u64,
+}
+
+struct ServingWorld {
+    gpu: GpuEngine,
+    cfg: ServingConfig,
+    serve_stream: StreamId,
+    be_stream: StreamId,
+    requests: Vec<Request>,
+    /// Admission queue (indices), arrival order; evictees re-enter at the
+    /// front so they regain their KV before newer arrivals take it.
+    queue: VecDeque<usize>,
+    /// Admitted requests whose prefill has not run yet.
+    prefill_q: VecDeque<usize>,
+    /// The running decode batch.
+    running: Vec<usize>,
+    step: Option<StepInFlight>,
+    /// Serving ops of the in-flight step still on the device.
+    step_ops: usize,
+    routes: HashMap<u64, Route>,
+    be: Option<BeState>,
+    /// Outstanding solo duration of admitted complement-profile BE kernels.
+    outstanding_complement: SimTime,
+    /// Same-profile/unknown BE duration charged against the current step.
+    offpeak_spent: SimTime,
+    predictor: StepTimePredictor,
+    kv_used: u64,
+    kv_peak: u64,
+    kv_budget: u64,
+    tally: Tally,
+    ttft: LatencyRecorder,
+    per_token: LatencyRecorder,
+    itl: LatencyRecorder,
+    e2e: LatencyRecorder,
+    wake_token: u64,
+    completion_buf: Vec<Completion>,
+    /// First unrecoverable error; the event loop goes inert once set.
+    fatal: Option<ServingError>,
+}
+
+impl ServingWorld {
+    fn arm_wake(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if let Some(t) = self.gpu.next_event_time() {
+            self.wake_token += 1;
+            let token = self.wake_token;
+            sched.schedule_at(t.max(now), Ev::GpuWake { token });
+        }
+    }
+
+    /// Advances the device and processes completions that occurred.
+    fn drain_gpu(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) -> Result<(), ServingError> {
+        self.gpu.advance_to(now);
+        let mut completions = std::mem::take(&mut self.completion_buf);
+        self.gpu.drain_completions_into(&mut completions);
+        let mut step_done = false;
+        let mut be_done = false;
+        for c in &completions {
+            match self.routes.remove(&c.op.0) {
+                Some(Route::Serve) => {
+                    self.step_ops -= 1;
+                    if self.step_ops == 0 {
+                        step_done = true;
+                    }
+                }
+                Some(Route::Be {
+                    request_id,
+                    op_seq,
+                    last_of_request,
+                    class,
+                    expected,
+                }) => {
+                    if class == GateClass::Complement {
+                        self.outstanding_complement = self
+                            .outstanding_complement
+                            .checked_sub(expected)
+                            .unwrap_or(SimTime::ZERO);
+                    }
+                    let Some(be) = self.be.as_mut() else { continue };
+                    let was_blocked = !be.client.can_push();
+                    let finished =
+                        be.client
+                            .on_op_complete(c.at, request_id, op_seq, last_of_request);
+                    if finished.is_some() {
+                        match be.client.next_pending_at() {
+                            Some(at) if at <= now && be.client.try_start_request() => {
+                                sched.schedule_at(now, Ev::BePush);
+                            }
+                            Some(at) if at > now => sched.schedule_at(at, Ev::BeStart),
+                            _ => {}
+                        }
+                    } else if was_blocked && be.client.can_push() {
+                        sched.schedule_at(now, Ev::BePush);
+                    }
+                    be_done = true;
+                }
+                None => {}
+            }
+        }
+        self.completion_buf = completions;
+        if step_done {
+            self.on_step_complete(now, sched)?;
+        } else if be_done {
+            self.schedule_be(now)?;
+        }
+        Ok(())
+    }
+
+    /// Handles the end of the in-flight serving step: deliver tokens, grow
+    /// KV, complete/evict, then start the next step.
+    fn on_step_complete(
+        &mut self,
+        now: SimTime,
+        sched: &mut Scheduler<Ev>,
+    ) -> Result<(), ServingError> {
+        let Some(step) = self.step.take() else {
+            return Ok(());
+        };
+        let warm = now >= self.cfg.warmup;
+        match step.kind {
+            StepKind::Prefill { req } => {
+                // The prefill's output is the request's first token.
+                if self.grow_one_token(req, now)? {
+                    let r = &mut self.requests[req];
+                    r.generated = 1;
+                    r.last_token_at = now;
+                    if warm {
+                        self.tally.tokens_warm += 1;
+                    }
+                    let arrival = r.spec.arrival;
+                    let done = r.generated >= r.spec.output_tokens;
+                    if warm {
+                        self.ttft.record(now - arrival);
+                    }
+                    self.tally.joins += 1;
+                    if !self.running.is_empty() {
+                        self.tally.joins_mid += 1;
+                    }
+                    self.requests[req].state = ReqState::Running;
+                    self.running.push(req);
+                    if done {
+                        self.complete(req, now, warm)?;
+                    }
+                }
+            }
+            StepKind::Decode { members } => {
+                let dur = now - step.started;
+                for &i in &members {
+                    if self.requests[i].state != ReqState::Running {
+                        continue; // evicted earlier in this boundary
+                    }
+                    let r = &mut self.requests[i];
+                    if warm {
+                        self.per_token.record(dur);
+                        self.itl.record(now - r.last_token_at);
+                        self.tally.tokens_warm += 1;
+                    }
+                    r.generated += 1;
+                    r.last_token_at = now;
+                    if r.generated >= r.spec.output_tokens {
+                        self.complete(i, now, warm)?;
+                    } else {
+                        // Grow KV for the token just produced; may evict.
+                        self.grow_one_token(i, now)?;
+                    }
+                }
+            }
+        }
+        self.maybe_start_step(now, sched)
+    }
+
+    /// Extends `idx`'s KV allocation by one token, evicting under pressure.
+    /// Returns `false` when `idx` itself had to be evicted (last resort).
+    fn grow_one_token(&mut self, idx: usize, now: SimTime) -> Result<bool, ServingError> {
+        loop {
+            let Some(id) = self.requests[idx].kv else {
+                // An admitted request always holds KV; treat a missing
+                // allocation as the ledger-level error it would be.
+                return Err(ServingError::Gpu(GpuError::UnknownAllocation(idx as u64)));
+            };
+            match self.gpu.grow_immediate(id, LLM_KV_BYTES_PER_TOKEN) {
+                Ok(()) => {
+                    self.requests[idx].kv_tokens += 1;
+                    self.kv_used += LLM_KV_BYTES_PER_TOKEN;
+                    self.kv_peak = self.kv_peak.max(self.kv_used);
+                    return Ok(true);
+                }
+                Err(GpuError::OutOfMemory { .. }) => {
+                    // Evict somebody else while possible; self last.
+                    let others: Vec<usize> = self
+                        .running
+                        .iter()
+                        .copied()
+                        .filter(|&i| i != idx)
+                        .collect();
+                    let victim = choose_victim(&self.requests, &others).unwrap_or(idx);
+                    self.evict(victim, now)?;
+                    if victim == idx {
+                        return Ok(false);
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Frees a victim's KV and re-queues (or drops) it. Eviction restarts
+    /// the request from its prompt (recompute-on-restore, Orca-style).
+    fn evict(&mut self, victim: usize, now: SimTime) -> Result<(), ServingError> {
+        if let Some(id) = self.requests[victim].kv.take() {
+            let freed = self.gpu.free_immediate(id)?;
+            self.kv_used -= freed;
+        }
+        self.running.retain(|&i| i != victim);
+        self.tally.evictions += 1;
+        let r = &mut self.requests[victim];
+        r.kv_tokens = 0;
+        r.generated = 0;
+        r.evictions += 1;
+        if r.evictions > self.cfg.admission.max_evictions {
+            r.state = ReqState::Dropped;
+            self.tally.dropped_evicted += 1;
+        } else {
+            r.state = ReqState::Queued;
+            r.queued_at = now;
+            self.queue.push_front(victim);
+        }
+        Ok(())
+    }
+
+    /// Completes a request: frees its KV and records request-level stats.
+    fn complete(&mut self, idx: usize, now: SimTime, warm: bool) -> Result<(), ServingError> {
+        if let Some(id) = self.requests[idx].kv.take() {
+            let freed = self.gpu.free_immediate(id)?;
+            self.kv_used -= freed;
+        }
+        self.running.retain(|&i| i != idx);
+        let r = &mut self.requests[idx];
+        r.state = ReqState::Done;
+        self.tally.completed += 1;
+        self.tally.leaves += 1;
+        if !self.running.is_empty() {
+            self.tally.leaves_mid += 1;
+        }
+        if warm {
+            self.e2e.record(now - r.spec.arrival);
+        }
+        Ok(())
+    }
+
+    /// If the serving stream is idle: run admission, then start the next
+    /// prefill or decode step. Always re-gates the best-effort client.
+    fn maybe_start_step(
+        &mut self,
+        now: SimTime,
+        _sched: &mut Scheduler<Ev>,
+    ) -> Result<(), ServingError> {
+        if self.step.is_none() {
+            self.admission_pass(now)?;
+            if let Some(req) = self.prefill_q.pop_front() {
+                let w = llm_prefill(self.requests[req].spec.prompt_tokens);
+                let est = w.solo_kernel_time();
+                self.submit_step(&w)?;
+                self.step = Some(StepInFlight {
+                    kind: StepKind::Prefill { req },
+                    started: now,
+                    est,
+                });
+                self.tally.prefill_steps += 1;
+                self.offpeak_spent = SimTime::ZERO;
+            } else if !self.running.is_empty() {
+                let batch = self.running.len() as u32;
+                let total_ctx: u64 = self
+                    .running
+                    .iter()
+                    .map(|&i| u64::from(self.requests[i].kv_tokens))
+                    .sum();
+                let avg_ctx = ctx_bucket((total_ctx / u64::from(batch)) as u32);
+                let w = llm_batched_decode_step(batch, avg_ctx);
+                let est = self.predictor.predict(batch, avg_ctx);
+                self.submit_step(&w)?;
+                self.step = Some(StepInFlight {
+                    kind: StepKind::Decode {
+                        members: self.running.clone(),
+                    },
+                    started: now,
+                    est,
+                });
+                self.tally.decode_steps += 1;
+                self.tally.peak_batch = self.tally.peak_batch.max(batch);
+                self.tally.batch_sum += u64::from(batch);
+                self.offpeak_spent = SimTime::ZERO;
+            }
+        }
+        self.schedule_be(now)
+    }
+
+    /// Submits every op of a serving-step workload on the serving stream.
+    fn submit_step(&mut self, w: &Workload) -> Result<(), ServingError> {
+        for (_, op) in &w.ops {
+            let id = match op {
+                OpSpec::Kernel(k) => self.gpu.submit_kernel(self.serve_stream, k)?,
+                OpSpec::H2D { bytes, blocking } => self.gpu.submit(
+                    self.serve_stream,
+                    OpKind::MemcpyH2D {
+                        bytes: *bytes,
+                        blocking: *blocking,
+                    },
+                )?,
+                OpSpec::D2H { bytes, blocking } => self.gpu.submit(
+                    self.serve_stream,
+                    OpKind::MemcpyD2H {
+                        bytes: *bytes,
+                        blocking: *blocking,
+                    },
+                )?,
+            };
+            self.routes.insert(id.0, Route::Serve);
+            self.step_ops += 1;
+        }
+        Ok(())
+    }
+
+    /// SLO-aware admission: sheds stale/oversized requests, then admits from
+    /// the queue head while batch, deadline-risk, and KV-watermark gates all
+    /// pass. Stops at the first deferral (FIFO admission order).
+    fn admission_pass(&mut self, now: SimTime) -> Result<(), ServingError> {
+        loop {
+            let Some(&cand) = self.queue.front() else {
+                return Ok(());
+            };
+            let spec = self.requests[cand].spec;
+            if now - self.requests[cand].queued_at > self.cfg.admission.max_queue_wait {
+                self.queue.pop_front();
+                self.requests[cand].state = ReqState::Dropped;
+                self.tally.shed_queue += 1;
+                continue;
+            }
+            if spec.admit_kv_bytes() > self.kv_budget {
+                self.queue.pop_front();
+                self.requests[cand].state = ReqState::Dropped;
+                self.tally.shed_oversized += 1;
+                continue;
+            }
+            // Batch cap counts running + admitted-not-yet-prefilled + the
+            // in-flight prefill, i.e. everyone who will hold a batch slot.
+            let in_flight_prefill = usize::from(matches!(
+                self.step,
+                Some(StepInFlight {
+                    kind: StepKind::Prefill { .. },
+                    ..
+                })
+            ));
+            let in_batch = self.running.len() + self.prefill_q.len() + in_flight_prefill;
+            if in_batch + 1 > self.cfg.max_batch as usize {
+                self.tally.deferred_batch += 1;
+                return Ok(());
+            }
+            // Deadline risk: predicted decode-step time at batch+1 with the
+            // candidate's context folded into the average.
+            let projected_batch = (in_batch + 1) as u32;
+            let total_ctx: u64 = self
+                .running
+                .iter()
+                .map(|&i| u64::from(self.requests[i].kv_tokens))
+                .chain(
+                    self.prefill_q
+                        .iter()
+                        .map(|&i| u64::from(self.requests[i].spec.prompt_tokens) + 1),
+                )
+                .sum::<u64>()
+                + u64::from(spec.prompt_tokens)
+                + 1;
+            let avg_ctx = (total_ctx / u64::from(projected_batch)) as u32;
+            let predicted = self.predictor.predict(projected_batch, avg_ctx);
+            if predicted > self.cfg.slo.per_token.mul_f64(self.cfg.admission.slo_margin) {
+                self.tally.deferred_slo += 1;
+                return Ok(());
+            }
+            // KV headroom: projected live KV must stay under the watermark.
+            let lookahead = kv_cache_bytes(self.cfg.admission.lookahead_tokens);
+            let projected_kv = self.kv_used + spec.admit_kv_bytes() + lookahead;
+            let watermark = (self.cfg.admission.watermark * self.kv_budget as f64) as u64;
+            if projected_kv > watermark {
+                self.tally.deferred_kv += 1;
+                return Ok(());
+            }
+            match self.gpu.alloc_immediate(kv_cache_bytes(spec.prompt_tokens)) {
+                Ok(id) => {
+                    self.queue.pop_front();
+                    let r = &mut self.requests[cand];
+                    r.kv = Some(id);
+                    r.kv_tokens = spec.prompt_tokens;
+                    r.state = ReqState::Prefilling;
+                    self.kv_used += kv_cache_bytes(spec.prompt_tokens);
+                    self.kv_peak = self.kv_peak.max(self.kv_used);
+                    self.tally.admitted += 1;
+                    self.prefill_q.push_back(cand);
+                }
+                Err(GpuError::OutOfMemory { .. }) => {
+                    // Watermark passed but the ledger is tighter (static
+                    // allocations breathe): defer rather than evict for a
+                    // not-yet-admitted request.
+                    self.tally.deferred_kv += 1;
+                    return Ok(());
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Gates and submits the best-effort client's queued ops per policy.
+    fn schedule_be(&mut self, _now: SimTime) -> Result<(), ServingError> {
+        loop {
+            let Some(be) = self.be.as_mut() else {
+                return Ok(());
+            };
+            let Some(op) = be.client.peek() else {
+                return Ok(());
+            };
+            let (is_kernel, profile, expected) = (op.is_kernel(), op.profile, op.expected_dur);
+            // The in-flight step's bottleneck resource, if any.
+            let bottleneck = self.step.as_ref().map(|s| match s.kind {
+                StepKind::Prefill { .. } => ResourceProfile::ComputeBound,
+                StepKind::Decode { .. } => ResourceProfile::MemoryBound,
+            });
+            let class = match (&self.cfg.policy, bottleneck) {
+                // Serving idle: everything goes (Temporal included).
+                (_, None) => Some(GateClass::Free),
+                (ServingPolicy::Mps, Some(_)) => Some(GateClass::Free),
+                (ServingPolicy::Temporal, Some(_)) => None,
+                (
+                    ServingPolicy::Orion {
+                        complement_budget,
+                        offpeak_duty,
+                    },
+                    Some(bneck),
+                ) => {
+                    if !is_kernel {
+                        // Copies ride the copy engine; admit freely.
+                        Some(GateClass::Free)
+                    } else {
+                        let complement = (bneck == ResourceProfile::MemoryBound
+                            && profile == ResourceProfile::ComputeBound)
+                            || (bneck == ResourceProfile::ComputeBound
+                                && profile == ResourceProfile::MemoryBound);
+                        if complement {
+                            (self.outstanding_complement + expected <= *complement_budget)
+                                .then_some(GateClass::Complement)
+                        } else {
+                            // Same-profile/unknown: bounded duty slice of
+                            // the current step.
+                            let quota = self
+                                .step
+                                .as_ref()
+                                .map(|s| s.est.mul_f64(*offpeak_duty))
+                                .unwrap_or(SimTime::ZERO);
+                            (self.offpeak_spent + expected <= quota)
+                                .then_some(GateClass::Offpeak)
+                        }
+                    }
+                }
+            };
+            let Some(class) = class else {
+                return Ok(());
+            };
+            let Some(op) = be.client.pop() else {
+                return Ok(());
+            };
+            match class {
+                GateClass::Complement => self.outstanding_complement += expected,
+                GateClass::Offpeak => self.offpeak_spent += expected,
+                GateClass::Free => {}
+            }
+            let id = match &op.spec {
+                OpSpec::Kernel(k) => self.gpu.submit_kernel(self.be_stream, k)?,
+                OpSpec::H2D { bytes, blocking } => self.gpu.submit(
+                    self.be_stream,
+                    OpKind::MemcpyH2D {
+                        bytes: *bytes,
+                        blocking: *blocking,
+                    },
+                )?,
+                OpSpec::D2H { bytes, blocking } => self.gpu.submit(
+                    self.be_stream,
+                    OpKind::MemcpyD2H {
+                        bytes: *bytes,
+                        blocking: *blocking,
+                    },
+                )?,
+            };
+            self.routes.insert(
+                id.0,
+                Route::Be {
+                    request_id: op.request_id,
+                    op_seq: op.op_seq,
+                    last_of_request: op.last_of_request,
+                    class,
+                    expected,
+                },
+            );
+        }
+    }
+
+    fn handle_inner(
+        &mut self,
+        now: SimTime,
+        ev: Ev,
+        sched: &mut Scheduler<Ev>,
+    ) -> Result<(), ServingError> {
+        // Completions at or before `now` are processed first so every
+        // handler sees up-to-date batch/queue/device state.
+        self.drain_gpu(now, sched)?;
+        match ev {
+            Ev::Arrival { idx } => {
+                self.queue.push_back(idx);
+                self.maybe_start_step(now, sched)?;
+            }
+            Ev::BePush => {
+                if let Some(be) = self.be.as_mut() {
+                    if be.client.push_next().is_some() && be.client.can_push() {
+                        sched.schedule_in(be.launch_cost, Ev::BePush);
+                    }
+                }
+                self.schedule_be(now)?;
+            }
+            Ev::BeStart => {
+                if let Some(be) = self.be.as_mut() {
+                    if be.client.try_start_request() {
+                        sched.schedule_at(now, Ev::BePush);
+                    }
+                }
+            }
+            Ev::GpuWake { token } => {
+                // Stale wake-ups (state changed since arming) must not
+                // re-arm, or duplicate wake chains accumulate.
+                if token != self.wake_token {
+                    return Ok(());
+                }
+            }
+        }
+        self.arm_wake(now, sched);
+        Ok(())
+    }
+}
+
+impl World for ServingWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        if self.fatal.is_some() {
+            return;
+        }
+        if let Err(e) = self.handle_inner(now, ev, sched) {
+            self.fatal = Some(e);
+        }
+    }
+}
+
+/// Runs one serving experiment (see [`super::run_serving`]).
+pub(super) fn run(cfg: &ServingConfig) -> Result<ServingReport, ServingError> {
+    let mut gpu = GpuEngine::new(cfg.spec.clone(), false);
+    let weights = llm_weight_bytes();
+    let static_needed = weights
+        + cfg
+            .be
+            .as_ref()
+            .map_or(0, |be| be.workload.memory_footprint);
+    let capacity = cfg.spec.memory_capacity;
+    let not_fit = |_e: GpuError| ServingError::ModelDoesNotFit {
+        needed: static_needed,
+        capacity,
+    };
+    gpu.alloc_immediate(weights).map_err(not_fit)?;
+    let be = match &cfg.be {
+        Some(spec) => {
+            if !spec.arrivals.is_closed_loop() {
+                return Err(ServingError::InvalidConfig(
+                    "best-effort client must be closed-loop",
+                ));
+            }
+            let profile = profile_workload(&spec.workload, &cfg.spec)?.table();
+            gpu.alloc_immediate(spec.workload.memory_footprint)
+                .map_err(not_fit)?;
+            let mut client = ClientState::new(spec.clone(), profile);
+            client.on_arrival(SimTime::ZERO);
+            client.try_start_request();
+            Some(BeState {
+                client,
+                launch_cost: cfg.spec.launch_overhead,
+            })
+        }
+        None => None,
+    };
+    // The KV budget is whatever the static allocations left behind.
+    let kv_budget = gpu.memory().capacity() - gpu.memory().used();
+    let min_needed = kv_cache_bytes(cfg.prompt_tokens.0 + 1);
+    if min_needed > kv_budget {
+        return Err(ServingError::KvExhausted {
+            needed: min_needed,
+            available: kv_budget,
+        });
+    }
+    let specs = generate_requests(cfg);
+    let serve_stream = gpu.create_stream(StreamPriority::HIGH);
+    let be_stream = gpu.create_stream(StreamPriority::DEFAULT);
+    let has_be = be.is_some();
+    let world = ServingWorld {
+        gpu,
+        cfg: cfg.clone(),
+        serve_stream,
+        be_stream,
+        requests: specs.iter().map(|&s| Request::new(s)).collect(),
+        queue: VecDeque::new(),
+        prefill_q: VecDeque::new(),
+        running: Vec::new(),
+        step: None,
+        step_ops: 0,
+        routes: HashMap::new(),
+        be,
+        outstanding_complement: SimTime::ZERO,
+        offpeak_spent: SimTime::ZERO,
+        predictor: StepTimePredictor::default(),
+        kv_used: 0,
+        kv_peak: 0,
+        kv_budget,
+        tally: Tally::default(),
+        ttft: LatencyRecorder::new(),
+        per_token: LatencyRecorder::new(),
+        itl: LatencyRecorder::new(),
+        e2e: LatencyRecorder::new(),
+        wake_token: 0,
+        completion_buf: Vec::new(),
+        fatal: None,
+    };
+    let mut sim = Simulation::new(world);
+    for (i, s) in specs.iter().enumerate() {
+        sim.schedule_at(s.arrival, Ev::Arrival { idx: i });
+    }
+    if has_be {
+        sim.schedule_at(SimTime::ZERO, Ev::BePush);
+    }
+    let outcome = sim.run_until(cfg.horizon, 500_000_000);
+    assert_ne!(
+        outcome,
+        orion_desim::sim::RunOutcome::BudgetExhausted,
+        "serving run livelocked"
+    );
+    if let Some(e) = sim.world_mut().fatal.take() {
+        return Err(e);
+    }
+    // Final drain at the horizon for exact utilization accounting.
+    let horizon = cfg.horizon;
+    sim.world_mut().gpu.advance_to(horizon);
+
+    let w = sim.world_mut();
+    let window = cfg.horizon - cfg.warmup;
+    let window_secs = window.as_secs_f64();
+    let t = std::mem::take(&mut w.tally);
+    let be_completed = w.be.as_ref().map_or(0, |be| {
+        be.client
+            .finished
+            .iter()
+            .filter(|(at, _)| *at >= cfg.warmup)
+            .count() as u64
+    });
+    Ok(ServingReport {
+        policy: cfg.policy.label(),
+        arrived: w.requests.len() as u64,
+        admitted: t.admitted,
+        completed: t.completed,
+        shed_queue: t.shed_queue,
+        shed_oversized: t.shed_oversized,
+        dropped_evicted: t.dropped_evicted,
+        evictions: t.evictions,
+        deferred_kv: t.deferred_kv,
+        deferred_slo: t.deferred_slo,
+        deferred_batch: t.deferred_batch,
+        joins: t.joins,
+        joins_mid: t.joins_mid,
+        leaves: t.leaves,
+        leaves_mid: t.leaves_mid,
+        decode_steps: t.decode_steps,
+        prefill_steps: t.prefill_steps,
+        peak_batch: t.peak_batch,
+        mean_batch: if t.decode_steps == 0 {
+            0.0
+        } else {
+            t.batch_sum as f64 / t.decode_steps as f64
+        },
+        tokens_generated: t.tokens_warm,
+        tokens_per_sec: t.tokens_warm as f64 / window_secs,
+        ttft: std::mem::take(&mut w.ttft),
+        per_token: std::mem::take(&mut w.per_token),
+        itl: std::mem::take(&mut w.itl),
+        e2e: std::mem::take(&mut w.e2e),
+        kv_peak_bytes: w.kv_peak,
+        kv_budget_bytes: w.kv_budget,
+        ledger_high_water: w.gpu.memory().high_water(),
+        ledger_capacity: w.gpu.memory().capacity(),
+        be_completed,
+        be_tput: be_completed as f64 / window_secs,
+        utilization: w.gpu.util_summary(),
+        window,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{run_serving, ServingConfig, ServingPolicy};
+    use orion_workloads::arrivals::ArrivalProcess;
+    use orion_workloads::registry::training_workload;
+    use orion_workloads::ModelKind;
+
+    use crate::client::ClientSpec;
+
+    #[test]
+    fn serving_alone_batches_and_meets_bookkeeping_invariants() {
+        let r = run_serving(&ServingConfig::quick_test()).expect("serving run");
+        assert!(r.arrived > 0);
+        assert!(r.admitted > 0);
+        assert!(r.completed > 0, "no request completed: {r:?}");
+        assert!(r.decode_steps > 0 && r.prefill_steps > 0);
+        assert!(r.peak_batch >= 2, "never batched: {r:?}");
+        assert!(r.joins >= r.leaves);
+        assert!(r.joins_mid > 0 && r.leaves_mid > 0, "no mid-batch churn");
+        assert!(r.tokens_generated > 0 && r.tokens_per_sec > 0.0);
+        // Ledger safety: high water never exceeds capacity, and the KV peak
+        // stays within the budget.
+        assert!(r.ledger_high_water <= r.ledger_capacity);
+        assert!(r.kv_peak_bytes <= r.kv_budget_bytes);
+        assert!(!r.ttft.is_empty() && !r.per_token.is_empty());
+    }
+
+    #[test]
+    fn serving_is_deterministic() {
+        let cfg = ServingConfig::quick_test();
+        let a = run_serving(&cfg).expect("run a");
+        let b = run_serving(&cfg).expect("run b");
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.tokens_generated, b.tokens_generated);
+        assert_eq!(a.decode_steps, b.decode_steps);
+        assert_eq!(a.evictions, b.evictions);
+        let (mut a, mut b) = (a, b);
+        assert_eq!(a.per_token.p99(), b.per_token.p99());
+        assert_eq!(a.ttft.p99(), b.ttft.p99());
+    }
+
+    #[test]
+    fn constrained_memory_defers_and_evicts_without_oversubscription() {
+        use orion_workloads::models::llm::{kv_cache_bytes, llm_weight_bytes};
+        let mut cfg = ServingConfig::quick_test();
+        // Just enough KV for a couple of requests: admission must defer and
+        // decode growth must evict.
+        cfg.spec.memory_capacity = llm_weight_bytes() + kv_cache_bytes(448);
+        cfg.rps = 4.0;
+        let r = run_serving(&cfg).expect("constrained run");
+        assert!(
+            r.deferred_kv > 0 || r.shed_queue > 0,
+            "no memory-pressure gating: {r:?}"
+        );
+        assert!(r.ledger_high_water <= r.ledger_capacity);
+        assert!(r.kv_peak_bytes <= r.kv_budget_bytes);
+    }
+
+    #[test]
+    fn temporal_starves_be_while_orion_sustains_it() {
+        let be = ClientSpec::best_effort(
+            training_workload(ModelKind::ResNet50),
+            ArrivalProcess::ClosedLoop,
+        );
+        let base = ServingConfig::quick_test();
+        let orion = run_serving(
+            &base
+                .clone()
+                .with_policy(ServingPolicy::orion_default())
+                .with_be(be.clone()),
+        )
+        .expect("orion run");
+        let temporal = run_serving(
+            &base
+                .clone()
+                .with_policy(ServingPolicy::Temporal)
+                .with_be(be),
+        )
+        .expect("temporal run");
+        assert!(
+            orion.be_completed >= temporal.be_completed,
+            "orion BE {} < temporal BE {}",
+            orion.be_completed,
+            temporal.be_completed
+        );
+    }
+}

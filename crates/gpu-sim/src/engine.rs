@@ -993,6 +993,14 @@ impl GpuEngine {
         self.memory.free(alloc)
     }
 
+    /// Immediate in-place growth of a live allocation (KV-cache append).
+    /// Paged-attention allocators extend a sequence's cache without a
+    /// device sync, so growth bypasses stream ordering like
+    /// [`GpuEngine::alloc_immediate`] does.
+    pub fn grow_immediate(&mut self, alloc: AllocId, bytes: u64) -> Result<(), GpuError> {
+        self.memory.grow(alloc, bytes)
+    }
+
     /// Utilization averages so far.
     pub fn util_summary(&self) -> UtilSummary {
         self.util.summary()

@@ -53,6 +53,28 @@ impl MemoryLedger {
         Ok(AllocId(id))
     }
 
+    /// Grows a live allocation in place by `bytes` (KV-cache append: the
+    /// serving loop extends each request's cache by one token per decode
+    /// step). Fails with `UnknownAllocation` for a dead id and with
+    /// `OutOfMemory` — leaving the allocation unchanged — when the device
+    /// lacks headroom.
+    pub fn grow(&mut self, id: AllocId, bytes: u64) -> Result<(), GpuError> {
+        let Some(size) = self.live.get_mut(&id.0) else {
+            return Err(GpuError::UnknownAllocation(id.0));
+        };
+        let available = self.capacity - self.used;
+        if bytes > available {
+            return Err(GpuError::OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        *size += bytes;
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+        Ok(())
+    }
+
     /// Frees a live allocation.
     pub fn free(&mut self, id: AllocId) -> Result<u64, GpuError> {
         match self.live.remove(&id.0) {
@@ -126,6 +148,43 @@ mod tests {
             }
             other => panic!("expected OOM, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn grow_extends_a_live_allocation() {
+        let mut m = MemoryLedger::new(1000);
+        let a = m.alloc(100).unwrap();
+        m.grow(a, 250).unwrap();
+        assert_eq!(m.used(), 350);
+        assert_eq!(m.high_water(), 350);
+        assert_eq!(m.free(a).unwrap(), 350, "free returns the grown size");
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn grow_oom_leaves_allocation_unchanged() {
+        let mut m = MemoryLedger::new(100);
+        let a = m.alloc(80).unwrap();
+        match m.grow(a, 30) {
+            Err(GpuError::OutOfMemory {
+                requested,
+                available,
+            }) => {
+                assert_eq!(requested, 30);
+                assert_eq!(available, 20);
+            }
+            other => panic!("expected OOM, got {other:?}"),
+        }
+        assert_eq!(m.used(), 80);
+        assert_eq!(m.free(a).unwrap(), 80);
+    }
+
+    #[test]
+    fn grow_unknown_allocation_is_an_error() {
+        let mut m = MemoryLedger::new(100);
+        let a = m.alloc(10).unwrap();
+        m.free(a).unwrap();
+        assert!(matches!(m.grow(a, 1), Err(GpuError::UnknownAllocation(_))));
     }
 
     #[test]

@@ -1,11 +1,27 @@
-//! LLM autoregressive-decode workload (paper §7 extension).
+//! LLM autoregressive workloads: prefill, batched decode, KV-cache sizing
+//! (paper §7 extension; serving loop in `orion-core::serving`).
 //!
 //! The paper's discussion notes that LLM token generation is memory-bound
 //! (weights stream from HBM at batch 1) and underutilizes compute throughput
 //! and SMs, making it a candidate for Orion collocation with compute-bound
-//! jobs. This builder synthesizes one decode *step* (one token): per layer a
-//! pair of weight-streaming GEMV-like kernels (memory-bound), an attention
-//! kernel over the KV cache (memory-bound), and a layer norm.
+//! jobs. This module synthesizes the two serving phases:
+//!
+//! - **Prefill** (`llm_prefill`): the prompt is processed in one pass of
+//!   prompt-length-scaled GEMMs plus an O(prompt²) attention term —
+//!   compute-bound, like a training forward pass.
+//! - **Decode** (`llm_batched_decode_step`): one token for every request in
+//!   the batch. The weight-streaming matvecs are shared across the batch, so
+//!   their cost grows only ~4%/request (the continuous-batching win), while
+//!   the KV-cache attention reads each request's context and grows linearly
+//!   in `batch × context`. Compute utilization creeps up with batch size but
+//!   the step stays memory-bound at every batch size we model.
+//!
+//! KV-cache sizing follows the usual fp16 formula: 32 layers × 4096 hidden
+//! × 2 tensors (K and V) × 2 bytes = 512 KiB per token per request. The
+//! batch-1 step's `memory_footprint` is calibrated so weights plus a
+//! [`LLM_DEFAULT_CONTEXT`]-token KV cache total the 7 GiB the collocation
+//! tables always charged for this model — the split is now explicit and the
+//! footprint scales with context length instead of silently ignoring it.
 
 use orion_desim::time::SimTime;
 
@@ -13,43 +29,150 @@ use crate::archetype;
 use crate::model::{ModelKind, Workload, WorkloadKind};
 use crate::models::{gib, TraceBuilder};
 
+/// Transformer layer count of the ~7B reference model.
+pub const LLM_LAYERS: u32 = 32;
+
+/// KV-cache bytes per token per request: 32 layers × 4096 hidden × 2 (K,V)
+/// × 2 bytes fp16.
+pub const LLM_KV_BYTES_PER_TOKEN: u64 = 512 * 1024;
+
+/// Context length assumed by the batch-1 [`llm_decode_step`] trace.
+pub const LLM_DEFAULT_CONTEXT: u32 = 512;
+
+/// KV-cache bytes for one request holding `tokens` tokens of context.
+pub const fn kv_cache_bytes(tokens: u32) -> u64 {
+    tokens as u64 * LLM_KV_BYTES_PER_TOKEN
+}
+
+/// Resident weight bytes (int8-quantized 7B). Calibrated so that weights +
+/// a default-context KV cache equal the 7 GiB footprint the collocation
+/// grids have always charged for `llm_decode_step`.
+pub const fn llm_weight_bytes() -> u64 {
+    gib(7.0) - kv_cache_bytes(LLM_DEFAULT_CONTEXT)
+}
+
 /// One decode step of a ~7B-parameter LLM (32 layers), batch size 1.
 ///
 /// Token latency ~18 ms on the V100 reference; memory-bandwidth bound
-/// (weights + KV cache streaming), compute mostly idle.
+/// (weights + KV cache streaming), compute mostly idle. Identical to
+/// `llm_batched_decode_step(1, LLM_DEFAULT_CONTEXT)`.
 pub fn llm_decode_step() -> Workload {
+    llm_batched_decode_step(1, LLM_DEFAULT_CONTEXT)
+}
+
+/// One continuous-batching decode step: one token for each of `batch`
+/// requests whose mean context length is `avg_context` tokens.
+///
+/// Matvec/logits kernels stream the same weights for every request, so their
+/// duration grows 4% per extra request while per-token cost collapses; the
+/// KV attention kernel reads `batch × avg_context` cache entries and grows
+/// linearly. Compute utilization rises ~0.02 per extra request but is capped
+/// below the 0.60 classification threshold: decode stays memory-bound.
+pub fn llm_batched_decode_step(batch: u32, avg_context: u32) -> Workload {
+    let batch = batch.max(1);
+    let b64 = u64::from(batch);
+    // Weight-streaming amortization: +4% duration per extra request.
+    let stream_scale = |base_ns: u64| base_ns + base_ns * 4 * (b64 - 1) / 100;
+    // Compute creep with batch size, capped below the 0.60 threshold.
+    let compute_creep = |base: f64| (base + 0.02 * (b64 - 1) as f64).min(0.55);
+
     let mut b = TraceBuilder::new();
     // The token embedding lookup is negligible; no host copy per token.
-    for layer in 0..32u32 {
+    for layer in 0..LLM_LAYERS {
         // Two fused matvec kernels per layer (attention proj + MLP):
-        // memory-bound weight streaming.
+        // memory-bound weight streaming, shared across the batch.
         for half in 0..2 {
             b.kernel(|id| {
                 archetype::custom(
                     id,
                     "llm_matvec",
-                    SimTime::from_micros(190 + 10 * u64::from((layer + half) % 3)),
+                    SimTime::from_nanos(stream_scale(
+                        1_000 * (190 + 10 * u64::from((layer + half) % 3)),
+                    )),
                     48,
-                    0.18,
+                    compute_creep(0.18),
                     0.78,
                 )
             });
         }
-        // KV-cache attention: memory-bound.
+        // KV-cache attention: memory-bound, reads every request's context.
+        // 18.8 µs launch/softmax floor + 100 ns per cached token touched
+        // (70 µs at batch 1 with the default 512-token context).
         b.kernel(|id| {
-            archetype::custom(id, "llm_attention", SimTime::from_micros(70), 36, 0.15, 0.70)
+            archetype::custom(
+                id,
+                "llm_attention",
+                SimTime::from_nanos(18_800 + b64 * u64::from(avg_context) * 100),
+                36,
+                0.15,
+                0.70,
+            )
         });
-        // Layer norm.
+        // Layer norm over `batch` rows.
+        b.kernel(|id| {
+            archetype::layer_norm(id, SimTime::from_nanos(25_000 + 2_000 * (b64 - 1)), 30)
+        });
+    }
+    // Logits matvec + sampling: weight-streaming, amortized like the matvecs.
+    b.kernel(|id| {
+        archetype::custom(
+            id,
+            "llm_logits",
+            SimTime::from_nanos(stream_scale(220_000)),
+            50,
+            compute_creep(0.22),
+            0.74,
+        )
+    });
+    b.d2h(4_096 * b64, true);
+    Workload {
+        model: ModelKind::LlmDecode,
+        kind: WorkloadKind::Inference { batch },
+        ops: b.build(),
+        memory_footprint: llm_weight_bytes() + b64 * kv_cache_bytes(avg_context),
+    }
+}
+
+/// Prompt processing for one request: `prompt_tokens` tokens in a single
+/// compute-bound pass (the serving TTFT phase).
+///
+/// Per layer: two prompt-length-scaled GEMMs (attention proj + MLP, the
+/// whole prompt batched into one matmul) and an O(prompt²) self-attention
+/// kernel, plus a layer norm. Ends with the logits matvec for the first
+/// generated token.
+pub fn llm_prefill(prompt_tokens: u32) -> Workload {
+    let p = u64::from(prompt_tokens.max(1));
+    let mut b = TraceBuilder::new();
+    // Prompt token ids (4 bytes each), copied up front without blocking.
+    b.h2d(4 * p, false);
+    for _layer in 0..LLM_LAYERS {
+        // GEMMs over the whole prompt: arithmetic intensity is high because
+        // each streamed weight tile is reused for every prompt token.
+        for _half in 0..2 {
+            b.kernel(|id| {
+                archetype::custom(id, "llm_prefill_gemm", SimTime::from_nanos(1_100 * p), 64, 0.86, 0.28)
+            });
+        }
+        // Causal self-attention: O(prompt²) score matrix.
+        b.kernel(|id| {
+            archetype::custom(
+                id,
+                "llm_prefill_attn",
+                SimTime::from_nanos(12_000 + p * p * 6 / 10),
+                56,
+                0.72,
+                0.30,
+            )
+        });
         b.kernel(|id| archetype::layer_norm(id, SimTime::from_micros(25), 30));
     }
-    // Logits matvec + sampling.
     b.kernel(|id| archetype::custom(id, "llm_logits", SimTime::from_micros(220), 50, 0.22, 0.74));
     b.d2h(4_096, true);
     Workload {
         model: ModelKind::LlmDecode,
         kind: WorkloadKind::Inference { batch: 1 },
         ops: b.build(),
-        memory_footprint: gib(7.0),
+        memory_footprint: llm_weight_bytes() + kv_cache_bytes(prompt_tokens),
     }
 }
 
@@ -88,5 +211,93 @@ mod tests {
             w.kernels().next().unwrap().classify(),
             ResourceProfile::MemoryBound
         ));
+    }
+
+    #[test]
+    fn batch_one_is_the_legacy_decode_step() {
+        // The fleet traces and collocation grids build `llm_decode_step`;
+        // batching must degenerate to exactly those kernels at batch 1 so
+        // pinned digests cannot move.
+        let legacy = llm_decode_step();
+        let batched = llm_batched_decode_step(1, LLM_DEFAULT_CONTEXT);
+        assert_eq!(legacy.memory_footprint, gib(7.0));
+        assert_eq!(batched.memory_footprint, gib(7.0));
+        assert_eq!(legacy.ops.len(), batched.ops.len());
+        for (a, b) in legacy.kernels().zip(batched.kernels()) {
+            assert_eq!(a.solo_duration, b.solo_duration, "{}", a.name);
+            assert_eq!(a.compute_util, b.compute_util, "{}", a.name);
+            assert_eq!(a.mem_util, b.mem_util, "{}", a.name);
+            assert_eq!(a.grid_blocks, b.grid_blocks, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn footprint_accounts_kv_by_context_length() {
+        assert_eq!(kv_cache_bytes(1), 512 * 1024);
+        assert_eq!(llm_weight_bytes() + kv_cache_bytes(LLM_DEFAULT_CONTEXT), gib(7.0));
+        let short = llm_batched_decode_step(1, 128).memory_footprint;
+        let long = llm_batched_decode_step(1, 2048).memory_footprint;
+        assert_eq!(long - short, kv_cache_bytes(2048 - 128));
+        // Batch multiplies the KV term, not the weights.
+        let b4 = llm_batched_decode_step(4, 128).memory_footprint;
+        assert_eq!(b4 - llm_weight_bytes(), 4 * kv_cache_bytes(128));
+    }
+
+    #[test]
+    fn batched_tokens_per_sec_strictly_increases() {
+        // The continuous-batching win: weight streaming amortizes, so
+        // tokens/sec rises strictly with batch while per-token step time
+        // stays sub-linear in batch size.
+        let mut last_rate = 0.0;
+        let base = llm_batched_decode_step(1, LLM_DEFAULT_CONTEXT)
+            .solo_kernel_time()
+            .as_secs_f64();
+        for batch in [1u32, 2, 4, 8, 16, 32] {
+            let step = llm_batched_decode_step(batch, LLM_DEFAULT_CONTEXT)
+                .solo_kernel_time()
+                .as_secs_f64();
+            let rate = f64::from(batch) / step;
+            assert!(
+                rate > last_rate,
+                "tokens/sec not increasing at batch {batch}: {rate} <= {last_rate}"
+            );
+            assert!(
+                batch == 1 || step < base * f64::from(batch),
+                "batch {batch} step time {step} not sub-linear vs {base}"
+            );
+            last_rate = rate;
+        }
+    }
+
+    #[test]
+    fn decode_stays_memory_bound_at_large_batch() {
+        let w = llm_batched_decode_step(32, 1024);
+        let (c, m, _) = w.profile_mix();
+        assert_eq!(c, 0, "compute-bound kernels crept into batched decode");
+        assert!(m > 100);
+        for k in w.kernels() {
+            assert!(
+                !matches!(k.classify(), ResourceProfile::ComputeBound),
+                "{} classified compute-bound at batch 32",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn prefill_is_compute_bound_and_prompt_scaled() {
+        let w = llm_prefill(192);
+        let (c, m, _) = w.profile_mix();
+        assert!(c > m, "prefill mix compute {c} <= memory {m}");
+        assert!(matches!(
+            w.kernels().next().unwrap().classify(),
+            ResourceProfile::ComputeBound
+        ));
+        let short = llm_prefill(64).solo_kernel_time();
+        let long = llm_prefill(512).solo_kernel_time();
+        assert!(long > short * 4, "prefill not prompt-scaled: {short:?} vs {long:?}");
+        // Prefilling a ~192-token prompt costs roughly one decode step.
+        let t = w.solo_kernel_time().as_millis_f64();
+        assert!((5.0..40.0).contains(&t), "prefill latency {t} ms");
     }
 }

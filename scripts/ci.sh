@@ -39,8 +39,16 @@ echo "==> fleet chaos (ORION_FAST=1: failure-domain smoke; chaos replay at 1/4/7
 ORION_FAST=1 cargo test -q -p orion-bench --test smoke smoke_fleet_chaos
 ORION_FAST=1 cargo test -q -p orion-bench --test determinism -- fleet_chaos_replay fleet_fault_free_digests
 
+echo "==> llm serving (ORION_FAST=1: core serving tests; grid smoke; byte-identical at 1/4/7 threads)"
+ORION_FAST=1 cargo test -q -p orion-core serving
+ORION_FAST=1 cargo test -q -p orion-bench --test smoke smoke_llm_serving
+ORION_FAST=1 cargo test -q -p orion-bench --test determinism llm_serving_grid_is_identical_at_any_thread_count
+
 echo "==> fleet scale (release, 128 GPUs / 1000 jobs with churn + chaos arm, byte-identical at 1/4/7 threads)"
 cargo test -q --release -p orion-bench --test determinism full_scale -- --ignored
+
+echo "==> llm serving full grid (release: batched >=2x serial at <=1.5x p99; Orion holds the SLO, MPS does not)"
+cargo test -q --release -p orion-bench --test smoke llm_serving_full_grid_story -- --ignored
 
 echo "==> golden trace digest (oracle + fault injection compiled in but disabled: must be byte-identical)"
 cargo test -q -p orion-gpu --test golden_trace --test error_paths
